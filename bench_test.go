@@ -1,0 +1,355 @@
+// Benchmark harness regenerating the paper's evaluation artifacts.
+//
+// One benchmark (family) exists per table/figure plus the DESIGN.md §5
+// ablations:
+//
+//	BenchmarkTable1Throughput/{KVM-QEMU,Docker,NativeNF}  Table 1, column 1
+//	BenchmarkTable1ThroughputDecap/{...}                  Table 1, decap path
+//	BenchmarkTable1RAM/{...}                              Table 1, column 2
+//	BenchmarkTable1ImageSize/{...}                        Table 1, column 3
+//	BenchmarkFigure1GraphDeployment                       Figure 1 (structure)
+//	BenchmarkAblationSharableNNF/tenants-N                A1
+//	BenchmarkAblationAdaptationLayer/{direct,adapted}     A2
+//	BenchmarkAblationPacketPath/{flavor}-{size}           A3
+//	BenchmarkAblationStartupLatency/{...}                 A4
+//
+// Simulated figures are emitted as custom metrics (Mbps-sim, MB, ms-sim);
+// wall-clock ns/op measures this Go implementation itself.
+package un_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	un "repro"
+	"repro/internal/bench"
+	"repro/internal/execenv"
+	"repro/internal/measure"
+	"repro/internal/netdev"
+	"repro/internal/nf"
+	"repro/internal/pkt"
+)
+
+func benchName(platform string) string {
+	return strings.ReplaceAll(strings.ReplaceAll(platform, "/", "-"), " ", "")
+}
+
+// BenchmarkTable1Throughput regenerates Table 1's throughput column: the
+// IPsec chain deployed per flavor, MTU frames LAN -> WAN (encapsulation).
+func BenchmarkTable1Throughput(b *testing.B) {
+	for _, f := range bench.Table1Flavors {
+		f := f
+		b.Run(benchName(f.Platform), func(b *testing.B) {
+			node, err := un.NewNode(un.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer node.Close()
+			if err := node.Deploy(bench.IPsecGraph("t1", f.Tech)); err != nil {
+				b.Fatal(err)
+			}
+			lan, _ := node.InterfacePort("eth0")
+			wan, _ := node.InterfacePort("eth1")
+			b.SetBytes(1500)
+			b.ResetTimer()
+			rep, err := measure.Run(lan, wan, node.Clock(), measure.Spec{
+				Packets: b.N, FrameSize: 1500,
+			})
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.LossRate() > 0 {
+				b.Fatalf("loss %.2f%%", rep.LossRate()*100)
+			}
+			b.ReportMetric(rep.MbpsGoodput(), "Mbps-sim")
+			paper := bench.PaperTable1[f.Platform].Mbps
+			b.ReportMetric(paper, "Mbps-paper")
+		})
+	}
+}
+
+// BenchmarkTable1ThroughputDecap measures the reverse path: a simulated
+// remote peer produces fresh ESP frames (outside the node's clock) and the
+// node decapsulates them WAN -> LAN.
+func BenchmarkTable1ThroughputDecap(b *testing.B) {
+	for _, f := range bench.Table1Flavors {
+		f := f
+		b.Run(benchName(f.Platform), func(b *testing.B) {
+			node, err := un.NewNode(un.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer node.Close()
+			if err := node.Deploy(bench.IPsecGraph("t1", f.Tech)); err != nil {
+				b.Fatal(err)
+			}
+			lan, _ := node.InterfacePort("eth0")
+			wan, _ := node.InterfacePort("eth1")
+
+			// The remote tunnel endpoint: same SPI/key, its own
+			// sequence numbers, living off-node.
+			key, err := nf.ParseSAKey("000102030405060708090a0b0c0d0e0f10111213")
+			if err != nil {
+				b.Fatal(err)
+			}
+			peerSA, err := nf.NewSA(4096, pkt.MustAddr("203.0.113.9"), pkt.MustAddr("192.0.2.1"), key)
+			if err != nil {
+				b.Fatal(err)
+			}
+			inner, err := measure.Spec{FrameSize: 1500}.Frame()
+			if err != nil {
+				b.Fatal(err)
+			}
+			innerIP := inner[pkt.EthernetHeaderLen:] // strip Ethernet
+
+			clock := node.Clock()
+			virtualStart := clock.Now()
+			received := 0
+			b.SetBytes(1500)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				outer, err := peerSA.Encapsulate(innerIP)
+				if err != nil {
+					b.Fatal(err)
+				}
+				frame, err := pkt.Serialize(pkt.SerializeOptions{},
+					&pkt.Ethernet{
+						SrcMAC:       pkt.MAC{2, 0, 0, 0, 0xee, 0x02},
+						DstMAC:       pkt.MAC{2, 0, 0, 0, 0xee, 0x01},
+						EthernetType: pkt.EthernetTypeIPv4,
+					}, pkt.Payload(outer))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := wan.Send(netdev.Frame{Data: frame}); err != nil {
+					b.Fatal(err)
+				}
+				for {
+					if _, ok := lan.TryRecv(); !ok {
+						break
+					}
+					received++
+				}
+			}
+			b.StopTimer()
+			if received == 0 {
+				b.Fatal("nothing decapsulated")
+			}
+			virtual := clock.Now() - virtualStart
+			if virtual > 0 {
+				mbps := float64(received) * 1500 * 8 / virtual.Seconds() / 1e6
+				b.ReportMetric(mbps, "Mbps-sim")
+			}
+		})
+	}
+}
+
+// BenchmarkTable1RAM regenerates Table 1's RAM column.
+func BenchmarkTable1RAM(b *testing.B) {
+	for _, f := range bench.Table1Flavors {
+		f := f
+		b.Run(benchName(f.Platform), func(b *testing.B) {
+			var ram uint64
+			for i := 0; i < b.N; i++ {
+				node, err := un.NewNode(un.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := node.Deploy(bench.IPsecGraph("t1", f.Tech)); err != nil {
+					node.Close()
+					b.Fatal(err)
+				}
+				ram, _ = node.InstanceRAM("t1", "vpn")
+				node.Close()
+			}
+			b.ReportMetric(float64(ram)/un.MB, "MB")
+			b.ReportMetric(bench.PaperTable1[f.Platform].RAMMB, "MB-paper")
+		})
+	}
+}
+
+// BenchmarkTable1ImageSize regenerates Table 1's image size column,
+// including the pull cost through the image store.
+func BenchmarkTable1ImageSize(b *testing.B) {
+	for _, f := range bench.Table1Flavors {
+		f := f
+		b.Run(benchName(f.Platform), func(b *testing.B) {
+			node, err := un.NewNode(un.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer node.Close()
+			var size uint64
+			for i := 0; i < b.N; i++ {
+				size, err = node.ImageDiskSize(f.Image)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(size)/un.MB, "MB")
+			b.ReportMetric(bench.PaperTable1[f.Platform].ImageMB, "MB-paper")
+		})
+	}
+}
+
+// BenchmarkFigure1GraphDeployment measures standing up the Figure 1
+// architecture: one node, two service graphs (IPsec + shared firewall),
+// full steering.
+func BenchmarkFigure1GraphDeployment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		node, err := un.NewNode(un.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := node.Deploy(bench.IPsecGraph("customer1", un.TechNative)); err != nil {
+			b.Fatal(err)
+		}
+		if err := node.Deploy(bench.FirewallGraph("customer2", 150, un.TechNative)); err != nil {
+			b.Fatal(err)
+		}
+		topo := node.Topology()
+		if len(topo.Graphs) != 2 {
+			b.Fatal("figure 1 structure incomplete")
+		}
+		node.Close()
+	}
+}
+
+// BenchmarkAblationSharableNNF quantifies design choice A1: RAM and
+// throughput of N tenants sharing one native firewall vs N containers.
+func BenchmarkAblationSharableNNF(b *testing.B) {
+	for _, tenants := range []int{2, 4, 8} {
+		tenants := tenants
+		b.Run(fmt.Sprintf("tenants-%d", tenants), func(b *testing.B) {
+			var res bench.SharableResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = bench.SharableNNF(tenants, 200)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.SharedRAMMB, "MB-shared")
+			b.ReportMetric(res.ExclusiveRAMMB, "MB-exclusive")
+			b.ReportMetric(res.SharedMbps, "Mbps-shared")
+			b.ReportMetric(res.ExclusiveMbps, "Mbps-exclusive")
+		})
+	}
+}
+
+// BenchmarkAblationAdaptationLayer quantifies design choice A2: the cost of
+// the single-interface adaptation layer per packet, wall clock.
+func BenchmarkAblationAdaptationLayer(b *testing.B) {
+	model := execenv.Default()
+	frame, err := measure.Spec{FrameSize: 1500, VLANID: 3000}.Frame()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("direct", func(b *testing.B) {
+		env, _ := execenv.New("d", execenv.FlavorNative, model, nil)
+		rt := nf.NewRuntime("d", nf.NewFirewall(), env, 2)
+		rt.Start()
+		defer rt.Stop()
+		tx := netdev.NewPortQueueLen("tx", 64)
+		rx := netdev.NewPortQueueLen("rx", 64)
+		if err := netdev.Connect(tx, rt.Port(0)); err != nil {
+			b.Fatal(err)
+		}
+		if err := netdev.Connect(rx, rt.Port(1)); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(1500)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = tx.Send(netdev.Frame{Data: frame})
+			for {
+				if _, ok := rx.TryRecv(); !ok {
+					break
+				}
+			}
+		}
+	})
+	b.Run("adapted", func(b *testing.B) {
+		adapterBench(b, frame)
+	})
+}
+
+func adapterBench(b *testing.B, frame []byte) {
+	b.Helper()
+	res, err := bench.AdaptationLayer(b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = frame
+	b.ReportMetric(res.AdaptedNsPerPkt, "ns-adapted/pkt")
+	b.ReportMetric(res.DirectNsPerPkt, "ns-direct/pkt")
+}
+
+// BenchmarkAblationPacketPath sweeps frame sizes per flavor (A3): the
+// crossover behaviour of per-packet tax vs per-byte crypto.
+func BenchmarkAblationPacketPath(b *testing.B) {
+	for _, size := range []int{64, 256, 512, 1024, 1500} {
+		rows := bench.PacketPathSweep([]int{size})
+		row := rows[0]
+		for _, fl := range []struct {
+			name string
+			mbps float64
+		}{
+			{"native", row.NativeMbps},
+			{"docker", row.DockerMbps},
+			{"vm", row.VMMbps},
+			{"dpdk", row.DPDKMbps},
+		} {
+			fl := fl
+			b.Run(fmt.Sprintf("%s-%dB", fl.name, size), func(b *testing.B) {
+				// The model is closed-form; exercise the real
+				// charge path for b.N packets.
+				env, err := execenv.New("x", execenv.Flavor(flavorOf(fl.name)), execenv.Default(), nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				buf := make([]byte, size)
+				b.SetBytes(int64(size))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_, _ = env.ProcessPacket(buf, size)
+				}
+				b.ReportMetric(fl.mbps, "Mbps-sim")
+			})
+		}
+	}
+}
+
+func flavorOf(name string) string {
+	if name == "dpdk" {
+		return "dpdk"
+	}
+	return name
+}
+
+// BenchmarkAblationStartupLatency regenerates A4: simulated NF start
+// latency per flavor, through a real deploy.
+func BenchmarkAblationStartupLatency(b *testing.B) {
+	for _, f := range bench.Table1Flavors {
+		f := f
+		b.Run(benchName(f.Platform), func(b *testing.B) {
+			var lastMs float64
+			for i := 0; i < b.N; i++ {
+				node, err := un.NewNode(un.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				before := node.Clock().Now()
+				if err := node.Deploy(bench.IPsecGraph("g", f.Tech)); err != nil {
+					node.Close()
+					b.Fatal(err)
+				}
+				lastMs = float64((node.Clock().Now() - before).Milliseconds())
+				node.Close()
+			}
+			b.ReportMetric(lastMs, "ms-sim")
+		})
+	}
+}

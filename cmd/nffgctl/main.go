@@ -1,0 +1,149 @@
+// Command nffgctl is the REST client for the un-orchestrator daemon: it
+// deploys, retrieves, lists and deletes Network Function Forwarding Graphs.
+//
+// Usage:
+//
+//	nffgctl [-server http://localhost:8080] deploy <graph.json>
+//	nffgctl [-server ...] get <graph-id>
+//	nffgctl [-server ...] delete <graph-id>
+//	nffgctl [-server ...] list
+//	nffgctl [-server ...] status
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"repro/internal/nffg"
+)
+
+func main() {
+	server := flag.String("server", "http://localhost:8080", "un-orchestrator base URL")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch args[0] {
+	case "deploy":
+		if len(args) != 2 {
+			usage()
+			os.Exit(2)
+		}
+		err = deploy(*server, args[1])
+	case "get":
+		if len(args) != 2 {
+			usage()
+			os.Exit(2)
+		}
+		err = get(*server+"/NF-FG/"+args[1], true)
+	case "delete":
+		if len(args) != 2 {
+			usage()
+			os.Exit(2)
+		}
+		err = del(*server + "/NF-FG/" + args[1])
+	case "list":
+		err = get(*server+"/NF-FG", false)
+	case "status":
+		err = get(*server+"/status", false)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nffgctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: nffgctl [-server URL] <command>
+
+commands:
+  deploy <graph.json>   PUT the NF-FG in the file (id read from the graph)
+  get <graph-id>        print a deployed graph
+  delete <graph-id>     undeploy a graph
+  list                  list deployed graph ids
+  status                print node status
+`)
+}
+
+func deploy(server, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	// Validate locally first for a friendlier error.
+	var g nffg.Graph
+	if err := json.Unmarshal(data, &g); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPut, server+"/NF-FG/"+g.ID, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return report(resp)
+}
+
+func get(url string, pretty bool) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return report(resp)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if pretty {
+		var buf bytes.Buffer
+		if err := json.Indent(&buf, body, "", "  "); err == nil {
+			body = buf.Bytes()
+		}
+	}
+	fmt.Printf("%s\n", bytes.TrimSpace(body))
+	return nil
+}
+
+func del(url string) error {
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return report(resp)
+}
+
+func report(resp *http.Response) error {
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	fmt.Printf("%s\n", bytes.TrimSpace(body))
+	return nil
+}

@@ -1,0 +1,133 @@
+// Command nodectl inspects a running un-orchestrator node: it renders the
+// live Figure-1 topology (text or Graphviz DOT) and the node status.
+//
+// Usage:
+//
+//	nodectl [-server http://localhost:8080] graph          # text topology
+//	nodectl [-server ...] graph -format dot               # Graphviz
+//	nodectl [-server ...] status                          # node status JSON
+//	nodectl [-server ...] capture eth0 -duration 2s -o out.pcap
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+)
+
+func main() {
+	server := flag.String("server", "http://localhost:8080", "un-orchestrator base URL")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch args[0] {
+	case "graph":
+		format := ""
+		fs := flag.NewFlagSet("graph", flag.ExitOnError)
+		fs.StringVar(&format, "format", "", "output format: text (default), dot, json")
+		_ = fs.Parse(args[1:])
+		url := *server + "/topology"
+		if format != "" {
+			url += "?format=" + format
+		}
+		err = fetch(url, false)
+	case "status":
+		err = fetch(*server+"/status", true)
+	case "capture":
+		fs := flag.NewFlagSet("capture", flag.ExitOnError)
+		duration := fs.String("duration", "1s", "capture duration")
+		out := fs.String("o", "", "output file (default <iface>.pcap)")
+		rest := args[1:]
+		var iface string
+		if len(rest) > 0 && rest[0][0] != '-' {
+			iface, rest = rest[0], rest[1:]
+		}
+		_ = fs.Parse(rest)
+		if iface == "" && fs.NArg() > 0 {
+			iface = fs.Arg(0)
+		}
+		if iface == "" {
+			usage()
+			os.Exit(2)
+		}
+		err = capture(*server, iface, *duration, *out)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nodectl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: nodectl [-server URL] <command>
+
+commands:
+  graph [-format dot|json]           render the live node topology (paper Figure 1)
+  status                             print node status
+  capture <iface> [-duration 1s] [-o file.pcap]
+                                     capture interface traffic to a pcap file
+`)
+}
+
+func capture(server, iface, duration, out string) error {
+	if out == "" {
+		out = iface + ".pcap"
+	}
+	resp, err := http.Get(server + "/capture/" + iface + "?duration=" + duration)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	n, err := io.Copy(f, resp.Body)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "nodectl: wrote %d bytes to %s\n", n, out)
+	return nil
+}
+
+func fetch(url string, pretty bool) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	if pretty {
+		var buf bytes.Buffer
+		if err := json.Indent(&buf, body, "", "  "); err == nil {
+			body = buf.Bytes()
+		}
+	}
+	fmt.Printf("%s\n", bytes.TrimSpace(body))
+	return nil
+}

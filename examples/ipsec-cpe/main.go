@@ -1,0 +1,115 @@
+// IPsec CPE: the paper's validation scenario (§3). A customer activates an
+// IPsec endpoint on the domestic CPE; the same NF-FG is deployed three
+// times — as a KVM/QEMU VM, a Docker container and a Native NF — and the
+// program reports throughput, RAM and image size per flavor: Table 1.
+//
+// Run with: go run ./examples/ipsec-cpe
+package main
+
+import (
+	"fmt"
+	"log"
+
+	un "repro"
+	"repro/internal/measure"
+	"repro/internal/netdev"
+	"repro/internal/pkt"
+)
+
+func ipsecGraph(tech un.Technology) *un.Graph {
+	return &un.Graph{
+		ID:   "cpe-vpn",
+		Name: "IPsec endpoint on the home router",
+		NFs: []un.NF{{
+			ID:                   "vpn",
+			Name:                 "ipsec",
+			Ports:                []un.NFPort{{ID: "0", Name: "plain"}, {ID: "1", Name: "encrypted"}},
+			TechnologyPreference: tech,
+			Config: map[string]string{
+				// ESP tunnel mode toward the provider's gateway,
+				// as strongSwan would be configured.
+				"local":  "192.0.2.1",
+				"remote": "203.0.113.9",
+				"spi":    "4096",
+				"key":    "000102030405060708090a0b0c0d0e0f10111213",
+			},
+		}},
+		Endpoints: []un.Endpoint{
+			{ID: "lan", Type: un.EPInterface, Interface: "eth0"},
+			{ID: "wan", Type: un.EPInterface, Interface: "eth1"},
+		},
+		Rules: []un.FlowRule{
+			{ID: "to-tunnel", Priority: 10,
+				Match:   un.RuleMatch{PortIn: un.EndpointRef("lan")},
+				Actions: []un.RuleAction{{Type: un.ActOutput, Output: un.NFPortRef("vpn", "0")}}},
+			{ID: "to-wan", Priority: 10,
+				Match:   un.RuleMatch{PortIn: un.NFPortRef("vpn", "1")},
+				Actions: []un.RuleAction{{Type: un.ActOutput, Output: un.EndpointRef("wan")}}},
+			{ID: "from-wan", Priority: 10,
+				Match:   un.RuleMatch{PortIn: un.EndpointRef("wan")},
+				Actions: []un.RuleAction{{Type: un.ActOutput, Output: un.NFPortRef("vpn", "1")}}},
+			{ID: "from-tunnel", Priority: 10,
+				Match:   un.RuleMatch{PortIn: un.NFPortRef("vpn", "0")},
+				Actions: []un.RuleAction{{Type: un.ActOutput, Output: un.EndpointRef("lan")}}},
+		},
+	}
+}
+
+func main() {
+	flavors := []struct {
+		label string
+		tech  un.Technology
+		image string
+	}{
+		{"KVM/QEMU", un.TechVM, "ipsec:vm"},
+		{"Docker", un.TechDocker, "ipsec:docker"},
+		{"Native NF", un.TechNative, "ipsec:native"},
+	}
+	fmt.Println("Table 1: Results with IPSec client VNFs")
+	fmt.Printf("%-10s  %12s  %10s  %12s\n", "Platform", "Through.", "RAM", "Image size")
+	for _, f := range flavors {
+		node, err := un.NewNode(un.Config{Name: "cpe-" + string(f.tech)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := node.Deploy(ipsecGraph(f.tech)); err != nil {
+			log.Fatal(err)
+		}
+		lan, _ := node.InterfacePort("eth0")
+		wan, _ := node.InterfacePort("eth1")
+
+		// iPerf through the tunnel: MTU-sized frames, LAN -> WAN.
+		rep, err := measure.Run(lan, wan, node.Clock(), measure.Spec{
+			Packets: 20000, FrameSize: 1500,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ram, _ := node.InstanceRAM("cpe-vpn", "vpn")
+		img, _ := node.ImageDiskSize(f.image)
+		fmt.Printf("%-10s  %7.0f Mbps  %7.1f MB  %9.0f MB\n",
+			f.label, rep.MbpsGoodput(), float64(ram)/un.MB, float64(img)/un.MB)
+		node.Close()
+	}
+
+	// Show what actually crosses the WAN: authenticated ESP.
+	node, err := un.NewNode(un.Config{Name: "cpe"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+	if err := node.Deploy(ipsecGraph(un.TechNative)); err != nil {
+		log.Fatal(err)
+	}
+	lan, _ := node.InterfacePort("eth0")
+	wan, _ := node.InterfacePort("eth1")
+	frame, _ := measure.Spec{FrameSize: 400}.Frame()
+	_ = lan.Send(netdev.Frame{Data: frame})
+	out, _ := wan.TryRecv()
+	p := pkt.NewPacket(out.Data, pkt.LayerTypeEthernet, pkt.Default)
+	fmt.Printf("\non the WAN wire: %v\n", p)
+	if esp, ok := p.Layer(pkt.LayerTypeESP).(*pkt.ESP); ok {
+		fmt.Printf("ESP SPI %#x, sequence %d, %d ciphertext bytes\n",
+			esp.SPI, esp.Seq, len(esp.LayerPayload()))
+	}
+}

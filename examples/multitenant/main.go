@@ -1,0 +1,95 @@
+// Multi-tenant placement: the orchestrator's VNF-vs-NNF decision at work.
+//
+// Three tenants request the same IPsec service with no technology
+// preference. The node's native IPsec (kernel XFRM) is an exclusive
+// singleton: the first tenant gets it, the second falls back to Docker, and
+// after the first tenant leaves, the third gets the freed native slot — the
+// placement logic of paper §2 ("based on its knowledge of the node
+// capability set, the available NNFs ... and their status").
+//
+// Run with: go run ./examples/multitenant
+package main
+
+import (
+	"fmt"
+	"log"
+
+	un "repro"
+)
+
+func tenantGraph(id string, lanVLAN uint16) *un.Graph {
+	return &un.Graph{
+		ID: id,
+		NFs: []un.NF{{
+			ID:    "vpn",
+			Name:  "ipsec",
+			Ports: []un.NFPort{{ID: "0"}, {ID: "1"}},
+			// No TechnologyPreference: the scheduler decides.
+			Config: map[string]string{
+				"local":  "192.0.2.1",
+				"remote": "203.0.113.9",
+				"spi":    "4096",
+				"key":    "000102030405060708090a0b0c0d0e0f10111213",
+			},
+		}},
+		Endpoints: []un.Endpoint{
+			{ID: "lan", Type: un.EPVLAN, Interface: "eth0", VLANID: lanVLAN},
+			{ID: "wan", Type: un.EPVLAN, Interface: "eth1", VLANID: lanVLAN},
+		},
+		Rules: []un.FlowRule{
+			{ID: "r1", Priority: 10, Match: un.RuleMatch{PortIn: un.EndpointRef("lan")},
+				Actions: []un.RuleAction{{Type: un.ActOutput, Output: un.NFPortRef("vpn", "0")}}},
+			{ID: "r2", Priority: 10, Match: un.RuleMatch{PortIn: un.NFPortRef("vpn", "1")},
+				Actions: []un.RuleAction{{Type: un.ActOutput, Output: un.EndpointRef("wan")}}},
+			{ID: "r3", Priority: 10, Match: un.RuleMatch{PortIn: un.EndpointRef("wan")},
+				Actions: []un.RuleAction{{Type: un.ActOutput, Output: un.NFPortRef("vpn", "1")}}},
+			{ID: "r4", Priority: 10, Match: un.RuleMatch{PortIn: un.NFPortRef("vpn", "0")},
+				Actions: []un.RuleAction{{Type: un.ActOutput, Output: un.EndpointRef("lan")}}},
+		},
+	}
+}
+
+func main() {
+	node, err := un.NewNode(un.Config{Name: "multi-tenant-cpe"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+
+	show := func(id string) {
+		placements, ok := node.Placements(id)
+		if !ok {
+			fmt.Printf("  %-10s (not deployed)\n", id)
+			return
+		}
+		ram, _ := node.InstanceRAM(id, "vpn")
+		fmt.Printf("  %-10s vpn -> %-7s (%.1f MB)\n", id, placements["vpn"], float64(ram)/un.MB)
+	}
+
+	fmt.Println("tenant1 arrives: native IPsec is free")
+	if err := node.Deploy(tenantGraph("tenant1", 101)); err != nil {
+		log.Fatal(err)
+	}
+	show("tenant1")
+
+	fmt.Println("\ntenant2 arrives: the exclusive NNF is busy -> Docker fallback")
+	if err := node.Deploy(tenantGraph("tenant2", 102)); err != nil {
+		log.Fatal(err)
+	}
+	show("tenant1")
+	show("tenant2")
+
+	fmt.Println("\ntenant1 leaves; tenant3 arrives: the native slot is free again")
+	if err := node.Undeploy("tenant1"); err != nil {
+		log.Fatal(err)
+	}
+	if err := node.Deploy(tenantGraph("tenant3", 103)); err != nil {
+		log.Fatal(err)
+	}
+	show("tenant2")
+	show("tenant3")
+
+	usedCPU, totalCPU, usedRAM, totalRAM := node.Usage()
+	fmt.Printf("\nnode resources: %d/%d millicores, %.1f/%.1f MB\n",
+		usedCPU, totalCPU, float64(usedRAM)/un.MB, float64(totalRAM)/un.MB)
+}

@@ -1,0 +1,249 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	un "repro"
+	"repro/internal/execenv"
+	"repro/internal/measure"
+	"repro/internal/netdev"
+	"repro/internal/nf"
+	"repro/internal/nnf"
+)
+
+// FirewallGraph builds one tenant's firewall chain over VLAN endpoints.
+func FirewallGraph(id string, vlan uint16, tech un.Technology) *un.Graph {
+	return &un.Graph{
+		ID: id,
+		NFs: []un.NF{{
+			ID: "fw", Name: "firewall",
+			Ports:                []un.NFPort{{ID: "0"}, {ID: "1"}},
+			TechnologyPreference: tech,
+			Config:               map[string]string{},
+		}},
+		Endpoints: []un.Endpoint{
+			{ID: "in", Type: un.EPVLAN, Interface: "eth0", VLANID: vlan},
+			{ID: "out", Type: un.EPVLAN, Interface: "eth1", VLANID: vlan},
+		},
+		Rules: []un.FlowRule{
+			{ID: "r1", Priority: 10, Match: un.RuleMatch{PortIn: un.EndpointRef("in")},
+				Actions: []un.RuleAction{{Type: un.ActOutput, Output: un.NFPortRef("fw", "0")}}},
+			{ID: "r2", Priority: 10, Match: un.RuleMatch{PortIn: un.NFPortRef("fw", "1")},
+				Actions: []un.RuleAction{{Type: un.ActOutput, Output: un.EndpointRef("out")}}},
+			{ID: "r3", Priority: 10, Match: un.RuleMatch{PortIn: un.EndpointRef("out")},
+				Actions: []un.RuleAction{{Type: un.ActOutput, Output: un.NFPortRef("fw", "1")}}},
+			{ID: "r4", Priority: 10, Match: un.RuleMatch{PortIn: un.NFPortRef("fw", "0")},
+				Actions: []un.RuleAction{{Type: un.ActOutput, Output: un.EndpointRef("in")}}},
+		},
+	}
+}
+
+// SharableResult compares N tenants on one shared native firewall against N
+// exclusive Docker firewalls (experiment A1).
+type SharableResult struct {
+	Tenants        int
+	SharedRAMMB    float64 // total NF RAM with one shared NNF
+	ExclusiveRAMMB float64 // total NF RAM with per-tenant containers
+	SharedMbps     float64 // per-tenant throughput through the shared NNF
+	ExclusiveMbps  float64 // per-tenant throughput with exclusive instances
+}
+
+// SharableNNF runs experiment A1.
+func SharableNNF(tenants, packets int) (SharableResult, error) {
+	res := SharableResult{Tenants: tenants}
+
+	// Shared: all tenants on the native firewall singleton.
+	shared, err := un.NewNode(un.Config{Name: "a1-shared"})
+	if err != nil {
+		return res, err
+	}
+	defer shared.Close()
+	for i := 0; i < tenants; i++ {
+		g := FirewallGraph(fmt.Sprintf("tenant%d", i), uint16(100+i), un.TechNative)
+		if err := shared.Deploy(g); err != nil {
+			return res, err
+		}
+	}
+	var sharedRAM float64
+	seen := map[float64]bool{} // the shared instance reports once
+	for i := 0; i < tenants; i++ {
+		ram, _ := shared.InstanceRAM(fmt.Sprintf("tenant%d", i), "fw")
+		mb := float64(ram) / un.MB
+		if !seen[mb] {
+			sharedRAM += mb
+			seen[mb] = true
+		}
+	}
+	res.SharedRAMMB = sharedRAM
+	lan, _ := shared.InterfacePort("eth0")
+	wan, _ := shared.InterfacePort("eth1")
+	rep, err := measure.Run(lan, wan, shared.Clock(), measure.Spec{
+		Packets: packets, FrameSize: 1500, VLANID: 100,
+	})
+	if err != nil {
+		return res, err
+	}
+	res.SharedMbps = rep.MbpsGoodput()
+
+	// Exclusive: per-tenant Docker firewalls.
+	excl, err := un.NewNode(un.Config{Name: "a1-exclusive"})
+	if err != nil {
+		return res, err
+	}
+	defer excl.Close()
+	var exclRAM float64
+	for i := 0; i < tenants; i++ {
+		g := FirewallGraph(fmt.Sprintf("tenant%d", i), uint16(100+i), un.TechDocker)
+		if err := excl.Deploy(g); err != nil {
+			return res, err
+		}
+		ram, _ := excl.InstanceRAM(fmt.Sprintf("tenant%d", i), "fw")
+		exclRAM += float64(ram) / un.MB
+	}
+	res.ExclusiveRAMMB = exclRAM
+	lan2, _ := excl.InterfacePort("eth0")
+	wan2, _ := excl.InterfacePort("eth1")
+	rep2, err := measure.Run(lan2, wan2, excl.Clock(), measure.Spec{
+		Packets: packets, FrameSize: 1500, VLANID: 100,
+	})
+	if err != nil {
+		return res, err
+	}
+	res.ExclusiveMbps = rep2.MbpsGoodput()
+	return res, nil
+}
+
+// AdaptationResult compares a directly-attached two-port NF against the
+// same NF behind the single-interface adaptation layer (experiment A2).
+type AdaptationResult struct {
+	DirectNsPerPkt  float64
+	AdaptedNsPerPkt float64
+}
+
+// AdaptationLayer runs experiment A2 on raw runtimes (no orchestrator), so
+// the difference is purely the adapter's demux/retag work.
+func AdaptationLayer(packets int) (AdaptationResult, error) {
+	var res AdaptationResult
+
+	run := func(rt *nf.Runtime, vlan uint16) (float64, error) {
+		tx := netdev.NewPortQueueLen("tx", 1<<14)
+		rx := netdev.NewPortQueueLen("rx", 1<<14)
+		single := rt.NumPorts() == 1
+		if err := netdev.Connect(tx, rt.Port(0)); err != nil {
+			return 0, err
+		}
+		if !single {
+			if err := netdev.Connect(rx, rt.Port(1)); err != nil {
+				return 0, err
+			}
+		}
+		collect := rx
+		if single {
+			collect = tx
+		}
+		frame, err := measure.Spec{FrameSize: 1500, VLANID: vlan}.Frame()
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		got := 0
+		for i := 0; i < packets; i++ {
+			if err := tx.Send(netdev.Frame{Data: frame}); err != nil {
+				return 0, err
+			}
+			for {
+				if _, ok := collect.TryRecv(); !ok {
+					break
+				}
+				got++
+			}
+		}
+		elapsed := time.Since(start)
+		if got == 0 {
+			return 0, fmt.Errorf("bench: adaptation run forwarded nothing")
+		}
+		return float64(elapsed.Nanoseconds()) / float64(got), nil
+	}
+
+	model := execenv.Default()
+
+	// Direct: plain two-port firewall.
+	envD, err := execenv.New("direct", execenv.FlavorNative, model, nil)
+	if err != nil {
+		return res, err
+	}
+	direct := nf.NewRuntime("direct", nf.NewFirewall(), envD, 2)
+	direct.Start()
+	defer direct.Stop()
+	res.DirectNsPerPkt, err = run(direct, 0)
+	if err != nil {
+		return res, err
+	}
+
+	// Adapted: same firewall behind the adaptation layer, one mark path.
+	fw := nf.NewFirewall()
+	ad := nnf.NewAdapter(fw)
+	if err := ad.AddPath(3000, nnf.AdapterPath{InnerPort: 0, EgressMarks: []uint16{3002, 3003}}); err != nil {
+		return res, err
+	}
+	envA, err := execenv.New("adapted", execenv.FlavorNative, model, nil)
+	if err != nil {
+		return res, err
+	}
+	adapted := nf.NewRuntime("adapted", ad, envA, 1)
+	adapted.Start()
+	defer adapted.Stop()
+	res.AdaptedNsPerPkt, err = run(adapted, 3000)
+	return res, err
+}
+
+// PathRow is one point of the kernel-vs-VM packet path sweep (A3).
+type PathRow struct {
+	FrameSize  int
+	NativeMbps float64
+	DockerMbps float64
+	VMMbps     float64
+	DPDKMbps   float64
+}
+
+// PacketPathSweep computes simulated throughput per frame size straight
+// from the cost model (crypto over the whole frame, Table 1's workload).
+func PacketPathSweep(sizes []int) []PathRow {
+	m := execenv.Default()
+	mbps := func(f execenv.Flavor, size int) float64 {
+		cost := m.PacketCost(f, size, size)
+		return float64(size) * 8 / cost.Seconds() / 1e6
+	}
+	rows := make([]PathRow, 0, len(sizes))
+	for _, s := range sizes {
+		rows = append(rows, PathRow{
+			FrameSize:  s,
+			NativeMbps: mbps(execenv.FlavorNative, s),
+			DockerMbps: mbps(execenv.FlavorDocker, s),
+			VMMbps:     mbps(execenv.FlavorVM, s),
+			DPDKMbps:   mbps(execenv.FlavorDPDK, s),
+		})
+	}
+	return rows
+}
+
+// StartupLatencies reports the simulated NF start latency per technology
+// (A4), measured through a real deploy on a fresh node.
+func StartupLatencies() (map[un.Technology]time.Duration, error) {
+	out := make(map[un.Technology]time.Duration)
+	for _, f := range Table1Flavors {
+		node, err := un.NewNode(un.Config{Name: "a4"})
+		if err != nil {
+			return nil, err
+		}
+		before := node.Clock().Now()
+		if err := node.Deploy(IPsecGraph("g", f.Tech)); err != nil {
+			node.Close()
+			return nil, err
+		}
+		out[f.Tech] = node.Clock().Now() - before
+		node.Close()
+	}
+	return out, nil
+}

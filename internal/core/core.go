@@ -1,0 +1,42 @@
+// Package core anchors the paper's primary contribution and maps it to the
+// packages that implement it.
+//
+// The contribution of "Modeling Native Software Components as Virtual
+// Network Functions" (SIGCOMM'16) is the integration of Native Network
+// Functions into an NFV compute node. In this repository it is split across
+// two packages, aliased here for discoverability:
+//
+//   - repro/internal/nnf — NNF plugins, the sharability contract (traffic
+//     marking + isolated internal paths), the single-interface adaptation
+//     layer, and namespace-backed lifecycle management.
+//   - repro/internal/orchestrator — the local orchestrator that decides
+//     VNF-vs-NNF placement and steers traffic through per-graph Logical
+//     Switch Instances.
+//
+// Everything else under internal/ is substrate: the packet library (pkt),
+// virtual devices (netdev), namespaces (netns), the software switch
+// (vswitch), the OpenFlow-style control channel (openflow), the NF-FG model
+// (nffg), execution-environment cost models (execenv), network functions
+// (nf), compute drivers (compute), the VNF repository (repository), node
+// resources (resources), and the image store (imagestore).
+package core
+
+import (
+	"repro/internal/nnf"
+	"repro/internal/orchestrator"
+)
+
+// NNFManager is the Native Network Function manager (see repro/internal/nnf).
+type NNFManager = nnf.Manager
+
+// NNFPlugin is one native function's lifecycle plugin.
+type NNFPlugin = nnf.Plugin
+
+// NNFTraits are the deployment characteristics driving VNF-vs-NNF placement.
+type NNFTraits = nnf.Traits
+
+// AdaptationLayer is the single-interface adaptation layer.
+type AdaptationLayer = nnf.Adapter
+
+// Orchestrator is the node's local orchestrator.
+type Orchestrator = orchestrator.Orchestrator

@@ -1,0 +1,251 @@
+// Package measure is the iPerf stand-in of the reproduction: it saturates a
+// deployed service chain with traffic injected at one node interface,
+// collects what emerges at another, and reports throughput.
+//
+// Two throughput figures are produced for every run:
+//
+//   - Simulated Mbps, computed over the virtual clock that the execution
+//     environments charge per-packet flavor costs to. This is the figure
+//     compared against Table 1: it reflects where packets were processed
+//     (VM user space vs host kernel), like the paper's testbed measurement.
+//   - Wall Mbps, computed over real elapsed time. It reflects how fast this
+//     Go implementation actually pushed packets (crypto included) and is
+//     reported for transparency, not for comparison with the paper.
+package measure
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/execenv"
+	"repro/internal/netdev"
+	"repro/internal/pkt"
+)
+
+// Spec describes one traffic run.
+type Spec struct {
+	// Packets is the number of frames to send.
+	Packets int
+	// FrameSize is the full on-wire frame length in bytes (Ethernet
+	// header included); Table 1 uses MTU-sized 1500-byte frames.
+	FrameSize int
+	// VLANID optionally tags the generated traffic (0 = untagged).
+	VLANID uint16
+	// Flow addressing; zero values get sensible defaults.
+	SrcMAC, DstMAC   pkt.MAC
+	SrcIP, DstIP     pkt.Addr
+	SrcPort, DstPort uint16
+}
+
+// withDefaults fills unset spec fields.
+func (s Spec) withDefaults() (Spec, error) {
+	if s.Packets <= 0 {
+		s.Packets = 1000
+	}
+	if s.FrameSize == 0 {
+		s.FrameSize = 1500
+	}
+	if s.SrcMAC == (pkt.MAC{}) {
+		s.SrcMAC = pkt.MAC{0x02, 0, 0, 0, 0x99, 0x01}
+	}
+	if s.DstMAC == (pkt.MAC{}) {
+		s.DstMAC = pkt.MAC{0x02, 0, 0, 0, 0x99, 0x02}
+	}
+	if s.SrcIP == (pkt.Addr{}) {
+		s.SrcIP = pkt.Addr{10, 10, 0, 1}
+	}
+	if s.DstIP == (pkt.Addr{}) {
+		s.DstIP = pkt.Addr{10, 10, 0, 2}
+	}
+	if s.SrcPort == 0 {
+		s.SrcPort = 46000
+	}
+	if s.DstPort == 0 {
+		s.DstPort = 5001 // iPerf's default port
+	}
+	overhead := pkt.EthernetHeaderLen + pkt.IPv4HeaderLen + pkt.UDPHeaderLen
+	if s.VLANID != 0 {
+		overhead += pkt.VLANHeaderLen
+	}
+	if s.FrameSize < overhead {
+		return s, fmt.Errorf("measure: frame size %d below header overhead %d", s.FrameSize, overhead)
+	}
+	return s, nil
+}
+
+// Frame builds the template frame for the spec.
+func (s Spec) Frame() ([]byte, error) {
+	spec, err := s.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	overhead := pkt.EthernetHeaderLen + pkt.IPv4HeaderLen + pkt.UDPHeaderLen
+	if spec.VLANID != 0 {
+		overhead += pkt.VLANHeaderLen
+	}
+	return pkt.BuildFrame(pkt.FrameSpec{
+		SrcMAC: spec.SrcMAC, DstMAC: spec.DstMAC, VLANID: spec.VLANID,
+		SrcIP: spec.SrcIP, DstIP: spec.DstIP,
+		SrcPort: spec.SrcPort, DstPort: spec.DstPort,
+		PayloadLen: spec.FrameSize - overhead, PayloadByte: 0x42,
+	})
+}
+
+// Report is the outcome of one run.
+type Report struct {
+	TxPackets uint64
+	TxBytes   uint64
+	RxPackets uint64
+	RxBytes   uint64
+	// FrameBytes is the injected frame size, used for goodput.
+	FrameBytes int
+	// Virtual is the simulated time consumed by the chain's execution
+	// environments.
+	Virtual time.Duration
+	// Wall is the real elapsed time.
+	Wall time.Duration
+}
+
+// LossRate returns the fraction of frames that did not arrive.
+func (r Report) LossRate() float64 {
+	if r.TxPackets == 0 {
+		return 0
+	}
+	return 1 - float64(r.RxPackets)/float64(r.TxPackets)
+}
+
+// MbpsVirtual returns wire throughput over simulated time, counting the
+// bytes as they arrive (tunnel overhead included).
+func (r Report) MbpsVirtual() float64 {
+	if r.Virtual <= 0 {
+		return 0
+	}
+	return float64(r.RxBytes) * 8 / r.Virtual.Seconds() / 1e6
+}
+
+// MbpsGoodput returns throughput over simulated time counting delivered
+// frames at their injected size — what an iPerf endpoint observes, and the
+// figure compared against Table 1 (tunnel overhead excluded).
+func (r Report) MbpsGoodput() float64 {
+	if r.Virtual <= 0 {
+		return 0
+	}
+	return float64(r.RxPackets) * float64(r.FrameBytes) * 8 / r.Virtual.Seconds() / 1e6
+}
+
+// MbpsWall returns throughput over wall-clock time.
+func (r Report) MbpsWall() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.RxBytes) * 8 / r.Wall.Seconds() / 1e6
+}
+
+// PpsVirtual returns packet rate over simulated time.
+func (r Report) PpsVirtual() float64 {
+	if r.Virtual <= 0 {
+		return 0
+	}
+	return float64(r.RxPackets) / r.Virtual.Seconds()
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("tx %d pkts, rx %d pkts (%.2f%% loss), %.0f Mbps simulated, %.0f Mbps wall",
+		r.TxPackets, r.RxPackets, r.LossRate()*100, r.MbpsVirtual(), r.MbpsWall())
+}
+
+// Run injects spec.Packets frames into tx and collects whatever arrives at
+// rx, measuring simulated time on the given clock. The dataplane is
+// synchronous, so every frame has fully traversed the chain when Send
+// returns; rx is drained as the run proceeds.
+func Run(tx, rx *netdev.Port, clock *execenv.VirtualClock, spec Spec) (Report, error) {
+	s, err := spec.withDefaults()
+	if err != nil {
+		return Report{}, err
+	}
+	frame, err := s.Frame()
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{FrameBytes: len(frame)}
+	drain := func() {
+		for {
+			f, ok := rx.TryRecv()
+			if !ok {
+				return
+			}
+			rep.RxPackets++
+			rep.RxBytes += uint64(len(f.Data))
+		}
+	}
+	virtualStart := clock.Now()
+	wallStart := time.Now()
+	for i := 0; i < s.Packets; i++ {
+		if err := tx.Send(netdev.Frame{Data: frame}); err != nil {
+			return rep, err
+		}
+		rep.TxPackets++
+		rep.TxBytes += uint64(len(frame))
+		drain()
+	}
+	drain()
+	rep.Virtual = clock.Now() - virtualStart
+	rep.Wall = time.Since(wallStart)
+	return rep, nil
+}
+
+// RunBidirectional alternates frames in both directions (a -> b and
+// b -> a), the shape of the paper's ESP tunnel-mode measurement where the
+// CPE both encrypts egress and decrypts ingress. Counters aggregate both
+// directions.
+func RunBidirectional(a, b *netdev.Port, clock *execenv.VirtualClock, spec Spec) (Report, error) {
+	s, err := spec.withDefaults()
+	if err != nil {
+		return Report{}, err
+	}
+	forward, err := s.Frame()
+	if err != nil {
+		return Report{}, err
+	}
+	rs := s
+	rs.SrcMAC, rs.DstMAC = s.DstMAC, s.SrcMAC
+	rs.SrcIP, rs.DstIP = s.DstIP, s.SrcIP
+	rs.SrcPort, rs.DstPort = s.DstPort, s.SrcPort
+	reverse, err := rs.Frame()
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{FrameBytes: len(forward)}
+	drain := func(p *netdev.Port) {
+		for {
+			f, ok := p.TryRecv()
+			if !ok {
+				return
+			}
+			rep.RxPackets++
+			rep.RxBytes += uint64(len(f.Data))
+		}
+	}
+	virtualStart := clock.Now()
+	wallStart := time.Now()
+	for i := 0; i < s.Packets; i++ {
+		if i%2 == 0 {
+			if err := a.Send(netdev.Frame{Data: forward}); err != nil {
+				return rep, err
+			}
+		} else {
+			if err := b.Send(netdev.Frame{Data: reverse}); err != nil {
+				return rep, err
+			}
+		}
+		rep.TxPackets++
+		rep.TxBytes += uint64(len(forward))
+		drain(a)
+		drain(b)
+	}
+	drain(a)
+	drain(b)
+	rep.Virtual = clock.Now() - virtualStart
+	rep.Wall = time.Since(wallStart)
+	return rep, nil
+}

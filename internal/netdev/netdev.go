@@ -1,0 +1,286 @@
+// Package netdev provides the virtual network devices of the simulated
+// dataplane: ports, veth pairs and bounded frame queues.
+//
+// A Port is one end of a point-to-point link. Transmitting on a port
+// delivers the frame to the peer port. If the peer has a receive handler
+// installed (the usual case for switches and network functions) delivery is
+// synchronous in the sender's goroutine, modeling run-to-completion packet
+// processing as in a kernel softirq. Otherwise the frame lands in the peer's
+// bounded RX queue, and is dropped (and counted) when the queue is full, as a
+// real NIC ring would.
+package netdev
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxHops bounds the number of port traversals of a single frame,
+// protecting the simulator from forwarding loops.
+const MaxHops = 64
+
+// DefaultQueueLen is the RX ring size used when none is specified.
+const DefaultQueueLen = 512
+
+// Frame is a unit of transmission: raw packet bytes plus simulator metadata.
+type Frame struct {
+	// Data is the on-wire packet, starting at the Ethernet header.
+	Data []byte
+	// Hops counts port traversals, incremented on every Send.
+	Hops int
+}
+
+// Clone returns a deep copy of the frame with the hop count preserved.
+func (f Frame) Clone() Frame {
+	d := make([]byte, len(f.Data))
+	copy(d, f.Data)
+	return Frame{Data: d, Hops: f.Hops}
+}
+
+// Stats holds per-port counters. All fields are read with atomic snapshots
+// via the Stats method on Port.
+type Stats struct {
+	RxPackets, RxBytes   uint64
+	TxPackets, TxBytes   uint64
+	RxDropped, TxDropped uint64
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("rx %d pkts/%d B (%d drop), tx %d pkts/%d B (%d drop)",
+		s.RxPackets, s.RxBytes, s.RxDropped, s.TxPackets, s.TxBytes, s.TxDropped)
+}
+
+// Handler consumes a received frame.
+type Handler func(Frame)
+
+// TapDir tells a tap which way a frame crossed the port.
+type TapDir int
+
+// Tap directions.
+const (
+	TapTx TapDir = iota // frame left through this port
+	TapRx               // frame arrived at this port
+)
+
+// Tap observes frames crossing a port, e.g. for pcap capture. Taps must not
+// retain the frame's data slice.
+type Tap func(dir TapDir, f Frame)
+
+// Port is one endpoint of a virtual link.
+type Port struct {
+	name string
+
+	mu      sync.RWMutex
+	peer    *Port
+	handler Handler
+	tap     Tap
+	queue   chan Frame
+	up      bool
+
+	rxPackets, rxBytes, rxDropped atomic.Uint64
+	txPackets, txBytes, txDropped atomic.Uint64
+}
+
+// ErrNotConnected is returned by Send on a port with no peer.
+var ErrNotConnected = errors.New("netdev: port not connected")
+
+// ErrPortDown is returned by Send on an administratively down port.
+var ErrPortDown = errors.New("netdev: port down")
+
+// ErrHopLimit is returned when a frame exceeds MaxHops traversals.
+var ErrHopLimit = errors.New("netdev: hop limit exceeded (forwarding loop?)")
+
+// NewPort creates an unconnected port with the given name and an RX queue of
+// DefaultQueueLen frames. Ports start administratively up.
+func NewPort(name string) *Port {
+	return NewPortQueueLen(name, DefaultQueueLen)
+}
+
+// NewPortQueueLen creates an unconnected port with an RX queue of the given
+// capacity (minimum 1).
+func NewPortQueueLen(name string, queueLen int) *Port {
+	if queueLen < 1 {
+		queueLen = 1
+	}
+	return &Port{name: name, queue: make(chan Frame, queueLen), up: true}
+}
+
+// Name returns the port's name.
+func (p *Port) Name() string { return p.name }
+
+// Peer returns the connected peer port, or nil.
+func (p *Port) Peer() *Port {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.peer
+}
+
+// SetUp sets the administrative state of the port.
+func (p *Port) SetUp(up bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.up = up
+}
+
+// IsUp reports the administrative state of the port.
+func (p *Port) IsUp() bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.up
+}
+
+// SetHandler installs fn as the synchronous receive handler. Passing nil
+// reverts the port to queued reception.
+func (p *Port) SetHandler(fn Handler) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.handler = fn
+}
+
+// SetTap installs an observer for frames crossing the port in either
+// direction; nil removes it.
+func (p *Port) SetTap(t Tap) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tap = t
+}
+
+// Recv dequeues one frame from the RX queue, blocking until one is
+// available. It is only useful for ports without a handler.
+func (p *Port) Recv() Frame { return <-p.queue }
+
+// TryRecv dequeues one frame if immediately available.
+func (p *Port) TryRecv() (Frame, bool) {
+	select {
+	case f := <-p.queue:
+		return f, true
+	default:
+		return Frame{}, false
+	}
+}
+
+// Send transmits a frame out of this port to its peer. Delivery is
+// synchronous when the peer has a handler, queued otherwise. A full peer
+// queue drops the frame and counts it on both sides.
+func (p *Port) Send(f Frame) error {
+	p.mu.RLock()
+	peer, up, tap := p.peer, p.up, p.tap
+	p.mu.RUnlock()
+	if tap != nil {
+		tap(TapTx, f)
+	}
+	if !up {
+		p.txDropped.Add(1)
+		return ErrPortDown
+	}
+	if peer == nil {
+		p.txDropped.Add(1)
+		return ErrNotConnected
+	}
+	f.Hops++
+	if f.Hops > MaxHops {
+		p.txDropped.Add(1)
+		return ErrHopLimit
+	}
+	p.txPackets.Add(1)
+	p.txBytes.Add(uint64(len(f.Data)))
+	return peer.deliver(f)
+}
+
+// deliver receives a frame on this port.
+func (p *Port) deliver(f Frame) error {
+	p.mu.RLock()
+	handler, up, tap := p.handler, p.up, p.tap
+	p.mu.RUnlock()
+	if tap != nil {
+		tap(TapRx, f)
+	}
+	if !up {
+		// A down receiver silently drops, as a cable into a down NIC
+		// would; the sender is not told.
+		p.rxDropped.Add(1)
+		return nil
+	}
+	if handler != nil {
+		p.rxPackets.Add(1)
+		p.rxBytes.Add(uint64(len(f.Data)))
+		handler(f)
+		return nil
+	}
+	select {
+	case p.queue <- f:
+		p.rxPackets.Add(1)
+		p.rxBytes.Add(uint64(len(f.Data)))
+		return nil
+	default:
+		p.rxDropped.Add(1)
+		return nil // tail drop is not an error for the sender
+	}
+}
+
+// Stats returns a snapshot of the port counters.
+func (p *Port) Stats() Stats {
+	return Stats{
+		RxPackets: p.rxPackets.Load(),
+		RxBytes:   p.rxBytes.Load(),
+		RxDropped: p.rxDropped.Load(),
+		TxPackets: p.txPackets.Load(),
+		TxBytes:   p.txBytes.Load(),
+		TxDropped: p.txDropped.Load(),
+	}
+}
+
+// Connect links two ports as a point-to-point cable. Either port may be
+// reconnected later with Disconnect + Connect.
+func Connect(a, b *Port) error {
+	if a == nil || b == nil {
+		return errors.New("netdev: cannot connect nil port")
+	}
+	if a == b {
+		return errors.New("netdev: cannot connect a port to itself")
+	}
+	// Lock in address order to avoid deadlock with concurrent Connects.
+	first, second := a, b
+	if fmt.Sprintf("%p", a) > fmt.Sprintf("%p", b) {
+		first, second = b, a
+	}
+	first.mu.Lock()
+	defer first.mu.Unlock()
+	second.mu.Lock()
+	defer second.mu.Unlock()
+	if a.peer != nil || b.peer != nil {
+		return fmt.Errorf("netdev: port already connected (%s.peer=%v, %s.peer=%v)",
+			a.name, a.peer != nil, b.name, b.peer != nil)
+	}
+	a.peer, b.peer = b, a
+	return nil
+}
+
+// Disconnect removes the link between p and its peer, if any.
+func Disconnect(p *Port) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	peer := p.peer
+	p.peer = nil
+	p.mu.Unlock()
+	if peer != nil {
+		peer.mu.Lock()
+		if peer.peer == p {
+			peer.peer = nil
+		}
+		peer.mu.Unlock()
+	}
+}
+
+// Veth creates a connected port pair, analogous to a Linux veth device pair.
+func Veth(nameA, nameB string) (*Port, *Port) {
+	a, b := NewPort(nameA), NewPort(nameB)
+	if err := Connect(a, b); err != nil {
+		panic(err) // impossible: both freshly created
+	}
+	return a, b
+}

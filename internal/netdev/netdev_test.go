@@ -1,0 +1,183 @@
+package netdev
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestVethDelivery(t *testing.T) {
+	a, b := Veth("a", "b")
+	if err := a.Send(Frame{Data: []byte("hello")}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	f, ok := b.TryRecv()
+	if !ok {
+		t.Fatal("no frame queued on peer")
+	}
+	if string(f.Data) != "hello" {
+		t.Errorf("data = %q", f.Data)
+	}
+	if f.Hops != 1 {
+		t.Errorf("hops = %d, want 1", f.Hops)
+	}
+}
+
+func TestHandlerSynchronousDelivery(t *testing.T) {
+	a, b := Veth("a", "b")
+	var got []byte
+	b.SetHandler(func(f Frame) { got = f.Data })
+	if err := a.Send(Frame{Data: []byte("sync")}); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "sync" {
+		t.Errorf("handler not invoked synchronously, got %q", got)
+	}
+}
+
+func TestSendUnconnected(t *testing.T) {
+	p := NewPort("lonely")
+	if err := p.Send(Frame{Data: []byte("x")}); err != ErrNotConnected {
+		t.Errorf("err = %v, want ErrNotConnected", err)
+	}
+	if p.Stats().TxDropped != 1 {
+		t.Error("tx drop not counted")
+	}
+}
+
+func TestPortDown(t *testing.T) {
+	a, b := Veth("a", "b")
+	a.SetUp(false)
+	if err := a.Send(Frame{Data: []byte("x")}); err != ErrPortDown {
+		t.Errorf("err = %v, want ErrPortDown", err)
+	}
+	a.SetUp(true)
+	b.SetUp(false)
+	if err := a.Send(Frame{Data: []byte("x")}); err != nil {
+		t.Errorf("sender should not see rx-side drop, got %v", err)
+	}
+	if b.Stats().RxDropped != 1 {
+		t.Error("rx drop not counted on down port")
+	}
+}
+
+func TestQueueOverflowDrops(t *testing.T) {
+	a := NewPort("a")
+	b := NewPortQueueLen("b", 2)
+	if err := Connect(a, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := a.Send(Frame{Data: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := b.Stats()
+	if st.RxPackets != 2 || st.RxDropped != 3 {
+		t.Errorf("stats = %+v, want 2 rx / 3 dropped", st)
+	}
+}
+
+func TestHopLimit(t *testing.T) {
+	a, _ := Veth("a", "b")
+	f := Frame{Data: []byte("x"), Hops: MaxHops}
+	if err := a.Send(f); err != ErrHopLimit {
+		t.Errorf("err = %v, want ErrHopLimit", err)
+	}
+}
+
+func TestForwardingLoopTerminates(t *testing.T) {
+	// Two ports that blindly forward to each other must stop at MaxHops
+	// rather than recurse forever.
+	a, b := Veth("a", "b")
+	c, d := Veth("c", "d")
+	// b forwards to c, d forwards back to a's peer side: build a loop
+	// a -> b -> (handler) c -> d -> (handler) a ...
+	b.SetHandler(func(f Frame) { _ = c.Send(f) })
+	d.SetHandler(func(f Frame) { _ = a.Send(f) })
+	_ = a.Send(Frame{Data: []byte("loop")})
+	// Reaching this line at all proves termination; check counters sane.
+	if a.Stats().TxPackets == 0 {
+		t.Error("no traffic recorded")
+	}
+}
+
+func TestDisconnectAndReconnect(t *testing.T) {
+	a, b := Veth("a", "b")
+	Disconnect(a)
+	if a.Peer() != nil || b.Peer() != nil {
+		t.Fatal("disconnect did not clear both peers")
+	}
+	c := NewPort("c")
+	if err := Connect(a, c); err != nil {
+		t.Fatalf("reconnect: %v", err)
+	}
+	if err := a.Send(Frame{Data: []byte("y")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.TryRecv(); !ok {
+		t.Error("frame not delivered to new peer")
+	}
+}
+
+func TestConnectErrors(t *testing.T) {
+	a, b := Veth("a", "b")
+	c := NewPort("c")
+	if err := Connect(a, c); err == nil {
+		t.Error("connected an already-connected port")
+	}
+	if err := Connect(c, c); err == nil {
+		t.Error("connected a port to itself")
+	}
+	if err := Connect(nil, b); err == nil {
+		t.Error("connected nil port")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := Frame{Data: []byte{1, 2, 3}, Hops: 7}
+	g := f.Clone()
+	g.Data[0] = 9
+	if f.Data[0] != 1 {
+		t.Error("clone aliases original data")
+	}
+	if g.Hops != 7 {
+		t.Error("clone lost hop count")
+	}
+}
+
+func TestConcurrentSendersAreSafe(t *testing.T) {
+	a, b := Veth("a", "b")
+	var mu sync.Mutex
+	count := 0
+	b.SetHandler(func(Frame) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = a.Send(Frame{Data: []byte("z")})
+			}
+		}()
+	}
+	wg.Wait()
+	if count != 800 {
+		t.Errorf("delivered %d, want 800", count)
+	}
+	if a.Stats().TxPackets != 800 {
+		t.Errorf("tx counter = %d", a.Stats().TxPackets)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	a, b := Veth("a", "b")
+	_ = a.Send(Frame{Data: make([]byte, 100)})
+	_ = b // keep
+	if s := a.Stats().String(); s == "" {
+		t.Error("empty stats string")
+	}
+}

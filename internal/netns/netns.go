@@ -1,0 +1,201 @@
+// Package netns simulates Linux network namespaces for the NFV compute node.
+//
+// The paper's NNF driver starts every native network function "in a new
+// network namespace, to provide a basic form of isolation". This package
+// provides the same semantics in-process: a registry of named namespaces,
+// each owning a disjoint set of network devices. Devices can be moved
+// between namespaces (as `ip link set netns` would) and a namespace can only
+// see its own devices.
+package netns
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/netdev"
+)
+
+// HostName is the name of the root (host) namespace, which always exists.
+const HostName = "host"
+
+// Namespace is a named container of network devices.
+type Namespace struct {
+	name string
+
+	mu      sync.RWMutex
+	devices map[string]*netdev.Port
+}
+
+// Name returns the namespace name.
+func (ns *Namespace) Name() string { return ns.name }
+
+// Device returns the named device, or nil if it is not in this namespace.
+func (ns *Namespace) Device(name string) *netdev.Port {
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	return ns.devices[name]
+}
+
+// Devices returns the names of all devices in the namespace, sorted.
+func (ns *Namespace) Devices() []string {
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	names := make([]string, 0, len(ns.devices))
+	for n := range ns.devices {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Registry manages the set of namespaces on one simulated host.
+type Registry struct {
+	mu         sync.RWMutex
+	namespaces map[string]*Namespace
+}
+
+// NewRegistry returns a registry containing only the host namespace.
+func NewRegistry() *Registry {
+	r := &Registry{namespaces: make(map[string]*Namespace)}
+	r.namespaces[HostName] = &Namespace{name: HostName, devices: make(map[string]*netdev.Port)}
+	return r
+}
+
+// Host returns the root namespace.
+func (r *Registry) Host() *Namespace { return r.mustGet(HostName) }
+
+func (r *Registry) mustGet(name string) *Namespace {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.namespaces[name]
+}
+
+// Create adds a new empty namespace.
+func (r *Registry) Create(name string) (*Namespace, error) {
+	if name == "" {
+		return nil, fmt.Errorf("netns: empty namespace name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.namespaces[name]; exists {
+		return nil, fmt.Errorf("netns: namespace %q already exists", name)
+	}
+	ns := &Namespace{name: name, devices: make(map[string]*netdev.Port)}
+	r.namespaces[name] = ns
+	return ns, nil
+}
+
+// Get returns the named namespace, or an error if it does not exist.
+func (r *Registry) Get(name string) (*Namespace, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ns, ok := r.namespaces[name]
+	if !ok {
+		return nil, fmt.Errorf("netns: namespace %q not found", name)
+	}
+	return ns, nil
+}
+
+// Delete removes a namespace. Its devices are disconnected and destroyed, as
+// happens to veth endpoints when a Linux namespace dies. The host namespace
+// cannot be deleted.
+func (r *Registry) Delete(name string) error {
+	if name == HostName {
+		return fmt.Errorf("netns: cannot delete the host namespace")
+	}
+	r.mu.Lock()
+	ns, ok := r.namespaces[name]
+	if ok {
+		delete(r.namespaces, name)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("netns: namespace %q not found", name)
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	for devName, dev := range ns.devices {
+		netdev.Disconnect(dev)
+		dev.SetUp(false)
+		delete(ns.devices, devName)
+	}
+	return nil
+}
+
+// List returns all namespace names, sorted, host first.
+func (r *Registry) List() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.namespaces))
+	for n := range r.namespaces {
+		if n != HostName {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return append([]string{HostName}, names...)
+}
+
+// AddDevice places a device into a namespace. Device names must be unique
+// within a namespace (but may repeat across namespaces, like Linux).
+func (r *Registry) AddDevice(nsName string, dev *netdev.Port) error {
+	ns, err := r.Get(nsName)
+	if err != nil {
+		return err
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if _, exists := ns.devices[dev.Name()]; exists {
+		return fmt.Errorf("netns: device %q already exists in namespace %q", dev.Name(), nsName)
+	}
+	ns.devices[dev.Name()] = dev
+	return nil
+}
+
+// MoveDevice relocates a device from one namespace to another, like
+// `ip link set <dev> netns <ns>`.
+func (r *Registry) MoveDevice(devName, fromNS, toNS string) error {
+	from, err := r.Get(fromNS)
+	if err != nil {
+		return err
+	}
+	to, err := r.Get(toNS)
+	if err != nil {
+		return err
+	}
+	if from == to {
+		return nil
+	}
+	// Lock in name order for a stable order across concurrent moves.
+	first, second := from, to
+	if first.name > second.name {
+		first, second = second, first
+	}
+	first.mu.Lock()
+	defer first.mu.Unlock()
+	second.mu.Lock()
+	defer second.mu.Unlock()
+	dev, ok := from.devices[devName]
+	if !ok {
+		return fmt.Errorf("netns: device %q not in namespace %q", devName, fromNS)
+	}
+	if _, exists := to.devices[devName]; exists {
+		return fmt.Errorf("netns: device %q already exists in namespace %q", devName, toNS)
+	}
+	delete(from.devices, devName)
+	to.devices[devName] = dev
+	return nil
+}
+
+// FindDevice locates the namespace currently holding the named device.
+func (r *Registry) FindDevice(devName string) (*Namespace, *netdev.Port, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, ns := range r.namespaces {
+		if dev := ns.Device(devName); dev != nil {
+			return ns, dev, true
+		}
+	}
+	return nil, nil, false
+}

@@ -1,0 +1,160 @@
+package netns
+
+import (
+	"testing"
+
+	"repro/internal/netdev"
+)
+
+func TestHostNamespaceAlwaysExists(t *testing.T) {
+	r := NewRegistry()
+	if r.Host() == nil {
+		t.Fatal("no host namespace")
+	}
+	if err := r.Delete(HostName); err == nil {
+		t.Error("host namespace deletable")
+	}
+	if got := r.List(); len(got) != 1 || got[0] != HostName {
+		t.Errorf("List = %v", got)
+	}
+}
+
+func TestCreateGetDelete(t *testing.T) {
+	r := NewRegistry()
+	ns, err := r.Create("nnf-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns.Name() != "nnf-1" {
+		t.Errorf("name = %q", ns.Name())
+	}
+	if _, err := r.Create("nnf-1"); err == nil {
+		t.Error("duplicate create allowed")
+	}
+	if _, err := r.Get("nnf-1"); err != nil {
+		t.Error(err)
+	}
+	if err := r.Delete("nnf-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get("nnf-1"); err == nil {
+		t.Error("deleted namespace still visible")
+	}
+	if err := r.Delete("nnf-1"); err == nil {
+		t.Error("double delete allowed")
+	}
+	if _, err := r.Create(""); err == nil {
+		t.Error("empty name allowed")
+	}
+}
+
+func TestDeviceUniquePerNamespace(t *testing.T) {
+	r := NewRegistry()
+	_, _ = r.Create("a")
+	_, _ = r.Create("b")
+	if err := r.AddDevice("a", netdev.NewPort("eth0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddDevice("a", netdev.NewPort("eth0")); err == nil {
+		t.Error("duplicate device name in one namespace allowed")
+	}
+	// Same name is fine in a different namespace, like Linux.
+	if err := r.AddDevice("b", netdev.NewPort("eth0")); err != nil {
+		t.Errorf("same name in other namespace rejected: %v", err)
+	}
+}
+
+func TestMoveDevice(t *testing.T) {
+	r := NewRegistry()
+	_, _ = r.Create("cont")
+	dev := netdev.NewPort("veth1")
+	if err := r.AddDevice(HostName, dev); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.MoveDevice("veth1", HostName, "cont"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Host().Device("veth1") != nil {
+		t.Error("device still in host after move")
+	}
+	ns, _ := r.Get("cont")
+	if ns.Device("veth1") != dev {
+		t.Error("device not in target namespace")
+	}
+	// Move back.
+	if err := r.MoveDevice("veth1", "cont", HostName); err != nil {
+		t.Fatal(err)
+	}
+	if r.Host().Device("veth1") == nil {
+		t.Error("device lost on move back")
+	}
+}
+
+func TestMoveDeviceErrors(t *testing.T) {
+	r := NewRegistry()
+	_, _ = r.Create("x")
+	if err := r.MoveDevice("ghost", HostName, "x"); err == nil {
+		t.Error("moved nonexistent device")
+	}
+	if err := r.MoveDevice("d", "nope", "x"); err == nil {
+		t.Error("moved from nonexistent namespace")
+	}
+	if err := r.MoveDevice("d", HostName, "nope"); err == nil {
+		t.Error("moved to nonexistent namespace")
+	}
+	// Conflict in destination.
+	_ = r.AddDevice(HostName, netdev.NewPort("dup"))
+	_ = r.AddDevice("x", netdev.NewPort("dup"))
+	if err := r.MoveDevice("dup", HostName, "x"); err == nil {
+		t.Error("move onto existing name allowed")
+	}
+	// No-op same-namespace move.
+	if err := r.MoveDevice("dup", HostName, HostName); err != nil {
+		t.Errorf("same-ns move should be a no-op, got %v", err)
+	}
+}
+
+func TestDeleteDestroysDevices(t *testing.T) {
+	r := NewRegistry()
+	_, _ = r.Create("dying")
+	inside, outside := netdev.Veth("in", "out")
+	_ = r.AddDevice("dying", inside)
+	_ = r.AddDevice(HostName, outside)
+	if err := r.Delete("dying"); err != nil {
+		t.Fatal(err)
+	}
+	if outside.Peer() != nil {
+		t.Error("veth peer not disconnected when namespace died")
+	}
+	if inside.IsUp() {
+		t.Error("device in deleted namespace still up")
+	}
+}
+
+func TestFindDevice(t *testing.T) {
+	r := NewRegistry()
+	_, _ = r.Create("far")
+	dev := netdev.NewPort("tap0")
+	_ = r.AddDevice("far", dev)
+	ns, got, ok := r.FindDevice("tap0")
+	if !ok || ns.Name() != "far" || got != dev {
+		t.Errorf("FindDevice = %v %v %v", ns, got, ok)
+	}
+	if _, _, ok := r.FindDevice("missing"); ok {
+		t.Error("found nonexistent device")
+	}
+}
+
+func TestDevicesSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"z9", "a1", "m5"} {
+		_ = r.AddDevice(HostName, netdev.NewPort(n))
+	}
+	got := r.Host().Devices()
+	want := []string{"a1", "m5", "z9"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Devices = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package nf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/pkt"
+)
+
+// Verdict is a firewall rule decision.
+type Verdict int
+
+// Verdicts.
+const (
+	VerdictAccept Verdict = iota
+	VerdictDrop
+)
+
+func (v Verdict) String() string {
+	if v == VerdictDrop {
+		return "drop"
+	}
+	return "accept"
+}
+
+// FWRule is one stateless filter rule, in the spirit of an iptables rule.
+// Zero fields are wildcards.
+type FWRule struct {
+	Proto   pkt.IPProtocol
+	SrcCIDR string
+	DstCIDR string
+	SrcPort uint16
+	DstPort uint16
+	Verdict Verdict
+}
+
+// matches evaluates the rule against a parsed frame.
+func (r FWRule) matches(ip *pkt.IPv4, l4src, l4dst uint16) bool {
+	if r.Proto != 0 && ip.Protocol != r.Proto {
+		return false
+	}
+	if r.SrcCIDR != "" && !cidrContains(r.SrcCIDR, ip.SrcIP) {
+		return false
+	}
+	if r.DstCIDR != "" && !cidrContains(r.DstCIDR, ip.DstIP) {
+		return false
+	}
+	if r.SrcPort != 0 && l4src != r.SrcPort {
+		return false
+	}
+	if r.DstPort != 0 && l4dst != r.DstPort {
+		return false
+	}
+	return true
+}
+
+func cidrContains(cidr string, a pkt.Addr) bool {
+	slash := strings.IndexByte(cidr, '/')
+	if slash < 0 {
+		return false
+	}
+	base, err := pkt.ParseAddr(cidr[:slash])
+	if err != nil {
+		return false
+	}
+	bits, err := strconv.Atoi(cidr[slash+1:])
+	if err != nil || bits < 0 || bits > 32 {
+		return false
+	}
+	if bits == 0 {
+		return true
+	}
+	mask := ^uint32(0) << (32 - bits)
+	return a.Uint32()&mask == base.Uint32()&mask
+}
+
+// pathTable is one isolated rule set inside a shared firewall; the paper's
+// "multiple internal paths that are needed to process the above multiple
+// traffic streams in isolation".
+type pathTable struct {
+	rules         []FWRule
+	defaultPolicy Verdict
+	hits, drops   uint64
+}
+
+// Firewall is a stateless bump-in-the-wire filter with mark-based internal
+// paths. It is the model of a *sharable* NNF: traffic of different service
+// graphs reaches the single shared instance tagged with a distinguishing
+// VLAN mark (applied by the adaptation layer), and each mark selects an
+// isolated rule table. Untagged traffic uses the default path, so the same
+// processor also serves as an ordinary per-graph firewall.
+//
+// Port convention: frames received on port 0 exit port 1 and vice versa.
+type Firewall struct {
+	mu    sync.RWMutex
+	def   pathTable
+	paths map[uint16]*pathTable
+}
+
+// NewFirewall returns a firewall whose default path accepts everything.
+func NewFirewall() *Firewall {
+	return &Firewall{paths: make(map[uint16]*pathTable)}
+}
+
+// NewFirewallFromConfig builds a firewall from an NF-FG configuration map:
+//
+//	default: "accept" (default) or "drop"
+//	rules:   semicolon-separated rules, each
+//	         "<accept|drop> [proto=udp|tcp|icmp|esp] [src=CIDR] [dst=CIDR]
+//	          [sport=N] [dport=N]"
+func NewFirewallFromConfig(config map[string]string) (Processor, error) {
+	fw := NewFirewall()
+	if err := fw.Configure(config); err != nil {
+		return nil, err
+	}
+	return fw, nil
+}
+
+// Configure implements Configurer: it replaces the default path's policy
+// and rules.
+func (f *Firewall) Configure(config map[string]string) error {
+	var rules []FWRule
+	if spec, ok := config["rules"]; ok && strings.TrimSpace(spec) != "" {
+		for _, rs := range strings.Split(spec, ";") {
+			rs = strings.TrimSpace(rs)
+			if rs == "" {
+				continue
+			}
+			r, err := ParseFWRule(rs)
+			if err != nil {
+				return err
+			}
+			rules = append(rules, r)
+		}
+	}
+	policy := VerdictAccept
+	switch strings.TrimSpace(config["default"]) {
+	case "", "accept":
+	case "drop":
+		policy = VerdictDrop
+	default:
+		return fmt.Errorf("nf: firewall default policy %q unknown", config["default"])
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.def.rules = rules
+	f.def.defaultPolicy = policy
+	return nil
+}
+
+// ParseFWRule parses the textual rule form used in configurations.
+func ParseFWRule(s string) (FWRule, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return FWRule{}, fmt.Errorf("nf: empty firewall rule")
+	}
+	var r FWRule
+	switch fields[0] {
+	case "accept":
+		r.Verdict = VerdictAccept
+	case "drop":
+		r.Verdict = VerdictDrop
+	default:
+		return FWRule{}, fmt.Errorf("nf: firewall rule must start with accept/drop: %q", s)
+	}
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return FWRule{}, fmt.Errorf("nf: bad firewall rule token %q", f)
+		}
+		switch k {
+		case "proto":
+			switch v {
+			case "udp":
+				r.Proto = pkt.IPProtocolUDP
+			case "tcp":
+				r.Proto = pkt.IPProtocolTCP
+			case "icmp":
+				r.Proto = pkt.IPProtocolICMP
+			case "esp":
+				r.Proto = pkt.IPProtocolESP
+			default:
+				return FWRule{}, fmt.Errorf("nf: unknown proto %q", v)
+			}
+		case "src":
+			r.SrcCIDR = v
+		case "dst":
+			r.DstCIDR = v
+		case "sport", "dport":
+			n, err := strconv.ParseUint(v, 10, 16)
+			if err != nil {
+				return FWRule{}, fmt.Errorf("nf: bad port %q", v)
+			}
+			if k == "sport" {
+				r.SrcPort = uint16(n)
+			} else {
+				r.DstPort = uint16(n)
+			}
+		default:
+			return FWRule{}, fmt.Errorf("nf: unknown firewall rule key %q", k)
+		}
+	}
+	return r, nil
+}
+
+// SetPath installs an isolated rule table for a mark. It is called by the
+// NNF adaptation layer when a new service graph starts sharing the
+// instance.
+func (f *Firewall) SetPath(mark uint16, rules []FWRule, defaultPolicy Verdict) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.paths[mark] = &pathTable{rules: rules, defaultPolicy: defaultPolicy}
+}
+
+// RemovePath drops a mark's rule table.
+func (f *Firewall) RemovePath(mark uint16) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.paths, mark)
+}
+
+// NumPaths returns the number of installed mark paths.
+func (f *Firewall) NumPaths() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.paths)
+}
+
+// Process implements Processor.
+func (f *Firewall) Process(inPort int, frame []byte) (Result, error) {
+	if inPort != 0 && inPort != 1 {
+		return Result{}, fmt.Errorf("nf: firewall has no port %d", inPort)
+	}
+	outPort := 1 - inPort
+
+	p := pkt.NewPacket(frame, pkt.LayerTypeEthernet, pkt.NoCopy)
+	ipLayer, _ := p.Layer(pkt.LayerTypeIPv4).(*pkt.IPv4)
+	if ipLayer == nil {
+		// Non-IP (ARP etc.) passes: iptables only sees IP.
+		return Result{Emissions: []Emission{{Port: outPort, Frame: frame}}}, nil
+	}
+	var l4src, l4dst uint16
+	switch l4 := p.TransportLayer().(type) {
+	case *pkt.UDP:
+		l4src, l4dst = l4.SrcPort, l4.DstPort
+	case *pkt.TCP:
+		l4src, l4dst = l4.SrcPort, l4.DstPort
+	}
+
+	// Mark = VLAN tag, the sharable-NNF path selector.
+	var mark uint16
+	if v, ok := p.Layer(pkt.LayerTypeVLAN).(*pkt.VLAN); ok {
+		mark = v.VLANID
+	}
+
+	f.mu.Lock()
+	table := &f.def
+	if mark != 0 {
+		if t, ok := f.paths[mark]; ok {
+			table = t
+		}
+	}
+	verdict := table.defaultPolicy
+	for _, r := range table.rules {
+		if r.matches(ipLayer, l4src, l4dst) {
+			verdict = r.Verdict
+			break
+		}
+	}
+	table.hits++
+	if verdict == VerdictDrop {
+		table.drops++
+	}
+	f.mu.Unlock()
+
+	if verdict == VerdictDrop {
+		return Result{}, nil
+	}
+	return Result{Emissions: []Emission{{Port: outPort, Frame: frame}}}, nil
+}
+
+// PathStats returns hit/drop counters for a mark path (mark 0 = default).
+func (f *Firewall) PathStats(mark uint16) (hits, drops uint64) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if mark == 0 {
+		return f.def.hits, f.def.drops
+	}
+	if t, ok := f.paths[mark]; ok {
+		return t.hits, t.drops
+	}
+	return 0, 0
+}

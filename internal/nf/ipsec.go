@@ -1,0 +1,207 @@
+package nf
+
+import (
+	"fmt"
+
+	"repro/internal/pkt"
+)
+
+// IPsec port conventions.
+const (
+	// IPsecPortPlain receives and emits cleartext traffic (the LAN side
+	// of the paper's CPE use case).
+	IPsecPortPlain = 0
+	// IPsecPortEncrypted receives and emits ESP traffic (the WAN side).
+	IPsecPortEncrypted = 1
+)
+
+// IPsec is an ESP tunnel-mode gateway, the network function of the paper's
+// validation (strongSwan configured for ESP in tunnel mode). Cleartext
+// frames entering the plain port are encapsulated toward the peer; ESP
+// frames entering the encrypted port are authenticated, decrypted and
+// emitted on the plain port.
+type IPsec struct {
+	sadb *SADB
+	// peer is the remote tunnel endpoint for outbound traffic.
+	peer pkt.Addr
+	// gwMAC/peerMAC frame the outer packets on the encrypted side.
+	gwMAC, peerMAC pkt.MAC
+	// lanMAC frames decapsulated packets on the plain side.
+	lanMAC, hostMAC pkt.MAC
+}
+
+// NewIPsec builds a gateway with one outbound peer. Frames are re-framed
+// with the given MACs on each side.
+func NewIPsec(peer pkt.Addr, gwMAC, peerMAC, lanMAC, hostMAC pkt.MAC) *IPsec {
+	return &IPsec{
+		sadb:    NewSADB(),
+		peer:    peer,
+		gwMAC:   gwMAC,
+		peerMAC: peerMAC,
+		lanMAC:  lanMAC,
+		hostMAC: hostMAC,
+	}
+}
+
+// NewIPsecFromConfig builds the gateway from an NF-FG configuration map:
+//
+//	local:  outer source IPv4 (required)
+//	remote: outer destination IPv4 (required)
+//	spi:    security parameter index (required, decimal)
+//	key:    40 hex chars, AES-128 key || 4-byte salt (required)
+//	gw_mac, peer_mac, lan_mac, host_mac: optional MACs
+func NewIPsecFromConfig(config map[string]string) (Processor, error) {
+	get := func(k string) (string, error) {
+		v, ok := config[k]
+		if !ok || v == "" {
+			return "", fmt.Errorf("nf: ipsec config missing %q", k)
+		}
+		return v, nil
+	}
+	localS, err := get("local")
+	if err != nil {
+		return nil, err
+	}
+	remoteS, err := get("remote")
+	if err != nil {
+		return nil, err
+	}
+	spiS, err := get("spi")
+	if err != nil {
+		return nil, err
+	}
+	keyS, err := get("key")
+	if err != nil {
+		return nil, err
+	}
+	local, err := pkt.ParseAddr(localS)
+	if err != nil {
+		return nil, err
+	}
+	remote, err := pkt.ParseAddr(remoteS)
+	if err != nil {
+		return nil, err
+	}
+	var spi uint32
+	if _, err := fmt.Sscanf(spiS, "%d", &spi); err != nil {
+		return nil, fmt.Errorf("nf: ipsec bad spi %q", spiS)
+	}
+	key, err := ParseSAKey(keyS)
+	if err != nil {
+		return nil, err
+	}
+	mac := func(k string, dflt pkt.MAC) pkt.MAC {
+		if v, ok := config[k]; ok {
+			if m, err := pkt.ParseMAC(v); err == nil {
+				return m
+			}
+		}
+		return dflt
+	}
+	ips := NewIPsec(remote,
+		mac("gw_mac", pkt.MAC{0x02, 0, 0, 0, 0xee, 0x01}),
+		mac("peer_mac", pkt.MAC{0x02, 0, 0, 0, 0xee, 0x02}),
+		mac("lan_mac", pkt.MAC{0x02, 0, 0, 0, 0xee, 0x03}),
+		mac("host_mac", pkt.MAC{0x02, 0, 0, 0, 0xee, 0x04}),
+	)
+	sa, err := NewSA(spi, local, remote, key)
+	if err != nil {
+		return nil, err
+	}
+	if err := ips.AddSA(sa); err != nil {
+		return nil, err
+	}
+	return ips, nil
+}
+
+// AddSA installs a security association.
+func (g *IPsec) AddSA(sa *SA) error { return g.sadb.Add(sa) }
+
+// SADB exposes the SA database (for tests and inspection).
+func (g *IPsec) SADB() *SADB { return g.sadb }
+
+// Process implements Processor.
+func (g *IPsec) Process(inPort int, frame []byte) (Result, error) {
+	switch inPort {
+	case IPsecPortPlain:
+		return g.encap(frame)
+	case IPsecPortEncrypted:
+		return g.decap(frame)
+	default:
+		return Result{}, fmt.Errorf("nf: ipsec has no port %d", inPort)
+	}
+}
+
+func (g *IPsec) encap(frame []byte) (Result, error) {
+	var eth pkt.Ethernet
+	if err := eth.DecodeFromBytes(frame); err != nil {
+		return Result{}, err
+	}
+	if eth.EthernetType != pkt.EthernetTypeIPv4 {
+		// Non-IP traffic (e.g. ARP) is not tunneled; drop silently as
+		// a real gateway's policy would.
+		return Result{}, nil
+	}
+	innerIP := eth.LayerPayload()
+	sa, ok := g.sadb.ByPeer(g.peer)
+	if !ok {
+		return Result{}, fmt.Errorf("nf: no outbound SA toward %v", g.peer)
+	}
+	outer, err := sa.Encapsulate(innerIP)
+	if err != nil {
+		return Result{}, err
+	}
+	out, err := pkt.Serialize(pkt.SerializeOptions{},
+		&pkt.Ethernet{SrcMAC: g.gwMAC, DstMAC: g.peerMAC, EthernetType: pkt.EthernetTypeIPv4},
+		pkt.Payload(outer),
+	)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Emissions:   []Emission{{Port: IPsecPortEncrypted, Frame: out}},
+		CryptoBytes: len(innerIP),
+	}, nil
+}
+
+func (g *IPsec) decap(frame []byte) (Result, error) {
+	var eth pkt.Ethernet
+	if err := eth.DecodeFromBytes(frame); err != nil {
+		return Result{}, err
+	}
+	if eth.EthernetType != pkt.EthernetTypeIPv4 {
+		return Result{}, nil
+	}
+	outerIP := eth.LayerPayload()
+	var ip pkt.IPv4
+	if err := ip.DecodeFromBytes(outerIP); err != nil {
+		return Result{}, err
+	}
+	if ip.Protocol != pkt.IPProtocolESP {
+		// Cleartext traffic on the encrypted side is not ours.
+		return Result{}, nil
+	}
+	var esp pkt.ESP
+	if err := esp.DecodeFromBytes(ip.LayerPayload()); err != nil {
+		return Result{}, err
+	}
+	sa, ok := g.sadb.BySPI(esp.SPI)
+	if !ok {
+		return Result{}, fmt.Errorf("nf: no SA for SPI %#x", esp.SPI)
+	}
+	inner, err := sa.Decapsulate(outerIP)
+	if err != nil {
+		return Result{}, err
+	}
+	out, err := pkt.Serialize(pkt.SerializeOptions{},
+		&pkt.Ethernet{SrcMAC: g.lanMAC, DstMAC: g.hostMAC, EthernetType: pkt.EthernetTypeIPv4},
+		pkt.Payload(inner),
+	)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Emissions:   []Emission{{Port: IPsecPortPlain, Frame: out}},
+		CryptoBytes: len(inner),
+	}, nil
+}

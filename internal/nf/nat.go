@@ -1,0 +1,198 @@
+package nf
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/pkt"
+)
+
+// NAT port conventions.
+const (
+	NATPortInside  = 0
+	NATPortOutside = 1
+)
+
+// natKey identifies an inside connection.
+type natKey struct {
+	proto pkt.IPProtocol
+	ip    pkt.Addr
+	port  uint16
+}
+
+// NAT is a source NAT (masquerade), one of the "(large) number of common
+// network functions" a Linux CPE ships natively. Traffic from the inside
+// port is rewritten to the external address with an allocated port; return
+// traffic on the outside port is translated back.
+type NAT struct {
+	external pkt.Addr
+
+	mu       sync.Mutex
+	nextPort uint16
+	forward  map[natKey]uint16 // inside (proto,ip,port) -> external port
+	reverse  map[uint16]natKey // external port -> inside
+}
+
+// natPortBase is the first external port allocated.
+const natPortBase = 20000
+
+// NewNAT builds a NAT with the given external address.
+func NewNAT(external pkt.Addr) *NAT {
+	return &NAT{
+		external: external,
+		nextPort: natPortBase,
+		forward:  make(map[natKey]uint16),
+		reverse:  make(map[uint16]natKey),
+	}
+}
+
+// NewNATFromConfig builds a NAT from an NF-FG configuration map:
+//
+//	external_ip: the public address (required)
+func NewNATFromConfig(config map[string]string) (Processor, error) {
+	ext, ok := config["external_ip"]
+	if !ok {
+		return nil, fmt.Errorf("nf: nat config missing external_ip")
+	}
+	a, err := pkt.ParseAddr(ext)
+	if err != nil {
+		return nil, err
+	}
+	return NewNAT(a), nil
+}
+
+// Bindings returns the number of active translations.
+func (n *NAT) Bindings() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.forward)
+}
+
+// Process implements Processor.
+func (n *NAT) Process(inPort int, frame []byte) (Result, error) {
+	switch inPort {
+	case NATPortInside:
+		return n.outbound(frame)
+	case NATPortOutside:
+		return n.inbound(frame)
+	default:
+		return Result{}, fmt.Errorf("nf: nat has no port %d", inPort)
+	}
+}
+
+// rewrite re-serializes an Ethernet/IPv4/L4 frame with updated addresses.
+func rewrite(eth *pkt.Ethernet, ip *pkt.IPv4, l4 pkt.Layer, payload []byte) ([]byte, error) {
+	opts := pkt.SerializeOptions{FixLengths: true, ComputeChecksums: true}
+	newEth := &pkt.Ethernet{SrcMAC: eth.SrcMAC, DstMAC: eth.DstMAC, EthernetType: pkt.EthernetTypeIPv4}
+	newIP := &pkt.IPv4{
+		TOS: ip.TOS, ID: ip.ID, Flags: ip.Flags, FragOff: ip.FragOff,
+		TTL: ip.TTL, Protocol: ip.Protocol, SrcIP: ip.SrcIP, DstIP: ip.DstIP,
+	}
+	switch t := l4.(type) {
+	case *pkt.UDP:
+		u := &pkt.UDP{SrcPort: t.SrcPort, DstPort: t.DstPort}
+		u.SetNetworkLayerForChecksum(newIP)
+		return pkt.Serialize(opts, newEth, newIP, u, pkt.Payload(payload))
+	case *pkt.TCP:
+		tc := &pkt.TCP{
+			SrcPort: t.SrcPort, DstPort: t.DstPort,
+			Seq: t.Seq, Ack: t.Ack, Flags: t.Flags, Window: t.Window, Urgent: t.Urgent,
+		}
+		tc.SetNetworkLayerForChecksum(newIP)
+		return pkt.Serialize(opts, newEth, newIP, tc, pkt.Payload(payload))
+	default:
+		return nil, fmt.Errorf("nf: nat cannot rewrite %T", l4)
+	}
+}
+
+func (n *NAT) outbound(frame []byte) (Result, error) {
+	p := pkt.NewPacket(frame, pkt.LayerTypeEthernet, pkt.Default)
+	eth, _ := p.Layer(pkt.LayerTypeEthernet).(*pkt.Ethernet)
+	ip, _ := p.Layer(pkt.LayerTypeIPv4).(*pkt.IPv4)
+	if eth == nil || ip == nil {
+		return Result{}, nil // not translatable: drop
+	}
+	var srcPort uint16
+	var l4 pkt.Layer
+	var payload []byte
+	switch t := p.TransportLayer().(type) {
+	case *pkt.UDP:
+		srcPort, l4, payload = t.SrcPort, t, t.LayerPayload()
+	case *pkt.TCP:
+		srcPort, l4, payload = t.SrcPort, t, t.LayerPayload()
+	default:
+		return Result{}, nil // ICMP etc. not handled by this NAT
+	}
+
+	key := natKey{proto: ip.Protocol, ip: ip.SrcIP, port: srcPort}
+	n.mu.Lock()
+	ext, ok := n.forward[key]
+	if !ok {
+		for {
+			ext = n.nextPort
+			n.nextPort++
+			if n.nextPort == 0 {
+				n.nextPort = natPortBase
+			}
+			if _, used := n.reverse[ext]; !used {
+				break
+			}
+		}
+		n.forward[key] = ext
+		n.reverse[ext] = key
+	}
+	n.mu.Unlock()
+
+	ip.SrcIP = n.external
+	switch t := l4.(type) {
+	case *pkt.UDP:
+		t.SrcPort = ext
+	case *pkt.TCP:
+		t.SrcPort = ext
+	}
+	out, err := rewrite(eth, ip, l4, payload)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Emissions: []Emission{{Port: NATPortOutside, Frame: out}}}, nil
+}
+
+func (n *NAT) inbound(frame []byte) (Result, error) {
+	p := pkt.NewPacket(frame, pkt.LayerTypeEthernet, pkt.Default)
+	eth, _ := p.Layer(pkt.LayerTypeEthernet).(*pkt.Ethernet)
+	ip, _ := p.Layer(pkt.LayerTypeIPv4).(*pkt.IPv4)
+	if eth == nil || ip == nil || ip.DstIP != n.external {
+		return Result{}, nil
+	}
+	var dstPort uint16
+	var l4 pkt.Layer
+	var payload []byte
+	switch t := p.TransportLayer().(type) {
+	case *pkt.UDP:
+		dstPort, l4, payload = t.DstPort, t, t.LayerPayload()
+	case *pkt.TCP:
+		dstPort, l4, payload = t.DstPort, t, t.LayerPayload()
+	default:
+		return Result{}, nil
+	}
+
+	n.mu.Lock()
+	key, ok := n.reverse[dstPort]
+	n.mu.Unlock()
+	if !ok || key.proto != ip.Protocol {
+		return Result{}, nil // no binding: drop, like a real masquerade
+	}
+
+	ip.DstIP = key.ip
+	switch t := l4.(type) {
+	case *pkt.UDP:
+		t.DstPort = key.port
+	case *pkt.TCP:
+		t.DstPort = key.port
+	}
+	out, err := rewrite(eth, ip, l4, payload)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Emissions: []Emission{{Port: NATPortInside, Frame: out}}}, nil
+}

@@ -1,0 +1,274 @@
+package nf
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"repro/internal/pkt"
+)
+
+// replayWindowSize is the anti-replay sliding window width (RFC 4303 §3.4.3
+// requires at least 32; 64 is the common choice).
+const replayWindowSize = 64
+
+// replayWindow implements the RFC 4303 anti-replay check over 32-bit
+// sequence numbers.
+type replayWindow struct {
+	highest uint32
+	bitmap  uint64
+}
+
+// check reports whether seq is acceptable (new and inside the window) and
+// records it if so.
+func (w *replayWindow) check(seq uint32) bool {
+	switch {
+	case seq == 0:
+		return false // seq 0 is never valid on the wire
+	case w.highest == 0 || seq > w.highest:
+		shift := uint64(seq - w.highest)
+		if w.highest == 0 {
+			shift = 0
+		}
+		if shift >= replayWindowSize {
+			w.bitmap = 0
+		} else {
+			w.bitmap <<= shift
+		}
+		w.bitmap |= 1
+		w.highest = seq
+		return true
+	case w.highest-seq >= replayWindowSize:
+		return false // too old
+	default:
+		bit := uint64(1) << (w.highest - seq)
+		if w.bitmap&bit != 0 {
+			return false // replayed
+		}
+		w.bitmap |= bit
+		return true
+	}
+}
+
+// SA is one IPsec security association: an SPI, a direction-agnostic
+// AES-GCM key (RFC 4106: 16-byte AES key + 4-byte salt), tunnel endpoints
+// and per-direction state.
+type SA struct {
+	SPI    uint32
+	Local  pkt.Addr // outer source when encapsulating
+	Remote pkt.Addr // outer destination when encapsulating
+
+	aead cipher.AEAD
+	salt [4]byte
+
+	mu     sync.Mutex
+	seq    uint32 // last sequence number sent
+	replay replayWindow
+}
+
+// keyLen is AES-128 key plus RFC 4106 salt.
+const keyLen = 16 + 4
+
+// NewSA builds a security association. keyMaterial must be 20 bytes: a
+// 16-byte AES-128 key followed by the 4-byte GCM salt.
+func NewSA(spi uint32, local, remote pkt.Addr, keyMaterial []byte) (*SA, error) {
+	if len(keyMaterial) != keyLen {
+		return nil, fmt.Errorf("nf: SA key material must be %d bytes, got %d", keyLen, len(keyMaterial))
+	}
+	if spi == 0 {
+		return nil, fmt.Errorf("nf: SPI 0 is reserved")
+	}
+	block, err := aes.NewCipher(keyMaterial[:16])
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	sa := &SA{SPI: spi, Local: local, Remote: remote, aead: aead}
+	copy(sa.salt[:], keyMaterial[16:])
+	return sa, nil
+}
+
+// ParseSAKey decodes hex key material ("0011..ff", 40 hex chars).
+func ParseSAKey(s string) ([]byte, error) {
+	key, err := hex.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("nf: bad SA key hex: %w", err)
+	}
+	if len(key) != keyLen {
+		return nil, fmt.Errorf("nf: SA key must be %d bytes, got %d", keyLen, len(key))
+	}
+	return key, nil
+}
+
+// nextSeq allocates the next outbound sequence number.
+func (sa *SA) nextSeq() uint32 {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	sa.seq++
+	return sa.seq
+}
+
+// acceptSeq runs the anti-replay check for an inbound sequence number.
+func (sa *SA) acceptSeq(seq uint32) bool {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	return sa.replay.check(seq)
+}
+
+// espOverhead is the per-packet byte overhead of our ESP encapsulation:
+// outer IPv4 (20) + SPI/seq (8) + explicit IV (8) + GCM tag (16), plus up to
+// 4 bytes of trailer alignment + 2 trailer bytes.
+const espOverhead = pkt.IPv4HeaderLen + pkt.ESPHeaderLen + 8 + 16 + 6
+
+// Encapsulate performs RFC 4303 tunnel-mode ESP encapsulation of an inner
+// IPv4 packet, returning the outer IPv4 packet (starting at the outer IPv4
+// header). Layout: outer IPv4 | SPI | seq | IV(8) | ciphertext+tag, where
+// the plaintext is inner-IP || padding || padLen || nextHeader(4 = IPIP).
+func (sa *SA) Encapsulate(innerIP []byte) ([]byte, error) {
+	seq := sa.nextSeq()
+
+	// Trailer: pad the (inner + 2 trailer bytes) to a 4-byte boundary.
+	padLen := (4 - (len(innerIP)+2)%4) % 4
+	plain := make([]byte, len(innerIP)+padLen+2)
+	copy(plain, innerIP)
+	for i := 0; i < padLen; i++ {
+		plain[len(innerIP)+i] = byte(i + 1) // RFC 4303 monotonic pad
+	}
+	plain[len(plain)-2] = byte(padLen)
+	plain[len(plain)-1] = 4 // next header: IP-in-IP
+
+	// RFC 4106 nonce: salt || explicit IV. We use the extended sequence
+	// as IV which is unique per SA.
+	var iv [8]byte
+	binary.BigEndian.PutUint64(iv[:], uint64(seq))
+	var nonce [12]byte
+	copy(nonce[:4], sa.salt[:])
+	copy(nonce[4:], iv[:])
+
+	// AAD: SPI || sequence number.
+	var aad [8]byte
+	binary.BigEndian.PutUint32(aad[:4], sa.SPI)
+	binary.BigEndian.PutUint32(aad[4:], seq)
+
+	ct := sa.aead.Seal(nil, nonce[:], plain, aad[:])
+
+	espPayload := make([]byte, 8+len(ct))
+	copy(espPayload[:8], iv[:])
+	copy(espPayload[8:], ct)
+
+	outer := &pkt.IPv4{
+		TTL:      64,
+		Protocol: pkt.IPProtocolESP,
+		SrcIP:    sa.Local,
+		DstIP:    sa.Remote,
+	}
+	esp := &pkt.ESP{SPI: sa.SPI, Seq: seq}
+	return pkt.Serialize(
+		pkt.SerializeOptions{FixLengths: true, ComputeChecksums: true},
+		outer, esp, pkt.Payload(espPayload),
+	)
+}
+
+// Decapsulate reverses Encapsulate: it takes an outer IPv4 packet carrying
+// ESP, authenticates and decrypts it, runs the anti-replay check, and
+// returns the inner IPv4 packet.
+func (sa *SA) Decapsulate(outerIP []byte) ([]byte, error) {
+	var ip pkt.IPv4
+	if err := ip.DecodeFromBytes(outerIP); err != nil {
+		return nil, fmt.Errorf("nf: esp outer: %w", err)
+	}
+	if ip.Protocol != pkt.IPProtocolESP {
+		return nil, fmt.Errorf("nf: not an ESP packet (proto %v)", ip.Protocol)
+	}
+	var esp pkt.ESP
+	if err := esp.DecodeFromBytes(ip.LayerPayload()); err != nil {
+		return nil, err
+	}
+	if esp.SPI != sa.SPI {
+		return nil, fmt.Errorf("nf: SPI mismatch: packet %#x, SA %#x", esp.SPI, sa.SPI)
+	}
+	body := esp.LayerPayload()
+	if len(body) < 8+sa.aead.Overhead() {
+		return nil, fmt.Errorf("nf: esp payload too short: %d", len(body))
+	}
+	var nonce [12]byte
+	copy(nonce[:4], sa.salt[:])
+	copy(nonce[4:], body[:8])
+	var aad [8]byte
+	binary.BigEndian.PutUint32(aad[:4], esp.SPI)
+	binary.BigEndian.PutUint32(aad[4:], esp.Seq)
+	plain, err := sa.aead.Open(nil, nonce[:], body[8:], aad[:])
+	if err != nil {
+		return nil, fmt.Errorf("nf: esp authentication failed: %w", err)
+	}
+	// Authentication passed; now the sequence number is trustworthy.
+	if !sa.acceptSeq(esp.Seq) {
+		return nil, fmt.Errorf("nf: esp replay detected (seq %d)", esp.Seq)
+	}
+	if len(plain) < 2 {
+		return nil, fmt.Errorf("nf: esp plaintext too short")
+	}
+	padLen := int(plain[len(plain)-2])
+	next := plain[len(plain)-1]
+	if next != 4 {
+		return nil, fmt.Errorf("nf: esp next header %d, want 4 (IPIP)", next)
+	}
+	if padLen+2 > len(plain) {
+		return nil, fmt.Errorf("nf: esp pad length %d exceeds plaintext", padLen)
+	}
+	return plain[:len(plain)-2-padLen], nil
+}
+
+// SADB is the security association database of one IPsec gateway.
+type SADB struct {
+	mu    sync.RWMutex
+	bySPI map[uint32]*SA
+	// byPeer indexes the outbound SA per remote tunnel endpoint.
+	byPeer map[pkt.Addr]*SA
+}
+
+// NewSADB returns an empty database.
+func NewSADB() *SADB {
+	return &SADB{bySPI: make(map[uint32]*SA), byPeer: make(map[pkt.Addr]*SA)}
+}
+
+// Add installs an SA.
+func (db *SADB) Add(sa *SA) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.bySPI[sa.SPI]; dup {
+		return fmt.Errorf("nf: SPI %#x already installed", sa.SPI)
+	}
+	db.bySPI[sa.SPI] = sa
+	db.byPeer[sa.Remote] = sa
+	return nil
+}
+
+// BySPI finds the SA for an inbound SPI.
+func (db *SADB) BySPI(spi uint32) (*SA, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	sa, ok := db.bySPI[spi]
+	return sa, ok
+}
+
+// ByPeer finds the outbound SA toward a remote endpoint.
+func (db *SADB) ByPeer(remote pkt.Addr) (*SA, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	sa, ok := db.byPeer[remote]
+	return sa, ok
+}
+
+// Len returns the number of installed SAs.
+func (db *SADB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.bySPI)
+}

@@ -1,0 +1,90 @@
+package nffg
+
+import "reflect"
+
+// Diff captures the difference between two versions of one graph, driving
+// in-place updates: the orchestrator applies a diff without disturbing the
+// unchanged parts of a running service.
+type Diff struct {
+	AddedNFs     []NF
+	RemovedNFs   []NF
+	ChangedNFs   []NF // same id, different ports/technology/config
+	AddedEPs     []Endpoint
+	RemovedEPs   []Endpoint
+	AddedRules   []FlowRule
+	RemovedRules []FlowRule
+}
+
+// Empty reports whether the diff contains no changes.
+func (d *Diff) Empty() bool {
+	return len(d.AddedNFs) == 0 && len(d.RemovedNFs) == 0 && len(d.ChangedNFs) == 0 &&
+		len(d.AddedEPs) == 0 && len(d.RemovedEPs) == 0 &&
+		len(d.AddedRules) == 0 && len(d.RemovedRules) == 0
+}
+
+// Compute returns the changes needed to go from old to new. Rules are
+// compared by full value: a modified rule appears as removed+added.
+func Compute(old, new *Graph) *Diff {
+	d := &Diff{}
+
+	oldNFs := make(map[string]NF, len(old.NFs))
+	for _, nf := range old.NFs {
+		oldNFs[nf.ID] = nf
+	}
+	for _, nf := range new.NFs {
+		prev, ok := oldNFs[nf.ID]
+		switch {
+		case !ok:
+			d.AddedNFs = append(d.AddedNFs, nf)
+		case !reflect.DeepEqual(prev, nf):
+			d.ChangedNFs = append(d.ChangedNFs, nf)
+		}
+		delete(oldNFs, nf.ID)
+	}
+	for _, nf := range old.NFs {
+		if _, stillThere := oldNFs[nf.ID]; stillThere {
+			d.RemovedNFs = append(d.RemovedNFs, nf)
+		}
+	}
+
+	oldEPs := make(map[string]Endpoint, len(old.Endpoints))
+	for _, ep := range old.Endpoints {
+		oldEPs[ep.ID] = ep
+	}
+	for _, ep := range new.Endpoints {
+		prev, ok := oldEPs[ep.ID]
+		if !ok || prev != ep {
+			d.AddedEPs = append(d.AddedEPs, ep)
+			if ok {
+				d.RemovedEPs = append(d.RemovedEPs, prev)
+			}
+		}
+		delete(oldEPs, ep.ID)
+	}
+	for _, ep := range old.Endpoints {
+		if _, stillThere := oldEPs[ep.ID]; stillThere {
+			d.RemovedEPs = append(d.RemovedEPs, ep)
+		}
+	}
+
+	oldRules := make(map[string]FlowRule, len(old.Rules))
+	for _, r := range old.Rules {
+		oldRules[r.ID] = r
+	}
+	for _, r := range new.Rules {
+		prev, ok := oldRules[r.ID]
+		if !ok {
+			d.AddedRules = append(d.AddedRules, r)
+		} else if !reflect.DeepEqual(prev, r) {
+			d.RemovedRules = append(d.RemovedRules, prev)
+			d.AddedRules = append(d.AddedRules, r)
+		}
+		delete(oldRules, r.ID)
+	}
+	for _, r := range old.Rules {
+		if _, stillThere := oldRules[r.ID]; stillThere {
+			d.RemovedRules = append(d.RemovedRules, r)
+		}
+	}
+	return d
+}

@@ -1,0 +1,197 @@
+package nffg
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Validate checks the structural consistency of a graph: unique identifiers,
+// resolvable port references, well-formed selectors. A graph must validate
+// before the orchestrator will deploy it.
+func (g *Graph) Validate() error {
+	if g.ID == "" {
+		return fmt.Errorf("nffg: graph id is empty")
+	}
+	nfIDs := make(map[string]bool, len(g.NFs))
+	for _, nf := range g.NFs {
+		if nf.ID == "" {
+			return fmt.Errorf("nffg: graph %q: NF with empty id", g.ID)
+		}
+		if nfIDs[nf.ID] {
+			return fmt.Errorf("nffg: graph %q: duplicate NF id %q", g.ID, nf.ID)
+		}
+		nfIDs[nf.ID] = true
+		if nf.Name == "" {
+			return fmt.Errorf("nffg: graph %q: NF %q has no template name", g.ID, nf.ID)
+		}
+		if !nf.TechnologyPreference.Valid() {
+			return fmt.Errorf("nffg: graph %q: NF %q has unknown technology %q",
+				g.ID, nf.ID, nf.TechnologyPreference)
+		}
+		if len(nf.Ports) == 0 {
+			return fmt.Errorf("nffg: graph %q: NF %q has no ports", g.ID, nf.ID)
+		}
+		portIDs := make(map[string]bool, len(nf.Ports))
+		for _, p := range nf.Ports {
+			if p.ID == "" {
+				return fmt.Errorf("nffg: graph %q: NF %q has a port with empty id", g.ID, nf.ID)
+			}
+			if portIDs[p.ID] {
+				return fmt.Errorf("nffg: graph %q: NF %q duplicate port id %q", g.ID, nf.ID, p.ID)
+			}
+			portIDs[p.ID] = true
+		}
+	}
+	epIDs := make(map[string]bool, len(g.Endpoints))
+	for _, ep := range g.Endpoints {
+		if ep.ID == "" {
+			return fmt.Errorf("nffg: graph %q: endpoint with empty id", g.ID)
+		}
+		if epIDs[ep.ID] {
+			return fmt.Errorf("nffg: graph %q: duplicate endpoint id %q", g.ID, ep.ID)
+		}
+		epIDs[ep.ID] = true
+		switch ep.Type {
+		case EPInterface:
+			if ep.Interface == "" {
+				return fmt.Errorf("nffg: graph %q: endpoint %q: missing if-name", g.ID, ep.ID)
+			}
+		case EPVLAN:
+			if ep.Interface == "" {
+				return fmt.Errorf("nffg: graph %q: endpoint %q: missing if-name", g.ID, ep.ID)
+			}
+			if ep.VLANID == 0 || ep.VLANID > 4094 {
+				return fmt.Errorf("nffg: graph %q: endpoint %q: vlan id %d out of range",
+					g.ID, ep.ID, ep.VLANID)
+			}
+		case EPInternal:
+			if ep.InternalGroup == "" {
+				return fmt.Errorf("nffg: graph %q: endpoint %q: missing internal-group", g.ID, ep.ID)
+			}
+		default:
+			return fmt.Errorf("nffg: graph %q: endpoint %q: unknown type %q", g.ID, ep.ID, ep.Type)
+		}
+	}
+	ruleIDs := make(map[string]bool, len(g.Rules))
+	for _, r := range g.Rules {
+		if r.ID == "" {
+			return fmt.Errorf("nffg: graph %q: rule with empty id", g.ID)
+		}
+		if ruleIDs[r.ID] {
+			return fmt.Errorf("nffg: graph %q: duplicate rule id %q", g.ID, r.ID)
+		}
+		ruleIDs[r.ID] = true
+		if r.Priority < 0 || r.Priority > 65535 {
+			return fmt.Errorf("nffg: graph %q: rule %q: priority %d out of range", g.ID, r.ID, r.Priority)
+		}
+		if r.Match.PortIn.IsZero() {
+			return fmt.Errorf("nffg: graph %q: rule %q: missing port_in", g.ID, r.ID)
+		}
+		if err := g.checkRef(r.Match.PortIn); err != nil {
+			return fmt.Errorf("nffg: graph %q: rule %q: port_in: %w", g.ID, r.ID, err)
+		}
+		if r.Match.VLANID > 4094 {
+			return fmt.Errorf("nffg: graph %q: rule %q: vlan id %d out of range", g.ID, r.ID, r.Match.VLANID)
+		}
+		for _, cidr := range []string{r.Match.IPSrc, r.Match.IPDst} {
+			if cidr == "" {
+				continue
+			}
+			if err := checkCIDR(cidr); err != nil {
+				return fmt.Errorf("nffg: graph %q: rule %q: %w", g.ID, r.ID, err)
+			}
+		}
+		if len(r.Actions) == 0 {
+			return fmt.Errorf("nffg: graph %q: rule %q: no actions", g.ID, r.ID)
+		}
+		outputs := 0
+		for ai, a := range r.Actions {
+			switch a.Type {
+			case ActOutput:
+				outputs++
+				if err := g.checkRef(a.Output); err != nil {
+					return fmt.Errorf("nffg: graph %q: rule %q action %d: %w", g.ID, r.ID, ai, err)
+				}
+			case ActPushVLAN:
+				if a.VLANID == 0 || a.VLANID > 4094 {
+					return fmt.Errorf("nffg: graph %q: rule %q action %d: vlan id %d out of range",
+						g.ID, r.ID, ai, a.VLANID)
+				}
+			case ActPopVLAN:
+			case ActSetEthSrc, ActSetEthDst:
+				if !validMAC(a.MAC) {
+					return fmt.Errorf("nffg: graph %q: rule %q action %d: bad MAC %q",
+						g.ID, r.ID, ai, a.MAC)
+				}
+			default:
+				return fmt.Errorf("nffg: graph %q: rule %q action %d: unknown type %q",
+					g.ID, r.ID, ai, a.Type)
+			}
+		}
+		if outputs == 0 {
+			return fmt.Errorf("nffg: graph %q: rule %q: no output action", g.ID, r.ID)
+		}
+	}
+	return nil
+}
+
+// checkRef verifies that a port reference resolves inside the graph.
+func (g *Graph) checkRef(r PortRef) error {
+	switch {
+	case r.IsNF():
+		nf := g.FindNF(r.NF)
+		if nf == nil {
+			return fmt.Errorf("unknown NF %q", r.NF)
+		}
+		if nf.FindPort(r.Port) == nil {
+			return fmt.Errorf("NF %q has no port %q", r.NF, r.Port)
+		}
+		return nil
+	case r.IsEndpoint():
+		if g.FindEndpoint(r.Endpoint) == nil {
+			return fmt.Errorf("unknown endpoint %q", r.Endpoint)
+		}
+		return nil
+	default:
+		return fmt.Errorf("empty port reference")
+	}
+}
+
+func checkCIDR(s string) error {
+	parts := strings.Split(s, "/")
+	if len(parts) != 2 {
+		return fmt.Errorf("bad CIDR %q", s)
+	}
+	octets := strings.Split(parts[0], ".")
+	if len(octets) != 4 {
+		return fmt.Errorf("bad CIDR address %q", s)
+	}
+	for _, o := range octets {
+		v, err := strconv.Atoi(o)
+		if err != nil || v < 0 || v > 255 {
+			return fmt.Errorf("bad CIDR octet in %q", s)
+		}
+	}
+	bits, err := strconv.Atoi(parts[1])
+	if err != nil || bits < 0 || bits > 32 {
+		return fmt.Errorf("bad CIDR prefix length in %q", s)
+	}
+	return nil
+}
+
+func validMAC(s string) bool {
+	parts := strings.Split(s, ":")
+	if len(parts) != 6 {
+		return false
+	}
+	for _, p := range parts {
+		if len(p) != 2 {
+			return false
+		}
+		if _, err := strconv.ParseUint(p, 16, 8); err != nil {
+			return false
+		}
+	}
+	return true
+}

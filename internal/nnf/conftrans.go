@@ -1,0 +1,269 @@
+package nnf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the paper's declared future work: "Support for a
+// dynamic configuration mechanism able to translate a generic NF
+// configuration, provided by the orchestrator, in commands appropriate to
+// the specific NNF".
+//
+// The orchestrator-side generic vocabulary is a set of "intent.*" keys that
+// mean the same thing regardless of how an NF is implemented; a Translator
+// registered per NNF type renders them into that implementation's native
+// configuration (the equivalent of emitting iptables/ip-route/swanctl
+// command lines). Non-intent keys pass through untouched, so graphs can mix
+// generic and NNF-specific configuration.
+//
+// Generic keys:
+//
+//	intent.block    semicolon-separated "proto[/port][ from CIDR][ to CIDR]"
+//	intent.allow    same grammar; evaluated before blocks? No: listed order
+//	                within each key is kept, allows are emitted first
+//	intent.policy   "allow" (default) or "deny": default verdict
+//	intent.route    semicolon-separated "CIDR via MAC dev N src MAC"
+//	intent.tunnel   "remote,local,spi,hexkey": an ESP tunnel
+//
+// Example: {"intent.block": "udp/53; tcp from 203.0.113.0/24"} becomes, for
+// the firewall NNF, {"rules": "drop proto=udp dport=53; drop proto=tcp
+// src=203.0.113.0/24"}.
+
+// IntentPrefix marks generic configuration keys.
+const IntentPrefix = "intent."
+
+// Translator renders generic intents into one NNF's native configuration.
+type Translator func(intents map[string]string) (map[string]string, error)
+
+// translators is the per-NNF-type registry.
+var translators = map[string]Translator{
+	"firewall": translateFirewall,
+	"router":   translateRouter,
+	"ipsec":    translateIPsec,
+}
+
+// HasIntents reports whether a configuration carries generic keys.
+func HasIntents(config map[string]string) bool {
+	for k := range config {
+		if strings.HasPrefix(k, IntentPrefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// TranslateConfig renders the generic intents in config into the native
+// vocabulary of the named NNF, merging with (and never overriding) the
+// NNF-specific keys also present. Unknown intents and intents for NNFs
+// without a translator are errors: silently dropping policy is worse than
+// failing the deploy.
+func TranslateConfig(nnfName string, config map[string]string) (map[string]string, error) {
+	if !HasIntents(config) {
+		return config, nil
+	}
+	tr, ok := translators[nnfName]
+	if !ok {
+		return nil, fmt.Errorf("nnf: %q does not accept generic configuration", nnfName)
+	}
+	intents := make(map[string]string)
+	native := make(map[string]string)
+	for k, v := range config {
+		if strings.HasPrefix(k, IntentPrefix) {
+			intents[k] = v
+		} else {
+			native[k] = v
+		}
+	}
+	rendered, err := tr(intents)
+	if err != nil {
+		return nil, err
+	}
+	for k, v := range rendered {
+		if _, conflict := native[k]; conflict {
+			return nil, fmt.Errorf("nnf: intent-rendered key %q conflicts with explicit configuration", k)
+		}
+		native[k] = v
+	}
+	return native, nil
+}
+
+// intentRule is one parsed "proto[/port][ from CIDR][ to CIDR]" clause.
+type intentRule struct {
+	proto   string
+	port    string
+	fromCID string
+	toCID   string
+}
+
+func parseIntentRule(s string) (intentRule, error) {
+	var r intentRule
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return r, fmt.Errorf("nnf: empty traffic clause")
+	}
+	protoPort := fields[0]
+	if i := strings.IndexByte(protoPort, '/'); i >= 0 {
+		r.proto, r.port = protoPort[:i], protoPort[i+1:]
+	} else {
+		r.proto = protoPort
+	}
+	switch r.proto {
+	case "udp", "tcp", "icmp", "esp", "any":
+	default:
+		return r, fmt.Errorf("nnf: unknown protocol %q in clause %q", r.proto, s)
+	}
+	rest := fields[1:]
+	for len(rest) > 0 {
+		switch rest[0] {
+		case "from":
+			if len(rest) < 2 {
+				return r, fmt.Errorf("nnf: dangling 'from' in clause %q", s)
+			}
+			r.fromCID = rest[1]
+			rest = rest[2:]
+		case "to":
+			if len(rest) < 2 {
+				return r, fmt.Errorf("nnf: dangling 'to' in clause %q", s)
+			}
+			r.toCID = rest[1]
+			rest = rest[2:]
+		default:
+			return r, fmt.Errorf("nnf: unexpected token %q in clause %q", rest[0], s)
+		}
+	}
+	return r, nil
+}
+
+func (r intentRule) firewallRule(verdict string) string {
+	parts := []string{verdict}
+	if r.proto != "any" {
+		parts = append(parts, "proto="+r.proto)
+	}
+	if r.port != "" {
+		parts = append(parts, "dport="+r.port)
+	}
+	if r.fromCID != "" {
+		parts = append(parts, "src="+r.fromCID)
+	}
+	if r.toCID != "" {
+		parts = append(parts, "dst="+r.toCID)
+	}
+	return strings.Join(parts, " ")
+}
+
+func splitClauses(spec string) []string {
+	var out []string
+	for _, c := range strings.Split(spec, ";") {
+		if c = strings.TrimSpace(c); c != "" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// translateFirewall renders allow/block/policy intents into the firewall's
+// rule syntax.
+func translateFirewall(intents map[string]string) (map[string]string, error) {
+	var rules []string
+	emit := func(spec, verdict string) error {
+		for _, clause := range splitClauses(spec) {
+			r, err := parseIntentRule(clause)
+			if err != nil {
+				return err
+			}
+			rules = append(rules, r.firewallRule(verdict))
+		}
+		return nil
+	}
+	// Allows first so they take precedence over blocks (first match wins).
+	if spec, ok := intents["intent.allow"]; ok {
+		if err := emit(spec, "accept"); err != nil {
+			return nil, err
+		}
+	}
+	if spec, ok := intents["intent.block"]; ok {
+		if err := emit(spec, "drop"); err != nil {
+			return nil, err
+		}
+	}
+	out := map[string]string{}
+	switch intents["intent.policy"] {
+	case "", "allow":
+		out["default"] = "accept"
+	case "deny":
+		out["default"] = "drop"
+	default:
+		return nil, fmt.Errorf("nnf: unknown intent.policy %q", intents["intent.policy"])
+	}
+	if len(rules) > 0 {
+		out["rules"] = strings.Join(rules, "; ")
+	}
+	if err := rejectUnknownIntents(intents, "intent.allow", "intent.block", "intent.policy"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// translateRouter renders route intents ("CIDR via MAC dev N src MAC") into
+// the router's table syntax.
+func translateRouter(intents map[string]string) (map[string]string, error) {
+	spec, ok := intents["intent.route"]
+	if !ok {
+		return nil, fmt.Errorf("nnf: router intents need intent.route")
+	}
+	if err := rejectUnknownIntents(intents, "intent.route"); err != nil {
+		return nil, err
+	}
+	var routes []string
+	for _, clause := range splitClauses(spec) {
+		fields := strings.Fields(clause)
+		// CIDR via <mac> dev <port> src <mac>
+		if len(fields) != 7 || fields[1] != "via" || fields[3] != "dev" || fields[5] != "src" {
+			return nil, fmt.Errorf("nnf: route clause %q must be 'CIDR via MAC dev N src MAC'", clause)
+		}
+		routes = append(routes, strings.Join([]string{fields[0], fields[4], fields[2], fields[6]}, ","))
+	}
+	return map[string]string{"routes": strings.Join(routes, "; ")}, nil
+}
+
+// translateIPsec renders a tunnel intent ("remote,local,spi,hexkey") into
+// the ipsec NF's configuration.
+func translateIPsec(intents map[string]string) (map[string]string, error) {
+	spec, ok := intents["intent.tunnel"]
+	if !ok {
+		return nil, fmt.Errorf("nnf: ipsec intents need intent.tunnel")
+	}
+	if err := rejectUnknownIntents(intents, "intent.tunnel"); err != nil {
+		return nil, err
+	}
+	parts := strings.Split(spec, ",")
+	if len(parts) != 4 {
+		return nil, fmt.Errorf("nnf: intent.tunnel must be 'remote,local,spi,hexkey'")
+	}
+	return map[string]string{
+		"remote": strings.TrimSpace(parts[0]),
+		"local":  strings.TrimSpace(parts[1]),
+		"spi":    strings.TrimSpace(parts[2]),
+		"key":    strings.TrimSpace(parts[3]),
+	}, nil
+}
+
+func rejectUnknownIntents(intents map[string]string, known ...string) error {
+	allowed := make(map[string]bool, len(known))
+	for _, k := range known {
+		allowed[k] = true
+	}
+	var unknown []string
+	for k := range intents {
+		if !allowed[k] {
+			unknown = append(unknown, k)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return fmt.Errorf("nnf: unsupported intents %v", unknown)
+	}
+	return nil
+}

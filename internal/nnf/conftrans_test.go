@@ -1,0 +1,171 @@
+package nnf
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/execenv"
+	"repro/internal/netdev"
+	"repro/internal/netns"
+	"repro/internal/pkt"
+)
+
+func TestTranslateFirewallIntents(t *testing.T) {
+	out, err := TranslateConfig("firewall", map[string]string{
+		"intent.block":  "udp/53; tcp from 203.0.113.0/24",
+		"intent.allow":  "udp/53 from 10.0.0.0/8",
+		"intent.policy": "allow",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := out["rules"]
+	// Allows must precede blocks (first match wins).
+	allowIdx := strings.Index(rules, "accept proto=udp dport=53 src=10.0.0.0/8")
+	blockIdx := strings.Index(rules, "drop proto=udp dport=53")
+	if allowIdx < 0 || blockIdx < 0 || allowIdx > blockIdx {
+		t.Errorf("rules = %q", rules)
+	}
+	if !strings.Contains(rules, "drop proto=tcp src=203.0.113.0/24") {
+		t.Errorf("rules = %q", rules)
+	}
+	if out["default"] != "accept" {
+		t.Errorf("default = %q", out["default"])
+	}
+	// Deny policy.
+	out, err = TranslateConfig("firewall", map[string]string{"intent.policy": "deny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["default"] != "drop" {
+		t.Errorf("default = %q", out["default"])
+	}
+}
+
+func TestTranslateRouterIntents(t *testing.T) {
+	out, err := TranslateConfig("router", map[string]string{
+		"intent.route": "10.0.0.0/8 via 02:02:02:02:02:02 dev 1 src 04:04:04:04:04:04; " +
+			"0.0.0.0/0 via 02:02:02:02:02:03 dev 0 src 04:04:04:04:04:04",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "10.0.0.0/8,1,02:02:02:02:02:02,04:04:04:04:04:04; 0.0.0.0/0,0,02:02:02:02:02:03,04:04:04:04:04:04"
+	if out["routes"] != want {
+		t.Errorf("routes = %q, want %q", out["routes"], want)
+	}
+}
+
+func TestTranslateIPsecIntents(t *testing.T) {
+	out, err := TranslateConfig("ipsec", map[string]string{
+		"intent.tunnel": "203.0.113.9, 192.0.2.1, 4096, 000102030405060708090a0b0c0d0e0f10111213",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["remote"] != "203.0.113.9" || out["local"] != "192.0.2.1" ||
+		out["spi"] != "4096" || len(out["key"]) != 40 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestTranslatePassThroughAndMerge(t *testing.T) {
+	// No intents: config returned untouched.
+	in := map[string]string{"rules": "drop proto=udp"}
+	out, err := TranslateConfig("firewall", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["rules"] != "drop proto=udp" {
+		t.Error("pass-through broken")
+	}
+	// Intent-rendered key colliding with an explicit key: error, never
+	// silent override.
+	_, err = TranslateConfig("firewall", map[string]string{
+		"rules":        "accept",
+		"intent.block": "udp/53",
+	})
+	if err == nil {
+		t.Error("conflicting rendered key accepted")
+	}
+	// NNF without a translator rejects intents.
+	if _, err := TranslateConfig("bridge", map[string]string{"intent.block": "udp"}); err == nil {
+		t.Error("bridge accepted intents")
+	}
+	if HasIntents(map[string]string{"x": "y"}) {
+		t.Error("phantom intents")
+	}
+	if !HasIntents(map[string]string{"intent.block": "udp"}) {
+		t.Error("intents not detected")
+	}
+}
+
+func TestTranslateRejectsBadIntents(t *testing.T) {
+	cases := []map[string]string{
+		{"intent.block": "warp/53"},                // unknown proto
+		{"intent.block": "udp/53 towards 1.2.3.4"}, // bad token
+		{"intent.block": "udp/53 from"},            // dangling from
+		{"intent.policy": "reject"},                // unknown policy
+		{"intent.frobnicate": "x"},                 // unknown intent
+		{"intent.block": ";"},                      // empty clause set is fine, but...
+	}
+	for i, cfg := range cases {
+		_, err := TranslateConfig("firewall", cfg)
+		if i == len(cases)-1 {
+			// An empty clause list is legal (just a policy default).
+			if err != nil {
+				t.Errorf("case %d: %v", i, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("case %d (%v): accepted", i, cfg)
+		}
+	}
+	if _, err := TranslateConfig("router", map[string]string{"intent.route": "10.0.0.0/8 via x"}); err == nil {
+		t.Error("short route clause accepted")
+	}
+	if _, err := TranslateConfig("router", map[string]string{"intent.policy": "allow"}); err == nil {
+		t.Error("router without intent.route accepted")
+	}
+	if _, err := TranslateConfig("ipsec", map[string]string{"intent.tunnel": "a,b"}); err == nil {
+		t.Error("short tunnel intent accepted")
+	}
+}
+
+// TestIntentConfigEndToEnd deploys a firewall NNF configured purely through
+// generic intents and verifies the translated policy is enforced per shared
+// path.
+func TestIntentConfigEndToEnd(t *testing.T) {
+	m := NewManager(Builtins(), netns.NewRegistry(), execenv.Default(), nil)
+	att, err := m.Acquire("gA", "firewall", map[string]string{
+		"intent.block": "udp/53",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsi := netdev.NewPort("lsi")
+	if err := netdev.Connect(lsi, att.Runtime.Port(0)); err != nil {
+		t.Fatal(err)
+	}
+	dns := pkt.MustBuildFrame(pkt.FrameSpec{
+		SrcMAC: pkt.MAC{2, 0, 0, 0, 0, 1}, DstMAC: pkt.MAC{2, 0, 0, 0, 0, 2},
+		VLANID: att.InMarks[0],
+		SrcIP:  pkt.Addr{10, 0, 0, 1}, DstIP: pkt.Addr{8, 8, 8, 8},
+		SrcPort: 5353, DstPort: 53, PayloadLen: 32,
+	})
+	_ = lsi.Send(netdev.Frame{Data: dns})
+	if _, ok := lsi.TryRecv(); ok {
+		t.Error("intent.block udp/53 not enforced")
+	}
+	https := pkt.MustBuildFrame(pkt.FrameSpec{
+		SrcMAC: pkt.MAC{2, 0, 0, 0, 0, 1}, DstMAC: pkt.MAC{2, 0, 0, 0, 0, 2},
+		VLANID: att.InMarks[0],
+		SrcIP:  pkt.Addr{10, 0, 0, 1}, DstIP: pkt.Addr{8, 8, 8, 8},
+		SrcPort: 5353, DstPort: 443, PayloadLen: 32,
+	})
+	_ = lsi.Send(netdev.Frame{Data: https})
+	if _, ok := lsi.TryRecv(); !ok {
+		t.Error("non-blocked traffic dropped")
+	}
+}

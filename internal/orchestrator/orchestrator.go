@@ -1,0 +1,649 @@
+// Package orchestrator implements the local orchestrator of the NFV compute
+// node (paper Figure 1): it receives Network Function Forwarding Graphs,
+// decides VNF-vs-NNF placement per NF, instantiates the functions through
+// the compute manager's drivers, creates one Logical Switch Instance per
+// graph plus the base LSI-0 classifier, and programs traffic steering
+// through per-LSI OpenFlow controllers.
+package orchestrator
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"repro/internal/compute"
+	"repro/internal/execenv"
+	"repro/internal/netdev"
+	"repro/internal/nffg"
+	"repro/internal/openflow"
+	"repro/internal/repository"
+	"repro/internal/resources"
+	"repro/internal/vswitch"
+)
+
+// Config wires the orchestrator to the node's services.
+type Config struct {
+	// NodeName labels the node.
+	NodeName string
+	// Interfaces are the node's physical interface names, attached to
+	// LSI-0 in order.
+	Interfaces []string
+	// Resources is the node ledger (capabilities + CPU/RAM).
+	Resources *resources.Pool
+	// Repo is the VNF repository.
+	Repo *repository.Repository
+	// Compute is the compute manager with registered drivers.
+	Compute *compute.Manager
+	// Clock is the shared virtual clock (optional).
+	Clock *execenv.VirtualClock
+}
+
+// lsiConn is one switch + its control channel.
+type lsiConn struct {
+	sw    *vswitch.Switch
+	agent *openflow.Agent
+	ctrl  *openflow.Controller
+	done  chan struct{}
+}
+
+// newLSIConn builds a switch with a live OpenFlow channel over an
+// in-process pipe, exactly as the un-orchestrator runs one controller per
+// LSI.
+func newLSIConn(name string, dpid uint64) (*lsiConn, error) {
+	sw := vswitch.New(name, dpid)
+	ctrlSide, agentSide := net.Pipe()
+	agent := openflow.NewAgent(sw, agentSide)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = agent.Run()
+	}()
+	ctrl, err := openflow.Connect(ctrlSide)
+	if err != nil {
+		agent.Stop()
+		<-done
+		return nil, err
+	}
+	return &lsiConn{sw: sw, agent: agent, ctrl: ctrl, done: done}, nil
+}
+
+func (l *lsiConn) close() {
+	_ = l.ctrl.Close()
+	l.agent.Stop()
+	<-l.done
+}
+
+// nfAttachment records how one NF of a graph reaches its LSI.
+type nfAttachment struct {
+	inst *compute.Instance
+	// lsiPorts maps logical NF port index -> graph-LSI port number
+	// (direct attachments only).
+	lsiPorts []uint32
+	// lsiSide holds the LSI-side netdev ports created for this NF, for
+	// teardown.
+	lsiSide []*netdev.Port
+	// nnfVlink is the graph-LSI port of the virtual link that carries
+	// marked traffic to LSI-0 (shared native NFs only).
+	nnfVlink uint32
+	// nnfVlinkLSI0 is the LSI-0 side of that virtual link.
+	nnfVlinkLSI0 uint32
+	// lsi0Port is the LSI-0 port the shared NNF is attached to.
+	lsi0Port uint32
+}
+
+// epAttachment records one endpoint's virtual link.
+type epAttachment struct {
+	ep nffg.Endpoint
+	// graphPort is the graph-LSI port of the virtual link.
+	graphPort uint32
+	// lsi0Port is the LSI-0 side of the virtual link.
+	lsi0Port uint32
+}
+
+// DeployedGraph is one running service graph.
+type DeployedGraph struct {
+	Graph *nffg.Graph
+
+	lsi    *lsiConn
+	cookie uint64
+	nfs    map[string]*nfAttachment // by NF id
+	eps    map[string]*epAttachment // by endpoint id
+}
+
+// LSI returns the graph's switch, for inspection.
+func (d *DeployedGraph) LSI() *vswitch.Switch { return d.lsi.sw }
+
+// Controller returns the graph's steering controller, for inspection.
+func (d *DeployedGraph) Controller() *openflow.Controller { return d.lsi.ctrl }
+
+// Instances returns the graph's NF instances keyed by NF id.
+func (d *DeployedGraph) Instances() map[string]*compute.Instance {
+	out := make(map[string]*compute.Instance, len(d.nfs))
+	for id, att := range d.nfs {
+		out[id] = att.inst
+	}
+	return out
+}
+
+// Orchestrator is the node's local orchestrator.
+type Orchestrator struct {
+	cfg Config
+
+	lsi0 *lsiConn
+	// extPorts are the outward-facing peers of the physical interfaces:
+	// traffic generators inject and collect frames here.
+	extPorts map[string]*netdev.Port
+	// ifPorts maps interface name -> LSI-0 port number.
+	ifPorts map[string]uint32
+
+	mu       sync.Mutex
+	graphs   map[string]*DeployedGraph
+	dpidGen  uint64
+	cookieGn uint64
+	portGen  map[*vswitch.Switch]uint32
+	// vlanEPs guards (interface, vlan) uniqueness across graphs.
+	vlanEPs map[string]string // "if/vlan" -> graph id
+	// internalGroups tracks EPInternal rendezvous: group -> members.
+	internalGroups map[string][]groupMember
+	// nnfPorts tracks shared NNF attachments on LSI-0 by runtime name.
+	nnfPorts map[string]uint32
+}
+
+type groupMember struct {
+	graphID  string
+	lsi0Port uint32
+}
+
+// New builds the orchestrator and its base LSI with the node's physical
+// interfaces attached.
+func New(cfg Config) (*Orchestrator, error) {
+	if cfg.Resources == nil || cfg.Repo == nil || cfg.Compute == nil {
+		return nil, fmt.Errorf("orchestrator: incomplete config")
+	}
+	if cfg.NodeName == "" {
+		cfg.NodeName = "un-node"
+	}
+	o := &Orchestrator{
+		cfg:            cfg,
+		extPorts:       make(map[string]*netdev.Port),
+		ifPorts:        make(map[string]uint32),
+		graphs:         make(map[string]*DeployedGraph),
+		portGen:        make(map[*vswitch.Switch]uint32),
+		vlanEPs:        make(map[string]string),
+		internalGroups: make(map[string][]groupMember),
+		nnfPorts:       make(map[string]uint32),
+	}
+	lsi0, err := newLSIConn(cfg.NodeName+"/lsi-0", o.nextDPID())
+	if err != nil {
+		return nil, err
+	}
+	o.lsi0 = lsi0
+	for _, ifName := range cfg.Interfaces {
+		if _, dup := o.extPorts[ifName]; dup {
+			lsi0.close()
+			return nil, fmt.Errorf("orchestrator: duplicate interface %q", ifName)
+		}
+		ext, sw := netdev.Veth(ifName+"/ext", ifName)
+		num := o.nextPort(lsi0.sw)
+		if err := lsi0.sw.AddPort(num, sw); err != nil {
+			lsi0.close()
+			return nil, err
+		}
+		o.extPorts[ifName] = ext
+		o.ifPorts[ifName] = num
+	}
+	return o, nil
+}
+
+// Close tears down every graph and the base LSI.
+func (o *Orchestrator) Close() {
+	for _, id := range o.GraphIDs() {
+		_ = o.Undeploy(id)
+	}
+	o.lsi0.close()
+}
+
+// LSI0 returns the base switch, for inspection.
+func (o *Orchestrator) LSI0() *vswitch.Switch { return o.lsi0.sw }
+
+// InterfacePort returns the outward-facing peer of a physical interface;
+// tests and traffic generators send and receive node traffic through it.
+func (o *Orchestrator) InterfacePort(name string) (*netdev.Port, bool) {
+	p, ok := o.extPorts[name]
+	return p, ok
+}
+
+// GraphIDs returns the ids of the deployed graphs, sorted.
+func (o *Orchestrator) GraphIDs() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]string, 0, len(o.graphs))
+	for id := range o.graphs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Graph returns a deployed graph.
+func (o *Orchestrator) Graph(id string) (*DeployedGraph, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	d, ok := o.graphs[id]
+	return d, ok
+}
+
+func (o *Orchestrator) nextDPID() uint64 {
+	o.dpidGen++
+	return o.dpidGen
+}
+
+func (o *Orchestrator) nextCookie() uint64 {
+	o.cookieGn++
+	return o.cookieGn
+}
+
+func (o *Orchestrator) nextPort(sw *vswitch.Switch) uint32 {
+	o.portGen[sw]++
+	return o.portGen[sw]
+}
+
+// Deploy validates, schedules and instantiates a graph, then programs
+// traffic steering. On any failure the partial deployment is rolled back.
+func (o *Orchestrator) Deploy(g *nffg.Graph) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, dup := o.graphs[g.ID]; dup {
+		return fmt.Errorf("orchestrator: graph %q already deployed (use Update)", g.ID)
+	}
+	placements, err := o.schedule(g)
+	if err != nil {
+		return err
+	}
+	d, err := o.instantiate(g.Clone(), placements)
+	if err != nil {
+		return err
+	}
+	if err := o.program(d); err != nil {
+		o.teardown(d)
+		return err
+	}
+	o.graphs[g.ID] = d
+	return nil
+}
+
+// instantiate creates the graph LSI, starts the NFs and wires every port.
+func (o *Orchestrator) instantiate(g *nffg.Graph, placements []Placement) (*DeployedGraph, error) {
+	lsi, err := newLSIConn(fmt.Sprintf("%s/lsi-%s", o.cfg.NodeName, g.ID), o.nextDPID())
+	if err != nil {
+		return nil, err
+	}
+	d := &DeployedGraph{
+		Graph:  g,
+		lsi:    lsi,
+		cookie: o.nextCookie(),
+		nfs:    make(map[string]*nfAttachment),
+		eps:    make(map[string]*epAttachment),
+	}
+	// Start NFs.
+	for _, pl := range placements {
+		inst, err := pl.Driver.Start(compute.StartRequest{
+			InstanceName: g.ID + "." + pl.NF.ID,
+			GraphID:      g.ID,
+			Template:     pl.Template,
+			Config:       pl.NF.Config,
+		})
+		if err != nil {
+			o.teardown(d)
+			return nil, fmt.Errorf("orchestrator: starting %q: %w", pl.NF.ID, err)
+		}
+		att := &nfAttachment{inst: inst}
+		if err := o.attachNF(d, att); err != nil {
+			// The instance started but is not yet recorded: stop it
+			// explicitly, then roll back the rest.
+			_ = pl.Driver.Stop(inst)
+			o.teardown(d)
+			return nil, err
+		}
+		d.nfs[pl.NF.ID] = att
+	}
+	// Wire endpoints.
+	for _, ep := range g.Endpoints {
+		att, err := o.attachEndpoint(d, ep)
+		if err != nil {
+			o.teardown(d)
+			return nil, err
+		}
+		d.eps[ep.ID] = att
+	}
+	return d, nil
+}
+
+// attachNF wires one NF instance to the graph LSI (direct) or to LSI-0
+// (shared native NF behind the adaptation layer).
+func (o *Orchestrator) attachNF(d *DeployedGraph, att *nfAttachment) error {
+	inst := att.inst
+	if inst.Shared {
+		// The shared NNF runtime exposes one adapted port attached to
+		// LSI-0 (once per instance); the graph reaches it through a
+		// dedicated virtual link.
+		lsi0Port, attached := o.nnfPorts[inst.Runtime.Name()]
+		if !attached {
+			lsiSide := netdev.NewPort(inst.Runtime.Name() + "/lsi0")
+			if err := netdev.Connect(inst.Runtime.Port(0), lsiSide); err != nil {
+				return err
+			}
+			lsi0Port = o.nextPort(o.lsi0.sw)
+			if err := o.lsi0.sw.AddPort(lsi0Port, lsiSide); err != nil {
+				return err
+			}
+			o.nnfPorts[inst.Runtime.Name()] = lsi0Port
+		}
+		att.lsi0Port = lsi0Port
+		// Virtual link graph-LSI <-> LSI-0 for the marked traffic.
+		gSide, zSide := netdev.Veth(
+			fmt.Sprintf("%s.%s/vl-nnf", d.Graph.ID, inst.Name),
+			fmt.Sprintf("lsi0/vl-nnf-%s", inst.Name),
+		)
+		gPort := o.nextPort(d.lsi.sw)
+		if err := d.lsi.sw.AddPort(gPort, gSide); err != nil {
+			return err
+		}
+		zPort := o.nextPort(o.lsi0.sw)
+		if err := o.lsi0.sw.AddPort(zPort, zSide); err != nil {
+			return err
+		}
+		att.nnfVlink = gPort
+		att.nnfVlinkLSI0 = zPort
+		att.lsiSide = append(att.lsiSide, gSide, zSide)
+		// LSI-0 steering for the marks: toward the NNF and back.
+		for _, mark := range inst.InMarks {
+			err := o.lsi0.ctrl.InstallFlow(0, 300, d.cookie,
+				vswitch.MatchAll().WithInPort(zPort).WithVLAN(mark),
+				[]vswitch.Action{vswitch.Output(lsi0Port)})
+			if err != nil {
+				return err
+			}
+		}
+		for _, mark := range inst.OutMarks {
+			err := o.lsi0.ctrl.InstallFlow(0, 300, d.cookie,
+				vswitch.MatchAll().WithInPort(lsi0Port).WithVLAN(mark),
+				[]vswitch.Action{vswitch.Output(zPort)})
+			if err != nil {
+				return err
+			}
+		}
+		return o.lsi0.ctrl.Barrier()
+	}
+	// Direct attachment: one LSI port per NF port.
+	att.lsiPorts = make([]uint32, inst.Runtime.NumPorts())
+	for i := 0; i < inst.Runtime.NumPorts(); i++ {
+		lsiSide := netdev.NewPort(fmt.Sprintf("%s/p%d", inst.Name, i))
+		if err := netdev.Connect(inst.Runtime.Port(i), lsiSide); err != nil {
+			return err
+		}
+		num := o.nextPort(d.lsi.sw)
+		if err := d.lsi.sw.AddPort(num, lsiSide); err != nil {
+			return err
+		}
+		att.lsiPorts[i] = num
+		att.lsiSide = append(att.lsiSide, lsiSide)
+	}
+	return nil
+}
+
+// attachEndpoint builds the virtual link between the graph LSI and LSI-0
+// for one endpoint, and installs the LSI-0 classification rules.
+func (o *Orchestrator) attachEndpoint(d *DeployedGraph, ep nffg.Endpoint) (*epAttachment, error) {
+	gSide, zSide := netdev.Veth(
+		fmt.Sprintf("%s.%s/vl", d.Graph.ID, ep.ID),
+		fmt.Sprintf("lsi0/vl-%s-%s", d.Graph.ID, ep.ID),
+	)
+	gPort := o.nextPort(d.lsi.sw)
+	if err := d.lsi.sw.AddPort(gPort, gSide); err != nil {
+		return nil, err
+	}
+	zPort := o.nextPort(o.lsi0.sw)
+	if err := o.lsi0.sw.AddPort(zPort, zSide); err != nil {
+		return nil, err
+	}
+	att := &epAttachment{ep: ep, graphPort: gPort, lsi0Port: zPort}
+
+	switch ep.Type {
+	case nffg.EPInterface:
+		ifPort, ok := o.ifPorts[ep.Interface]
+		if !ok {
+			return nil, fmt.Errorf("orchestrator: graph %q: endpoint %q: no interface %q on node",
+				d.Graph.ID, ep.ID, ep.Interface)
+		}
+		// Classify untagged traffic from the interface to the graph,
+		// and graph egress back out the interface.
+		if err := o.lsi0.ctrl.InstallFlow(0, 100, d.cookie,
+			vswitch.MatchAll().WithInPort(ifPort),
+			[]vswitch.Action{vswitch.Output(zPort)}); err != nil {
+			return nil, err
+		}
+		if err := o.lsi0.ctrl.InstallFlow(0, 100, d.cookie,
+			vswitch.MatchAll().WithInPort(zPort),
+			[]vswitch.Action{vswitch.Output(ifPort)}); err != nil {
+			return nil, err
+		}
+	case nffg.EPVLAN:
+		key := fmt.Sprintf("%s/%d", ep.Interface, ep.VLANID)
+		if owner, used := o.vlanEPs[key]; used {
+			return nil, fmt.Errorf("orchestrator: graph %q: endpoint %q: VLAN %d on %q already used by graph %q",
+				d.Graph.ID, ep.ID, ep.VLANID, ep.Interface, owner)
+		}
+		ifPort, ok := o.ifPorts[ep.Interface]
+		if !ok {
+			return nil, fmt.Errorf("orchestrator: graph %q: endpoint %q: no interface %q on node",
+				d.Graph.ID, ep.ID, ep.Interface)
+		}
+		// Tagged ingress: pop and hand to the graph; egress: push and
+		// send out. VLAN classification outranks plain interface rules.
+		if err := o.lsi0.ctrl.InstallFlow(0, 200, d.cookie,
+			vswitch.MatchAll().WithInPort(ifPort).WithVLAN(ep.VLANID),
+			[]vswitch.Action{vswitch.PopVLAN(), vswitch.Output(zPort)}); err != nil {
+			return nil, err
+		}
+		if err := o.lsi0.ctrl.InstallFlow(0, 200, d.cookie,
+			vswitch.MatchAll().WithInPort(zPort),
+			[]vswitch.Action{vswitch.PushVLAN(ep.VLANID), vswitch.Output(ifPort)}); err != nil {
+			return nil, err
+		}
+		o.vlanEPs[key] = d.Graph.ID
+	case nffg.EPInternal:
+		members := o.internalGroups[ep.InternalGroup]
+		if len(members) >= 2 {
+			return nil, fmt.Errorf("orchestrator: graph %q: endpoint %q: internal group %q already has two members",
+				d.Graph.ID, ep.ID, ep.InternalGroup)
+		}
+		if len(members) == 1 {
+			peer := members[0]
+			if err := o.lsi0.ctrl.InstallFlow(0, 150, d.cookie,
+				vswitch.MatchAll().WithInPort(zPort),
+				[]vswitch.Action{vswitch.Output(peer.lsi0Port)}); err != nil {
+				return nil, err
+			}
+			if err := o.lsi0.ctrl.InstallFlow(0, 150, d.cookie,
+				vswitch.MatchAll().WithInPort(peer.lsi0Port),
+				[]vswitch.Action{vswitch.Output(zPort)}); err != nil {
+				return nil, err
+			}
+		}
+		o.internalGroups[ep.InternalGroup] = append(members,
+			groupMember{graphID: d.Graph.ID, lsi0Port: zPort})
+	}
+	if err := o.lsi0.ctrl.Barrier(); err != nil {
+		return nil, err
+	}
+	return att, nil
+}
+
+// Undeploy removes a graph and all its state.
+func (o *Orchestrator) Undeploy(id string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	d, ok := o.graphs[id]
+	if !ok {
+		return fmt.Errorf("orchestrator: graph %q not deployed", id)
+	}
+	o.teardown(d)
+	delete(o.graphs, id)
+	return nil
+}
+
+// teardown reverses instantiate+program. Safe on partially-built graphs.
+func (o *Orchestrator) teardown(d *DeployedGraph) {
+	// Remove LSI-0 state installed under the graph's cookie.
+	o.lsi0.sw.DeleteFlows(d.cookie)
+	// Stop NFs.
+	for nfID, att := range d.nfs {
+		if drv, ok := o.cfg.Compute.Driver(att.inst.Technology); ok {
+			wasShared := att.inst.Shared
+			name := att.inst.Runtime.Name()
+			_ = drv.Stop(att.inst)
+			// If the shared NNF instance fully stopped, detach its
+			// LSI-0 port.
+			if wasShared && !att.inst.Runtime.Running() {
+				if num, attached := o.nnfPorts[name]; attached {
+					if p := o.lsi0.sw.Port(num); p != nil {
+						netdev.Disconnect(p)
+					}
+					_ = o.lsi0.sw.RemovePort(num)
+					delete(o.nnfPorts, name)
+				}
+			}
+		}
+		for _, p := range att.lsiSide {
+			netdev.Disconnect(p)
+		}
+		if att.nnfVlinkLSI0 != 0 {
+			_ = o.lsi0.sw.RemovePort(att.nnfVlinkLSI0)
+		}
+		delete(d.nfs, nfID)
+	}
+	// Detach endpoint virtual links from LSI-0 and bookkeeping.
+	for epID, att := range d.eps {
+		if p := o.lsi0.sw.Port(att.lsi0Port); p != nil {
+			netdev.Disconnect(p)
+		}
+		_ = o.lsi0.sw.RemovePort(att.lsi0Port)
+		switch att.ep.Type {
+		case nffg.EPVLAN:
+			delete(o.vlanEPs, fmt.Sprintf("%s/%d", att.ep.Interface, att.ep.VLANID))
+		case nffg.EPInternal:
+			members := o.internalGroups[att.ep.InternalGroup]
+			kept := members[:0]
+			for _, m := range members {
+				if m.graphID != d.Graph.ID {
+					kept = append(kept, m)
+				}
+			}
+			if len(kept) == 0 {
+				delete(o.internalGroups, att.ep.InternalGroup)
+			} else {
+				o.internalGroups[att.ep.InternalGroup] = kept
+			}
+		}
+		delete(d.eps, epID)
+	}
+	d.lsi.close()
+}
+
+// Update applies a new version of a deployed graph. NFs and endpoints are
+// diffed individually; steering rules are recompiled wholesale.
+func (o *Orchestrator) Update(g *nffg.Graph) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	d, ok := o.graphs[g.ID]
+	if !ok {
+		return fmt.Errorf("orchestrator: graph %q not deployed (use Deploy)", g.ID)
+	}
+	diff := nffg.Compute(d.Graph, g)
+	if diff.Empty() {
+		return nil
+	}
+	// 1. Remove dropped NFs.
+	for _, n := range diff.RemovedNFs {
+		att, exists := d.nfs[n.ID]
+		if !exists {
+			continue
+		}
+		if drv, reg := o.cfg.Compute.Driver(att.inst.Technology); reg {
+			_ = drv.Stop(att.inst)
+		}
+		for _, p := range att.lsiSide {
+			netdev.Disconnect(p)
+		}
+		for _, num := range att.lsiPorts {
+			_ = d.lsi.sw.RemovePort(num)
+		}
+		if att.nnfVlink != 0 {
+			_ = d.lsi.sw.RemovePort(att.nnfVlink)
+		}
+		if att.nnfVlinkLSI0 != 0 {
+			_ = o.lsi0.sw.RemovePort(att.nnfVlinkLSI0)
+		}
+		delete(d.nfs, n.ID)
+	}
+	// 2. Start added NFs.
+	if len(diff.AddedNFs) > 0 {
+		sub := &nffg.Graph{ID: g.ID, NFs: diff.AddedNFs}
+		placements, err := o.schedule(sub)
+		if err != nil {
+			return err
+		}
+		for _, pl := range placements {
+			inst, err := pl.Driver.Start(compute.StartRequest{
+				InstanceName: g.ID + "." + pl.NF.ID,
+				GraphID:      g.ID,
+				Template:     pl.Template,
+				Config:       pl.NF.Config,
+			})
+			if err != nil {
+				return fmt.Errorf("orchestrator: update: starting %q: %w", pl.NF.ID, err)
+			}
+			att := &nfAttachment{inst: inst}
+			if err := o.attachNF(d, att); err != nil {
+				_ = pl.Driver.Stop(inst)
+				return err
+			}
+			d.nfs[pl.NF.ID] = att
+		}
+	}
+	// 3. Reconfigure changed NFs in place when the driver supports it.
+	for _, n := range diff.ChangedNFs {
+		att, exists := d.nfs[n.ID]
+		if !exists {
+			continue
+		}
+		if cfgr, ok := att.inst.Runtime.Processor().(interface {
+			Configure(map[string]string) error
+		}); ok {
+			if err := cfgr.Configure(n.Config); err != nil {
+				return fmt.Errorf("orchestrator: update: reconfiguring %q: %w", n.ID, err)
+			}
+		}
+	}
+	// 4. Endpoints: only rule-neutral changes are supported in place.
+	if len(diff.AddedEPs) > 0 || len(diff.RemovedEPs) > 0 {
+		return fmt.Errorf("orchestrator: update: endpoint changes require redeploy")
+	}
+	// 5. Recompile steering.
+	d.Graph = g.Clone()
+	if err := d.lsi.ctrl.DeleteFlows(d.cookie); err != nil {
+		return err
+	}
+	if err := d.lsi.ctrl.Barrier(); err != nil {
+		return err
+	}
+	return o.program(d)
+}

@@ -1,0 +1,66 @@
+package orchestrator
+
+import (
+	"fmt"
+
+	"repro/internal/compute"
+	"repro/internal/nffg"
+	"repro/internal/repository"
+)
+
+// defaultPreference is the scheduler's technology order when the NF-FG does
+// not pin one: native functions first (the paper's thesis: lowest overhead
+// on CPE-class hardware), then containers, then DPDK processes, then VMs.
+var defaultPreference = []nffg.Technology{
+	nffg.TechNative, nffg.TechDocker, nffg.TechDPDK, nffg.TechVM,
+}
+
+// Placement is the scheduler's decision for one NF.
+type Placement struct {
+	NF         nffg.NF
+	Template   *repository.Template
+	Technology nffg.Technology
+	Driver     compute.Driver
+}
+
+// schedule resolves every NF of a graph against the repository (the VNF
+// resolver) and picks an execution technology per NF (the VNF scheduler),
+// based on the node capability set, the available NNFs and their status —
+// the decision procedure of paper §2.
+func (o *Orchestrator) schedule(g *nffg.Graph) ([]Placement, error) {
+	placements := make([]Placement, 0, len(g.NFs))
+	for _, n := range g.NFs {
+		tpl, ok := o.cfg.Repo.Lookup(n.Name)
+		if !ok {
+			return nil, fmt.Errorf("orchestrator: graph %q: NF %q not in repository", g.ID, n.Name)
+		}
+		if len(n.Ports) != tpl.Ports {
+			return nil, fmt.Errorf("orchestrator: graph %q: NF %q declares %d ports, template has %d",
+				g.ID, n.ID, len(n.Ports), tpl.Ports)
+		}
+		var candidates []nffg.Technology
+		if n.TechnologyPreference != nffg.TechAny {
+			candidates = []nffg.Technology{n.TechnologyPreference}
+		} else {
+			candidates = defaultPreference
+		}
+		placed := false
+		for _, tech := range candidates {
+			drv, registered := o.cfg.Compute.Driver(tech)
+			if !registered {
+				continue
+			}
+			if !drv.Available(g.ID, tpl) {
+				continue
+			}
+			placements = append(placements, Placement{NF: n, Template: tpl, Technology: tech, Driver: drv})
+			placed = true
+			break
+		}
+		if !placed {
+			return nil, fmt.Errorf("orchestrator: graph %q: no deployable flavor for NF %q (preference %q)",
+				g.ID, n.ID, n.TechnologyPreference)
+		}
+	}
+	return placements, nil
+}

@@ -1,0 +1,186 @@
+package orchestrator
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/nffg"
+	"repro/internal/pkt"
+	"repro/internal/vswitch"
+)
+
+// program is the traffic steering manager: it compiles the graph's
+// big-switch flow rules into concrete flow entries on the graph's LSI and
+// pushes them through the OpenFlow channel.
+func (o *Orchestrator) program(d *DeployedGraph) error {
+	for _, r := range d.Graph.Rules {
+		match, pre, err := o.compileMatch(d, r.Match)
+		if err != nil {
+			return fmt.Errorf("orchestrator: graph %q rule %q: %w", d.Graph.ID, r.ID, err)
+		}
+		actions, err := o.compileActions(d, r.Actions)
+		if err != nil {
+			return fmt.Errorf("orchestrator: graph %q rule %q: %w", d.Graph.ID, r.ID, err)
+		}
+		if err := d.lsi.ctrl.InstallFlow(0, r.Priority, d.cookie, match, append(pre, actions...)); err != nil {
+			return err
+		}
+	}
+	return d.lsi.ctrl.Barrier()
+}
+
+// nfPortIndex resolves an NF-FG port id to the NF's port index.
+func nfPortIndex(g *nffg.Graph, nfID, portID string) (int, error) {
+	n := g.FindNF(nfID)
+	if n == nil {
+		return 0, fmt.Errorf("unknown NF %q", nfID)
+	}
+	for i, p := range n.Ports {
+		if p.ID == portID {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("NF %q has no port %q", nfID, portID)
+}
+
+// compileMatch turns a rule selector into a switch match plus any actions
+// that must run before the rule's own (tag pop for shared NNF returns).
+func (o *Orchestrator) compileMatch(d *DeployedGraph, m nffg.RuleMatch) (vswitch.Match, []vswitch.Action, error) {
+	match := vswitch.MatchAll()
+	if m.EtherType != 0 {
+		match = match.WithEthType(pkt.EthernetType(m.EtherType))
+	}
+	if m.VLANID != 0 {
+		match = match.WithVLAN(m.VLANID)
+	}
+	if m.IPProto != 0 {
+		match = match.WithIPProto(pkt.IPProtocol(m.IPProto))
+	}
+	if m.IPSrc != "" {
+		addr, bits, err := parseCIDR(m.IPSrc)
+		if err != nil {
+			return match, nil, err
+		}
+		match = match.WithIPSrc(addr, bits)
+	}
+	if m.IPDst != "" {
+		addr, bits, err := parseCIDR(m.IPDst)
+		if err != nil {
+			return match, nil, err
+		}
+		match = match.WithIPDst(addr, bits)
+	}
+	if m.L4Src != 0 {
+		match = match.WithL4Src(m.L4Src)
+	}
+	if m.L4Dst != 0 {
+		match = match.WithL4Dst(m.L4Dst)
+	}
+
+	var pre []vswitch.Action
+	switch {
+	case m.PortIn.IsEndpoint():
+		att, ok := d.eps[m.PortIn.Endpoint]
+		if !ok {
+			return match, nil, fmt.Errorf("endpoint %q not attached", m.PortIn.Endpoint)
+		}
+		match = match.WithInPort(att.graphPort)
+	case m.PortIn.IsNF():
+		att, ok := d.nfs[m.PortIn.NF]
+		if !ok {
+			return match, nil, fmt.Errorf("NF %q not attached", m.PortIn.NF)
+		}
+		idx, err := nfPortIndex(d.Graph, m.PortIn.NF, m.PortIn.Port)
+		if err != nil {
+			return match, nil, err
+		}
+		if att.inst.Shared {
+			if m.VLANID != 0 {
+				return match, nil, fmt.Errorf("vlan match not supported on shared-NNF port %v", m.PortIn)
+			}
+			// Traffic processed by the shared NNF returns from LSI-0
+			// carrying the graph's egress mark; match it and strip it.
+			match = match.WithInPort(att.nnfVlink).WithVLAN(att.inst.OutMarks[idx])
+			pre = append(pre, vswitch.PopVLAN())
+		} else {
+			match = match.WithInPort(att.lsiPorts[idx])
+		}
+	default:
+		return match, nil, fmt.Errorf("rule has no port_in")
+	}
+	return match, pre, nil
+}
+
+// compileActions turns rule actions into switch actions.
+func (o *Orchestrator) compileActions(d *DeployedGraph, actions []nffg.RuleAction) ([]vswitch.Action, error) {
+	out := make([]vswitch.Action, 0, len(actions))
+	for _, a := range actions {
+		switch a.Type {
+		case nffg.ActOutput:
+			switch {
+			case a.Output.IsEndpoint():
+				att, ok := d.eps[a.Output.Endpoint]
+				if !ok {
+					return nil, fmt.Errorf("endpoint %q not attached", a.Output.Endpoint)
+				}
+				out = append(out, vswitch.Output(att.graphPort))
+			case a.Output.IsNF():
+				att, ok := d.nfs[a.Output.NF]
+				if !ok {
+					return nil, fmt.Errorf("NF %q not attached", a.Output.NF)
+				}
+				idx, err := nfPortIndex(d.Graph, a.Output.NF, a.Output.Port)
+				if err != nil {
+					return nil, err
+				}
+				if att.inst.Shared {
+					// Tag with the graph's ingress mark for that
+					// logical port and ship to LSI-0.
+					out = append(out,
+						vswitch.PushVLAN(att.inst.InMarks[idx]),
+						vswitch.Output(att.nnfVlink))
+				} else {
+					out = append(out, vswitch.Output(att.lsiPorts[idx]))
+				}
+			default:
+				return nil, fmt.Errorf("output action without destination")
+			}
+		case nffg.ActPushVLAN:
+			out = append(out, vswitch.PushVLAN(a.VLANID))
+		case nffg.ActPopVLAN:
+			out = append(out, vswitch.PopVLAN())
+		case nffg.ActSetEthSrc:
+			mac, err := pkt.ParseMAC(a.MAC)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, vswitch.SetEthSrc(mac))
+		case nffg.ActSetEthDst:
+			mac, err := pkt.ParseMAC(a.MAC)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, vswitch.SetEthDst(mac))
+		default:
+			return nil, fmt.Errorf("unknown action type %q", a.Type)
+		}
+	}
+	return out, nil
+}
+
+func parseCIDR(s string) (pkt.Addr, int, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return pkt.Addr{}, 0, fmt.Errorf("bad CIDR %q", s)
+	}
+	addr, err := pkt.ParseAddr(s[:slash])
+	if err != nil {
+		return pkt.Addr{}, 0, err
+	}
+	bits, err := strconv.Atoi(s[slash+1:])
+	if err != nil || bits < 0 || bits > 32 {
+		return pkt.Addr{}, 0, fmt.Errorf("bad CIDR prefix in %q", s)
+	}
+	return addr, bits, nil
+}

@@ -1,0 +1,79 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ARP operations.
+const (
+	ARPRequest uint16 = 1
+	ARPReply   uint16 = 2
+)
+
+// ARPHeaderLen is the length of an Ethernet/IPv4 ARP packet.
+const ARPHeaderLen = 28
+
+// ARP is an Ethernet/IPv4 ARP packet.
+type ARP struct {
+	Operation uint16
+	SenderMAC MAC
+	SenderIP  Addr
+	TargetMAC MAC
+	TargetIP  Addr
+
+	contents []byte
+}
+
+// LayerType implements Layer.
+func (a *ARP) LayerType() LayerType { return LayerTypeARP }
+
+// LayerContents implements Layer.
+func (a *ARP) LayerContents() []byte { return a.contents }
+
+// LayerPayload implements Layer; ARP carries no payload.
+func (a *ARP) LayerPayload() []byte { return nil }
+
+// DecodeFromBytes parses an ARP packet in place.
+func (a *ARP) DecodeFromBytes(data []byte) error {
+	if len(data) < ARPHeaderLen {
+		return fmt.Errorf("pkt: arp packet too short: %d bytes", len(data))
+	}
+	if htype := binary.BigEndian.Uint16(data[0:2]); htype != 1 {
+		return fmt.Errorf("pkt: arp hardware type %d unsupported", htype)
+	}
+	if ptype := EthernetType(binary.BigEndian.Uint16(data[2:4])); ptype != EthernetTypeIPv4 {
+		return fmt.Errorf("pkt: arp protocol type %v unsupported", ptype)
+	}
+	if data[4] != 6 || data[5] != 4 {
+		return fmt.Errorf("pkt: arp address lengths %d/%d unsupported", data[4], data[5])
+	}
+	a.Operation = binary.BigEndian.Uint16(data[6:8])
+	copy(a.SenderMAC[:], data[8:14])
+	copy(a.SenderIP[:], data[14:18])
+	copy(a.TargetMAC[:], data[18:24])
+	copy(a.TargetIP[:], data[24:28])
+	a.contents = data[:ARPHeaderLen]
+	return nil
+}
+
+// NextLayerType returns LayerTypeZero: ARP is terminal.
+func (a *ARP) NextLayerType() LayerType { return LayerTypeZero }
+
+// SerializeTo implements SerializableLayer.
+func (a *ARP) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	bytes, err := b.PrependBytes(ARPHeaderLen)
+	if err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint16(bytes[0:2], 1) // Ethernet
+	binary.BigEndian.PutUint16(bytes[2:4], uint16(EthernetTypeIPv4))
+	bytes[4] = 6
+	bytes[5] = 4
+	binary.BigEndian.PutUint16(bytes[6:8], a.Operation)
+	copy(bytes[8:14], a.SenderMAC[:])
+	copy(bytes[14:18], a.SenderIP[:])
+	copy(bytes[18:24], a.TargetMAC[:])
+	copy(bytes[24:28], a.TargetIP[:])
+	return nil
+}

@@ -1,0 +1,33 @@
+package pkt
+
+// Checksum computes the RFC 1071 Internet checksum of data, assuming the
+// checksum field inside data (if any) is zeroed by the caller.
+func Checksum(data []byte) uint16 {
+	return foldChecksum(sumBytes(data, 0))
+}
+
+// sumBytes adds data to a running 32-bit ones'-complement accumulator.
+func sumBytes(data []byte, sum uint32) uint32 {
+	for len(data) >= 2 {
+		sum += uint32(data[0])<<8 | uint32(data[1])
+		data = data[2:]
+	}
+	if len(data) == 1 {
+		sum += uint32(data[0]) << 8
+	}
+	return sum
+}
+
+// foldChecksum folds the accumulator into 16 bits and complements it.
+func foldChecksum(sum uint32) uint16 {
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// tcpipChecksum computes a transport checksum given a pseudo-header partial
+// sum and the transport header+payload bytes.
+func tcpipChecksum(data []byte, pseudoSum uint32) uint16 {
+	return foldChecksum(sumBytes(data, pseudoSum))
+}

@@ -1,0 +1,69 @@
+package pkt
+
+import "fmt"
+
+// FrameSpec describes a simple Ethernet/IPv4/UDP frame to build; it is the
+// shape used by traffic generators and tests throughout the repository.
+type FrameSpec struct {
+	SrcMAC, DstMAC   MAC
+	VLANID           uint16 // 0 means untagged
+	SrcIP, DstIP     Addr
+	Proto            IPProtocol // UDP or TCP; defaults to UDP
+	SrcPort, DstPort uint16
+	TTL              uint8 // defaults to 64
+	PayloadLen       int
+	PayloadByte      byte // fill byte for the payload
+}
+
+// BuildFrame encodes the described frame with correct lengths and checksums.
+func BuildFrame(spec FrameSpec) ([]byte, error) {
+	if spec.TTL == 0 {
+		spec.TTL = 64
+	}
+	if spec.Proto == 0 {
+		spec.Proto = IPProtocolUDP
+	}
+	payload := make(Payload, spec.PayloadLen)
+	for i := range payload {
+		payload[i] = spec.PayloadByte
+	}
+	ip := &IPv4{
+		TTL:      spec.TTL,
+		Protocol: spec.Proto,
+		SrcIP:    spec.SrcIP,
+		DstIP:    spec.DstIP,
+	}
+	var transport SerializableLayer
+	switch spec.Proto {
+	case IPProtocolUDP:
+		u := &UDP{SrcPort: spec.SrcPort, DstPort: spec.DstPort}
+		u.SetNetworkLayerForChecksum(ip)
+		transport = u
+	case IPProtocolTCP:
+		t := &TCP{SrcPort: spec.SrcPort, DstPort: spec.DstPort, Flags: TCPFlagACK, Window: 65535}
+		t.SetNetworkLayerForChecksum(ip)
+		transport = t
+	default:
+		return nil, fmt.Errorf("pkt: BuildFrame does not support protocol %v", spec.Proto)
+	}
+	opts := SerializeOptions{FixLengths: true, ComputeChecksums: true}
+	stack := make([]SerializableLayer, 0, 5)
+	eth := &Ethernet{SrcMAC: spec.SrcMAC, DstMAC: spec.DstMAC, EthernetType: EthernetTypeIPv4}
+	if spec.VLANID != 0 {
+		eth.EthernetType = EthernetTypeVLAN
+		stack = append(stack, eth, &VLAN{VLANID: spec.VLANID, EthernetType: EthernetTypeIPv4})
+	} else {
+		stack = append(stack, eth)
+	}
+	stack = append(stack, ip, transport, payload)
+	return Serialize(opts, stack...)
+}
+
+// MustBuildFrame is BuildFrame that panics on error, for tests and examples.
+func MustBuildFrame(spec FrameSpec) []byte {
+	f, err := BuildFrame(spec)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

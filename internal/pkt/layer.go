@@ -1,0 +1,122 @@
+// Package pkt implements packet encoding and decoding for the simulated
+// dataplane used throughout this repository.
+//
+// The design follows the layer model popularized by gopacket: a packet is a
+// []byte decoded into an ordered list of layers, each layer exposing its
+// header contents and payload. Layers that can be written back to the wire
+// implement SerializableLayer and are serialized back-to-front into a
+// SerializeBuffer, so each layer prepends its header to the payload that the
+// layers above it have already produced.
+package pkt
+
+import "fmt"
+
+// LayerType identifies a protocol layer within a packet.
+type LayerType int
+
+// Known layer types. The zero value is reserved so that the zero LayerType
+// never matches a real layer.
+const (
+	LayerTypeZero LayerType = iota
+	LayerTypeEthernet
+	LayerTypeVLAN
+	LayerTypeARP
+	LayerTypeIPv4
+	LayerTypeUDP
+	LayerTypeTCP
+	LayerTypeICMP
+	LayerTypeESP
+	LayerTypePayload
+	LayerTypeDecodeFailure
+)
+
+var layerTypeNames = map[LayerType]string{
+	LayerTypeZero:          "Zero",
+	LayerTypeEthernet:      "Ethernet",
+	LayerTypeVLAN:          "VLAN",
+	LayerTypeARP:           "ARP",
+	LayerTypeIPv4:          "IPv4",
+	LayerTypeUDP:           "UDP",
+	LayerTypeTCP:           "TCP",
+	LayerTypeICMP:          "ICMP",
+	LayerTypeESP:           "ESP",
+	LayerTypePayload:       "Payload",
+	LayerTypeDecodeFailure: "DecodeFailure",
+}
+
+func (t LayerType) String() string {
+	if s, ok := layerTypeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("LayerType(%d)", int(t))
+}
+
+// Layer is a single decoded protocol layer.
+type Layer interface {
+	// LayerType returns the type of this layer.
+	LayerType() LayerType
+	// LayerContents returns the bytes of this layer's header.
+	LayerContents() []byte
+	// LayerPayload returns the bytes this layer carries, i.e. everything
+	// after its header.
+	LayerPayload() []byte
+}
+
+// NetworkLayer is a layer that carries network-level (L3) addressing.
+type NetworkLayer interface {
+	Layer
+	NetworkFlow() Flow
+}
+
+// TransportLayer is a layer that carries transport-level (L4) addressing.
+type TransportLayer interface {
+	Layer
+	TransportFlow() Flow
+}
+
+// LinkLayer is a layer that carries link-level (L2) addressing.
+type LinkLayer interface {
+	Layer
+	LinkFlow() Flow
+}
+
+// DecodeFailure records a decoding error without discarding the layers that
+// were decoded successfully before it.
+type DecodeFailure struct {
+	Data []byte
+	Err  error
+}
+
+// LayerType implements Layer.
+func (d *DecodeFailure) LayerType() LayerType { return LayerTypeDecodeFailure }
+
+// LayerContents implements Layer.
+func (d *DecodeFailure) LayerContents() []byte { return d.Data }
+
+// LayerPayload implements Layer; a decode failure has no payload.
+func (d *DecodeFailure) LayerPayload() []byte { return nil }
+
+// Error returns the cause of the decode failure.
+func (d *DecodeFailure) Error() error { return d.Err }
+
+// Payload is a raw application payload, the terminal layer of most packets.
+type Payload []byte
+
+// LayerType implements Layer.
+func (p Payload) LayerType() LayerType { return LayerTypePayload }
+
+// LayerContents implements Layer.
+func (p Payload) LayerContents() []byte { return p }
+
+// LayerPayload implements Layer; payload has nothing beneath it.
+func (p Payload) LayerPayload() []byte { return nil }
+
+// SerializeTo implements SerializableLayer.
+func (p Payload) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	bytes, err := b.PrependBytes(len(p))
+	if err != nil {
+		return err
+	}
+	copy(bytes, p)
+	return nil
+}

@@ -1,0 +1,171 @@
+package pkt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// decodingLayer is a layer that can parse itself from bytes and name its
+// successor.
+type decodingLayer interface {
+	Layer
+	DecodeFromBytes(data []byte) error
+	NextLayerType() LayerType
+}
+
+// Packet is a decoded packet: the raw bytes plus the ordered list of layers
+// found in them. Decoding is eager and the result is immutable, so a Packet
+// may be shared between goroutines.
+type Packet struct {
+	data   []byte
+	layers []Layer
+}
+
+// DecodeOptions tunes NewPacket.
+type DecodeOptions struct {
+	// NoCopy reuses the caller's slice instead of copying it. The caller
+	// must guarantee the bytes are not mutated afterwards.
+	NoCopy bool
+}
+
+// Default and NoCopy are the common decode option sets.
+var (
+	Default = DecodeOptions{}
+	NoCopy  = DecodeOptions{NoCopy: true}
+)
+
+// NewPacket decodes data starting at the given layer type. Decoding errors do
+// not fail the call: layers decoded before the error are retained and the
+// error is recorded as a trailing DecodeFailure layer, retrievable via
+// ErrorLayer.
+func NewPacket(data []byte, first LayerType, opts DecodeOptions) *Packet {
+	if !opts.NoCopy {
+		d := make([]byte, len(data))
+		copy(d, data)
+		data = d
+	}
+	p := &Packet{data: data}
+	p.decodeAll(first)
+	return p
+}
+
+func newDecodingLayer(t LayerType) decodingLayer {
+	switch t {
+	case LayerTypeEthernet:
+		return &Ethernet{}
+	case LayerTypeVLAN:
+		return &VLAN{}
+	case LayerTypeARP:
+		return &ARP{}
+	case LayerTypeIPv4:
+		return &IPv4{}
+	case LayerTypeUDP:
+		return &UDP{}
+	case LayerTypeTCP:
+		return &TCP{}
+	case LayerTypeICMP:
+		return &ICMP{}
+	case LayerTypeESP:
+		return &ESP{}
+	default:
+		return nil
+	}
+}
+
+func (p *Packet) decodeAll(first LayerType) {
+	data := p.data
+	next := first
+	for len(data) > 0 {
+		if next == LayerTypePayload {
+			p.layers = append(p.layers, Payload(data))
+			return
+		}
+		dl := newDecodingLayer(next)
+		if dl == nil {
+			return
+		}
+		if err := dl.DecodeFromBytes(data); err != nil {
+			p.layers = append(p.layers, &DecodeFailure{Data: data, Err: err})
+			return
+		}
+		p.layers = append(p.layers, dl)
+		next = dl.NextLayerType()
+		if next == LayerTypeZero {
+			return
+		}
+		data = dl.LayerPayload()
+	}
+}
+
+// Data returns the packet's raw bytes.
+func (p *Packet) Data() []byte { return p.data }
+
+// Layers returns all decoded layers in wire order.
+func (p *Packet) Layers() []Layer { return p.layers }
+
+// Layer returns the first layer of the given type, or nil.
+func (p *Packet) Layer(t LayerType) Layer {
+	for _, l := range p.layers {
+		if l.LayerType() == t {
+			return l
+		}
+	}
+	return nil
+}
+
+// LinkLayer returns the packet's L2 layer, or nil.
+func (p *Packet) LinkLayer() LinkLayer {
+	for _, l := range p.layers {
+		if ll, ok := l.(LinkLayer); ok {
+			return ll
+		}
+	}
+	return nil
+}
+
+// NetworkLayer returns the packet's L3 layer, or nil.
+func (p *Packet) NetworkLayer() NetworkLayer {
+	for _, l := range p.layers {
+		if nl, ok := l.(NetworkLayer); ok {
+			return nl
+		}
+	}
+	return nil
+}
+
+// TransportLayer returns the packet's L4 layer, or nil.
+func (p *Packet) TransportLayer() TransportLayer {
+	for _, l := range p.layers {
+		if tl, ok := l.(TransportLayer); ok {
+			return tl
+		}
+	}
+	return nil
+}
+
+// ApplicationLayer returns the packet's terminal payload, or nil.
+func (p *Packet) ApplicationLayer() Payload {
+	if l := p.Layer(LayerTypePayload); l != nil {
+		return l.(Payload)
+	}
+	return nil
+}
+
+// ErrorLayer returns the decode failure recorded during decoding, or nil if
+// the whole packet decoded cleanly.
+func (p *Packet) ErrorLayer() *DecodeFailure {
+	if l := p.Layer(LayerTypeDecodeFailure); l != nil {
+		return l.(*DecodeFailure)
+	}
+	return nil
+}
+
+// String renders a one-line summary of the packet's layer stack.
+func (p *Packet) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "PACKET %d bytes:", len(p.data))
+	for _, l := range p.layers {
+		fmt.Fprintf(&b, " %v", l.LayerType())
+	}
+	return b.String()
+}

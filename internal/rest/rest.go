@@ -1,0 +1,295 @@
+// Package rest implements the compute node's northbound REST interface: the
+// channel through which the overarching orchestration layer submits Network
+// Function Forwarding Graphs (paper Figure 1, "REST server").
+//
+// Endpoints (un-orchestrator style):
+//
+//	PUT    /NF-FG/{id}   deploy (or update) the graph in the JSON body
+//	GET    /NF-FG/{id}   retrieve a deployed graph
+//	DELETE /NF-FG/{id}   undeploy a graph
+//	GET    /NF-FG        list deployed graph ids
+//	GET    /status       node status: graphs, resources, capabilities
+//	GET    /NF-FG/{id}/stats  per-NF and per-rule counters of a graph
+//	GET    /topology     live Figure-1 topology (text; ?format=dot|json)
+//	GET    /capture/{if} capture interface traffic for ?duration (pcap body)
+package rest
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/netdev"
+	"repro/internal/nffg"
+	"repro/internal/orchestrator"
+	"repro/internal/pcap"
+	"repro/internal/resources"
+)
+
+// Server exposes one orchestrator over HTTP.
+type Server struct {
+	orch *orchestrator.Orchestrator
+	pool *resources.Pool
+	mux  *http.ServeMux
+}
+
+// New builds the server.
+func New(orch *orchestrator.Orchestrator, pool *resources.Pool) *Server {
+	s := &Server{orch: orch, pool: pool, mux: http.NewServeMux()}
+	s.mux.HandleFunc("PUT /NF-FG/{id}", s.putGraph)
+	s.mux.HandleFunc("GET /NF-FG/{id}", s.getGraph)
+	s.mux.HandleFunc("DELETE /NF-FG/{id}", s.deleteGraph)
+	s.mux.HandleFunc("GET /NF-FG", s.listGraphs)
+	s.mux.HandleFunc("GET /NF-FG/{id}/stats", s.graphStats)
+	s.mux.HandleFunc("GET /status", s.status)
+	s.mux.HandleFunc("GET /topology", s.topology)
+	s.mux.HandleFunc("GET /capture/{iface}", s.capture)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) putGraph(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var g nffg.Graph
+	if err := json.NewDecoder(r.Body).Decode(&g); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing NF-FG: %w", err))
+		return
+	}
+	if g.ID == "" {
+		g.ID = id
+	}
+	if g.ID != id {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("graph id %q does not match URL id %q", g.ID, id))
+		return
+	}
+	if _, exists := s.orch.Graph(id); exists {
+		if err := s.orch.Update(&g); err != nil {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "updated", "id": id})
+		return
+	}
+	if err := s.orch.Deploy(&g); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"status": "deployed", "id": id})
+}
+
+func (s *Server) getGraph(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	d, ok := s.orch.Graph(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("graph %q not deployed", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, d.Graph)
+}
+
+func (s *Server) deleteGraph(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.orch.Undeploy(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "undeployed", "id": id})
+}
+
+func (s *Server) listGraphs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"graphs": s.orch.GraphIDs()})
+}
+
+// StatusReply is the GET /status body.
+type StatusReply struct {
+	Node         string           `json:"node"`
+	Graphs       []string         `json:"graphs"`
+	Capabilities []string         `json:"capabilities"`
+	CPU          ResourceStatus   `json:"cpu-millicores"`
+	RAM          ResourceStatus   `json:"ram-bytes"`
+	NFInstances  []InstanceStatus `json:"nf-instances"`
+}
+
+// ResourceStatus is one used/total pair.
+type ResourceStatus struct {
+	Used  uint64 `json:"used"`
+	Total uint64 `json:"total"`
+}
+
+// InstanceStatus describes one running NF.
+type InstanceStatus struct {
+	Graph      string `json:"graph"`
+	NF         string `json:"nf"`
+	Instance   string `json:"instance"`
+	Technology string `json:"technology"`
+	Shared     bool   `json:"shared,omitempty"`
+	RAMBytes   uint64 `json:"ram-bytes"`
+}
+
+func (s *Server) status(w http.ResponseWriter, _ *http.Request) {
+	topo := s.orch.Topology()
+	usedCPU, totalCPU, usedRAM, totalRAM := s.pool.Usage()
+	reply := StatusReply{
+		Node:   topo.NodeName,
+		Graphs: s.orch.GraphIDs(),
+		CPU:    ResourceStatus{Used: uint64(usedCPU), Total: uint64(totalCPU)},
+		RAM:    ResourceStatus{Used: usedRAM, Total: totalRAM},
+	}
+	for _, c := range s.pool.Capabilities() {
+		reply.Capabilities = append(reply.Capabilities, string(c))
+	}
+	for _, g := range topo.Graphs {
+		for _, n := range g.NFs {
+			reply.NFInstances = append(reply.NFInstances, InstanceStatus{
+				Graph:      g.ID,
+				NF:         n.ID,
+				Instance:   n.Instance,
+				Technology: n.Technology,
+				Shared:     n.Shared,
+				RAMBytes:   n.RAMBytes,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+// GraphStatsReply is the GET /NF-FG/{id}/stats body.
+type GraphStatsReply struct {
+	Graph string        `json:"graph"`
+	NFs   []NFStats     `json:"nfs"`
+	Rules []RuleCounter `json:"steering-rules"`
+}
+
+// NFStats carries one NF runtime's counters.
+type NFStats struct {
+	NF        string `json:"nf"`
+	Instance  string `json:"instance"`
+	RxPackets uint64 `json:"rx-packets"`
+	TxPackets uint64 `json:"tx-packets"`
+	Errors    uint64 `json:"errors"`
+}
+
+// RuleCounter carries one installed steering rule's hit counters, read over
+// the graph's OpenFlow channel.
+type RuleCounter struct {
+	Table    uint8  `json:"table"`
+	Priority uint16 `json:"priority"`
+	Packets  uint64 `json:"packets"`
+	Bytes    uint64 `json:"bytes"`
+}
+
+func (s *Server) graphStats(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	d, ok := s.orch.Graph(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("graph %q not deployed", id))
+		return
+	}
+	reply := GraphStatsReply{Graph: id}
+	instances := d.Instances()
+	nfIDs := make([]string, 0, len(instances))
+	for nfID := range instances {
+		nfIDs = append(nfIDs, nfID)
+	}
+	sort.Strings(nfIDs)
+	for _, nfID := range nfIDs {
+		inst := instances[nfID]
+		st := inst.Runtime.Stats()
+		reply.NFs = append(reply.NFs, NFStats{
+			NF:        nfID,
+			Instance:  inst.Runtime.Name(),
+			RxPackets: st.RxPackets,
+			TxPackets: st.TxPackets,
+			Errors:    st.Errors,
+		})
+	}
+	flowStats, err := d.Controller().FlowStats()
+	if err != nil {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("querying steering rules: %w", err))
+		return
+	}
+	for _, fs := range flowStats {
+		reply.Rules = append(reply.Rules, RuleCounter{
+			Table:    fs.TableID,
+			Priority: fs.Priority,
+			Packets:  fs.Packets,
+			Bytes:    fs.Bytes,
+		})
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+// maxCaptureDuration bounds GET /capture runs.
+const maxCaptureDuration = 30 * time.Second
+
+// capture records the traffic crossing one node interface for ?duration
+// (default 1s) and returns it as a pcap body, openable in Wireshark.
+func (s *Server) capture(w http.ResponseWriter, r *http.Request) {
+	ifName := r.PathValue("iface")
+	port, ok := s.orch.InterfacePort(ifName)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no interface %q", ifName))
+		return
+	}
+	duration := time.Second
+	if d := r.URL.Query().Get("duration"); d != "" {
+		parsed, err := time.ParseDuration(d)
+		if err != nil || parsed <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad duration %q", d))
+			return
+		}
+		duration = parsed
+	}
+	if duration > maxCaptureDuration {
+		duration = maxCaptureDuration
+	}
+	w.Header().Set("Content-Type", "application/vnd.tcpdump.pcap")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", ifName+".pcap"))
+	pw := pcap.NewWriter(w)
+	if err := pw.WriteHeader(); err != nil {
+		return
+	}
+	port.SetTap(func(_ netdev.TapDir, f netdev.Frame) {
+		_ = pw.WritePacket(time.Now(), f.Data)
+	})
+	select {
+	case <-time.After(duration):
+	case <-r.Context().Done():
+	}
+	port.SetTap(nil)
+	// In-flight taps may still hold the writer: gate them off before the
+	// handler returns and net/http finalizes the response.
+	pw.Close()
+}
+
+func (s *Server) topology(w http.ResponseWriter, r *http.Request) {
+	topo := s.orch.Topology()
+	switch r.URL.Query().Get("format") {
+	case "dot":
+		w.Header().Set("Content-Type", "text/vnd.graphviz")
+		fmt.Fprint(w, topo.DOT())
+	case "json":
+		writeJSON(w, http.StatusOK, topo)
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, topo.String())
+	}
+}

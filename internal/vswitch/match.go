@@ -1,0 +1,261 @@
+// Package vswitch implements the software switch used for every Logical
+// Switch Instance (LSI) of the compute node.
+//
+// The switch follows the OpenFlow pipeline model: numbered flow tables hold
+// prioritized flow entries, each pairing a Match against a list of Actions.
+// Processing starts in table 0; a GotoTable action continues the pipeline in
+// a later table, with a 64-bit metadata register carried between tables.
+// A table miss invokes the configurable miss policy (drop, or punt to the
+// controller as a packet-in).
+package vswitch
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pkt"
+)
+
+// VLANNone matches explicitly untagged traffic when set as MatchVLAN.
+const VLANNone uint16 = 0xffff
+
+// flowKey is the parsed header fields of one frame traversing the pipeline,
+// extracted once per packet (in the spirit of gopacket's
+// DecodingLayerParser: no allocation, fixed known layers).
+type flowKey struct {
+	inPort  uint32
+	ethSrc  pkt.MAC
+	ethDst  pkt.MAC
+	hasVLAN bool
+	vlanID  uint16
+	ethType pkt.EthernetType // inner type when tagged
+	isIP    bool
+	ipSrc   pkt.Addr
+	ipDst   pkt.Addr
+	ipProto pkt.IPProtocol
+	hasL4   bool
+	l4Src   uint16
+	l4Dst   uint16
+
+	metadata uint64 // pipeline register, not parsed from the wire
+}
+
+// extractKey parses data into k. Parsing stops gracefully at truncated or
+// non-IP packets; the corresponding has*/is* flags stay false.
+func extractKey(data []byte, inPort uint32, k *flowKey) error {
+	*k = flowKey{inPort: inPort}
+	if len(data) < pkt.EthernetHeaderLen {
+		return fmt.Errorf("vswitch: frame too short (%d bytes)", len(data))
+	}
+	copy(k.ethDst[:], data[0:6])
+	copy(k.ethSrc[:], data[6:12])
+	k.ethType = pkt.EthernetType(uint16(data[12])<<8 | uint16(data[13]))
+	off := pkt.EthernetHeaderLen
+	if k.ethType == pkt.EthernetTypeVLAN {
+		if len(data) < off+pkt.VLANHeaderLen {
+			return fmt.Errorf("vswitch: truncated VLAN tag")
+		}
+		k.hasVLAN = true
+		k.vlanID = (uint16(data[off])<<8 | uint16(data[off+1])) & 0x0fff
+		k.ethType = pkt.EthernetType(uint16(data[off+2])<<8 | uint16(data[off+3]))
+		off += pkt.VLANHeaderLen
+	}
+	if k.ethType != pkt.EthernetTypeIPv4 || len(data) < off+pkt.IPv4HeaderLen {
+		return nil
+	}
+	if data[off]>>4 != 4 {
+		return nil
+	}
+	ihl := int(data[off]&0x0f) * 4
+	if ihl < pkt.IPv4HeaderLen || len(data) < off+ihl {
+		return nil
+	}
+	k.isIP = true
+	k.ipProto = pkt.IPProtocol(data[off+9])
+	copy(k.ipSrc[:], data[off+12:off+16])
+	copy(k.ipDst[:], data[off+16:off+20])
+	l4 := off + ihl
+	switch k.ipProto {
+	case pkt.IPProtocolUDP, pkt.IPProtocolTCP:
+		if len(data) >= l4+4 {
+			k.hasL4 = true
+			k.l4Src = uint16(data[l4])<<8 | uint16(data[l4+1])
+			k.l4Dst = uint16(data[l4+2])<<8 | uint16(data[l4+3])
+		}
+	}
+	return nil
+}
+
+// Match selects packets by header fields. The zero Match matches everything;
+// set fields with the With* builders to narrow it. Matches are
+// value-semantics and safe to copy.
+type Match struct {
+	inPort   uint32 // 0 = any (valid port numbers start at 1)
+	ethSrc   *pkt.MAC
+	ethDst   *pkt.MAC
+	ethType  *pkt.EthernetType
+	vlanID   *uint16 // VLANNone = must be untagged
+	ipProto  *pkt.IPProtocol
+	ipSrc    *prefix
+	ipDst    *prefix
+	l4Src    *uint16
+	l4Dst    *uint16
+	metadata *maskedMetadata
+}
+
+type prefix struct {
+	addr pkt.Addr
+	bits int
+}
+
+func (p prefix) contains(a pkt.Addr) bool {
+	if p.bits == 0 {
+		return true
+	}
+	mask := ^uint32(0) << (32 - p.bits)
+	return a.Uint32()&mask == p.addr.Uint32()&mask
+}
+
+func (p prefix) String() string { return fmt.Sprintf("%v/%d", p.addr, p.bits) }
+
+type maskedMetadata struct {
+	value, mask uint64
+}
+
+// MatchAll returns the wildcard match.
+func MatchAll() Match { return Match{} }
+
+// WithInPort narrows the match to one ingress port.
+func (m Match) WithInPort(p uint32) Match { m.inPort = p; return m }
+
+// WithEthSrc narrows the match to one source MAC.
+func (m Match) WithEthSrc(mac pkt.MAC) Match { m.ethSrc = &mac; return m }
+
+// WithEthDst narrows the match to one destination MAC.
+func (m Match) WithEthDst(mac pkt.MAC) Match { m.ethDst = &mac; return m }
+
+// WithEthType narrows the match to one EtherType (the inner type for tagged
+// frames).
+func (m Match) WithEthType(t pkt.EthernetType) Match { m.ethType = &t; return m }
+
+// WithVLAN narrows the match to frames tagged with the given VLAN ID; pass
+// VLANNone to require untagged frames.
+func (m Match) WithVLAN(id uint16) Match { m.vlanID = &id; return m }
+
+// WithIPProto narrows the match to one IP protocol.
+func (m Match) WithIPProto(p pkt.IPProtocol) Match { m.ipProto = &p; return m }
+
+// WithIPSrc narrows the match to a source prefix.
+func (m Match) WithIPSrc(a pkt.Addr, bits int) Match {
+	m.ipSrc = &prefix{addr: a, bits: bits}
+	return m
+}
+
+// WithIPDst narrows the match to a destination prefix.
+func (m Match) WithIPDst(a pkt.Addr, bits int) Match {
+	m.ipDst = &prefix{addr: a, bits: bits}
+	return m
+}
+
+// WithL4Src narrows the match to one transport source port.
+func (m Match) WithL4Src(p uint16) Match { m.l4Src = &p; return m }
+
+// WithL4Dst narrows the match to one transport destination port.
+func (m Match) WithL4Dst(p uint16) Match { m.l4Dst = &p; return m }
+
+// WithMetadata narrows the match on the pipeline metadata register under the
+// given mask.
+func (m Match) WithMetadata(value, mask uint64) Match {
+	m.metadata = &maskedMetadata{value: value, mask: mask}
+	return m
+}
+
+// Matches reports whether the extracted key satisfies the match.
+func (m Match) matches(k *flowKey) bool {
+	if m.inPort != 0 && m.inPort != k.inPort {
+		return false
+	}
+	if m.ethSrc != nil && *m.ethSrc != k.ethSrc {
+		return false
+	}
+	if m.ethDst != nil && *m.ethDst != k.ethDst {
+		return false
+	}
+	if m.ethType != nil && *m.ethType != k.ethType {
+		return false
+	}
+	if m.vlanID != nil {
+		if *m.vlanID == VLANNone {
+			if k.hasVLAN {
+				return false
+			}
+		} else if !k.hasVLAN || k.vlanID != *m.vlanID {
+			return false
+		}
+	}
+	if m.ipProto != nil && (!k.isIP || k.ipProto != *m.ipProto) {
+		return false
+	}
+	if m.ipSrc != nil && (!k.isIP || !m.ipSrc.contains(k.ipSrc)) {
+		return false
+	}
+	if m.ipDst != nil && (!k.isIP || !m.ipDst.contains(k.ipDst)) {
+		return false
+	}
+	if m.l4Src != nil && (!k.hasL4 || k.l4Src != *m.l4Src) {
+		return false
+	}
+	if m.l4Dst != nil && (!k.hasL4 || k.l4Dst != *m.l4Dst) {
+		return false
+	}
+	if m.metadata != nil && k.metadata&m.metadata.mask != m.metadata.value&m.metadata.mask {
+		return false
+	}
+	return true
+}
+
+// String renders the match in a compact ovs-ofctl-like syntax.
+func (m Match) String() string {
+	var parts []string
+	if m.inPort != 0 {
+		parts = append(parts, fmt.Sprintf("in_port=%d", m.inPort))
+	}
+	if m.ethSrc != nil {
+		parts = append(parts, "dl_src="+m.ethSrc.String())
+	}
+	if m.ethDst != nil {
+		parts = append(parts, "dl_dst="+m.ethDst.String())
+	}
+	if m.ethType != nil {
+		parts = append(parts, "dl_type="+m.ethType.String())
+	}
+	if m.vlanID != nil {
+		if *m.vlanID == VLANNone {
+			parts = append(parts, "vlan=none")
+		} else {
+			parts = append(parts, fmt.Sprintf("dl_vlan=%d", *m.vlanID))
+		}
+	}
+	if m.ipProto != nil {
+		parts = append(parts, "nw_proto="+m.ipProto.String())
+	}
+	if m.ipSrc != nil {
+		parts = append(parts, "nw_src="+m.ipSrc.String())
+	}
+	if m.ipDst != nil {
+		parts = append(parts, "nw_dst="+m.ipDst.String())
+	}
+	if m.l4Src != nil {
+		parts = append(parts, fmt.Sprintf("tp_src=%d", *m.l4Src))
+	}
+	if m.l4Dst != nil {
+		parts = append(parts, fmt.Sprintf("tp_dst=%d", *m.l4Dst))
+	}
+	if m.metadata != nil {
+		parts = append(parts, fmt.Sprintf("metadata=%#x/%#x", m.metadata.value, m.metadata.mask))
+	}
+	if len(parts) == 0 {
+		return "any"
+	}
+	return strings.Join(parts, ",")
+}

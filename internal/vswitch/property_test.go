@@ -1,0 +1,161 @@
+package vswitch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netdev"
+	"repro/internal/pkt"
+)
+
+// TestPropertyWildcardMatchesEverything: the zero Match must match any
+// parseable frame key.
+func TestPropertyWildcardMatchesEverything(t *testing.T) {
+	f := func(srcIP, dstIP [4]byte, sp, dp uint16, vlan uint16, inPort uint32) bool {
+		data, err := pkt.BuildFrame(pkt.FrameSpec{
+			SrcMAC: macA, DstMAC: macB, VLANID: vlan % 4095,
+			SrcIP: pkt.Addr(srcIP), DstIP: pkt.Addr(dstIP),
+			SrcPort: sp, DstPort: dp, PayloadLen: 10,
+		})
+		if err != nil {
+			return false
+		}
+		var k flowKey
+		if err := extractKey(data, inPort%100+1, &k); err != nil {
+			return false
+		}
+		return MatchAll().matches(&k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyExtractKeyAgreesWithFullDecode: the fast key extractor must
+// agree with the full packet decoder on every field it reports.
+func TestPropertyExtractKeyAgreesWithFullDecode(t *testing.T) {
+	f := func(srcIP, dstIP [4]byte, sp, dp uint16, vlan uint16, useTCP bool) bool {
+		vlan %= 4095
+		proto := pkt.IPProtocolUDP
+		if useTCP {
+			proto = pkt.IPProtocolTCP
+		}
+		data, err := pkt.BuildFrame(pkt.FrameSpec{
+			SrcMAC: macA, DstMAC: macB, VLANID: vlan,
+			SrcIP: pkt.Addr(srcIP), DstIP: pkt.Addr(dstIP), Proto: proto,
+			SrcPort: sp, DstPort: dp, PayloadLen: 8,
+		})
+		if err != nil {
+			return false
+		}
+		var k flowKey
+		if err := extractKey(data, 1, &k); err != nil {
+			return false
+		}
+		p := pkt.NewPacket(data, pkt.LayerTypeEthernet, pkt.Default)
+		ip := p.Layer(pkt.LayerTypeIPv4).(*pkt.IPv4)
+		if !k.isIP || k.ipSrc != ip.SrcIP || k.ipDst != ip.DstIP || k.ipProto != ip.Protocol {
+			return false
+		}
+		if (vlan != 0) != k.hasVLAN {
+			return false
+		}
+		if vlan != 0 && k.vlanID != vlan {
+			return false
+		}
+		if !k.hasL4 || k.l4Src != sp || k.l4Dst != dp {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyPushPopVLANIsIdentity: pushing then popping a VLAN tag through
+// two pipeline stages restores the original frame bytes.
+func TestPropertyPushPopVLANIsIdentity(t *testing.T) {
+	f := func(id uint16, plen uint8) bool {
+		id = id%4094 + 1
+		orig, err := pkt.BuildFrame(pkt.FrameSpec{
+			SrcMAC: macA, DstMAC: macB,
+			SrcIP: ipA, DstIP: ipB,
+			SrcPort: 9, DstPort: 10, PayloadLen: int(plen),
+		})
+		if err != nil {
+			return false
+		}
+		sw := New("t", 1)
+		sink, swp := netdev.Veth("sink", "sw")
+		if sw.AddPort(2, swp) != nil {
+			return false
+		}
+		in := netdev.NewPort("in")
+		inSw := netdev.NewPort("insw")
+		if netdev.Connect(in, inSw) != nil || sw.AddPort(1, inSw) != nil {
+			return false
+		}
+		err = sw.AddFlow(&FlowEntry{
+			Match:   MatchAll().WithInPort(1),
+			Actions: []Action{PushVLAN(id), PopVLAN(), Output(2)},
+		})
+		if err != nil {
+			return false
+		}
+		if in.Send(netdev.Frame{Data: orig}) != nil {
+			return false
+		}
+		got, ok := sink.TryRecv()
+		if !ok || len(got.Data) != len(orig) {
+			return false
+		}
+		for i := range orig {
+			if got.Data[i] != orig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyPriorityTotalOrder: for any pair of non-overlapping priority
+// rules on the same field, the higher priority must always win.
+func TestPropertyPriorityTotalOrder(t *testing.T) {
+	f := func(pLow, pHigh uint8, dstPort uint16) bool {
+		if pLow >= pHigh {
+			pLow, pHigh = pHigh, pLow
+			if pLow == pHigh {
+				pHigh++
+			}
+		}
+		sw := New("t", 1)
+		sinkLow, a := netdev.Veth("l", "a")
+		sinkHigh, b := netdev.Veth("h", "b")
+		inHost, inSw := netdev.Veth("i", "isw")
+		if sw.AddPort(1, inSw) != nil || sw.AddPort(2, a) != nil || sw.AddPort(3, b) != nil {
+			return false
+		}
+		_ = sw.AddFlow(&FlowEntry{Priority: int(pLow), Match: MatchAll(), Actions: []Action{Output(2)}})
+		_ = sw.AddFlow(&FlowEntry{Priority: int(pHigh), Match: MatchAll().WithL4Dst(dstPort), Actions: []Action{Output(3)}})
+		data, err := pkt.BuildFrame(pkt.FrameSpec{
+			SrcMAC: macA, DstMAC: macB, SrcIP: ipA, DstIP: ipB,
+			SrcPort: 1, DstPort: dstPort, PayloadLen: 4,
+		})
+		if err != nil {
+			return false
+		}
+		if inHost.Send(netdev.Frame{Data: data}) != nil {
+			return false
+		}
+		_, gotHigh := sinkHigh.TryRecv()
+		_, gotLow := sinkLow.TryRecv()
+		return gotHigh && !gotLow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

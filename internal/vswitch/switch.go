@@ -1,0 +1,361 @@
+package vswitch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/netdev"
+)
+
+// DefaultTables is the number of flow tables a switch starts with.
+const DefaultTables = 4
+
+// MissPolicy selects what happens to packets that match no flow entry.
+type MissPolicy int
+
+// Table-miss policies.
+const (
+	MissDrop       MissPolicy = iota // discard silently (count only)
+	MissController                   // punt to the controller as packet-in
+)
+
+// PacketInReason says why a packet was punted to the controller.
+type PacketInReason int
+
+// Packet-in reasons.
+const (
+	ReasonMiss   PacketInReason = iota // table miss with MissController
+	ReasonAction                       // explicit ToController action
+)
+
+// PacketIn is the event delivered to the controller callback.
+type PacketIn struct {
+	InPort  uint32
+	TableID int
+	Reason  PacketInReason
+	Data    []byte
+}
+
+// PacketInHandler consumes packet-in events.
+type PacketInHandler func(PacketIn)
+
+// FlowEntry pairs a match with actions at a priority inside one table.
+type FlowEntry struct {
+	Table    int
+	Priority int
+	Cookie   uint64
+	Match    Match
+	Actions  []Action
+
+	packets atomic.Uint64
+	bytes   atomic.Uint64
+}
+
+// Stats returns the entry's packet and byte hit counters.
+func (e *FlowEntry) Stats() (packets, bytes uint64) {
+	return e.packets.Load(), e.bytes.Load()
+}
+
+func (e *FlowEntry) String() string {
+	acts := make([]string, len(e.Actions))
+	for i, a := range e.Actions {
+		acts[i] = a.String()
+	}
+	p, b := e.Stats()
+	return fmt.Sprintf("table=%d prio=%d cookie=%#x %v actions=%s n_packets=%d n_bytes=%d",
+		e.Table, e.Priority, e.Cookie, e.Match, strings.Join(acts, ","), p, b)
+}
+
+// Switch is one Logical Switch Instance: a multi-table flow pipeline over a
+// set of numbered ports.
+type Switch struct {
+	name string
+	dpid uint64
+
+	mu       sync.RWMutex
+	ports    map[uint32]*netdev.Port
+	tables   [][]*FlowEntry // per table, sorted by priority descending
+	miss     MissPolicy
+	onPktIn  PacketInHandler
+	nTables  int
+	flowGen  atomic.Uint64 // monotonic id for stable sort of equal priorities
+	misses   atomic.Uint64
+	pipeline atomic.Uint64 // packets processed
+}
+
+// New creates a switch with the default number of tables.
+func New(name string, dpid uint64) *Switch { return NewTables(name, dpid, DefaultTables) }
+
+// NewTables creates a switch with n flow tables (minimum 1).
+func NewTables(name string, dpid uint64, n int) *Switch {
+	if n < 1 {
+		n = 1
+	}
+	return &Switch{
+		name:    name,
+		dpid:    dpid,
+		ports:   make(map[uint32]*netdev.Port),
+		tables:  make([][]*FlowEntry, n),
+		nTables: n,
+	}
+}
+
+// Name returns the switch name.
+func (s *Switch) Name() string { return s.name }
+
+// DPID returns the datapath identifier.
+func (s *Switch) DPID() uint64 { return s.dpid }
+
+// NumTables returns the number of flow tables.
+func (s *Switch) NumTables() int { return s.nTables }
+
+// SetMissPolicy configures the table-miss behaviour.
+func (s *Switch) SetMissPolicy(p MissPolicy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.miss = p
+}
+
+// SetPacketInHandler installs the controller callback for packet-in events.
+func (s *Switch) SetPacketInHandler(fn PacketInHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onPktIn = fn
+}
+
+// AddPort attaches a netdev port under the given OpenFlow port number
+// (>= 1). Frames received on the port enter the pipeline at table 0.
+func (s *Switch) AddPort(num uint32, p *netdev.Port) error {
+	if num == 0 {
+		return fmt.Errorf("vswitch: port number 0 is reserved")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.ports[num]; exists {
+		return fmt.Errorf("vswitch: port %d already present on %s", num, s.name)
+	}
+	s.ports[num] = p
+	p.SetHandler(func(f netdev.Frame) { s.process(num, f) })
+	return nil
+}
+
+// RemovePort detaches a port from the switch.
+func (s *Switch) RemovePort(num uint32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, exists := s.ports[num]
+	if !exists {
+		return fmt.Errorf("vswitch: port %d not present on %s", num, s.name)
+	}
+	p.SetHandler(nil)
+	delete(s.ports, num)
+	return nil
+}
+
+// Port returns the netdev port with the given number, or nil.
+func (s *Switch) Port(num uint32) *netdev.Port {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ports[num]
+}
+
+// Ports returns the attached port numbers, sorted.
+func (s *Switch) Ports() []uint32 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	nums := make([]uint32, 0, len(s.ports))
+	for n := range s.ports {
+		nums = append(nums, n)
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	return nums
+}
+
+// AddFlow installs a flow entry. Entries in one table are matched in
+// priority order (highest first); among equal priorities the oldest entry
+// wins, as in OpenFlow.
+func (s *Switch) AddFlow(e *FlowEntry) error {
+	if e.Table < 0 || e.Table >= s.nTables {
+		return fmt.Errorf("vswitch: table %d out of range [0,%d)", e.Table, s.nTables)
+	}
+	for _, a := range e.Actions {
+		if g, ok := a.(GotoTableAction); ok && g.Table <= e.Table {
+			return fmt.Errorf("vswitch: goto_table:%d from table %d must move forward", g.Table, e.Table)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := append(s.tables[e.Table], e)
+	// Stable: sort.SliceStable keeps insertion order among equal priorities.
+	sort.SliceStable(t, func(i, j int) bool { return t[i].Priority > t[j].Priority })
+	s.tables[e.Table] = t
+	return nil
+}
+
+// DeleteFlows removes all entries with the given cookie from every table and
+// returns how many were removed.
+func (s *Switch) DeleteFlows(cookie uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for ti, t := range s.tables {
+		kept := t[:0]
+		for _, e := range t {
+			if e.Cookie == cookie {
+				removed++
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		s.tables[ti] = kept
+	}
+	return removed
+}
+
+// DeleteAllFlows clears every table and returns the number of removed
+// entries.
+func (s *Switch) DeleteAllFlows() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for ti, t := range s.tables {
+		removed += len(t)
+		s.tables[ti] = nil
+	}
+	return removed
+}
+
+// Flows returns all installed entries in table then priority order.
+func (s *Switch) Flows() []*FlowEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*FlowEntry
+	for _, t := range s.tables {
+		out = append(out, t...)
+	}
+	return out
+}
+
+// Misses returns the count of table-miss packets.
+func (s *Switch) Misses() uint64 { return s.misses.Load() }
+
+// PacketsProcessed returns the count of frames that entered the pipeline.
+func (s *Switch) PacketsProcessed() uint64 { return s.pipeline.Load() }
+
+// process runs one received frame through the pipeline.
+func (s *Switch) process(inPort uint32, f netdev.Frame) {
+	s.pipeline.Add(1)
+	var key flowKey
+	if err := extractKey(f.Data, inPort, &key); err != nil {
+		s.misses.Add(1)
+		return
+	}
+	ctx := actionContext{data: f.Data, key: &key, gotoTable: 0}
+	table := 0
+	for table < s.nTables {
+		entry := s.lookup(table, &key)
+		if entry == nil {
+			s.missAction(inPort, table, ctx.data)
+			return
+		}
+		entry.packets.Add(1)
+		entry.bytes.Add(uint64(len(ctx.data)))
+		ctx.tableID = table
+		ctx.gotoTable = -1
+		for _, a := range entry.Actions {
+			a.apply(s, &ctx)
+		}
+		if ctx.gotoTable < 0 {
+			return // pipeline ends; Output actions already ran
+		}
+		table = ctx.gotoTable
+	}
+}
+
+// lookup finds the highest-priority matching entry in a table.
+func (s *Switch) lookup(table int, key *flowKey) *FlowEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, e := range s.tables[table] {
+		if e.Match.matches(key) {
+			return e
+		}
+	}
+	return nil
+}
+
+func (s *Switch) missAction(inPort uint32, table int, data []byte) {
+	s.misses.Add(1)
+	s.mu.RLock()
+	policy := s.miss
+	s.mu.RUnlock()
+	if policy == MissController {
+		s.packetIn(inPort, table, ReasonMiss, data)
+	}
+}
+
+func (s *Switch) packetIn(inPort uint32, table int, reason PacketInReason, data []byte) {
+	s.mu.RLock()
+	fn := s.onPktIn
+	s.mu.RUnlock()
+	if fn != nil {
+		d := make([]byte, len(data))
+		copy(d, data)
+		fn(PacketIn{InPort: inPort, TableID: table, Reason: reason, Data: d})
+	}
+}
+
+// sendOut transmits data on the given port number. Unknown ports drop.
+func (s *Switch) sendOut(num uint32, data []byte) {
+	s.mu.RLock()
+	p := s.ports[num]
+	s.mu.RUnlock()
+	if p == nil {
+		return
+	}
+	d := make([]byte, len(data))
+	copy(d, data)
+	_ = p.Send(netdev.Frame{Data: d})
+}
+
+// flood transmits data on every port except the ingress.
+func (s *Switch) flood(inPort uint32, data []byte) {
+	s.mu.RLock()
+	nums := make([]uint32, 0, len(s.ports))
+	for n := range s.ports {
+		if n != inPort {
+			nums = append(nums, n)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	for _, n := range nums {
+		s.sendOut(n, data)
+	}
+}
+
+// Inject runs a frame through the pipeline as if it had been received on
+// inPort. It is the switch-side half of an OpenFlow packet-out with
+// in-port semantics.
+func (s *Switch) Inject(inPort uint32, data []byte) {
+	s.process(inPort, netdev.Frame{Data: data})
+}
+
+// Output transmits a frame directly out of a port, bypassing the pipeline:
+// the switch-side half of a plain OpenFlow packet-out.
+func (s *Switch) Output(port uint32, data []byte) {
+	s.sendOut(port, data)
+}
+
+// Dump renders the flow tables like `ovs-ofctl dump-flows` for debugging.
+func (s *Switch) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "switch %s dpid=%#x ports=%v misses=%d\n", s.name, s.dpid, s.Ports(), s.Misses())
+	for _, e := range s.Flows() {
+		fmt.Fprintf(&b, "  %v\n", e)
+	}
+	return b.String()
+}

@@ -1,0 +1,322 @@
+// Package un (Universal Node) is the public API of this reproduction of
+// "Modeling Native Software Components as Virtual Network Functions"
+// (SIGCOMM 2016): an NFV compute node that deploys Network Function
+// Forwarding Graphs over virtual machines, Docker containers, DPDK
+// processes and — the paper's contribution — Native Network Functions
+// (NNFs), i.e. functions already shipped by the node's operating system.
+//
+// A Node bundles the node services of the paper's Figure 1: the local
+// orchestrator with per-graph Logical Switch Instances steered over an
+// OpenFlow-style control channel, the compute manager with one driver per
+// execution technology, the NNF manager (plugins, sharability via traffic
+// marks, single-interface adaptation layer, network-namespace isolation),
+// the VNF repository, the image store and the resource ledger.
+//
+// Quickstart:
+//
+//	node, err := un.NewNode(un.Config{Interfaces: []string{"eth0", "eth1"}})
+//	...
+//	err = node.Deploy(graph)      // graph is a *un.Graph (NF-FG)
+//	lan, _ := node.InterfacePort("eth0")
+//
+// See examples/ for complete programs and cmd/un-orchestrator for the
+// daemon exposing the REST interface.
+package un
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/compute"
+	"repro/internal/execenv"
+	"repro/internal/imagestore"
+	"repro/internal/netdev"
+	"repro/internal/netns"
+	"repro/internal/nf"
+	"repro/internal/nffg"
+	"repro/internal/nnf"
+	"repro/internal/orchestrator"
+	"repro/internal/pcap"
+	"repro/internal/repository"
+	"repro/internal/resources"
+	"repro/internal/rest"
+)
+
+// Re-exported NF-FG model types: the vocabulary callers use to describe
+// services.
+type (
+	// Graph is a Network Function Forwarding Graph.
+	Graph = nffg.Graph
+	// NF is one network function of a graph.
+	NF = nffg.NF
+	// NFPort is one port of an NF.
+	NFPort = nffg.NFPort
+	// Endpoint is a graph attachment point.
+	Endpoint = nffg.Endpoint
+	// FlowRule is one big-switch steering rule.
+	FlowRule = nffg.FlowRule
+	// RuleMatch is a rule's traffic selector.
+	RuleMatch = nffg.RuleMatch
+	// RuleAction is one rule action.
+	RuleAction = nffg.RuleAction
+	// PortRef references an NF port or endpoint inside a graph.
+	PortRef = nffg.PortRef
+	// Technology selects an execution technology.
+	Technology = nffg.Technology
+	// Topology is the live Figure-1 view of the node.
+	Topology = orchestrator.Topology
+)
+
+// Endpoint types.
+const (
+	EPInterface = nffg.EPInterface
+	EPVLAN      = nffg.EPVLAN
+	EPInternal  = nffg.EPInternal
+)
+
+// Execution technologies.
+const (
+	TechAny    = nffg.TechAny
+	TechVM     = nffg.TechVM
+	TechDocker = nffg.TechDocker
+	TechDPDK   = nffg.TechDPDK
+	TechNative = nffg.TechNative
+)
+
+// Rule action verbs.
+const (
+	ActOutput    = nffg.ActOutput
+	ActPushVLAN  = nffg.ActPushVLAN
+	ActPopVLAN   = nffg.ActPopVLAN
+	ActSetEthSrc = nffg.ActSetEthSrc
+	ActSetEthDst = nffg.ActSetEthDst
+)
+
+// NFPortRef builds a reference to an NF port.
+func NFPortRef(nfID, portID string) PortRef { return nffg.NFPortRef(nfID, portID) }
+
+// EndpointRef builds a reference to a graph endpoint.
+func EndpointRef(epID string) PortRef { return nffg.EndpointRef(epID) }
+
+// MB is one mebibyte in bytes.
+const MB = 1 << 20
+
+// GB is one gibibyte in bytes.
+const GB = 1 << 30
+
+// Config sizes a Node. The zero value is usable: a two-interface CPE-class
+// node with every capability enabled.
+type Config struct {
+	// Name labels the node (default "un-node").
+	Name string
+	// Interfaces are the physical interface names (default eth0, eth1).
+	Interfaces []string
+	// CPUMillis is the CPU capacity in millicores (default 16000).
+	CPUMillis int
+	// RAMBytes is the memory capacity (default 8 GiB).
+	RAMBytes uint64
+	// Capabilities restricts the node feature set; nil enables
+	// everything ("kvm", "docker", "dpdk" and one "nnf:<name>" per
+	// built-in NNF plugin).
+	Capabilities []string
+	// CostModel overrides the execution-environment cost model; nil uses
+	// the Table-1 calibration.
+	CostModel *execenv.CostModel
+}
+
+// Node is a running NFV compute node.
+type Node struct {
+	orch  *orchestrator.Orchestrator
+	pool  *resources.Pool
+	store *imagestore.Store
+	nnf   *nnf.Manager
+	clock *execenv.VirtualClock
+	rest  *rest.Server
+}
+
+// NewNode assembles a complete compute node.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Name == "" {
+		cfg.Name = "un-node"
+	}
+	if len(cfg.Interfaces) == 0 {
+		cfg.Interfaces = []string{"eth0", "eth1"}
+	}
+	if cfg.CPUMillis == 0 {
+		cfg.CPUMillis = 16000
+	}
+	if cfg.RAMBytes == 0 {
+		cfg.RAMBytes = 8 * GB
+	}
+	model := execenv.Default()
+	if cfg.CostModel != nil {
+		model = *cfg.CostModel
+	}
+
+	store := imagestore.NewStore()
+	if err := repository.DefaultImages(store); err != nil {
+		return nil, err
+	}
+	pool := resources.NewPool(cfg.CPUMillis, cfg.RAMBytes)
+	if cfg.Capabilities == nil {
+		pool.AddCapability("kvm")
+		pool.AddCapability("docker")
+		pool.AddCapability("dpdk")
+		for _, name := range []string{"ipsec", "firewall", "nat", "bridge", "router", "monitor", "shaper"} {
+			pool.AddCapability(resources.Capability("nnf:" + name))
+		}
+	} else {
+		for _, c := range cfg.Capabilities {
+			pool.AddCapability(resources.Capability(c))
+		}
+	}
+	clock := &execenv.VirtualClock{}
+	deps := compute.Deps{
+		NFs:       nf.DefaultRegistry(),
+		Images:    store,
+		Resources: pool,
+		Model:     model,
+		Clock:     clock,
+	}
+	nnfMgr := nnf.NewManager(nnf.Builtins(), netns.NewRegistry(), model, clock)
+	cmgr := compute.NewManager()
+	register := func(d compute.Driver, err error) error {
+		if err != nil {
+			return err
+		}
+		return cmgr.Register(d)
+	}
+	if err := register(compute.NewVMDriver(deps)); err != nil {
+		return nil, err
+	}
+	if err := register(compute.NewDockerDriver(deps)); err != nil {
+		return nil, err
+	}
+	if err := register(compute.NewDPDKDriver(deps)); err != nil {
+		return nil, err
+	}
+	if err := register(compute.NewNativeDriver(deps, nnfMgr)); err != nil {
+		return nil, err
+	}
+	orch, err := orchestrator.New(orchestrator.Config{
+		NodeName:   cfg.Name,
+		Interfaces: cfg.Interfaces,
+		Resources:  pool,
+		Repo:       repository.Default(),
+		Compute:    cmgr,
+		Clock:      clock,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{orch: orch, pool: pool, store: store, nnf: nnfMgr, clock: clock}
+	n.rest = rest.New(orch, pool)
+	return n, nil
+}
+
+// Close undeploys every graph and stops the node.
+func (n *Node) Close() { n.orch.Close() }
+
+// Deploy instantiates a graph on the node.
+func (n *Node) Deploy(g *Graph) error { return n.orch.Deploy(g) }
+
+// Update applies a new version of a deployed graph.
+func (n *Node) Update(g *Graph) error { return n.orch.Update(g) }
+
+// Undeploy removes a deployed graph.
+func (n *Node) Undeploy(id string) error { return n.orch.Undeploy(id) }
+
+// GraphIDs lists the deployed graphs.
+func (n *Node) GraphIDs() []string { return n.orch.GraphIDs() }
+
+// Graph returns the deployed version of a graph.
+func (n *Node) Graph(id string) (*Graph, bool) {
+	d, ok := n.orch.Graph(id)
+	if !ok {
+		return nil, false
+	}
+	return d.Graph, true
+}
+
+// Placements reports the execution technology chosen per NF of a graph.
+func (n *Node) Placements(id string) (map[string]Technology, bool) {
+	d, ok := n.orch.Graph(id)
+	if !ok {
+		return nil, false
+	}
+	out := make(map[string]Technology)
+	for nfID, inst := range d.Instances() {
+		out[nfID] = inst.Technology
+	}
+	return out, true
+}
+
+// InstanceRAM reports the runtime RAM footprint of one NF of a graph.
+func (n *Node) InstanceRAM(graphID, nfID string) (uint64, bool) {
+	d, ok := n.orch.Graph(graphID)
+	if !ok {
+		return 0, false
+	}
+	inst, ok := d.Instances()[nfID]
+	if !ok {
+		return 0, false
+	}
+	return inst.RAM(), true
+}
+
+// InterfacePort returns the outward-facing end of a node interface, used to
+// inject and collect traffic.
+func (n *Node) InterfacePort(name string) (*netdev.Port, bool) {
+	return n.orch.InterfacePort(name)
+}
+
+// Topology captures the live node structure (paper Figure 1).
+func (n *Node) Topology() Topology { return n.orch.Topology() }
+
+// Clock exposes the node's virtual clock; traffic measurements read it.
+func (n *Node) Clock() *execenv.VirtualClock { return n.clock }
+
+// ImageDiskSize reports the on-disk size of an image in the node's catalog
+// (Table 1's "Image size" column), e.g. "ipsec:vm".
+func (n *Node) ImageDiskSize(image string) (uint64, error) {
+	return n.store.ImageDiskSize(image)
+}
+
+// Usage reports the node resource consumption.
+func (n *Node) Usage() (usedCPUMillis, totalCPUMillis int, usedRAM, totalRAM uint64) {
+	return n.pool.Usage()
+}
+
+// CaptureInterface streams the traffic crossing a node interface to w in
+// pcap format (openable with Wireshark/tcpdump). The returned stop function
+// detaches the capture; exactly one capture per interface can be active.
+func (n *Node) CaptureInterface(name string, w io.Writer) (stop func(), err error) {
+	port, ok := n.orch.InterfacePort(name)
+	if !ok {
+		return nil, fmt.Errorf("un: no interface %q", name)
+	}
+	pw := pcap.NewWriter(w)
+	if err := pw.WriteHeader(); err != nil {
+		return nil, err
+	}
+	port.SetTap(func(_ netdev.TapDir, f netdev.Frame) {
+		_ = pw.WritePacket(time.Now(), f.Data)
+	})
+	return func() {
+		port.SetTap(nil)
+		pw.Close()
+	}, nil
+}
+
+// Handler returns the node's REST interface as an http.Handler.
+func (n *Node) Handler() http.Handler { return n.rest }
+
+// ListenAndServe runs the REST interface on addr, blocking.
+func (n *Node) ListenAndServe(addr string) error {
+	if addr == "" {
+		return fmt.Errorf("un: empty listen address")
+	}
+	return http.ListenAndServe(addr, n.rest)
+}
