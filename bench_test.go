@@ -29,6 +29,7 @@ import (
 	"repro/internal/netdev"
 	"repro/internal/nf"
 	"repro/internal/pkt"
+	"repro/internal/vswitch"
 )
 
 func benchName(platform string) string {
@@ -66,6 +67,151 @@ func BenchmarkTable1Throughput(b *testing.B) {
 			b.ReportMetric(rep.MbpsGoodput(), "Mbps-sim")
 			paper := bench.PaperTable1[f.Platform].Mbps
 			b.ReportMetric(paper, "Mbps-paper")
+			b.ReportMetric(node.DatapathCacheStats().HitRate(), "cache-hit-rate")
+		})
+	}
+}
+
+// pipelineRig builds a switch with one injection port (1) and one sink port
+// (2) whose far ends are returned for sending and draining.
+func pipelineRig(b *testing.B) (*vswitch.Switch, *netdev.Port, *netdev.Port) {
+	b.Helper()
+	sw := vswitch.New("bench", 1)
+	in, swIn := netdev.Veth("in", "sw-in")
+	sink, swSink := netdev.Veth("sink", "sw-sink")
+	if err := sw.AddPort(1, swIn); err != nil {
+		b.Fatal(err)
+	}
+	if err := sw.AddPort(2, swSink); err != nil {
+		b.Fatal(err)
+	}
+	// The sink consumes synchronously so no queue fills up.
+	sink.SetHandler(func(f netdev.Frame) { pkt.PutBuffer(f.Data) })
+	return sw, in, sink
+}
+
+func benchFrame(b *testing.B, l4Dst uint16) []byte {
+	b.Helper()
+	f, err := pkt.BuildFrame(pkt.FrameSpec{
+		SrcMAC: pkt.MAC{2, 0, 0, 0, 0, 1}, DstMAC: pkt.MAC{2, 0, 0, 0, 0, 2},
+		SrcIP: pkt.Addr{10, 0, 0, 1}, DstIP: pkt.Addr{10, 0, 0, 2},
+		SrcPort: 40000, DstPort: l4Dst, PayloadLen: 64,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+// BenchmarkPipelineCached isolates the two datapath regimes: "hit" is the
+// steady state of one microflow (every packet replays a cached verdict),
+// "miss" forces a fresh microflow per packet (slow path + verdict insert).
+func BenchmarkPipelineCached(b *testing.B) {
+	b.Run("hit", func(b *testing.B) {
+		sw, in, _ := pipelineRig(b)
+		if err := sw.AddFlow(&vswitch.FlowEntry{
+			Match: vswitch.MatchAll().WithInPort(1), Actions: []vswitch.Action{vswitch.Output(2)},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		data := benchFrame(b, 5001)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = in.Send(netdev.Frame{Data: data})
+		}
+		b.StopTimer()
+		cs := sw.CacheStats()
+		b.ReportMetric(cs.HitRate(), "cache-hit-rate")
+	})
+	b.Run("miss", func(b *testing.B) {
+		sw, in, _ := pipelineRig(b)
+		if err := sw.AddFlow(&vswitch.FlowEntry{
+			Match: vswitch.MatchAll().WithInPort(1), Actions: []vswitch.Action{vswitch.Output(2)},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		data := benchFrame(b, 5001)
+		// Vary the L4 source port (and an IP source octet beyond 64k
+		// iterations) every packet: each is a new microflow.
+		l4SrcOff := pkt.EthernetHeaderLen + pkt.IPv4HeaderLen
+		ipSrcOff := pkt.EthernetHeaderLen + 12
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			data[l4SrcOff] = byte(i >> 8)
+			data[l4SrcOff+1] = byte(i)
+			data[ipSrcOff+2] = byte(i >> 16)
+			_ = in.Send(netdev.Frame{Data: data})
+		}
+		b.StopTimer()
+		cs := sw.CacheStats()
+		b.ReportMetric(cs.HitRate(), "cache-hit-rate")
+	})
+}
+
+// BenchmarkPipelineFlows measures one packet traversing a table holding N
+// flow entries whose match is the last to be reached by the linear slow-path
+// scan — with the microflow cache on (amortized O(1)) and off (O(N) per
+// packet). The cached/uncached ratio at 4096 flows is the headline speedup
+// of the fast-path refactor.
+func BenchmarkPipelineFlows(b *testing.B) {
+	for _, flows := range []int{16, 256, 4096} {
+		flows := flows
+		for _, mode := range []struct {
+			name   string
+			cached bool
+		}{{"cached", true}, {"uncached", false}} {
+			mode := mode
+			b.Run(fmt.Sprintf("%d/%s", flows, mode.name), func(b *testing.B) {
+				sw, in, _ := pipelineRig(b)
+				sw.SetCacheEnabled(mode.cached)
+				for i := 0; i < flows; i++ {
+					err := sw.AddFlow(&vswitch.FlowEntry{
+						Match:   vswitch.MatchAll().WithL4Dst(uint16(1000 + i)),
+						Actions: []vswitch.Action{vswitch.Output(2)},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				// Target the last-scanned entry: the worst case for the
+				// linear slow path.
+				data := benchFrame(b, uint16(1000+flows-1))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_ = in.Send(netdev.Frame{Data: data})
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPipelineBatch contrasts frame-at-a-time injection with the netdev
+// burst path feeding the same pipeline.
+func BenchmarkPipelineBatch(b *testing.B) {
+	for _, batch := range []int{1, 32, 256} {
+		batch := batch
+		b.Run(fmt.Sprintf("batch-%d", batch), func(b *testing.B) {
+			sw, in, _ := pipelineRig(b)
+			if err := sw.AddFlow(&vswitch.FlowEntry{
+				Match: vswitch.MatchAll().WithInPort(1), Actions: []vswitch.Action{vswitch.Output(2)},
+			}); err != nil {
+				b.Fatal(err)
+			}
+			data := benchFrame(b, 5001)
+			burst := make([]netdev.Frame, batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n += batch {
+				for i := range burst {
+					burst[i] = netdev.Frame{Data: data}
+				}
+				if _, err := in.SendBatch(burst); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

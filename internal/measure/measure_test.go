@@ -81,6 +81,78 @@ func TestFlavorOrderingThroughRealChain(t *testing.T) {
 	}
 }
 
+func TestRunBatchSizes(t *testing.T) {
+	// Packet counts that do and do not divide evenly by the burst size,
+	// including frame-at-a-time, must all arrive intact.
+	for _, c := range []struct{ packets, batch int }{
+		{500, 1}, {500, 32}, {17, 5}, {3, 64},
+	} {
+		tx, rx, clock := chain(t, execenv.FlavorNative)
+		rep, err := Run(tx, rx, clock, Spec{Packets: c.packets, Batch: c.batch, FrameSize: 1500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.TxPackets != uint64(c.packets) || rep.RxPackets != uint64(c.packets) {
+			t.Errorf("packets=%d batch=%d: report = %+v", c.packets, c.batch, rep)
+		}
+	}
+}
+
+func TestRunClampsBatchToRxQueue(t *testing.T) {
+	// A collecting ring smaller than the default burst must not cause
+	// tail-drop loss: Run clamps the batch to the ring size.
+	clock := &execenv.VirtualClock{}
+	env, err := execenv.New("fw", execenv.FlavorNative, execenv.Default(), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := nf.NewRuntime("fw", nf.NewFirewall(), env, 2)
+	rt.Start()
+	t.Cleanup(rt.Stop)
+	tx := netdev.NewPortQueueLen("tx", 8)
+	rx := netdev.NewPortQueueLen("rx", 8)
+	if err := netdev.Connect(tx, rt.Port(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := netdev.Connect(rx, rt.Port(1)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(tx, rx, clock, Spec{Packets: 200, FrameSize: 1500}) // Batch defaults to 32 > 8
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LossRate() != 0 {
+		t.Errorf("loss = %v with rx ring 8 (batch not clamped?)", rep.LossRate())
+	}
+}
+
+func TestUnpoolableTemplate(t *testing.T) {
+	// A template whose capacity collides with the frame pool's class must
+	// be reallocated so a pass-through drain can never recycle it.
+	collide := make([]byte, pkt.FrameBufferSize)
+	safe := unpoolable(collide)
+	if cap(safe) == pkt.FrameBufferSize {
+		t.Errorf("cap = %d still pool-class", cap(safe))
+	}
+	if len(safe) != len(collide) {
+		t.Errorf("len = %d, want %d", len(safe), len(collide))
+	}
+	other := make([]byte, 1500)
+	if got := unpoolable(other); &got[0] != &other[0] {
+		t.Error("non-colliding template needlessly copied")
+	}
+	// End-to-end: a pool-class frame size through a pass-through chain
+	// must still measure cleanly.
+	tx, rx, clock := chain(t, execenv.FlavorNative)
+	rep, err := Run(tx, rx, clock, Spec{Packets: 100, FrameSize: pkt.FrameBufferSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RxPackets != 100 || rep.LossRate() != 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
 func TestRunBidirectional(t *testing.T) {
 	a, b, clock := chain(t, execenv.FlavorNative)
 	rep, err := RunBidirectional(a, b, clock, Spec{Packets: 100, FrameSize: 500})

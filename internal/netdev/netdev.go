@@ -8,6 +8,11 @@
 // processing as in a kernel softirq. Otherwise the frame lands in the peer's
 // bounded RX queue, and is dropped (and counted) when the queue is full, as a
 // real NIC ring would.
+//
+// SendBatch delivers whole bursts run-to-completion through the peer's
+// BatchHandler (degrading to per-frame delivery when none is installed),
+// amortizing per-frame synchronization the way NIC RX ring polling does.
+// Frame copies are backed by the shared buffer pool in package pkt.
 package netdev
 
 import (
@@ -15,6 +20,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/pkt"
 )
 
 // MaxHops bounds the number of port traversals of a single frame,
@@ -32,9 +39,11 @@ type Frame struct {
 	Hops int
 }
 
-// Clone returns a deep copy of the frame with the hop count preserved.
+// Clone returns a deep copy of the frame with the hop count preserved. The
+// copy is backed by the shared frame-buffer pool (pkt.GetBuffer); a sink
+// that fully consumes the clone may recycle it with pkt.PutBuffer.
 func (f Frame) Clone() Frame {
-	d := make([]byte, len(f.Data))
+	d := pkt.GetBuffer(len(f.Data))
 	copy(d, f.Data)
 	return Frame{Data: d, Hops: f.Hops}
 }
@@ -54,6 +63,12 @@ func (s Stats) String() string {
 
 // Handler consumes a received frame.
 type Handler func(Frame)
+
+// BatchHandler consumes a burst of received frames run-to-completion. The
+// slice is only valid for the duration of the call; handlers must not retain
+// it (retaining the individual frames' Data is subject to the same ownership
+// rules as Handler).
+type BatchHandler func([]Frame)
 
 // TapDir tells a tap which way a frame crossed the port.
 type TapDir int
@@ -75,6 +90,7 @@ type Port struct {
 	mu      sync.RWMutex
 	peer    *Port
 	handler Handler
+	batch   BatchHandler
 	tap     Tap
 	queue   chan Frame
 	up      bool
@@ -110,6 +126,10 @@ func NewPortQueueLen(name string, queueLen int) *Port {
 // Name returns the port's name.
 func (p *Port) Name() string { return p.name }
 
+// QueueCap returns the capacity of the port's RX queue: the largest burst a
+// handler-less port can absorb without tail-dropping.
+func (p *Port) QueueCap() int { return cap(p.queue) }
+
 // Peer returns the connected peer port, or nil.
 func (p *Port) Peer() *Port {
 	p.mu.RLock()
@@ -137,6 +157,15 @@ func (p *Port) SetHandler(fn Handler) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.handler = fn
+}
+
+// SetBatchHandler installs fn as the synchronous burst receive handler,
+// preferred over the single-frame handler when whole bursts arrive via
+// SendBatch. Passing nil removes it.
+func (p *Port) SetBatchHandler(fn BatchHandler) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.batch = fn
 }
 
 // SetTap installs an observer for frames crossing the port in either
@@ -189,10 +218,67 @@ func (p *Port) Send(f Frame) error {
 	return peer.deliver(f)
 }
 
+// SendBatch transmits a burst of frames out of this port as one unit,
+// amortizing the per-frame synchronization of Send. Each frame's hop count
+// is advanced in place; frames exceeding MaxHops are dropped from the burst.
+// It returns how many frames were handed to the peer and the first error
+// encountered (ErrPortDown and ErrNotConnected fail the whole burst).
+func (p *Port) SendBatch(frames []Frame) (int, error) {
+	if len(frames) == 0 {
+		return 0, nil
+	}
+	p.mu.RLock()
+	peer, up, tap := p.peer, p.up, p.tap
+	p.mu.RUnlock()
+	if tap != nil {
+		for _, f := range frames {
+			tap(TapTx, f)
+		}
+	}
+	if !up {
+		p.txDropped.Add(uint64(len(frames)))
+		return 0, ErrPortDown
+	}
+	if peer == nil {
+		p.txDropped.Add(uint64(len(frames)))
+		return 0, ErrNotConnected
+	}
+	var err error
+	sent := frames
+	dropped := 0
+	for i := range frames {
+		frames[i].Hops++
+		if frames[i].Hops > MaxHops {
+			dropped++
+			err = ErrHopLimit
+		}
+	}
+	if dropped > 0 {
+		p.txDropped.Add(uint64(dropped))
+		kept := make([]Frame, 0, len(frames)-dropped)
+		for _, f := range frames {
+			if f.Hops <= MaxHops {
+				kept = append(kept, f)
+			}
+		}
+		sent = kept
+	}
+	if len(sent) > 0 {
+		var bytes uint64
+		for _, f := range sent {
+			bytes += uint64(len(f.Data))
+		}
+		p.txPackets.Add(uint64(len(sent)))
+		p.txBytes.Add(bytes)
+		peer.deliverBatch(sent)
+	}
+	return len(sent), err
+}
+
 // deliver receives a frame on this port.
 func (p *Port) deliver(f Frame) error {
 	p.mu.RLock()
-	handler, up, tap := p.handler, p.up, p.tap
+	handler, batch, up, tap := p.handler, p.batch, p.up, p.tap
 	p.mu.RUnlock()
 	if tap != nil {
 		tap(TapRx, f)
@@ -209,6 +295,13 @@ func (p *Port) deliver(f Frame) error {
 		handler(f)
 		return nil
 	}
+	if batch != nil {
+		p.rxPackets.Add(1)
+		p.rxBytes.Add(uint64(len(f.Data)))
+		one := [1]Frame{f}
+		batch(one[:])
+		return nil
+	}
 	select {
 	case p.queue <- f:
 		p.rxPackets.Add(1)
@@ -217,6 +310,50 @@ func (p *Port) deliver(f Frame) error {
 	default:
 		p.rxDropped.Add(1)
 		return nil // tail drop is not an error for the sender
+	}
+}
+
+// deliverBatch receives a burst on this port. A batch handler gets the whole
+// burst in one call; otherwise the burst degrades to per-frame delivery.
+func (p *Port) deliverBatch(frames []Frame) {
+	p.mu.RLock()
+	handler, batch, up, tap := p.handler, p.batch, p.up, p.tap
+	p.mu.RUnlock()
+	if tap != nil {
+		for _, f := range frames {
+			tap(TapRx, f)
+		}
+	}
+	if !up {
+		p.rxDropped.Add(uint64(len(frames)))
+		return
+	}
+	if batch != nil {
+		var bytes uint64
+		for _, f := range frames {
+			bytes += uint64(len(f.Data))
+		}
+		p.rxPackets.Add(uint64(len(frames)))
+		p.rxBytes.Add(bytes)
+		batch(frames)
+		return
+	}
+	if handler != nil {
+		for _, f := range frames {
+			p.rxPackets.Add(1)
+			p.rxBytes.Add(uint64(len(f.Data)))
+			handler(f)
+		}
+		return
+	}
+	for _, f := range frames {
+		select {
+		case p.queue <- f:
+			p.rxPackets.Add(1)
+			p.rxBytes.Add(uint64(len(f.Data)))
+		default:
+			p.rxDropped.Add(1)
+		}
 	}
 }
 

@@ -173,6 +173,101 @@ func TestConcurrentSendersAreSafe(t *testing.T) {
 	}
 }
 
+func TestSendBatchSynchronousDelivery(t *testing.T) {
+	a, b := Veth("a", "b")
+	var bursts [][]Frame
+	b.SetBatchHandler(func(fs []Frame) {
+		burst := make([]Frame, len(fs))
+		copy(burst, fs)
+		bursts = append(bursts, burst)
+	})
+	frames := make([]Frame, 10)
+	for i := range frames {
+		frames[i] = Frame{Data: []byte{byte(i)}}
+	}
+	n, err := a.SendBatch(frames)
+	if err != nil || n != 10 {
+		t.Fatalf("SendBatch = %d, %v", n, err)
+	}
+	if len(bursts) != 1 || len(bursts[0]) != 10 {
+		t.Fatalf("batch handler saw %d bursts", len(bursts))
+	}
+	if bursts[0][3].Hops != 1 {
+		t.Errorf("hops = %d, want 1", bursts[0][3].Hops)
+	}
+	st := a.Stats()
+	if st.TxPackets != 10 || st.TxBytes != 10 {
+		t.Errorf("tx stats = %+v", st)
+	}
+	if rst := b.Stats(); rst.RxPackets != 10 {
+		t.Errorf("rx stats = %+v", rst)
+	}
+}
+
+func TestSendBatchFallsBackToSingleHandler(t *testing.T) {
+	a, b := Veth("a", "b")
+	count := 0
+	b.SetHandler(func(Frame) { count++ })
+	if n, err := a.SendBatch(make([]Frame, 7)); err != nil || n != 7 {
+		t.Fatalf("SendBatch = %d, %v", n, err)
+	}
+	if count != 7 {
+		t.Errorf("handler ran %d times, want 7", count)
+	}
+}
+
+func TestSendBatchQueueOverflow(t *testing.T) {
+	a := NewPort("a")
+	b := NewPortQueueLen("b", 3)
+	if err := Connect(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := a.SendBatch(make([]Frame, 8)); err != nil || n != 8 {
+		t.Fatalf("SendBatch = %d, %v", n, err)
+	}
+	st := b.Stats()
+	if st.RxPackets != 3 || st.RxDropped != 5 {
+		t.Errorf("stats = %+v, want 3 rx / 5 dropped", st)
+	}
+}
+
+func TestSendBatchErrors(t *testing.T) {
+	p := NewPort("lonely")
+	if _, err := p.SendBatch(make([]Frame, 2)); err != ErrNotConnected {
+		t.Errorf("err = %v, want ErrNotConnected", err)
+	}
+	if p.Stats().TxDropped != 2 {
+		t.Error("whole burst should count as tx-dropped")
+	}
+	a, _ := Veth("a", "b")
+	a.SetUp(false)
+	if _, err := a.SendBatch(make([]Frame, 2)); err != ErrPortDown {
+		t.Errorf("err = %v, want ErrPortDown", err)
+	}
+	if n, err := a.SendBatch(nil); n != 0 || err != nil {
+		t.Errorf("empty batch = %d, %v", n, err)
+	}
+}
+
+func TestSendBatchHopLimitDropsOnlyViolators(t *testing.T) {
+	a, b := Veth("a", "b")
+	frames := []Frame{
+		{Data: []byte("ok")},
+		{Data: []byte("looped"), Hops: MaxHops},
+		{Data: []byte("ok2")},
+	}
+	n, err := a.SendBatch(frames)
+	if err != ErrHopLimit {
+		t.Errorf("err = %v, want ErrHopLimit", err)
+	}
+	if n != 2 {
+		t.Errorf("sent = %d, want 2", n)
+	}
+	if st := b.Stats(); st.RxPackets != 2 {
+		t.Errorf("peer received %d", st.RxPackets)
+	}
+}
+
 func TestStatsString(t *testing.T) {
 	a, b := Veth("a", "b")
 	_ = a.Send(Frame{Data: make([]byte, 100)})

@@ -184,6 +184,71 @@ func waitFrame(t *testing.T, p *netdev.Port, what string) {
 	}
 }
 
+func TestCacheStatsRPC(t *testing.T) {
+	sw := vswitch.New("lsi", 1)
+	hostA, swA := netdev.Veth("ha", "swa")
+	hostB, swB := netdev.Veth("hb", "swb")
+	_ = sw.AddPort(1, swA)
+	_ = sw.AddPort(2, swB)
+	ctrl := pair(t, sw)
+
+	err := ctrl.InstallFlow(0, 10, 1, vswitch.MatchAll().WithInPort(1),
+		[]vswitch.Action{vswitch.Output(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	data := testFrame(t)
+	for i := 0; i < 4; i++ {
+		if err := hostA.Send(netdev.Frame{Data: data}); err != nil {
+			t.Fatal(err)
+		}
+		hostB.TryRecv()
+	}
+	cs, err := ctrl.CacheStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Misses != 1 || cs.Hits != 3 {
+		t.Errorf("cache stats over the wire = %+v, want 3 hits / 1 miss", cs)
+	}
+	if cs.Entries != 1 || !cs.Enabled {
+		t.Errorf("cache stats = %+v", cs)
+	}
+	// A flow-mod through the control channel must advance the generation
+	// (the switch-side invalidation hook).
+	before := cs.Generation
+	if err := ctrl.DeleteFlows(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	cs, err = ctrl.CacheStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Generation <= before {
+		t.Errorf("generation = %d after flow-mod, want > %d", cs.Generation, before)
+	}
+}
+
+func TestCacheStatsCodecRoundTrip(t *testing.T) {
+	in := CacheStats{Hits: 7, Misses: 3, Entries: 2, Generation: 9, Enabled: true}
+	out, err := ParseCacheStatsReply(EncodeCacheStatsReply(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip = %+v, want %+v", out, in)
+	}
+	if _, err := ParseCacheStatsReply(make([]byte, 10)); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
 func TestEcho(t *testing.T) {
 	ctrl := pair(t, vswitch.New("lsi", 1))
 	if err := ctrl.Echo([]byte("ping-payload")); err != nil {

@@ -207,6 +207,21 @@ func (o *Orchestrator) Close() {
 // LSI0 returns the base switch, for inspection.
 func (o *Orchestrator) LSI0() *vswitch.Switch { return o.lsi0.sw }
 
+// CacheStats aggregates the microflow-cache counters of LSI-0 and every
+// graph LSI: the node-level fast-path figure reported next to flow stats.
+func (o *Orchestrator) CacheStats() vswitch.CacheStats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	agg := o.lsi0.sw.CacheStats()
+	for _, d := range o.graphs {
+		cs := d.lsi.sw.CacheStats()
+		agg.Hits += cs.Hits
+		agg.Misses += cs.Misses
+		agg.Entries += cs.Entries
+	}
+	return agg
+}
+
 // InterfacePort returns the outward-facing peer of a physical interface;
 // tests and traffic generators send and receive node traffic through it.
 func (o *Orchestrator) InterfacePort(name string) (*netdev.Port, bool) {

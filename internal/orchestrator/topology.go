@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/vswitch"
 )
 
 // Topology is a snapshot of the node's runtime object graph — the live
@@ -15,12 +17,25 @@ type Topology struct {
 	Graphs     []GraphInfo
 }
 
-// LSIInfo describes one switch.
+// LSIInfo describes one switch, including its fast-path microflow-cache
+// counters alongside the flow-table size.
 type LSIInfo struct {
 	Name  string
 	DPID  uint64
 	Ports []uint32
 	Flows int
+	Cache vswitch.CacheStats
+}
+
+// lsiInfo snapshots one switch into an LSIInfo.
+func lsiInfo(sw *vswitch.Switch) LSIInfo {
+	return LSIInfo{
+		Name:  sw.Name(),
+		DPID:  sw.DPID(),
+		Ports: sw.Ports(),
+		Flows: len(sw.Flows()),
+		Cache: sw.CacheStats(),
+	}
 }
 
 // GraphInfo describes one deployed graph.
@@ -46,12 +61,7 @@ func (o *Orchestrator) Topology() Topology {
 	t := Topology{
 		NodeName:   o.cfg.NodeName,
 		Interfaces: append([]string(nil), o.cfg.Interfaces...),
-		LSI0: LSIInfo{
-			Name:  o.lsi0.sw.Name(),
-			DPID:  o.lsi0.sw.DPID(),
-			Ports: o.lsi0.sw.Ports(),
-			Flows: len(o.lsi0.sw.Flows()),
-		},
+		LSI0:       lsiInfo(o.lsi0.sw),
 	}
 	ids := make([]string, 0, len(o.graphs))
 	for id := range o.graphs {
@@ -61,13 +71,8 @@ func (o *Orchestrator) Topology() Topology {
 	for _, id := range ids {
 		d := o.graphs[id]
 		gi := GraphInfo{
-			ID: id,
-			LSI: LSIInfo{
-				Name:  d.lsi.sw.Name(),
-				DPID:  d.lsi.sw.DPID(),
-				Ports: d.lsi.sw.Ports(),
-				Flows: len(d.lsi.sw.Flows()),
-			},
+			ID:  id,
+			LSI: lsiInfo(d.lsi.sw),
 		}
 		nfIDs := make([]string, 0, len(d.nfs))
 		for nfID := range d.nfs {

@@ -1,0 +1,37 @@
+package pkt
+
+import "sync"
+
+// FrameBufferSize is the capacity class of pooled frame buffers: large
+// enough for an MTU-sized frame plus encapsulation headroom (VLAN tags, ESP
+// tunnel overhead). Requests above this size fall back to the allocator.
+const FrameBufferSize = 2048
+
+var framePool = sync.Pool{
+	New: func() any { return new([FrameBufferSize]byte) },
+}
+
+// GetBuffer returns a length-n byte slice backed by the shared frame-buffer
+// pool when n fits FrameBufferSize, and a fresh allocation otherwise. The
+// contents are unspecified; callers overwrite them. Return pool-backed
+// buffers with PutBuffer once the frame's lifetime is provably over (e.g. a
+// traffic sink that has drained and counted it); buffers that escape into
+// long-lived structures may simply be dropped for the GC.
+func GetBuffer(n int) []byte {
+	if n > FrameBufferSize {
+		return make([]byte, n)
+	}
+	return framePool.Get().(*[FrameBufferSize]byte)[:n]
+}
+
+// PutBuffer recycles a buffer previously handed out by GetBuffer. Buffers of
+// any other capacity class (including exact-size allocations such as
+// serialized packets) are silently ignored, so it is always safe to call on
+// a frame of unknown provenance — but never on one that may still be
+// referenced elsewhere.
+func PutBuffer(b []byte) {
+	if cap(b) != FrameBufferSize {
+		return
+	}
+	framePool.Put((*[FrameBufferSize]byte)(b[0:FrameBufferSize:FrameBufferSize]))
+}

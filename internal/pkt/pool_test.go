@@ -1,0 +1,45 @@
+package pkt
+
+import "testing"
+
+func TestGetBufferSizes(t *testing.T) {
+	small := GetBuffer(64)
+	if len(small) != 64 || cap(small) != FrameBufferSize {
+		t.Errorf("small = len %d cap %d", len(small), cap(small))
+	}
+	exact := GetBuffer(FrameBufferSize)
+	if len(exact) != FrameBufferSize {
+		t.Errorf("exact = len %d", len(exact))
+	}
+	big := GetBuffer(FrameBufferSize + 1)
+	if len(big) != FrameBufferSize+1 {
+		t.Errorf("big = len %d", len(big))
+	}
+	PutBuffer(small)
+	PutBuffer(exact)
+	PutBuffer(big) // foreign capacity class: must be a silent no-op
+}
+
+func TestPutBufferIgnoresForeignBuffers(t *testing.T) {
+	PutBuffer(nil)
+	PutBuffer(make([]byte, 10))
+	PutBuffer(make([]byte, 4096))
+	// A recycled buffer must come back usable at any size.
+	b := GetBuffer(100)
+	for i := range b {
+		b[i] = 0xab
+	}
+	PutBuffer(b)
+	c := GetBuffer(200)
+	if len(c) != 200 || cap(c) != FrameBufferSize {
+		t.Errorf("reused buffer = len %d cap %d", len(c), cap(c))
+	}
+}
+
+func BenchmarkGetPutBuffer(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := GetBuffer(1500)
+		PutBuffer(buf)
+	}
+}

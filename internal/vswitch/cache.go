@@ -1,0 +1,154 @@
+package vswitch
+
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// The microflow cache memoizes the outcome of a complete multi-table
+// pipeline traversal per exact flow key, in the spirit of Open vSwitch's
+// exact-match cache: the first packet of a microflow walks the priority
+// lists of every table (the slow path) and records the sequence of entries
+// it matched; every later packet with the same key replays that sequence
+// without any table lookup.
+//
+// Correctness rests on two facts. First, the matched-entry sequence is a
+// pure function of the initial flow key and the table contents: actions
+// mutate the packet (and reparse the key) deterministically, so identical
+// input keys traverse identical entries. Second, every mutation of the
+// lookup state (flow add/delete, port attach/detach) bumps a generation
+// counter AFTER publishing the new state; a verdict records the generation
+// read BEFORE its traversal and is only served while the two still agree,
+// so a verdict computed against stale tables can never validate.
+
+const (
+	// cacheShardCount shards the exact-match map to keep concurrent
+	// senders off each other's locks. Must be a power of two.
+	cacheShardCount = 64
+	// cacheShardMax bounds one shard; an overflowing shard is reset
+	// wholesale (it is a cache — losing entries only costs a slow-path
+	// walk).
+	cacheShardMax = 4096
+)
+
+// cacheVerdict is the memoized outcome of one slow-path traversal.
+type cacheVerdict struct {
+	// gen is the invalidation generation the traversal ran under.
+	gen uint64
+	// entries are the flow entries matched, one per visited table.
+	entries []*FlowEntry
+	// missTable is the table that missed, or -1 when the pipeline ended
+	// through its action list.
+	missTable int
+}
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[flowKey]*cacheVerdict
+}
+
+// microflowCache is the sharded exact-match flow cache of one Switch.
+type microflowCache struct {
+	seed    maphash.Seed
+	gen     atomic.Uint64
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	enabled atomic.Bool
+	shards  [cacheShardCount]cacheShard
+}
+
+func newMicroflowCache() *microflowCache {
+	c := &microflowCache{seed: maphash.MakeSeed()}
+	c.enabled.Store(true)
+	return c
+}
+
+func (c *microflowCache) shard(k flowKey) *cacheShard {
+	return &c.shards[maphash.Comparable(c.seed, k)&(cacheShardCount-1)]
+}
+
+// get returns the cached verdict for k if it is still valid under gen.
+func (c *microflowCache) get(k flowKey, gen uint64) *cacheVerdict {
+	sh := c.shard(k)
+	sh.mu.RLock()
+	v := sh.m[k]
+	sh.mu.RUnlock()
+	if v == nil || v.gen != gen {
+		return nil
+	}
+	return v
+}
+
+// put installs a verdict, resetting the shard when it outgrows its bound.
+func (c *microflowCache) put(k flowKey, v *cacheVerdict) {
+	sh := c.shard(k)
+	sh.mu.Lock()
+	if sh.m == nil || len(sh.m) >= cacheShardMax {
+		sh.m = make(map[flowKey]*cacheVerdict, 64)
+	}
+	sh.m[k] = v
+	sh.mu.Unlock()
+}
+
+// invalidate retires every cached verdict in O(1) by advancing the
+// generation. Stale entries linger until overwritten or their shard resets,
+// but can never be served again.
+func (c *microflowCache) invalidate() {
+	c.gen.Add(1)
+}
+
+func (c *microflowCache) entryCount() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// CacheStats is a snapshot of a switch's microflow-cache counters.
+type CacheStats struct {
+	// Hits counts packets fully served by a cached verdict.
+	Hits uint64
+	// Misses counts packets that took the slow path (counted only while
+	// the cache is enabled).
+	Misses uint64
+	// Entries is the number of resident verdicts, valid or stale.
+	Entries int
+	// Generation is the current invalidation generation.
+	Generation uint64
+	// Enabled reports whether the cache is in use.
+	Enabled bool
+}
+
+// HitRate returns the fraction of cache-eligible packets served from the
+// cache, in [0,1].
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// CacheStats returns a snapshot of the switch's microflow-cache counters.
+func (s *Switch) CacheStats() CacheStats {
+	return CacheStats{
+		Hits:       s.cache.hits.Load(),
+		Misses:     s.cache.misses.Load(),
+		Entries:    s.cache.entryCount(),
+		Generation: s.cache.gen.Load(),
+		Enabled:    s.cache.enabled.Load(),
+	}
+}
+
+// SetCacheEnabled switches the microflow cache on or off. Disabling sends
+// every packet down the slow path; it exists for ablation benchmarks and
+// debugging. Flow-mods keep advancing the generation while disabled, so
+// re-enabling never serves verdicts from an older table state.
+func (s *Switch) SetCacheEnabled(on bool) {
+	s.cache.enabled.Store(on)
+}

@@ -7,6 +7,11 @@
 // a later table, with a 64-bit metadata register carried between tables.
 // A table miss invokes the configurable miss policy (drop, or punt to the
 // controller as a packet-in).
+//
+// The per-packet path is lock-free: flow tables and ports are copy-on-write
+// snapshots, and a sharded exact-match microflow cache (cache.go) memoizes
+// the pipeline verdict per flow key, invalidated by generation on every
+// flow-mod or port change.
 package vswitch
 
 import (

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/netdev"
+	"repro/internal/pkt"
 )
 
 // DefaultTables is the number of flow tables a switch starts with.
@@ -69,19 +70,41 @@ func (e *FlowEntry) String() string {
 		e.Table, e.Priority, e.Cookie, e.Match, strings.Join(acts, ","), p, b)
 }
 
+// tableSet is one immutable copy-on-write snapshot of the flow tables. The
+// packet path loads it once per packet; mutators build a fresh snapshot
+// under mu and publish it atomically.
+type tableSet struct {
+	tables [][]*FlowEntry // per table, sorted by priority descending
+}
+
+// portTable is the immutable copy-on-write snapshot of the attached ports.
+type portTable struct {
+	ports map[uint32]*netdev.Port
+}
+
 // Switch is one Logical Switch Instance: a multi-table flow pipeline over a
 // set of numbered ports.
+//
+// The per-packet path is lock-free: flow tables and the port table are
+// published as immutable snapshots through atomic pointers, the miss policy
+// and packet-in handler are atomics, and the pipeline verdict for each exact
+// flow key is memoized in a sharded microflow cache (see cache.go). Writers
+// serialize on mu, clone-and-swap the affected snapshot, then advance the
+// cache generation so no stale verdict survives a flow-mod or port change.
 type Switch struct {
-	name string
-	dpid uint64
+	name    string
+	dpid    uint64
+	nTables int
 
-	mu       sync.RWMutex
-	ports    map[uint32]*netdev.Port
-	tables   [][]*FlowEntry // per table, sorted by priority descending
-	miss     MissPolicy
-	onPktIn  PacketInHandler
-	nTables  int
-	flowGen  atomic.Uint64 // monotonic id for stable sort of equal priorities
+	mu sync.Mutex // serializes mutators; readers never take it
+
+	tables  atomic.Pointer[tableSet]
+	ports   atomic.Pointer[portTable]
+	miss    atomic.Int32 // MissPolicy
+	onPktIn atomic.Pointer[PacketInHandler]
+
+	cache *microflowCache
+
 	misses   atomic.Uint64
 	pipeline atomic.Uint64 // packets processed
 }
@@ -94,13 +117,15 @@ func NewTables(name string, dpid uint64, n int) *Switch {
 	if n < 1 {
 		n = 1
 	}
-	return &Switch{
+	s := &Switch{
 		name:    name,
 		dpid:    dpid,
-		ports:   make(map[uint32]*netdev.Port),
-		tables:  make([][]*FlowEntry, n),
 		nTables: n,
+		cache:   newMicroflowCache(),
 	}
+	s.tables.Store(&tableSet{tables: make([][]*FlowEntry, n)})
+	s.ports.Store(&portTable{ports: make(map[uint32]*netdev.Port)})
+	return s
 }
 
 // Name returns the switch name.
@@ -114,31 +139,44 @@ func (s *Switch) NumTables() int { return s.nTables }
 
 // SetMissPolicy configures the table-miss behaviour.
 func (s *Switch) SetMissPolicy(p MissPolicy) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.miss = p
+	s.miss.Store(int32(p))
 }
 
 // SetPacketInHandler installs the controller callback for packet-in events.
 func (s *Switch) SetPacketInHandler(fn PacketInHandler) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.onPktIn = fn
+	if fn == nil {
+		s.onPktIn.Store(nil)
+		return
+	}
+	s.onPktIn.Store(&fn)
 }
 
 // AddPort attaches a netdev port under the given OpenFlow port number
-// (>= 1). Frames received on the port enter the pipeline at table 0.
+// (>= 1). Frames received on the port enter the pipeline at table 0, singly
+// or as whole bursts via the netdev batch path.
 func (s *Switch) AddPort(num uint32, p *netdev.Port) error {
 	if num == 0 {
 		return fmt.Errorf("vswitch: port number 0 is reserved")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, exists := s.ports[num]; exists {
+	cur := s.ports.Load().ports
+	if _, exists := cur[num]; exists {
 		return fmt.Errorf("vswitch: port %d already present on %s", num, s.name)
 	}
-	s.ports[num] = p
+	next := make(map[uint32]*netdev.Port, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[num] = p
+	s.ports.Store(&portTable{ports: next})
+	s.cache.invalidate()
 	p.SetHandler(func(f netdev.Frame) { s.process(num, f) })
+	p.SetBatchHandler(func(fs []netdev.Frame) {
+		for i := range fs {
+			s.process(num, fs[i])
+		}
+	})
 	return nil
 }
 
@@ -146,28 +184,34 @@ func (s *Switch) AddPort(num uint32, p *netdev.Port) error {
 func (s *Switch) RemovePort(num uint32) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	p, exists := s.ports[num]
+	cur := s.ports.Load().ports
+	p, exists := cur[num]
 	if !exists {
 		return fmt.Errorf("vswitch: port %d not present on %s", num, s.name)
 	}
 	p.SetHandler(nil)
-	delete(s.ports, num)
+	p.SetBatchHandler(nil)
+	next := make(map[uint32]*netdev.Port, len(cur)-1)
+	for k, v := range cur {
+		if k != num {
+			next[k] = v
+		}
+	}
+	s.ports.Store(&portTable{ports: next})
+	s.cache.invalidate()
 	return nil
 }
 
 // Port returns the netdev port with the given number, or nil.
 func (s *Switch) Port(num uint32) *netdev.Port {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.ports[num]
+	return s.ports.Load().ports[num]
 }
 
 // Ports returns the attached port numbers, sorted.
 func (s *Switch) Ports() []uint32 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	nums := make([]uint32, 0, len(s.ports))
-	for n := range s.ports {
+	ports := s.ports.Load().ports
+	nums := make([]uint32, 0, len(ports))
+	for n := range ports {
 		nums = append(nums, n)
 	}
 	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
@@ -176,7 +220,9 @@ func (s *Switch) Ports() []uint32 {
 
 // AddFlow installs a flow entry. Entries in one table are matched in
 // priority order (highest first); among equal priorities the oldest entry
-// wins, as in OpenFlow.
+// wins, as in OpenFlow. The tables are copy-on-write: the entry becomes
+// visible to the packet path with one atomic snapshot swap, after which the
+// microflow cache is invalidated.
 func (s *Switch) AddFlow(e *FlowEntry) error {
 	if e.Table < 0 || e.Table >= s.nTables {
 		return fmt.Errorf("vswitch: table %d out of range [0,%d)", e.Table, s.nTables)
@@ -188,10 +234,17 @@ func (s *Switch) AddFlow(e *FlowEntry) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	t := append(s.tables[e.Table], e)
+	cur := s.tables.Load().tables
+	next := make([][]*FlowEntry, len(cur))
+	copy(next, cur)
+	t := make([]*FlowEntry, len(cur[e.Table])+1)
+	copy(t, cur[e.Table])
+	t[len(t)-1] = e
 	// Stable: sort.SliceStable keeps insertion order among equal priorities.
 	sort.SliceStable(t, func(i, j int) bool { return t[i].Priority > t[j].Priority })
-	s.tables[e.Table] = t
+	next[e.Table] = t
+	s.tables.Store(&tableSet{tables: next})
+	s.cache.invalidate()
 	return nil
 }
 
@@ -200,9 +253,11 @@ func (s *Switch) AddFlow(e *FlowEntry) error {
 func (s *Switch) DeleteFlows(cookie uint64) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	cur := s.tables.Load().tables
+	next := make([][]*FlowEntry, len(cur))
 	removed := 0
-	for ti, t := range s.tables {
-		kept := t[:0]
+	for ti, t := range cur {
+		kept := make([]*FlowEntry, 0, len(t))
 		for _, e := range t {
 			if e.Cookie == cookie {
 				removed++
@@ -210,8 +265,13 @@ func (s *Switch) DeleteFlows(cookie uint64) int {
 				kept = append(kept, e)
 			}
 		}
-		s.tables[ti] = kept
+		next[ti] = kept
 	}
+	if removed == 0 {
+		return 0
+	}
+	s.tables.Store(&tableSet{tables: next})
+	s.cache.invalidate()
 	return removed
 }
 
@@ -220,20 +280,20 @@ func (s *Switch) DeleteFlows(cookie uint64) int {
 func (s *Switch) DeleteAllFlows() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	cur := s.tables.Load().tables
 	removed := 0
-	for ti, t := range s.tables {
+	for _, t := range cur {
 		removed += len(t)
-		s.tables[ti] = nil
 	}
+	s.tables.Store(&tableSet{tables: make([][]*FlowEntry, len(cur))})
+	s.cache.invalidate()
 	return removed
 }
 
 // Flows returns all installed entries in table then priority order.
 func (s *Switch) Flows() []*FlowEntry {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []*FlowEntry
-	for _, t := range s.tables {
+	for _, t := range s.tables.Load().tables {
 		out = append(out, t...)
 	}
 	return out
@@ -245,7 +305,9 @@ func (s *Switch) Misses() uint64 { return s.misses.Load() }
 // PacketsProcessed returns the count of frames that entered the pipeline.
 func (s *Switch) PacketsProcessed() uint64 { return s.pipeline.Load() }
 
-// process runs one received frame through the pipeline.
+// process runs one received frame through the pipeline: a microflow-cache
+// hit replays the memoized verdict; anything else walks the tables and, if
+// the cache is enabled, records the traversal for the next packet.
 func (s *Switch) process(inPort uint32, f netdev.Frame) {
 	s.pipeline.Add(1)
 	var key flowKey
@@ -253,13 +315,48 @@ func (s *Switch) process(inPort uint32, f netdev.Frame) {
 		s.misses.Add(1)
 		return
 	}
-	ctx := actionContext{data: f.Data, key: &key, gotoTable: 0}
+	if !s.cache.enabled.Load() {
+		s.runPipeline(inPort, f.Data, &key, 0, false)
+		return
+	}
+	// Read the generation before the tables: a concurrent flow-mod swaps
+	// the snapshot first and bumps the generation second, so a verdict
+	// recorded under an old generation can never describe new tables.
+	gen := s.cache.gen.Load()
+	if v := s.cache.get(key, gen); v != nil {
+		s.cache.hits.Add(1)
+		s.replay(inPort, f.Data, &key, v)
+		return
+	}
+	s.cache.misses.Add(1)
+	key0 := key // pristine copy: actions mutate the key during traversal
+	if v := s.runPipeline(inPort, f.Data, &key, gen, true); v != nil {
+		s.cache.put(key0, v)
+	}
+}
+
+// runPipeline is the slow path: a full multi-table traversal over the
+// current table snapshot. With record set it returns the traversal as a
+// cacheable verdict.
+func (s *Switch) runPipeline(inPort uint32, data []byte, key *flowKey, gen uint64, record bool) *cacheVerdict {
+	tables := s.tables.Load().tables
+	ctx := actionContext{data: data, key: key, gotoTable: 0}
+	var matched []*FlowEntry
+	if record {
+		matched = make([]*FlowEntry, 0, s.nTables)
+	}
 	table := 0
 	for table < s.nTables {
-		entry := s.lookup(table, &key)
+		entry := lookupEntry(tables[table], key)
 		if entry == nil {
 			s.missAction(inPort, table, ctx.data)
-			return
+			if record {
+				return &cacheVerdict{gen: gen, entries: matched, missTable: table}
+			}
+			return nil
+		}
+		if record {
+			matched = append(matched, entry)
 		}
 		entry.packets.Add(1)
 		entry.bytes.Add(uint64(len(ctx.data)))
@@ -269,17 +366,39 @@ func (s *Switch) process(inPort uint32, f netdev.Frame) {
 			a.apply(s, &ctx)
 		}
 		if ctx.gotoTable < 0 {
-			return // pipeline ends; Output actions already ran
+			break // pipeline ends; Output actions already ran
 		}
 		table = ctx.gotoTable
 	}
+	if record {
+		return &cacheVerdict{gen: gen, entries: matched, missTable: -1}
+	}
+	return nil
 }
 
-// lookup finds the highest-priority matching entry in a table.
-func (s *Switch) lookup(table int, key *flowKey) *FlowEntry {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, e := range s.tables[table] {
+// replay re-applies a memoized traversal to one packet: per matched entry it
+// bumps the hit counters and runs the action list, exactly as the slow path
+// would, then finishes with the recorded table miss if there was one.
+func (s *Switch) replay(inPort uint32, data []byte, key *flowKey, v *cacheVerdict) {
+	ctx := actionContext{data: data, key: key, gotoTable: -1}
+	for _, e := range v.entries {
+		e.packets.Add(1)
+		e.bytes.Add(uint64(len(ctx.data)))
+		ctx.tableID = e.Table
+		ctx.gotoTable = -1
+		for _, a := range e.Actions {
+			a.apply(s, &ctx)
+		}
+	}
+	if v.missTable >= 0 {
+		s.missAction(inPort, v.missTable, ctx.data)
+	}
+}
+
+// lookupEntry finds the highest-priority matching entry in one table's
+// priority-sorted entry list.
+func lookupEntry(entries []*FlowEntry, key *flowKey) *FlowEntry {
+	for _, e := range entries {
 		if e.Match.matches(key) {
 			return e
 		}
@@ -289,48 +408,42 @@ func (s *Switch) lookup(table int, key *flowKey) *FlowEntry {
 
 func (s *Switch) missAction(inPort uint32, table int, data []byte) {
 	s.misses.Add(1)
-	s.mu.RLock()
-	policy := s.miss
-	s.mu.RUnlock()
-	if policy == MissController {
+	if MissPolicy(s.miss.Load()) == MissController {
 		s.packetIn(inPort, table, ReasonMiss, data)
 	}
 }
 
 func (s *Switch) packetIn(inPort uint32, table int, reason PacketInReason, data []byte) {
-	s.mu.RLock()
-	fn := s.onPktIn
-	s.mu.RUnlock()
-	if fn != nil {
-		d := make([]byte, len(data))
-		copy(d, data)
-		fn(PacketIn{InPort: inPort, TableID: table, Reason: reason, Data: d})
+	fn := s.onPktIn.Load()
+	if fn == nil {
+		return
 	}
+	d := pkt.GetBuffer(len(data))
+	copy(d, data)
+	(*fn)(PacketIn{InPort: inPort, TableID: table, Reason: reason, Data: d})
 }
 
-// sendOut transmits data on the given port number. Unknown ports drop.
+// sendOut transmits data on the given port number. Unknown ports drop. The
+// copy is pool-backed; the final consumer may recycle it with pkt.PutBuffer.
 func (s *Switch) sendOut(num uint32, data []byte) {
-	s.mu.RLock()
-	p := s.ports[num]
-	s.mu.RUnlock()
+	p := s.ports.Load().ports[num]
 	if p == nil {
 		return
 	}
-	d := make([]byte, len(data))
+	d := pkt.GetBuffer(len(data))
 	copy(d, data)
 	_ = p.Send(netdev.Frame{Data: d})
 }
 
 // flood transmits data on every port except the ingress.
 func (s *Switch) flood(inPort uint32, data []byte) {
-	s.mu.RLock()
-	nums := make([]uint32, 0, len(s.ports))
-	for n := range s.ports {
+	ports := s.ports.Load().ports
+	nums := make([]uint32, 0, len(ports))
+	for n := range ports {
 		if n != inPort {
 			nums = append(nums, n)
 		}
 	}
-	s.mu.RUnlock()
 	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
 	for _, n := range nums {
 		s.sendOut(n, data)
@@ -353,7 +466,9 @@ func (s *Switch) Output(port uint32, data []byte) {
 // Dump renders the flow tables like `ovs-ofctl dump-flows` for debugging.
 func (s *Switch) Dump() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "switch %s dpid=%#x ports=%v misses=%d\n", s.name, s.dpid, s.Ports(), s.Misses())
+	cs := s.CacheStats()
+	fmt.Fprintf(&b, "switch %s dpid=%#x ports=%v misses=%d cache_hits=%d cache_misses=%d\n",
+		s.name, s.dpid, s.Ports(), s.Misses(), cs.Hits, cs.Misses)
 	for _, e := range s.Flows() {
 		fmt.Fprintf(&b, "  %v\n", e)
 	}

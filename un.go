@@ -19,6 +19,12 @@
 //	err = node.Deploy(graph)      // graph is a *un.Graph (NF-FG)
 //	lan, _ := node.InterfacePort("eth0")
 //
+// The datapath of every LSI runs an exact-match microflow cache in front of
+// its multi-table pipeline; per-switch cache counters (hits, misses,
+// resident entries) are exported through Topology, the OpenFlow control
+// channel (CACHE_STATS), and Node.DatapathCacheStats, next to the classic
+// per-entry flow stats.
+//
 // See examples/ for complete programs and cmd/un-orchestrator for the
 // daemon exposing the REST interface.
 package un
@@ -42,6 +48,7 @@ import (
 	"repro/internal/repository"
 	"repro/internal/resources"
 	"repro/internal/rest"
+	"repro/internal/vswitch"
 )
 
 // Re-exported NF-FG model types: the vocabulary callers use to describe
@@ -67,6 +74,8 @@ type (
 	Technology = nffg.Technology
 	// Topology is the live Figure-1 view of the node.
 	Topology = orchestrator.Topology
+	// CacheStats is a snapshot of datapath microflow-cache counters.
+	CacheStats = vswitch.CacheStats
 )
 
 // Endpoint types.
@@ -274,6 +283,11 @@ func (n *Node) InterfacePort(name string) (*netdev.Port, bool) {
 
 // Topology captures the live node structure (paper Figure 1).
 func (n *Node) Topology() Topology { return n.orch.Topology() }
+
+// DatapathCacheStats aggregates the microflow-cache counters of every LSI on
+// the node (LSI-0 plus one per deployed graph): the hit rate of the
+// fast-path datapath serving the node's traffic.
+func (n *Node) DatapathCacheStats() CacheStats { return n.orch.CacheStats() }
 
 // Clock exposes the node's virtual clock; traffic measurements read it.
 func (n *Node) Clock() *execenv.VirtualClock { return n.clock }
