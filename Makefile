@@ -1,0 +1,46 @@
+# Local mirror of .github/workflows/ci.yml: `make ci` runs the same
+# pipeline the CI matrix runs (lint, build, race tests, bench smoke).
+# Referenced from .claude/skills/verify/SKILL.md.
+
+GO ?= go
+
+.PHONY: ci lint fmt vet staticcheck build test race bench-smoke clean
+
+ci: lint build race bench-smoke
+
+lint: fmt vet staticcheck
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# staticcheck is optional locally: run it when installed, otherwise note
+# the skip (CI always runs it).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Table1Throughput|PipelineCached' \
+		-benchtime=1x -json . > bench-smoke.json
+	@echo "wrote bench-smoke.json"
+
+clean:
+	rm -f bench-smoke.json

@@ -12,6 +12,9 @@
 //	BenchmarkAblationAdaptationLayer/{direct,adapted}     A2
 //	BenchmarkAblationPacketPath/{flavor}-{size}           A3
 //	BenchmarkAblationStartupLatency/{...}                 A4
+//	BenchmarkGlobalFleetDeployment                        multi-node control plane
+//	BenchmarkCrossNodeThroughput                          multi-node datapath
+//	BenchmarkGlobalReconcile                              reconcile-pass cost
 //
 // Simulated figures are emitted as custom metrics (Mbps-sim, MB, ms-sim);
 // wall-clock ns/op measures this Go implementation itself.
@@ -25,6 +28,7 @@ import (
 	un "repro"
 	"repro/internal/bench"
 	"repro/internal/execenv"
+	"repro/internal/global"
 	"repro/internal/measure"
 	"repro/internal/netdev"
 	"repro/internal/nf"
@@ -497,5 +501,152 @@ func BenchmarkAblationStartupLatency(b *testing.B) {
 			}
 			b.ReportMetric(lastMs, "ms-sim")
 		})
+	}
+}
+
+// multiNodeFleet assembles the 3-node line fleet used by the global
+// orchestrator benchmarks: lan on n1, wan on n3, patched trunk links.
+func multiNodeFleet(b *testing.B, cpuMillis int) (*global.Orchestrator, map[string]*un.Node, func()) {
+	b.Helper()
+	caps := []string{"docker", "nnf:firewall", "nnf:monitor", "nnf:bridge"}
+	mk := func(name string, ifaces []string) *un.Node {
+		n, err := un.NewNode(un.Config{
+			Name: name, Interfaces: ifaces,
+			CPUMillis: cpuMillis, RAMBytes: 1 << 30, Capabilities: caps,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return n
+	}
+	nodes := map[string]*un.Node{
+		"n1": mk("n1", []string{"lan", "x12"}),
+		"n2": mk("n2", []string{"x12", "x23"}),
+		"n3": mk("n3", []string{"x23", "wan"}),
+	}
+	orch := global.New(global.Config{})
+	for _, name := range []string{"n1", "n2", "n3"} {
+		if err := orch.AddNode(global.NewLocalNode(name, nodes[name])); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var unpatch []func()
+	patch := func(a, bn, iface string) {
+		pa, _ := nodes[a].InterfacePort(iface)
+		pb, _ := nodes[bn].InterfacePort(iface)
+		unpatch = append(unpatch, global.Patch(pa, pb))
+		if err := orch.Link(a, iface, bn, iface); err != nil {
+			b.Fatal(err)
+		}
+	}
+	patch("n1", "n2", "x12")
+	patch("n2", "n3", "x23")
+	cleanup := func() {
+		for _, u := range unpatch {
+			u()
+		}
+		for _, n := range nodes {
+			n.Close()
+		}
+	}
+	return orch, nodes, cleanup
+}
+
+// globalChain builds the linear firewall/monitor/bridge chain between lan
+// and wan used by the multi-node benchmarks.
+func globalChain(id string, nfs int) *un.Graph {
+	templates := []string{"firewall", "monitor", "bridge"}
+	g := &un.Graph{ID: id}
+	for i := 0; i < nfs; i++ {
+		g.NFs = append(g.NFs, un.NF{
+			ID:    fmt.Sprintf("nf%d", i),
+			Name:  templates[i%len(templates)],
+			Ports: []un.NFPort{{ID: "0"}, {ID: "1"}},
+		})
+	}
+	g.Endpoints = []un.Endpoint{
+		{ID: "lan", Type: un.EPInterface, Interface: "lan"},
+		{ID: "wan", Type: un.EPInterface, Interface: "wan"},
+	}
+	prev := un.EndpointRef("lan")
+	for i := 0; i < nfs; i++ {
+		g.Rules = append(g.Rules, un.FlowRule{
+			ID: fmt.Sprintf("r%d", i), Priority: 10,
+			Match:   un.RuleMatch{PortIn: prev},
+			Actions: []un.RuleAction{{Type: un.ActOutput, Output: un.NFPortRef(fmt.Sprintf("nf%d", i), "0")}},
+		})
+		prev = un.NFPortRef(fmt.Sprintf("nf%d", i), "1")
+	}
+	g.Rules = append(g.Rules, un.FlowRule{
+		ID: "r-out", Priority: 10,
+		Match:   un.RuleMatch{PortIn: prev},
+		Actions: []un.RuleAction{{Type: un.ActOutput, Output: un.EndpointRef("wan")}},
+	})
+	return g
+}
+
+// BenchmarkGlobalFleetDeployment measures the global control plane: placing
+// a 6-NF chain over a 3-node fleet (bin-packing, splitting, stitching,
+// per-node deployment) and tearing it down again.
+func BenchmarkGlobalFleetDeployment(b *testing.B) {
+	orch, _, cleanup := multiNodeFleet(b, 250)
+	defer cleanup()
+	g := globalChain("svc", 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := orch.Deploy(g); err != nil {
+			b.Fatal(err)
+		}
+		if err := orch.Undeploy("svc"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCrossNodeThroughput measures the datapath across the fleet: MTU
+// frames entering n1, traversing the 6-NF chain over two inter-node
+// stitches, leaving n3.
+func BenchmarkCrossNodeThroughput(b *testing.B) {
+	orch, nodes, cleanup := multiNodeFleet(b, 250)
+	defer cleanup()
+	if err := orch.Deploy(globalChain("svc", 6)); err != nil {
+		b.Fatal(err)
+	}
+	frame := pkt.MustBuildFrame(pkt.FrameSpec{
+		SrcMAC: pkt.MAC{2, 0, 0, 0, 0, 1}, DstMAC: pkt.MAC{2, 0, 0, 0, 0, 2},
+		SrcIP: pkt.Addr{10, 0, 0, 1}, DstIP: pkt.Addr{10, 0, 0, 2},
+		SrcPort: 40000, DstPort: 5001, PayloadLen: 1400,
+	})
+	lan, _ := nodes["n1"].InterfacePort("lan")
+	wan, _ := nodes["n3"].InterfacePort("wan")
+	received := 0
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := lan.Send(netdev.Frame{Data: frame}); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := wan.TryRecv(); ok {
+			received++
+		}
+	}
+	b.StopTimer()
+	if received != b.N {
+		b.Fatalf("delivered %d of %d frames across the fleet", received, b.N)
+	}
+}
+
+// BenchmarkGlobalReconcile measures one steady-state reconcile pass over a
+// healthy 3-node fleet carrying one spanning graph: the fixed cost of the
+// availability machinery.
+func BenchmarkGlobalReconcile(b *testing.B) {
+	orch, _, cleanup := multiNodeFleet(b, 250)
+	defer cleanup()
+	if err := orch.Deploy(globalChain("svc", 6)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		orch.ReconcileOnce()
 	}
 }

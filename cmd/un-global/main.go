@@ -1,0 +1,80 @@
+// Command un-global runs the global orchestrator daemon: one control plane
+// over a fleet of Universal Nodes (each a cmd/un-orchestrator daemon).
+// Nodes register over the REST interface (or with -node at startup), inter-
+// node links are declared with POST /links, and NF-FGs submitted with PUT
+// /NF-FG/{id} are partitioned across the fleet by the resource-aware
+// placement scheduler. A reconcile loop probes node health and reschedules
+// graphs off dead nodes.
+//
+// Usage:
+//
+//	un-global [-listen :9090] [-probe 2s]
+//	          [-node name=http://host:8080 ...]
+//
+// Example:
+//
+//	un-orchestrator -listen :8081 -name n1 -interfaces lan,trunk &
+//	un-orchestrator -listen :8082 -name n2 -interfaces trunk,wan &
+//	un-global -listen :9090 -node n1=http://127.0.0.1:8081 \
+//	                        -node n2=http://127.0.0.1:8082
+//	curl -X POST :9090/links -d '{"a-node":"n1","a-if":"trunk",
+//	                              "b-node":"n2","b-if":"trunk"}'
+//	curl -X PUT :9090/NF-FG/svc -d @graph.json
+//	curl :9090/NF-FG/svc/placement
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/global"
+	"repro/internal/rest"
+)
+
+// nodeFlags collects repeated -node name=url flags.
+type nodeFlags []struct{ name, url string }
+
+func (n *nodeFlags) String() string { return fmt.Sprintf("%v", *n) }
+
+func (n *nodeFlags) Set(v string) error {
+	name, url, ok := strings.Cut(v, "=")
+	if !ok || name == "" || url == "" {
+		return fmt.Errorf("want name=url, got %q", v)
+	}
+	*n = append(*n, struct{ name, url string }{name, url})
+	return nil
+}
+
+func main() {
+	var nodes nodeFlags
+	var (
+		listen = flag.String("listen", ":9090", "REST listen address")
+		probe  = flag.Duration("probe", 2*time.Second, "health-probe and reconcile interval")
+	)
+	flag.Var(&nodes, "node", "pre-register a node as name=url (repeatable)")
+	flag.Parse()
+
+	orch := global.New(global.Config{
+		ProbeInterval: *probe,
+		Logf:          log.Printf,
+	})
+	client := &http.Client{Timeout: 5 * time.Second}
+	for _, n := range nodes {
+		if err := orch.AddNode(global.NewHTTPNode(n.name, n.url, client)); err != nil {
+			log.Fatalf("un-global: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "un-global: node %q registered at %s\n", n.name, n.url)
+	}
+	orch.Start()
+	defer orch.Close()
+
+	fmt.Fprintf(os.Stderr, "un-global: REST listening on %s (probe every %v)\n", *listen, *probe)
+	if err := http.ListenAndServe(*listen, rest.NewGlobal(orch, client)); err != nil {
+		log.Fatalf("un-global: %v", err)
+	}
+}

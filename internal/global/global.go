@@ -1,0 +1,782 @@
+package global
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/nffg"
+	"repro/internal/repository"
+)
+
+// Config sizes the global orchestrator.
+type Config struct {
+	// Repo resolves NF templates for demand estimation; nil uses the
+	// default catalog.
+	Repo *repository.Repository
+	// ProbeInterval is the health-probe and reconcile period (default 2s).
+	ProbeInterval time.Duration
+	// Logf receives reconcile-loop events; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// member is one managed node plus the orchestrator's view of it.
+type member struct {
+	node   Node
+	alive  bool
+	last   Status
+	probed time.Time
+}
+
+// deployment is one global graph: the desired NF-FG plus its current
+// partition across the fleet.
+type deployment struct {
+	desired  *nffg.Graph
+	subs     map[string]*nffg.Graph // node name -> subgraph
+	stitches []stitch
+	pl       Placement
+}
+
+// Orchestrator is the global orchestrator: it owns the desired graph set,
+// partitions each graph across the registered Universal Nodes, and runs the
+// reconcile loop converging observed node state onto the desired state.
+type Orchestrator struct {
+	cfg Config
+
+	mu      sync.Mutex
+	members map[string]*member
+	links   []Link
+	graphs  map[string]*deployment
+	alloc   *vlanAlloc
+	// pending records subgraphs that could not be removed from an
+	// unreachable node (node name -> graph ids); the reconcile loop
+	// retires them when the node comes back.
+	pending map[string]map[string]bool
+	// parked holds stitch VLANs that cannot be returned to the allocator
+	// yet because an unreachable node may still be tagging traffic with
+	// them; each entry is released once every node it waits on has had
+	// its leftover subgraphs retired.
+	parked []*parkedStitches
+
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	started bool
+}
+
+// New builds a global orchestrator. Call Start to run the reconcile loop.
+func New(cfg Config) *Orchestrator {
+	if cfg.Repo == nil {
+		cfg.Repo = repository.Default()
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Orchestrator{
+		cfg:     cfg,
+		members: make(map[string]*member),
+		graphs:  make(map[string]*deployment),
+		alloc:   newVLANAlloc(),
+		pending: make(map[string]map[string]bool),
+	}
+}
+
+// deferRemoval remembers that node still holds (a piece of) graph id and
+// could not be told to drop it; the reconcile loop retries when the node is
+// reachable again. Callers hold o.mu.
+func (o *Orchestrator) deferRemoval(node, id string) {
+	set := o.pending[node]
+	if set == nil {
+		set = make(map[string]bool)
+		o.pending[node] = set
+	}
+	set[id] = true
+}
+
+// parkedStitches is a set of stitch VLANs whose release waits on nodes that
+// could not be told to drop the subgraphs using them.
+type parkedStitches struct {
+	stitches []stitch
+	waiting  map[string]bool // node names still to be cleaned
+}
+
+// retireStitches returns a partition's stitch VLANs to the allocator — but
+// only when no unreachable node may still be running them. blocked names
+// the nodes whose subgraph removal was deferred: with any present, the
+// VLANs are parked and released by the reconcile loop after those nodes'
+// leftovers are retired (a parked VLAN merely narrows the stitch space;
+// reusing it while a partitioned node still tags traffic would cross-wire
+// two graphs). Callers hold o.mu.
+func (o *Orchestrator) retireStitches(stitches []stitch, blocked map[string]bool) {
+	if len(stitches) == 0 {
+		return
+	}
+	if len(blocked) == 0 {
+		o.releaseStitches(stitches)
+		return
+	}
+	waiting := make(map[string]bool, len(blocked))
+	for n := range blocked {
+		waiting[n] = true
+	}
+	o.parked = append(o.parked, &parkedStitches{stitches: stitches, waiting: waiting})
+	o.cfg.Logf("global: parking %d stitch(es) until %v are cleaned", len(stitches), blocked)
+}
+
+// nodeCleaned tells the parking lot that node no longer holds any leftover
+// subgraphs; entries with no nodes left to wait on release their VLANs.
+// Callers hold o.mu.
+func (o *Orchestrator) nodeCleaned(node string) {
+	kept := o.parked[:0]
+	for _, p := range o.parked {
+		delete(p.waiting, node)
+		if len(p.waiting) == 0 {
+			o.releaseStitches(p.stitches)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	o.parked = kept
+}
+
+// AddNode registers a node with the fleet. The node is probed immediately
+// and must be reachable.
+func (o *Orchestrator) AddNode(n Node) error {
+	st, err := n.Status()
+	if err != nil {
+		return fmt.Errorf("global: registering %q: %w", n.Name(), err)
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, dup := o.members[n.Name()]; dup {
+		return fmt.Errorf("global: node %q already registered", n.Name())
+	}
+	o.members[n.Name()] = &member{node: n, alive: true, last: st, probed: time.Now()}
+	return nil
+}
+
+// RemoveNode withdraws a node. Graphs with subgraphs on it are rescheduled
+// on the next reconcile pass.
+func (o *Orchestrator) RemoveNode(name string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	m, ok := o.members[name]
+	if !ok {
+		return fmt.Errorf("global: node %q not registered", name)
+	}
+	delete(o.members, name)
+	// Best-effort cleanup of anything we placed there.
+	for _, dep := range o.graphs {
+		if _, here := dep.subs[name]; here {
+			_ = m.node.Undeploy(dep.desired.ID)
+		}
+	}
+	return nil
+}
+
+// Link declares an inter-node connection the stitcher may use. Both nodes
+// must be registered and expose the named interface.
+func (o *Orchestrator) Link(aNode, aIf, bNode, bIf string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, side := range []struct{ node, iface string }{{aNode, aIf}, {bNode, bIf}} {
+		m, ok := o.members[side.node]
+		if !ok {
+			return fmt.Errorf("global: link: node %q not registered", side.node)
+		}
+		found := false
+		for _, i := range m.last.Interfaces {
+			if i == side.iface {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("global: link: node %q has no interface %q", side.node, side.iface)
+		}
+	}
+	l := Link{A: aNode, AIf: aIf, B: bNode, BIf: bIf}
+	for _, existing := range o.links {
+		if existing.key() == l.key() {
+			return fmt.Errorf("global: link %s already declared", l.key())
+		}
+	}
+	o.links = append(o.links, l)
+	return nil
+}
+
+// NodeInfo is one fleet member's state as reported by ListNodes.
+type NodeInfo struct {
+	Status
+	Alive bool `json:"alive"`
+}
+
+// ListNodes returns the fleet state, sorted by node name.
+func (o *Orchestrator) ListNodes() []NodeInfo {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]NodeInfo, 0, len(o.members))
+	for _, m := range o.members {
+		out = append(out, NodeInfo{Status: m.last, Alive: m.alive})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Links returns the declared inter-node links.
+func (o *Orchestrator) Links() []Link {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]Link(nil), o.links...)
+}
+
+// GraphIDs returns the desired graph set, sorted.
+func (o *Orchestrator) GraphIDs() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]string, 0, len(o.graphs))
+	for id := range o.graphs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Graph returns the desired NF-FG of a deployed global graph.
+func (o *Orchestrator) Graph(id string) (*nffg.Graph, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	dep, ok := o.graphs[id]
+	if !ok {
+		return nil, false
+	}
+	return dep.desired, true
+}
+
+// Placement returns where each NF and endpoint of a graph currently runs.
+func (o *Orchestrator) Placement(id string) (Placement, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	dep, ok := o.graphs[id]
+	if !ok {
+		return Placement{}, false
+	}
+	return dep.pl, true
+}
+
+// refreshAlive re-probes alive nodes so placement decisions run on fresh
+// capacity numbers. Nodes probed within the last half probe-interval are
+// taken as-is (the reconcile tick just visited them); the rest are probed
+// in parallel. A node that fails its probe is marked dead on the spot.
+// Callers hold o.mu.
+func (o *Orchestrator) refreshAlive() {
+	freshFor := o.cfg.ProbeInterval / 2
+	var stale []*member
+	for _, m := range o.members {
+		if m.alive && time.Since(m.probed) >= freshFor {
+			stale = append(stale, m)
+		}
+	}
+	if len(stale) == 0 {
+		return
+	}
+	type result struct {
+		st  Status
+		err error
+	}
+	results := make([]result, len(stale))
+	var wg sync.WaitGroup
+	for i, m := range stale {
+		wg.Add(1)
+		go func(i int, n Node) {
+			defer wg.Done()
+			st, err := n.Status()
+			results[i] = result{st: st, err: err}
+		}(i, m.node)
+	}
+	wg.Wait()
+	for i, m := range stale {
+		m.probed = time.Now()
+		if results[i].err != nil {
+			m.alive = false
+			o.cfg.Logf("global: node %q dead: %v", m.node.Name(), results[i].err)
+			continue
+		}
+		m.last = results[i].st
+	}
+}
+
+// aliveViews snapshots the packing view of every alive node. Callers hold
+// o.mu.
+func (o *Orchestrator) aliveViews() []*nodeView {
+	views := make([]*nodeView, 0, len(o.members))
+	for _, m := range o.members {
+		if m.alive {
+			views = append(views, newNodeView(m.last))
+		}
+	}
+	return views
+}
+
+// partition places and splits a graph over the currently-alive fleet. When
+// re-placing an already-deployed graph, prior names its current partition:
+// the graph's own estimated demand is credited back to the alive nodes
+// holding it, since a node keeping its piece reuses — not doubles — its
+// allocation (the in-place Update reconciles the actual ledger). Callers
+// hold o.mu.
+func (o *Orchestrator) partition(g *nffg.Graph, prior *deployment) (Placement, map[string]*nffg.Graph, []stitch, error) {
+	o.refreshAlive()
+	views := o.aliveViews()
+	if prior != nil {
+		byName := make(map[string]*nodeView, len(views))
+		for _, v := range views {
+			byName[v.name] = v
+		}
+		for node, sub := range prior.subs {
+			v, alive := byName[node]
+			if !alive {
+				continue
+			}
+			for _, n := range sub.NFs {
+				if d, err := estimateDemand(o.cfg.Repo, n); err == nil {
+					v.freeCPU += d.cpuMillis
+					v.freeRAM += d.ram
+				}
+			}
+		}
+	}
+	// Internal-group anchors from the other deployed graphs: an
+	// EPInternal rendezvous only forms when both members share a node.
+	pins := make(map[string]string)
+	for _, dep := range o.graphs {
+		if dep == prior {
+			continue
+		}
+		for _, ep := range dep.desired.Endpoints {
+			if ep.Type != nffg.EPInternal {
+				continue
+			}
+			if node, placed := dep.pl.EPNode[ep.ID]; placed {
+				pins[ep.InternalGroup] = node
+			}
+		}
+	}
+	pl, err := place(g, o.cfg.Repo, views, o.links, pins)
+	if err != nil {
+		return Placement{}, nil, nil, err
+	}
+	subs, stitches, err := splitGraph(g, pl, o.links, o.alloc)
+	if err != nil {
+		return Placement{}, nil, nil, err
+	}
+	return pl, subs, stitches, nil
+}
+
+// releaseStitches frees the VLANs of a partition. Callers hold o.mu.
+func (o *Orchestrator) releaseStitches(stitches []stitch) {
+	for _, st := range stitches {
+		for _, h := range st.hops {
+			o.alloc.release(h.link, h.vlan)
+		}
+	}
+}
+
+// Deploy partitions a graph across the fleet and instantiates every
+// subgraph. On any node failure the already-deployed subgraphs are rolled
+// back.
+func (o *Orchestrator) Deploy(g *nffg.Graph) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, dup := o.graphs[g.ID]; dup {
+		return fmt.Errorf("global: graph %q already deployed (use Update)", g.ID)
+	}
+	return o.deployLocked(g)
+}
+
+// deployLocked is Deploy past validation and the duplicate check. Callers
+// hold o.mu.
+func (o *Orchestrator) deployLocked(g *nffg.Graph) error {
+	pl, subs, stitches, err := o.partition(g, nil)
+	if err != nil {
+		return err
+	}
+	var deployed []string
+	for _, node := range subgraphNodes(subs) {
+		if err := o.members[node].node.Deploy(subs[node]); err != nil {
+			blocked := make(map[string]bool)
+			for _, done := range deployed {
+				if e := o.members[done].node.Undeploy(g.ID); e != nil {
+					o.deferRemoval(done, g.ID)
+					blocked[done] = true
+				}
+			}
+			o.retireStitches(stitches, blocked)
+			return fmt.Errorf("global: deploying %q on %q: %w", g.ID, node, err)
+		}
+		deployed = append(deployed, node)
+	}
+	o.graphs[g.ID] = &deployment{desired: g.Clone(), subs: subs, stitches: stitches, pl: pl}
+	return nil
+}
+
+// Update applies a new version of a global graph: the graph is re-placed
+// over the current fleet, nodes keeping a subgraph get an in-place Update
+// (endpoint restitching included), vacated nodes an Undeploy, new nodes a
+// Deploy.
+func (o *Orchestrator) Update(g *nffg.Graph) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	dep, ok := o.graphs[g.ID]
+	if !ok {
+		return fmt.Errorf("global: graph %q not deployed (use Deploy)", g.ID)
+	}
+	return o.reassign(dep, g)
+}
+
+// Apply deploys g if it is new and updates it otherwise — the REST PUT
+// upsert, decided atomically under the orchestrator lock. The returned flag
+// reports whether the graph already existed.
+func (o *Orchestrator) Apply(g *nffg.Graph) (existed bool, err error) {
+	if err := g.Validate(); err != nil {
+		return false, err
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if dep, ok := o.graphs[g.ID]; ok {
+		return true, o.reassign(dep, g)
+	}
+	return false, o.deployLocked(g)
+}
+
+// reassign moves a deployment onto a fresh partition of graph g computed
+// over the currently-alive fleet. On a node failure mid-apply it reverts
+// the already-updated nodes to their previous subgraphs; the new stitch
+// VLANs are only returned to the allocator once no node is left running
+// them (leaking a VLAN is recoverable, handing it to another graph while a
+// half-updated node still tags traffic with it is not). Callers hold o.mu.
+func (o *Orchestrator) reassign(dep *deployment, g *nffg.Graph) error {
+	pl, subs, stitches, err := o.partition(g, dep)
+	if err != nil {
+		return err
+	}
+	// Vacated nodes first, freeing their capacity and VLAN endpoints.
+	// Nodes that cannot be told to drop their piece block the release of
+	// the old partition's stitch VLANs.
+	var vacated []string
+	blocked := make(map[string]bool)
+	for node := range dep.subs {
+		if _, still := subs[node]; still {
+			continue
+		}
+		vacated = append(vacated, node)
+		m, registered := o.members[node]
+		if !registered || !m.alive {
+			o.deferRemoval(node, g.ID)
+			blocked[node] = true
+			continue
+		}
+		if err := m.node.Undeploy(g.ID); err != nil {
+			o.deferRemoval(node, g.ID)
+			blocked[node] = true
+			o.cfg.Logf("global: undeploying %q from vacated node %q: %v", g.ID, node, err)
+		}
+	}
+	var applied []string
+	for _, node := range subgraphNodes(subs) {
+		m := o.members[node]
+		if _, had := dep.subs[node]; had {
+			err = m.node.Update(subs[node])
+		} else {
+			err = m.node.Deploy(subs[node])
+		}
+		if err != nil {
+			if o.revertReassign(dep, g.ID, applied, vacated) {
+				o.releaseStitches(stitches)
+			} else {
+				o.cfg.Logf("global: partial revert of %q; keeping its stitch VLANs reserved", g.ID)
+			}
+			return fmt.Errorf("global: updating %q on %q: %w", g.ID, node, err)
+		}
+		applied = append(applied, node)
+	}
+	o.retireStitches(dep.stitches, blocked)
+	dep.desired = g.Clone()
+	dep.subs = subs
+	dep.stitches = stitches
+	dep.pl = pl
+	return nil
+}
+
+// revertReassign puts nodes touched by a failed reassign back on their
+// previous subgraphs, best effort. It reports whether every revert
+// succeeded, i.e. whether the aborted partition's VLANs are provably
+// unused. Callers hold o.mu.
+func (o *Orchestrator) revertReassign(dep *deployment, id string, applied, vacated []string) bool {
+	ok := true
+	for _, node := range applied {
+		m, registered := o.members[node]
+		if !registered {
+			ok = false
+			continue
+		}
+		if old, had := dep.subs[node]; had {
+			if err := m.node.Update(old); err != nil {
+				ok = false
+				o.cfg.Logf("global: reverting %q on %q: %v", id, node, err)
+			}
+		} else if err := m.node.Undeploy(id); err != nil {
+			ok = false
+			o.deferRemoval(node, id)
+			o.cfg.Logf("global: reverting %q on %q: %v", id, node, err)
+		}
+	}
+	for _, node := range vacated {
+		m, registered := o.members[node]
+		if !registered || !m.alive {
+			ok = false
+			continue
+		}
+		// If the vacate-time Undeploy never took effect, the old
+		// subgraph is still running: already the state we want (the
+		// reconcile loop clears the deferred removal since the graph is
+		// desired here again).
+		if _, present, err := m.node.GraphSpec(id); err == nil && present {
+			continue
+		}
+		if err := m.node.Deploy(dep.subs[node]); err != nil {
+			ok = false
+			o.cfg.Logf("global: restoring %q on vacated %q: %v", id, node, err)
+		}
+	}
+	return ok
+}
+
+// Undeploy removes a global graph. The desired-state removal always takes
+// effect; a node that cannot be told to drop its piece has the cleanup
+// deferred to the reconcile loop (and blocks reuse of the graph's stitch
+// VLANs until then), which is why node failures are not reported as errors
+// here.
+func (o *Orchestrator) Undeploy(id string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	dep, ok := o.graphs[id]
+	if !ok {
+		return fmt.Errorf("global: graph %q not deployed", id)
+	}
+	blocked := make(map[string]bool)
+	for _, node := range subgraphNodes(dep.subs) {
+		m, registered := o.members[node]
+		if !registered || !m.alive {
+			// Unreachable: remember the leftover so the reconcile loop
+			// retires it when the node returns.
+			o.deferRemoval(node, id)
+			blocked[node] = true
+			continue
+		}
+		if err := m.node.Undeploy(id); err != nil {
+			o.deferRemoval(node, id)
+			blocked[node] = true
+			o.cfg.Logf("global: undeploying %q from %q deferred: %v", id, node, err)
+		}
+	}
+	o.retireStitches(dep.stitches, blocked)
+	delete(o.graphs, id)
+	return nil
+}
+
+// Start launches the reconcile loop.
+func (o *Orchestrator) Start() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.started {
+		return
+	}
+	o.started = true
+	o.stop = make(chan struct{})
+	o.wg.Add(1)
+	go func() {
+		defer o.wg.Done()
+		ticker := time.NewTicker(o.cfg.ProbeInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-o.stop:
+				return
+			case <-ticker.C:
+				o.ReconcileOnce()
+			}
+		}
+	}()
+}
+
+// Close stops the reconcile loop. Deployed graphs are left running.
+func (o *Orchestrator) Close() {
+	o.mu.Lock()
+	if !o.started {
+		o.mu.Unlock()
+		return
+	}
+	o.started = false
+	close(o.stop)
+	o.mu.Unlock()
+	o.wg.Wait()
+}
+
+// ReconcileOnce runs one probe-and-repair pass: every node is health-probed,
+// graphs with subgraphs on dead nodes are rescheduled onto survivors, and
+// per-node drift (missing, stale or diverged subgraphs) is repaired with
+// nffg-diff-driven updates. The background loop calls this every
+// ProbeInterval; tests call it directly.
+func (o *Orchestrator) ReconcileOnce() {
+	// Probe outside the lock: a hung node must not stall the control
+	// plane.
+	o.mu.Lock()
+	probeList := make([]*member, 0, len(o.members))
+	for _, m := range o.members {
+		probeList = append(probeList, m)
+	}
+	o.mu.Unlock()
+	type probeResult struct {
+		m   *member
+		st  Status
+		err error
+	}
+	results := make([]probeResult, len(probeList))
+	var wg sync.WaitGroup
+	for i, m := range probeList {
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			st, err := m.node.Status()
+			results[i] = probeResult{m: m, st: st, err: err}
+		}(i, m)
+	}
+	wg.Wait()
+
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, r := range results {
+		if _, still := o.members[r.m.node.Name()]; !still {
+			continue
+		}
+		wasAlive := r.m.alive
+		r.m.probed = time.Now()
+		if r.err != nil {
+			r.m.alive = false
+			if wasAlive {
+				o.cfg.Logf("global: node %q dead: %v", r.m.node.Name(), r.err)
+			}
+			continue
+		}
+		r.m.alive = true
+		r.m.last = r.st
+		if !wasAlive {
+			o.cfg.Logf("global: node %q back", r.m.node.Name())
+		}
+	}
+
+	// Reschedule graphs stranded on dead (or withdrawn) nodes.
+	ids := make([]string, 0, len(o.graphs))
+	for id := range o.graphs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		dep := o.graphs[id]
+		stranded := false
+		for node := range dep.subs {
+			m, registered := o.members[node]
+			if !registered || !m.alive {
+				stranded = true
+				break
+			}
+		}
+		if stranded {
+			if err := o.reassign(dep, dep.desired); err != nil {
+				o.cfg.Logf("global: rescheduling %q: %v (will retry)", id, err)
+			} else {
+				o.cfg.Logf("global: rescheduled %q onto %v", id, subgraphNodes(dep.subs))
+			}
+			continue
+		}
+		// Drift repair on healthy partitions: redeploy missing
+		// subgraphs, update diverged ones.
+		for node, want := range dep.subs {
+			m := o.members[node]
+			got, present, err := m.node.GraphSpec(id)
+			if err != nil {
+				continue // probe will catch the node next pass
+			}
+			if !present {
+				o.cfg.Logf("global: node %q lost graph %q, redeploying", node, id)
+				if err := m.node.Deploy(want); err != nil {
+					o.cfg.Logf("global: redeploying %q on %q: %v", id, node, err)
+				}
+				continue
+			}
+			if diff := nffg.Compute(got, want); !diff.Empty() {
+				o.cfg.Logf("global: node %q diverged on graph %q, updating", node, id)
+				if err := m.node.Update(want); err != nil {
+					o.cfg.Logf("global: re-updating %q on %q: %v", id, node, err)
+				}
+			}
+		}
+	}
+
+	// Anti-entropy: drop subgraphs of graphs we own from nodes that are
+	// no longer part of the partition (e.g. after a failover the old host
+	// came back holding stale state), and retire deferred removals —
+	// graphs undeployed or moved while their node was unreachable.
+	for _, m := range o.members {
+		if !m.alive {
+			continue
+		}
+		name := m.node.Name()
+		holds := make(map[string]bool, len(m.last.Graphs))
+		for _, gid := range m.last.Graphs {
+			holds[gid] = true
+			dep, ours := o.graphs[gid]
+			if !ours {
+				continue // possibly deferred below, else another tenant's
+			}
+			if _, wanted := dep.subs[name]; !wanted {
+				o.cfg.Logf("global: node %q holds stale graph %q, removing", name, gid)
+				if err := m.node.Undeploy(gid); err == nil {
+					delete(o.pending[name], gid)
+				}
+			}
+		}
+		for gid := range o.pending[name] {
+			if dep, ours := o.graphs[gid]; ours {
+				if _, wanted := dep.subs[name]; wanted {
+					// The graph moved back onto this node after the
+					// removal was deferred: nothing to retire.
+					delete(o.pending[name], gid)
+					continue
+				}
+			}
+			if !holds[gid] {
+				delete(o.pending[name], gid)
+				continue
+			}
+			o.cfg.Logf("global: retiring deferred removal of %q from %q", gid, name)
+			if err := m.node.Undeploy(gid); err == nil {
+				delete(o.pending[name], gid)
+			}
+		}
+		if len(o.pending[name]) == 0 {
+			// Nothing left to retire here: stitch VLANs parked on this
+			// node's cleanup may now be releasable.
+			o.nodeCleaned(name)
+		}
+	}
+}

@@ -1,0 +1,304 @@
+// Package global implements the overarching orchestration layer of the
+// Universal Node architecture (the layer that sits above paper Figure 1):
+// one global orchestrator managing a fleet of compute nodes, each running
+// the existing local orchestrator. An NF-FG submitted here is partitioned
+// across nodes by a resource-aware placement scheduler, cross-node links are
+// stitched with VLAN-tagged inter-node endpoints over the nodes' physical
+// interfaces (GRE-style port pairs over netdev), and a reconcile loop keeps
+// the observed fleet state converged on the desired graph set, rescheduling
+// graphs off nodes that stop answering health probes.
+//
+// Concurrency model: reconcile probes run in parallel outside the
+// orchestrator lock, but graph mutations (Deploy/Update/Undeploy and the
+// repair phase of a reconcile pass) serialize node RPCs under it — one
+// control-plane operation at a time, with per-node HTTP timeouts bounding
+// how long a slow node can hold it. This favors simple, linearizable state
+// over mutation throughput; it fits fleets of tens of nodes, not thousands.
+package global
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/nffg"
+	"repro/internal/orchestrator"
+)
+
+// Status is one node's health, capacity and identity snapshot, as seen by a
+// successful probe. A probe that errors marks the node dead instead.
+type Status struct {
+	Name           string   `json:"name"`
+	FreeCPUMillis  int      `json:"free-cpu-millicores"`
+	TotalCPUMillis int      `json:"total-cpu-millicores"`
+	FreeRAMBytes   uint64   `json:"free-ram-bytes"`
+	TotalRAMBytes  uint64   `json:"total-ram-bytes"`
+	Interfaces     []string `json:"interfaces"`
+	Capabilities   []string `json:"capabilities"`
+	Graphs         []string `json:"graphs"`
+}
+
+// Node is one Universal Node under global management: the local
+// orchestrator's deploy surface plus a health/capacity probe. Implementations
+// must be safe for concurrent use; every method may be called from the
+// reconcile loop.
+type Node interface {
+	// Name is the fleet-unique node identifier.
+	Name() string
+	// Status probes the node. An error marks the node dead.
+	Status() (Status, error)
+	// Deploy instantiates a (sub)graph on the node.
+	Deploy(g *nffg.Graph) error
+	// Update applies a new version of a deployed (sub)graph in place.
+	Update(g *nffg.Graph) error
+	// Undeploy removes a (sub)graph.
+	Undeploy(id string) error
+	// GraphSpec fetches the deployed version of a graph for drift diffing.
+	GraphSpec(id string) (*nffg.Graph, bool, error)
+}
+
+// UniversalNode is the in-process deploy surface of one compute node, as
+// implemented by both *un.Node and *orchestrator.Orchestrator.
+type UniversalNode interface {
+	Deploy(g *nffg.Graph) error
+	Update(g *nffg.Graph) error
+	Undeploy(id string) error
+	GraphIDs() []string
+	GraphSpec(id string) (*nffg.Graph, bool)
+	Topology() orchestrator.Topology
+	Usage() (usedCPU, totalCPU int, usedRAM, totalRAM uint64)
+	Capabilities() []string
+}
+
+// LocalNode adapts an in-process Universal Node to the global orchestrator.
+// SetDown simulates a node failure: every call errors until the node is
+// brought back up, exactly as an unreachable remote node would behave.
+type LocalNode struct {
+	name string
+	un   UniversalNode
+	down atomic.Bool
+}
+
+// NewLocalNode wraps an in-process node under the given fleet name.
+func NewLocalNode(name string, n UniversalNode) *LocalNode {
+	return &LocalNode{name: name, un: n}
+}
+
+// Name implements Node.
+func (l *LocalNode) Name() string { return l.name }
+
+// SetDown marks the node unreachable (true) or reachable (false).
+func (l *LocalNode) SetDown(down bool) { l.down.Store(down) }
+
+func (l *LocalNode) check() error {
+	if l.down.Load() {
+		return fmt.Errorf("global: node %q unreachable", l.name)
+	}
+	return nil
+}
+
+// Status implements Node.
+func (l *LocalNode) Status() (Status, error) {
+	if err := l.check(); err != nil {
+		return Status{}, err
+	}
+	usedCPU, totalCPU, usedRAM, totalRAM := l.un.Usage()
+	topo := l.un.Topology()
+	return Status{
+		Name:           l.name,
+		FreeCPUMillis:  totalCPU - usedCPU,
+		TotalCPUMillis: totalCPU,
+		FreeRAMBytes:   totalRAM - usedRAM,
+		TotalRAMBytes:  totalRAM,
+		Interfaces:     topo.Interfaces,
+		Capabilities:   l.un.Capabilities(),
+		Graphs:         l.un.GraphIDs(),
+	}, nil
+}
+
+// Deploy implements Node.
+func (l *LocalNode) Deploy(g *nffg.Graph) error {
+	if err := l.check(); err != nil {
+		return err
+	}
+	return l.un.Deploy(g)
+}
+
+// Update implements Node.
+func (l *LocalNode) Update(g *nffg.Graph) error {
+	if err := l.check(); err != nil {
+		return err
+	}
+	return l.un.Update(g)
+}
+
+// Undeploy implements Node.
+func (l *LocalNode) Undeploy(id string) error {
+	if err := l.check(); err != nil {
+		return err
+	}
+	return l.un.Undeploy(id)
+}
+
+// GraphSpec implements Node.
+func (l *LocalNode) GraphSpec(id string) (*nffg.Graph, bool, error) {
+	if err := l.check(); err != nil {
+		return nil, false, err
+	}
+	g, ok := l.un.GraphSpec(id)
+	return g, ok, nil
+}
+
+// HTTPNode reaches a remote Universal Node through its northbound REST
+// interface (internal/rest): the deployment path of a production fleet,
+// where each compute node runs cmd/un-orchestrator.
+type HTTPNode struct {
+	name   string
+	base   string // e.g. "http://10.0.0.7:8080", no trailing slash
+	client *http.Client
+}
+
+// NewHTTPNode builds a REST-backed node handle. A nil client gets a
+// 10-second timeout: a hung node must fail its probe, not stall the
+// reconcile loop.
+func NewHTTPNode(name, baseURL string, client *http.Client) *HTTPNode {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
+		baseURL = baseURL[:len(baseURL)-1]
+	}
+	return &HTTPNode{name: name, base: baseURL, client: client}
+}
+
+// Name implements Node.
+func (h *HTTPNode) Name() string { return h.name }
+
+// restStatus mirrors the GET /status reply of internal/rest.
+type restStatus struct {
+	Node         string   `json:"node"`
+	Graphs       []string `json:"graphs"`
+	Capabilities []string `json:"capabilities"`
+	Interfaces   []string `json:"interfaces"`
+	CPU          struct {
+		Used  uint64 `json:"used"`
+		Total uint64 `json:"total"`
+	} `json:"cpu-millicores"`
+	RAM struct {
+		Used  uint64 `json:"used"`
+		Total uint64 `json:"total"`
+	} `json:"ram-bytes"`
+}
+
+// Status implements Node.
+func (h *HTTPNode) Status() (Status, error) {
+	resp, err := h.client.Get(h.base + "/status")
+	if err != nil {
+		return Status{}, fmt.Errorf("global: probing %q: %w", h.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Status{}, fmt.Errorf("global: probing %q: HTTP %d", h.name, resp.StatusCode)
+	}
+	var st restStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return Status{}, fmt.Errorf("global: probing %q: %w", h.name, err)
+	}
+	return Status{
+		Name:           h.name,
+		FreeCPUMillis:  int(st.CPU.Total - st.CPU.Used),
+		TotalCPUMillis: int(st.CPU.Total),
+		FreeRAMBytes:   st.RAM.Total - st.RAM.Used,
+		TotalRAMBytes:  st.RAM.Total,
+		Interfaces:     st.Interfaces,
+		Capabilities:   st.Capabilities,
+		Graphs:         st.Graphs,
+	}, nil
+}
+
+func (h *HTTPNode) put(g *nffg.Graph) error {
+	body, err := json.Marshal(g)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPut, h.base+"/NF-FG/"+g.ID, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("global: deploying %q on %q: %w", g.ID, h.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("global: deploying %q on %q: HTTP %d: %s",
+			g.ID, h.name, resp.StatusCode, readError(resp.Body))
+	}
+	return nil
+}
+
+// Deploy implements Node. The REST PUT verb is deploy-or-update, so Deploy
+// and Update share one implementation.
+func (h *HTTPNode) Deploy(g *nffg.Graph) error { return h.put(g) }
+
+// Update implements Node.
+func (h *HTTPNode) Update(g *nffg.Graph) error { return h.put(g) }
+
+// Undeploy implements Node.
+func (h *HTTPNode) Undeploy(id string) error {
+	req, err := http.NewRequest(http.MethodDelete, h.base+"/NF-FG/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("global: undeploying %q on %q: %w", id, h.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("global: undeploying %q on %q: HTTP %d: %s",
+			id, h.name, resp.StatusCode, readError(resp.Body))
+	}
+	return nil
+}
+
+// GraphSpec implements Node.
+func (h *HTTPNode) GraphSpec(id string) (*nffg.Graph, bool, error) {
+	resp, err := h.client.Get(h.base + "/NF-FG/" + id)
+	if err != nil {
+		return nil, false, fmt.Errorf("global: fetching %q from %q: %w", id, h.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, fmt.Errorf("global: fetching %q from %q: HTTP %d",
+			id, h.name, resp.StatusCode)
+	}
+	var g nffg.Graph
+	if err := json.NewDecoder(resp.Body).Decode(&g); err != nil {
+		return nil, false, err
+	}
+	return &g, true, nil
+}
+
+// readError extracts the {"error": "..."} body of a failed REST call.
+func readError(r io.Reader) string {
+	data, err := io.ReadAll(io.LimitReader(r, 4096))
+	if err != nil {
+		return ""
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return string(bytes.TrimSpace(data))
+}

@@ -1,0 +1,24 @@
+package global
+
+import (
+	"repro/internal/netdev"
+)
+
+// Patch cross-connects two node interfaces in process, building the
+// inter-node transport a Link describes: every frame a node emits on its
+// side of the patch is injected into the peer node's interface, exactly as a
+// GRE tunnel between two Universal Nodes would carry it. Both arguments are
+// the outward-facing ports returned by InterfacePort. The returned function
+// removes the patch (cutting the cable).
+//
+// Delivery is synchronous run-to-completion in the sender's goroutine, like
+// every other hop of the simulated dataplane; forwarding loops across nodes
+// are caught by the netdev hop limit.
+func Patch(a, b *netdev.Port) func() {
+	a.SetHandler(func(f netdev.Frame) { _ = b.Send(f) })
+	b.SetHandler(func(f netdev.Frame) { _ = a.Send(f) })
+	return func() {
+		a.SetHandler(nil)
+		b.SetHandler(nil)
+	}
+}

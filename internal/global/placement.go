@@ -1,0 +1,341 @@
+package global
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/nffg"
+	"repro/internal/repository"
+)
+
+// Placement is the global scheduler's decision for one graph: which node
+// hosts each NF and each endpoint.
+type Placement struct {
+	// NFNode maps NF id -> node name.
+	NFNode map[string]string
+	// EPNode maps endpoint id -> node name.
+	EPNode map[string]string
+}
+
+// Nodes returns the sorted set of nodes the placement spans.
+func (p Placement) Nodes() []string {
+	set := make(map[string]bool)
+	for _, n := range p.NFNode {
+		set[n] = true
+	}
+	for _, n := range p.EPNode {
+		set[n] = true
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// nodeView is the scheduler's working copy of one node's free capacity.
+type nodeView struct {
+	name    string
+	freeCPU int
+	freeRAM uint64
+	caps    map[string]bool
+	ifaces  map[string]bool
+}
+
+func newNodeView(st Status) *nodeView {
+	v := &nodeView{
+		name:    st.Name,
+		freeCPU: st.FreeCPUMillis,
+		freeRAM: st.FreeRAMBytes,
+		caps:    make(map[string]bool, len(st.Capabilities)),
+		ifaces:  make(map[string]bool, len(st.Interfaces)),
+	}
+	for _, c := range st.Capabilities {
+		v.caps[c] = true
+	}
+	for _, i := range st.Interfaces {
+		v.ifaces[i] = true
+	}
+	return v
+}
+
+// nfDemand is the scheduler's resource estimate for one NF: the ledger
+// charge of the cheapest flavor the NF may run as, plus the capability set
+// any hosting node must intersect.
+type nfDemand struct {
+	nf        nffg.NF
+	cpuMillis int
+	ram       uint64
+	// anyOfCaps: the node must offer at least one of these.
+	anyOfCaps []string
+}
+
+// estimateDemand resolves an NF against the repository and derives its
+// bin-packing demand. A pinned technology narrows both the charge and the
+// capability requirement to that flavor; TechAny takes the cheapest flavor's
+// CPU (the local scheduler prefers native, the cheapest, when available).
+func estimateDemand(repo *repository.Repository, n nffg.NF) (nfDemand, error) {
+	tpl, ok := repo.Lookup(n.Name)
+	if !ok {
+		return nfDemand{}, fmt.Errorf("global: NF %q: template %q not in repository", n.ID, n.Name)
+	}
+	d := nfDemand{nf: n, ram: tpl.WorkloadRAM}
+	if n.TechnologyPreference != nffg.TechAny {
+		fl, ok := tpl.Flavors[n.TechnologyPreference]
+		if !ok {
+			return nfDemand{}, fmt.Errorf("global: NF %q: template %q has no %q flavor",
+				n.ID, n.Name, n.TechnologyPreference)
+		}
+		d.cpuMillis = fl.CPUMillis
+		d.anyOfCaps = []string{string(fl.Capability)}
+		return d, nil
+	}
+	first := true
+	for _, tech := range tpl.SupportedTechnologies() {
+		fl := tpl.Flavors[tech]
+		if first || fl.CPUMillis < d.cpuMillis {
+			d.cpuMillis = fl.CPUMillis
+			first = false
+		}
+		d.anyOfCaps = append(d.anyOfCaps, string(fl.Capability))
+	}
+	return d, nil
+}
+
+// canHost reports whether the node view has the capability and capacity for
+// the demand.
+func (v *nodeView) canHost(d nfDemand) bool {
+	capOK := false
+	for _, c := range d.anyOfCaps {
+		if v.caps[c] {
+			capOK = true
+			break
+		}
+	}
+	return capOK && v.freeCPU >= d.cpuMillis && v.freeRAM >= d.ram
+}
+
+func (v *nodeView) charge(d nfDemand) {
+	v.freeCPU -= d.cpuMillis
+	v.freeRAM -= d.ram
+}
+
+// linkSet answers "is there a direct inter-node link between a and b".
+type linkSet map[string]map[string]bool
+
+func newLinkSet(links []Link) linkSet {
+	ls := make(linkSet)
+	add := func(a, b string) {
+		if ls[a] == nil {
+			ls[a] = make(map[string]bool)
+		}
+		ls[a][b] = true
+	}
+	for _, l := range links {
+		add(l.A, l.B)
+		add(l.B, l.A)
+	}
+	return ls
+}
+
+func (ls linkSet) linked(a, b string) bool { return a == b || ls[a][b] }
+
+// adjacencyOrder returns the graph's NFs in chain-walk order: a breadth-first
+// traversal of the rule adjacency starting from NFs wired to endpoints, so
+// that consecutive NFs in the returned slice tend to be chain neighbors and
+// the greedy packer keeps them co-located.
+func adjacencyOrder(g *nffg.Graph) []nffg.NF {
+	// Build adjacency: NF <-> NF and endpoint -> NF edges from rules.
+	adj := make(map[string][]string)   // nf id -> neighbor nf ids
+	epAdj := make(map[string][]string) // ep id -> nf ids
+	addEdge := func(a, b nffg.PortRef) {
+		switch {
+		case a.IsNF() && b.IsNF() && a.NF != b.NF:
+			adj[a.NF] = append(adj[a.NF], b.NF)
+			adj[b.NF] = append(adj[b.NF], a.NF)
+		case a.IsEndpoint() && b.IsNF():
+			epAdj[a.Endpoint] = append(epAdj[a.Endpoint], b.NF)
+		case a.IsNF() && b.IsEndpoint():
+			epAdj[b.Endpoint] = append(epAdj[b.Endpoint], a.NF)
+		}
+	}
+	for _, r := range g.Rules {
+		for _, a := range r.Actions {
+			if a.Type == nffg.ActOutput {
+				addEdge(r.Match.PortIn, a.Output)
+			}
+		}
+	}
+	byID := make(map[string]nffg.NF, len(g.NFs))
+	for _, n := range g.NFs {
+		byID[n.ID] = n
+	}
+	var order []nffg.NF
+	visited := make(map[string]bool, len(g.NFs))
+	var stack []string
+	push := func(id string) {
+		if !visited[id] {
+			visited[id] = true
+			stack = append(stack, id)
+		}
+	}
+	// Seed a depth-first walk from the first endpoint wired to an NF: the
+	// traversal then follows the chain from where traffic enters the
+	// graph, instead of interleaving both ends.
+	for _, ep := range g.Endpoints {
+		if nfs := epAdj[ep.ID]; len(nfs) > 0 {
+			push(nfs[0])
+			break
+		}
+	}
+	for len(order) < len(g.NFs) {
+		if len(stack) == 0 {
+			// Disconnected component: seed from the first unvisited NF.
+			for _, n := range g.NFs {
+				if !visited[n.ID] {
+					push(n.ID)
+					break
+				}
+			}
+		}
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, byID[id])
+		// Push neighbors in reverse so the first-listed neighbor is
+		// visited next.
+		nbs := adj[id]
+		for i := len(nbs) - 1; i >= 0; i-- {
+			push(nbs[i])
+		}
+	}
+	return order
+}
+
+// place partitions a graph across the fleet: endpoints pin to the node
+// owning their interface, then NFs are packed with a greedy chain walk that
+// keeps adjacent NFs co-located and only moves to a directly-linked node
+// when the current node is full — a bin-pack on each node's resource ledger
+// that minimizes inter-node hops.
+//
+// internalPins maps internal-group names to the node already anchoring the
+// group (from other deployed graphs): the EPInternal rendezvous only forms
+// on one node's LSI-0, so both members must land together.
+func place(g *nffg.Graph, repo *repository.Repository, views []*nodeView, links []Link, internalPins map[string]string) (Placement, error) {
+	if len(views) == 0 {
+		return Placement{}, fmt.Errorf("global: no nodes available")
+	}
+	sort.Slice(views, func(i, j int) bool { return views[i].name < views[j].name })
+	byName := make(map[string]*nodeView, len(views))
+	for _, v := range views {
+		byName[v.name] = v
+	}
+	ls := newLinkSet(links)
+	pl := Placement{NFNode: make(map[string]string), EPNode: make(map[string]string)}
+
+	// 1. Pin interface endpoints to the node owning the interface.
+	for _, ep := range g.Endpoints {
+		if ep.Type != nffg.EPInterface && ep.Type != nffg.EPVLAN {
+			continue
+		}
+		placed := false
+		for _, v := range views {
+			if v.ifaces[ep.Interface] {
+				pl.EPNode[ep.ID] = v.name
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return Placement{}, fmt.Errorf("global: graph %q: endpoint %q: no node has interface %q",
+				g.ID, ep.ID, ep.Interface)
+		}
+	}
+
+	// 2. Pack NFs along the chain. The walk starts on the node of the
+	// first pinned endpoint so the head of the chain lands next to its
+	// ingress.
+	cur := ""
+	for _, ep := range g.Endpoints {
+		if n, ok := pl.EPNode[ep.ID]; ok {
+			cur = n
+			break
+		}
+	}
+	for _, n := range adjacencyOrder(g) {
+		d, err := estimateDemand(repo, n)
+		if err != nil {
+			return Placement{}, err
+		}
+		chosen := ""
+		if cur != "" && byName[cur].canHost(d) {
+			chosen = cur
+		} else {
+			// Best-fit, preferring nodes directly linked to the
+			// current one (fewest stitch hops), then any node — the
+			// stitcher can relay through transit nodes. Largest free
+			// CPU wins; the name-sorted view order breaks ties.
+			var best *nodeView
+			bestLinked := false
+			for _, v := range views {
+				if !v.canHost(d) {
+					continue
+				}
+				vLinked := cur == "" || ls.linked(cur, v.name)
+				switch {
+				case best == nil,
+					vLinked && !bestLinked,
+					vLinked == bestLinked && v.freeCPU > best.freeCPU:
+					best = v
+					bestLinked = vLinked
+				}
+			}
+			if best == nil {
+				return Placement{}, fmt.Errorf(
+					"global: graph %q: no node can host NF %q (want %dm CPU, %d B RAM, caps %v)",
+					g.ID, n.ID, d.cpuMillis, d.ram, d.anyOfCaps)
+			}
+			chosen = best.name
+		}
+		byName[chosen].charge(d)
+		pl.NFNode[n.ID] = chosen
+		cur = chosen
+	}
+
+	// 3. Internal endpoints ride with the NF they are wired to — unless
+	// their rendezvous group is already anchored by another graph, which
+	// pins them to that node (stitches carry the traffic there if the
+	// wired NF lives elsewhere).
+	for _, ep := range g.Endpoints {
+		if ep.Type != nffg.EPInternal {
+			continue
+		}
+		if pinned, anchored := internalPins[ep.InternalGroup]; anchored {
+			if _, available := byName[pinned]; !available {
+				return Placement{}, fmt.Errorf(
+					"global: graph %q: endpoint %q: internal group %q is anchored on unavailable node %q",
+					g.ID, ep.ID, ep.InternalGroup, pinned)
+			}
+			pl.EPNode[ep.ID] = pinned
+			continue
+		}
+		node := views[0].name
+		for _, r := range g.Rules {
+			if r.Match.PortIn.IsEndpoint() && r.Match.PortIn.Endpoint == ep.ID {
+				for _, a := range r.Actions {
+					if a.Type == nffg.ActOutput && a.Output.IsNF() {
+						node = pl.NFNode[a.Output.NF]
+					}
+				}
+			}
+			for _, a := range r.Actions {
+				if a.Type == nffg.ActOutput && a.Output.IsEndpoint() && a.Output.Endpoint == ep.ID &&
+					r.Match.PortIn.IsNF() {
+					node = pl.NFNode[r.Match.PortIn.NF]
+				}
+			}
+		}
+		pl.EPNode[ep.ID] = node
+	}
+	return pl, nil
+}

@@ -99,6 +99,14 @@ type epAttachment struct {
 	graphPort uint32
 	// lsi0Port is the LSI-0 side of the virtual link.
 	lsi0Port uint32
+	// cookie tags this endpoint's LSI-0 classification flows, so a single
+	// endpoint can be detached in place during Update without disturbing
+	// the rest of the graph's LSI-0 state.
+	cookie uint64
+	// vlanRegistered records that this attachment claimed its (interface,
+	// VLAN) slot in vlanEPs; detachEndpoint only releases the slot then,
+	// so cleaning up a failed attach cannot evict the rightful owner.
+	vlanRegistered bool
 }
 
 // DeployedGraph is one running service graph.
@@ -152,7 +160,11 @@ type Orchestrator struct {
 
 type groupMember struct {
 	graphID  string
+	epID     string
 	lsi0Port uint32
+	// cookie is the member endpoint's flow cookie; the rendezvous pair
+	// flows live under the cookie of whichever member joined second.
+	cookie uint64
 }
 
 // New builds the orchestrator and its base LSI with the node's physical
@@ -247,6 +259,33 @@ func (o *Orchestrator) Graph(id string) (*DeployedGraph, bool) {
 	defer o.mu.Unlock()
 	d, ok := o.graphs[id]
 	return d, ok
+}
+
+// GraphSpec returns a copy of the deployed NF-FG of a graph, safe to diff
+// against a desired version while the orchestrator keeps running.
+func (o *Orchestrator) GraphSpec(id string) (*nffg.Graph, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	d, ok := o.graphs[id]
+	if !ok {
+		return nil, false
+	}
+	return d.Graph.Clone(), true
+}
+
+// Usage reports the node's resource-ledger consumption.
+func (o *Orchestrator) Usage() (usedCPU, totalCPU int, usedRAM, totalRAM uint64) {
+	return o.cfg.Resources.Usage()
+}
+
+// Capabilities returns the node's capability set as strings.
+func (o *Orchestrator) Capabilities() []string {
+	caps := o.cfg.Resources.Capabilities()
+	out := make([]string, len(caps))
+	for i, c := range caps {
+		out[i] = string(c)
+	}
+	return out
 }
 
 func (o *Orchestrator) nextDPID() uint64 {
@@ -412,8 +451,10 @@ func (o *Orchestrator) attachNF(d *DeployedGraph, att *nfAttachment) error {
 }
 
 // attachEndpoint builds the virtual link between the graph LSI and LSI-0
-// for one endpoint, and installs the LSI-0 classification rules.
-func (o *Orchestrator) attachEndpoint(d *DeployedGraph, ep nffg.Endpoint) (*epAttachment, error) {
+// for one endpoint, and installs the LSI-0 classification rules. On any
+// failure its partial state (ports, flows, bookkeeping) is removed before
+// returning, so a failed in-place Update can be retried without leaking.
+func (o *Orchestrator) attachEndpoint(d *DeployedGraph, ep nffg.Endpoint) (_ *epAttachment, err error) {
 	gSide, zSide := netdev.Veth(
 		fmt.Sprintf("%s.%s/vl", d.Graph.ID, ep.ID),
 		fmt.Sprintf("lsi0/vl-%s-%s", d.Graph.ID, ep.ID),
@@ -424,9 +465,16 @@ func (o *Orchestrator) attachEndpoint(d *DeployedGraph, ep nffg.Endpoint) (*epAt
 	}
 	zPort := o.nextPort(o.lsi0.sw)
 	if err := o.lsi0.sw.AddPort(zPort, zSide); err != nil {
+		netdev.Disconnect(gSide)
+		_ = d.lsi.sw.RemovePort(gPort)
 		return nil, err
 	}
-	att := &epAttachment{ep: ep, graphPort: gPort, lsi0Port: zPort}
+	att := &epAttachment{ep: ep, graphPort: gPort, lsi0Port: zPort, cookie: o.nextCookie()}
+	defer func() {
+		if err != nil {
+			o.detachEndpoint(d, att)
+		}
+	}()
 
 	switch ep.Type {
 	case nffg.EPInterface:
@@ -437,12 +485,12 @@ func (o *Orchestrator) attachEndpoint(d *DeployedGraph, ep nffg.Endpoint) (*epAt
 		}
 		// Classify untagged traffic from the interface to the graph,
 		// and graph egress back out the interface.
-		if err := o.lsi0.ctrl.InstallFlow(0, 100, d.cookie,
+		if err := o.lsi0.ctrl.InstallFlow(0, 100, att.cookie,
 			vswitch.MatchAll().WithInPort(ifPort),
 			[]vswitch.Action{vswitch.Output(zPort)}); err != nil {
 			return nil, err
 		}
-		if err := o.lsi0.ctrl.InstallFlow(0, 100, d.cookie,
+		if err := o.lsi0.ctrl.InstallFlow(0, 100, att.cookie,
 			vswitch.MatchAll().WithInPort(zPort),
 			[]vswitch.Action{vswitch.Output(ifPort)}); err != nil {
 			return nil, err
@@ -460,17 +508,18 @@ func (o *Orchestrator) attachEndpoint(d *DeployedGraph, ep nffg.Endpoint) (*epAt
 		}
 		// Tagged ingress: pop and hand to the graph; egress: push and
 		// send out. VLAN classification outranks plain interface rules.
-		if err := o.lsi0.ctrl.InstallFlow(0, 200, d.cookie,
+		if err := o.lsi0.ctrl.InstallFlow(0, 200, att.cookie,
 			vswitch.MatchAll().WithInPort(ifPort).WithVLAN(ep.VLANID),
 			[]vswitch.Action{vswitch.PopVLAN(), vswitch.Output(zPort)}); err != nil {
 			return nil, err
 		}
-		if err := o.lsi0.ctrl.InstallFlow(0, 200, d.cookie,
+		if err := o.lsi0.ctrl.InstallFlow(0, 200, att.cookie,
 			vswitch.MatchAll().WithInPort(zPort),
 			[]vswitch.Action{vswitch.PushVLAN(ep.VLANID), vswitch.Output(ifPort)}); err != nil {
 			return nil, err
 		}
 		o.vlanEPs[key] = d.Graph.ID
+		att.vlanRegistered = true
 	case nffg.EPInternal:
 		members := o.internalGroups[ep.InternalGroup]
 		if len(members) >= 2 {
@@ -479,24 +528,72 @@ func (o *Orchestrator) attachEndpoint(d *DeployedGraph, ep nffg.Endpoint) (*epAt
 		}
 		if len(members) == 1 {
 			peer := members[0]
-			if err := o.lsi0.ctrl.InstallFlow(0, 150, d.cookie,
+			if err := o.lsi0.ctrl.InstallFlow(0, 150, att.cookie,
 				vswitch.MatchAll().WithInPort(zPort),
 				[]vswitch.Action{vswitch.Output(peer.lsi0Port)}); err != nil {
 				return nil, err
 			}
-			if err := o.lsi0.ctrl.InstallFlow(0, 150, d.cookie,
+			if err := o.lsi0.ctrl.InstallFlow(0, 150, att.cookie,
 				vswitch.MatchAll().WithInPort(peer.lsi0Port),
 				[]vswitch.Action{vswitch.Output(zPort)}); err != nil {
 				return nil, err
 			}
 		}
 		o.internalGroups[ep.InternalGroup] = append(members,
-			groupMember{graphID: d.Graph.ID, lsi0Port: zPort})
+			groupMember{graphID: d.Graph.ID, epID: ep.ID, lsi0Port: zPort, cookie: att.cookie})
 	}
 	if err := o.lsi0.ctrl.Barrier(); err != nil {
 		return nil, err
 	}
 	return att, nil
+}
+
+// detachEndpoint reverses attachEndpoint: it removes the endpoint's LSI-0
+// classification flows, its virtual-link ports on both switches, and the
+// cross-graph bookkeeping. Used by teardown and by in-place endpoint removal
+// during Update.
+func (o *Orchestrator) detachEndpoint(d *DeployedGraph, att *epAttachment) {
+	o.lsi0.sw.DeleteFlows(att.cookie)
+	if p := o.lsi0.sw.Port(att.lsi0Port); p != nil {
+		netdev.Disconnect(p)
+	}
+	_ = o.lsi0.sw.RemovePort(att.lsi0Port)
+	_ = d.lsi.sw.RemovePort(att.graphPort)
+	switch att.ep.Type {
+	case nffg.EPVLAN:
+		if att.vlanRegistered {
+			delete(o.vlanEPs, fmt.Sprintf("%s/%d", att.ep.Interface, att.ep.VLANID))
+		}
+	case nffg.EPInternal:
+		// Touch the group only if this endpoint actually joined it (a
+		// failed attach never did). The rendezvous pair flows live under
+		// the cookie of whichever member joined second; drop every
+		// member's flows so no stale rule keeps pointing at the removed
+		// port.
+		members := o.internalGroups[att.ep.InternalGroup]
+		joined := false
+		for _, m := range members {
+			if m.graphID == d.Graph.ID && m.epID == att.ep.ID {
+				joined = true
+				break
+			}
+		}
+		if !joined {
+			break
+		}
+		kept := members[:0]
+		for _, m := range members {
+			o.lsi0.sw.DeleteFlows(m.cookie)
+			if m.graphID != d.Graph.ID || m.epID != att.ep.ID {
+				kept = append(kept, m)
+			}
+		}
+		if len(kept) == 0 {
+			delete(o.internalGroups, att.ep.InternalGroup)
+		} else {
+			o.internalGroups[att.ep.InternalGroup] = kept
+		}
+	}
 }
 
 // Undeploy removes a graph and all its state.
@@ -544,27 +641,7 @@ func (o *Orchestrator) teardown(d *DeployedGraph) {
 	}
 	// Detach endpoint virtual links from LSI-0 and bookkeeping.
 	for epID, att := range d.eps {
-		if p := o.lsi0.sw.Port(att.lsi0Port); p != nil {
-			netdev.Disconnect(p)
-		}
-		_ = o.lsi0.sw.RemovePort(att.lsi0Port)
-		switch att.ep.Type {
-		case nffg.EPVLAN:
-			delete(o.vlanEPs, fmt.Sprintf("%s/%d", att.ep.Interface, att.ep.VLANID))
-		case nffg.EPInternal:
-			members := o.internalGroups[att.ep.InternalGroup]
-			kept := members[:0]
-			for _, m := range members {
-				if m.graphID != d.Graph.ID {
-					kept = append(kept, m)
-				}
-			}
-			if len(kept) == 0 {
-				delete(o.internalGroups, att.ep.InternalGroup)
-			} else {
-				o.internalGroups[att.ep.InternalGroup] = kept
-			}
-		}
+		o.detachEndpoint(d, att)
 		delete(d.eps, epID)
 	}
 	d.lsi.close()
@@ -648,9 +725,35 @@ func (o *Orchestrator) Update(g *nffg.Graph) error {
 			}
 		}
 	}
-	// 4. Endpoints: only rule-neutral changes are supported in place.
-	if len(diff.AddedEPs) > 0 || len(diff.RemovedEPs) > 0 {
-		return fmt.Errorf("orchestrator: update: endpoint changes require redeploy")
+	// 4. Endpoints: removed ones are detached in place (their LSI-0
+	// classification flows are tagged with a per-endpoint cookie), added
+	// ones attached; a changed endpoint appears in the diff as
+	// removed+added under the same id. The global orchestrator leans on
+	// this when it restitches cross-node links after rescheduling.
+	for _, ep := range diff.RemovedEPs {
+		att, exists := d.eps[ep.ID]
+		if !exists {
+			continue
+		}
+		o.detachEndpoint(d, att)
+		delete(d.eps, ep.ID)
+	}
+	for _, ep := range diff.AddedEPs {
+		// Idempotency: a retry of a partially-failed update finds some
+		// additions already attached; attaching them again would
+		// duplicate LSI-0 state.
+		if existing, dup := d.eps[ep.ID]; dup {
+			if existing.ep == ep {
+				continue
+			}
+			o.detachEndpoint(d, existing)
+			delete(d.eps, ep.ID)
+		}
+		att, err := o.attachEndpoint(d, ep)
+		if err != nil {
+			return fmt.Errorf("orchestrator: update: attaching endpoint %q: %w", ep.ID, err)
+		}
+		d.eps[ep.ID] = att
 	}
 	// 5. Recompile steering.
 	d.Graph = g.Clone()

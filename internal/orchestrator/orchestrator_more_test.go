@@ -128,16 +128,48 @@ func TestUpdateFailureKeepsOldGraphRunning(t *testing.T) {
 	}
 }
 
-// TestUpdateEndpointChangeRejected documents the in-place update contract.
-func TestUpdateEndpointChangeRejected(t *testing.T) {
+// TestUpdateEndpointChangeInPlace changes a deployed graph's endpoint from a
+// plain interface to a VLAN sub-interface without redeploying, and verifies
+// the restitched datapath end-to-end: the global scheduler relies on this
+// when it moves cross-node stitches.
+func TestUpdateEndpointChangeInPlace(t *testing.T) {
 	o := newNode(t)
 	if err := o.Deploy(ipsecGraph("g1", nffg.TechNative)); err != nil {
 		t.Fatal(err)
 	}
 	upd := ipsecGraph("g1", nffg.TechNative)
 	upd.Endpoints[1] = nffg.Endpoint{ID: "wan", Type: nffg.EPVLAN, Interface: "eth1", VLANID: 9}
-	if err := o.Update(upd); err == nil {
-		t.Error("endpoint change accepted in-place")
+	if err := o.Update(upd); err != nil {
+		t.Fatalf("in-place endpoint change rejected: %v", err)
+	}
+	// LAN traffic now leaves eth1 tagged with the new endpoint's VLAN.
+	send(t, o, "eth0", clearFrame(t))
+	wire, ok := recv(t, o, "eth1")
+	if !ok {
+		t.Fatal("nothing emitted on the WAN side after endpoint change")
+	}
+	p := pkt.NewPacket(wire, pkt.LayerTypeEthernet, pkt.Default)
+	vlan, isVLAN := p.Layer(pkt.LayerTypeVLAN).(*pkt.VLAN)
+	if !isVLAN {
+		t.Fatalf("WAN traffic not VLAN-tagged after endpoint change: %v", p)
+	}
+	if vlan.VLANID != 9 {
+		t.Errorf("WAN VLAN id = %d, want 9", vlan.VLANID)
+	}
+	// The old untagged classification is gone: tagged return traffic still
+	// reaches the graph, and a second update restoring the interface
+	// endpoint works too.
+	if err := o.Update(ipsecGraph("g1", nffg.TechNative)); err != nil {
+		t.Fatalf("restoring interface endpoint: %v", err)
+	}
+	send(t, o, "eth0", clearFrame(t))
+	wire, ok = recv(t, o, "eth1")
+	if !ok {
+		t.Fatal("nothing emitted after restoring the interface endpoint")
+	}
+	q := pkt.NewPacket(wire, pkt.LayerTypeEthernet, pkt.Default)
+	if q.Layer(pkt.LayerTypeVLAN) != nil {
+		t.Error("WAN traffic still VLAN-tagged after restoring interface endpoint")
 	}
 }
 

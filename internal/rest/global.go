@@ -1,0 +1,205 @@
+// Global REST interface: the northbound API of the global orchestrator
+// (cmd/un-global). Compute nodes running cmd/un-orchestrator register here;
+// NF-FGs submitted here are partitioned across the fleet.
+//
+// Endpoints:
+//
+//	POST   /nodes         register a node {name, url}
+//	GET    /nodes         fleet state (per-node status + liveness)
+//	DELETE /nodes/{name}  withdraw a node
+//	POST   /links         declare an inter-node link {a-node,a-if,b-node,b-if}
+//	GET    /links         declared links
+//	PUT    /NF-FG/{id}    deploy (or update) a global graph
+//	GET    /NF-FG/{id}    retrieve the desired graph
+//	DELETE /NF-FG/{id}    undeploy a global graph
+//	GET    /NF-FG         list global graph ids
+//	GET    /NF-FG/{id}/placement  where each NF and endpoint runs
+//	GET    /status        fleet summary
+package rest
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/global"
+	"repro/internal/nffg"
+)
+
+// GlobalServer exposes one global orchestrator over HTTP.
+type GlobalServer struct {
+	orch   *global.Orchestrator
+	client *http.Client
+	mux    *http.ServeMux
+}
+
+// NewGlobal builds the server. Registered nodes are reached with client; nil
+// uses a client with a 5-second timeout so a hung node fails its probe
+// instead of wedging the reconcile loop.
+func NewGlobal(orch *global.Orchestrator, client *http.Client) *GlobalServer {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	s := &GlobalServer{orch: orch, client: client, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /nodes", s.addNode)
+	s.mux.HandleFunc("GET /nodes", s.listNodes)
+	s.mux.HandleFunc("DELETE /nodes/{name}", s.removeNode)
+	s.mux.HandleFunc("POST /links", s.addLink)
+	s.mux.HandleFunc("GET /links", s.listLinks)
+	s.mux.HandleFunc("PUT /NF-FG/{id}", s.putGraph)
+	s.mux.HandleFunc("GET /NF-FG/{id}", s.getGraph)
+	s.mux.HandleFunc("DELETE /NF-FG/{id}", s.deleteGraph)
+	s.mux.HandleFunc("GET /NF-FG", s.listGraphs)
+	s.mux.HandleFunc("GET /NF-FG/{id}/placement", s.placement)
+	s.mux.HandleFunc("GET /status", s.status)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *GlobalServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// NodeRegistration is the POST /nodes body.
+type NodeRegistration struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+func (s *GlobalServer) addNode(w http.ResponseWriter, r *http.Request) {
+	var reg NodeRegistration
+	if err := json.NewDecoder(r.Body).Decode(&reg); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing registration: %w", err))
+		return
+	}
+	if reg.Name == "" || reg.URL == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("registration needs name and url"))
+		return
+	}
+	node := global.NewHTTPNode(reg.Name, reg.URL, s.client)
+	if err := s.orch.AddNode(node); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"status": "registered", "name": reg.Name})
+}
+
+func (s *GlobalServer) listNodes(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]global.NodeInfo{"nodes": s.orch.ListNodes()})
+}
+
+func (s *GlobalServer) removeNode(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.orch.RemoveNode(name); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "removed", "name": name})
+}
+
+func (s *GlobalServer) addLink(w http.ResponseWriter, r *http.Request) {
+	var l global.Link
+	if err := json.NewDecoder(r.Body).Decode(&l); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing link: %w", err))
+		return
+	}
+	if err := s.orch.Link(l.A, l.AIf, l.B, l.BIf); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"status": "linked"})
+}
+
+func (s *GlobalServer) listLinks(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]global.Link{"links": s.orch.Links()})
+}
+
+func (s *GlobalServer) putGraph(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var g nffg.Graph
+	if err := json.NewDecoder(r.Body).Decode(&g); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing NF-FG: %w", err))
+		return
+	}
+	if g.ID == "" {
+		g.ID = id
+	}
+	if g.ID != id {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("graph id %q does not match URL id %q", g.ID, id))
+		return
+	}
+	// Apply decides deploy-vs-update atomically under the orchestrator
+	// lock, so concurrent PUTs of a new id cannot race each other.
+	existed, err := s.orch.Apply(&g)
+	switch {
+	case err != nil && existed:
+		writeError(w, http.StatusConflict, err)
+	case err != nil:
+		writeError(w, http.StatusUnprocessableEntity, err)
+	case existed:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "updated", "id": id})
+	default:
+		writeJSON(w, http.StatusCreated, map[string]string{"status": "deployed", "id": id})
+	}
+}
+
+func (s *GlobalServer) getGraph(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	g, ok := s.orch.Graph(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("graph %q not deployed", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, g)
+}
+
+func (s *GlobalServer) deleteGraph(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.orch.Graph(id); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("graph %q not deployed", id))
+		return
+	}
+	if err := s.orch.Undeploy(id); err != nil {
+		writeError(w, http.StatusBadGateway, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "undeployed", "id": id})
+}
+
+func (s *GlobalServer) listGraphs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"graphs": s.orch.GraphIDs()})
+}
+
+// PlacementReply is the GET /NF-FG/{id}/placement body.
+type PlacementReply struct {
+	Graph     string            `json:"graph"`
+	NFs       map[string]string `json:"nfs"`       // NF id -> node
+	Endpoints map[string]string `json:"endpoints"` // endpoint id -> node
+}
+
+func (s *GlobalServer) placement(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	pl, ok := s.orch.Placement(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("graph %q not deployed", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, PlacementReply{Graph: id, NFs: pl.NFNode, Endpoints: pl.EPNode})
+}
+
+// GlobalStatusReply is the GET /status body of the global orchestrator.
+type GlobalStatusReply struct {
+	Nodes  []global.NodeInfo `json:"nodes"`
+	Links  []global.Link     `json:"links"`
+	Graphs []string          `json:"graphs"`
+}
+
+func (s *GlobalServer) status(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, GlobalStatusReply{
+		Nodes:  s.orch.ListNodes(),
+		Links:  s.orch.Links(),
+		Graphs: s.orch.GraphIDs(),
+	})
+}

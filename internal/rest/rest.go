@@ -117,11 +117,13 @@ func (s *Server) listGraphs(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{"graphs": s.orch.GraphIDs()})
 }
 
-// StatusReply is the GET /status body.
+// StatusReply is the GET /status body. Interfaces lets the global
+// orchestrator pin NF-FG endpoints to the node owning the named interface.
 type StatusReply struct {
 	Node         string           `json:"node"`
 	Graphs       []string         `json:"graphs"`
 	Capabilities []string         `json:"capabilities"`
+	Interfaces   []string         `json:"interfaces"`
 	CPU          ResourceStatus   `json:"cpu-millicores"`
 	RAM          ResourceStatus   `json:"ram-bytes"`
 	NFInstances  []InstanceStatus `json:"nf-instances"`
@@ -147,10 +149,11 @@ func (s *Server) status(w http.ResponseWriter, _ *http.Request) {
 	topo := s.orch.Topology()
 	usedCPU, totalCPU, usedRAM, totalRAM := s.pool.Usage()
 	reply := StatusReply{
-		Node:   topo.NodeName,
-		Graphs: s.orch.GraphIDs(),
-		CPU:    ResourceStatus{Used: uint64(usedCPU), Total: uint64(totalCPU)},
-		RAM:    ResourceStatus{Used: usedRAM, Total: totalRAM},
+		Node:       topo.NodeName,
+		Graphs:     s.orch.GraphIDs(),
+		Interfaces: topo.Interfaces,
+		CPU:        ResourceStatus{Used: uint64(usedCPU), Total: uint64(totalCPU)},
+		RAM:        ResourceStatus{Used: usedRAM, Total: totalRAM},
 	}
 	for _, c := range s.pool.Capabilities() {
 		reply.Capabilities = append(reply.Capabilities, string(c))

@@ -249,6 +249,15 @@ func (n *Node) Graph(id string) (*Graph, bool) {
 	return d.Graph, true
 }
 
+// GraphSpec returns a copy of the deployed NF-FG of a graph, safe to mutate
+// or diff while the node keeps running. Together with Capabilities and Usage
+// it makes a Node manageable by the global orchestrator (package
+// internal/global).
+func (n *Node) GraphSpec(id string) (*Graph, bool) { return n.orch.GraphSpec(id) }
+
+// Capabilities returns the node's capability set as strings.
+func (n *Node) Capabilities() []string { return n.orch.Capabilities() }
+
 // Placements reports the execution technology chosen per NF of a graph.
 func (n *Node) Placements(id string) (map[string]Technology, bool) {
 	d, ok := n.orch.Graph(id)
