@@ -1,14 +1,25 @@
-# Local mirror of .github/workflows/ci.yml: `make ci` runs the same
-# pipeline the CI matrix runs (lint, build, race tests, bench smoke).
-# Referenced from .claude/skills/verify/SKILL.md.
+# Local mirror of .github/workflows/ci.yml: `make ci` runs the same jobs
+# the CI pipeline runs (lint incl. staticcheck/govulncheck, build, race
+# tests, coverage gate, benchmark regression gate, examples smoke), so
+# local runs and CI cannot drift. Referenced from
+# .claude/skills/verify/SKILL.md.
+#
+# Tools CI installs pinned (staticcheck, govulncheck, benchstat) are
+# optional locally: present they run, absent the step notes the skip.
 
 GO ?= go
 
-.PHONY: ci lint fmt vet staticcheck build test race bench-smoke clean
+# Keep in sync with the COVERAGE_BASELINE env of .github/workflows/ci.yml.
+COVERAGE_BASELINE ?= 75.0
 
-ci: lint build race bench-smoke
+BENCH_PATTERN = ^(BenchmarkPipelineCached|BenchmarkTable1Throughput)$$
 
-lint: fmt vet staticcheck
+.PHONY: ci lint fmt vet staticcheck govulncheck build test race coverage \
+	bench-gate bench-baseline examples-smoke clean
+
+ci: lint build race coverage bench-gate examples-smoke
+
+lint: fmt vet staticcheck govulncheck
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -20,12 +31,19 @@ vet:
 	$(GO) vet ./...
 
 # staticcheck is optional locally: run it when installed, otherwise note
-# the skip (CI always runs it).
+# the skip (CI always runs it, pinned).
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
-		echo "staticcheck not installed; skipping (CI runs it)"; \
+		echo "staticcheck not installed; skipping (CI runs it pinned)"; \
+	fi
+
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (CI runs it)"; \
 	fi
 
 build:
@@ -37,10 +55,46 @@ test:
 race:
 	$(GO) test -race ./...
 
-bench-smoke:
-	$(GO) test -run '^$$' -bench 'Table1Throughput|PipelineCached' \
-		-benchtime=1x -json . > bench-smoke.json
-	@echo "wrote bench-smoke.json"
+coverage:
+	$(GO) test -covermode=atomic -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
+	echo "total coverage: $$total% (baseline $(COVERAGE_BASELINE)%)"; \
+	awk -v t="$$total" -v b="$(COVERAGE_BASELINE)" 'BEGIN { \
+		if (t+0 < b+0) { print "coverage below baseline"; exit 1 } }'
+
+# Benchmark regression gate: compare the headline benchmarks against the
+# committed baseline; >30% ns/op regression fails. benchstat (if installed)
+# renders the readable delta report into bench-delta/.
+bench-gate:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' \
+		-benchtime=1s -count=3 -json . > bench-current.json
+	$(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json \
+		-current bench-current.json -max-regress 30 -extract-dir bench-delta
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat bench-delta/baseline.txt bench-delta/current.txt \
+			| tee bench-delta/benchstat.txt; \
+	else \
+		echo "benchstat not installed; skipping delta report (CI renders it)"; \
+	fi
+
+# Regenerate the committed baseline (run on the hardware class the gate
+# compares against, then commit BENCH_BASELINE.json).
+bench-baseline:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' \
+		-benchtime=1s -count=3 -json . > BENCH_BASELINE.json
+	@echo "wrote BENCH_BASELINE.json"
+
+examples-smoke:
+	@for d in examples/*/; do \
+		echo "building $$d"; \
+		$(GO) build -o /dev/null "./$$d" || exit 1; \
+	done
+	@if command -v timeout >/dev/null 2>&1; then \
+		timeout 120 $(GO) run ./examples/quickstart && \
+		timeout 120 $(GO) run ./examples/multinode; \
+	else \
+		$(GO) run ./examples/quickstart && $(GO) run ./examples/multinode; \
+	fi
 
 clean:
-	rm -f bench-smoke.json
+	rm -rf bench-current.json bench-delta coverage.out

@@ -1,0 +1,211 @@
+// Command benchgate is the benchmark regression gate of the CI pipeline: it
+// compares a current `go test -json` benchmark run against the committed
+// baseline (BENCH_BASELINE.json) and fails when a gated benchmark's ns/op
+// regressed beyond the allowed percentage.
+//
+// Both inputs are test2json streams (`go test -bench ... -json`). Runs with
+// -count>1 are collapsed per benchmark by median, which is robust against a
+// single noisy iteration. The gate regexp is matched against the full
+// benchmark name (sub-benchmarks included, GOMAXPROCS suffix stripped); a
+// gated benchmark present in the baseline but missing from the current run
+// fails the gate too, so a benchmark cannot dodge it by being deleted.
+//
+// With -extract-dir, the plain benchmark text of both runs is written as
+// baseline.txt and current.txt, ready for `benchstat baseline.txt
+// current.txt` to render the human-readable delta report CI uploads as an
+// artifact.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_BASELINE.json -current bench-current.json \
+//	          [-gate 'BenchmarkPipelineCached|BenchmarkTable1Throughput'] \
+//	          [-max-regress 30] [-extract-dir out]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of the test2json event stream benchgate reads.
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// result is one benchmark's collapsed measurement.
+type result struct {
+	name string
+	nsop []float64 // one per -count run
+}
+
+func (r *result) median() float64 {
+	s := append([]float64(nil), r.nsop...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// benchLine matches a benchmark result line: name, iterations, ns/op.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.eE+]+) ns/op`)
+
+// textLine matches the lines worth extracting for benchstat.
+var textLine = regexp.MustCompile(`^(goos:|goarch:|pkg:|cpu:|Benchmark)`)
+
+// parseRun reads one test2json file into per-benchmark results plus the
+// plain benchmark text. A benchmark's name and its measurements arrive in
+// separate output events (test2json splits mid-line), so the console output
+// is first reconstructed by concatenating every output payload, then split
+// back into real lines.
+func parseRun(path string) (map[string]*result, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	var console strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, "", fmt.Errorf("%s: not a test2json stream: %w", path, err)
+		}
+		if ev.Action == "output" {
+			console.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, "", err
+	}
+	results := make(map[string]*result)
+	var text strings.Builder
+	for _, out := range strings.Split(console.String(), "\n") {
+		if !textLine.MatchString(out) {
+			continue
+		}
+		m := benchLine.FindStringSubmatch(out)
+		if m == nil {
+			// Keep headers (goos:, cpu:, ...) for benchstat; drop bare
+			// benchmark-name progress lines without measurements.
+			if !strings.HasPrefix(out, "Benchmark") {
+				text.WriteString(out)
+				text.WriteByte('\n')
+			}
+			continue
+		}
+		text.WriteString(out)
+		text.WriteByte('\n')
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		r := results[m[1]]
+		if r == nil {
+			r = &result{name: m[1]}
+			results[m[1]] = r
+		}
+		r.nsop = append(r.nsop, ns)
+	}
+	return results, text.String(), nil
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_BASELINE.json", "baseline test2json benchmark run")
+		currentPath  = flag.String("current", "", "current test2json benchmark run")
+		gate         = flag.String("gate", "BenchmarkPipelineCached|BenchmarkTable1Throughput",
+			"regexp of benchmark names the gate enforces")
+		maxRegress = flag.Float64("max-regress", 30, "max allowed ns/op regression percent on gated benchmarks")
+		extractDir = flag.String("extract-dir", "", "write baseline.txt/current.txt here for benchstat")
+	)
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+	gateRE, err := regexp.Compile(*gate)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: bad -gate: %v\n", err)
+		os.Exit(2)
+	}
+	base, baseText, err := parseRun(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	cur, curText, err := parseRun(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	if *extractDir != "" {
+		if err := os.MkdirAll(*extractDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		for name, text := range map[string]string{"baseline.txt": baseText, "current.txt": curText} {
+			if err := os.WriteFile(filepath.Join(*extractDir, name), []byte(text), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+				os.Exit(2)
+			}
+		}
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	fmt.Printf("%-52s %14s %14s %9s %s\n", "benchmark", "base ns/op", "cur ns/op", "delta", "gate")
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		gated := gateRE.MatchString(name)
+		mark := ""
+		if gated {
+			mark = "gated"
+		}
+		if !ok {
+			if gated {
+				failed = true
+				fmt.Printf("%-52s %14.1f %14s %9s %s MISSING\n", name, b.median(), "-", "-", mark)
+			}
+			continue
+		}
+		bm, cm := b.median(), c.median()
+		delta := (cm - bm) / bm * 100
+		verdict := ""
+		if gated && delta > *maxRegress {
+			failed = true
+			verdict = fmt.Sprintf(" FAIL (> %.0f%%)", *maxRegress)
+		}
+		fmt.Printf("%-52s %14.1f %14.1f %+8.1f%% %s%s\n", name, bm, cm, delta, mark, verdict)
+	}
+	for name := range cur {
+		if _, known := base[name]; !known && gateRE.MatchString(name) {
+			fmt.Printf("%-52s (new, not in baseline)\n", name)
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchgate: gated benchmark regressed more than %.0f%% (or went missing)\n", *maxRegress)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: ok")
+}

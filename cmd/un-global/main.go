@@ -74,6 +74,7 @@ func main() {
 	defer orch.Close()
 
 	fmt.Fprintf(os.Stderr, "un-global: REST listening on %s (probe every %v)\n", *listen, *probe)
+	fmt.Fprintf(os.Stderr, "un-global: fleet telemetry on GET /metrics (per-node labels) and GET /events\n")
 	if err := http.ListenAndServe(*listen, rest.NewGlobal(orch, client)); err != nil {
 		log.Fatalf("un-global: %v", err)
 	}

@@ -46,6 +46,7 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "un-orchestrator: node %q up, interfaces %v\n", *name, cfg.Interfaces)
 	fmt.Fprintf(os.Stderr, "un-orchestrator: REST listening on %s\n", *listen)
+	fmt.Fprintf(os.Stderr, "un-orchestrator: telemetry on GET /metrics (Prometheus text) and GET /events\n")
 	if err := node.ListenAndServe(*listen); err != nil {
 		log.Fatalf("un-orchestrator: %v", err)
 	}

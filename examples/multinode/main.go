@@ -8,9 +8,11 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
 	"sort"
+	"strings"
 	"time"
 
 	un "repro"
@@ -143,4 +145,31 @@ func main() {
 	fmt.Println("rescheduled onto the survivors:")
 	printPlacement(orch, "svc")
 	fmt.Printf("\ntraffic after failover: delivered=%v\n", send(0x02))
+
+	// Live fleet telemetry: one scrape of the global /metrics view (the
+	// survivors' samples carry node labels; n2 is skipped as dead) plus the
+	// tail of the merged event journal.
+	fmt.Println("\nfleet metrics (selected series from the global scrape):")
+	var buf bytes.Buffer
+	if err := orch.WriteFleetMetrics(&buf); err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		for _, want := range []string{
+			"un_cache_hits_total", "un_lsi_rx_packets_total",
+			"un_global_node_alive", "un_global_reschedules_total",
+		} {
+			if strings.HasPrefix(line, want) {
+				fmt.Println(" ", line)
+			}
+		}
+	}
+	fmt.Println("\nfleet events (last 8 of the merged journal):")
+	events := orch.FleetEvents()
+	if len(events) > 8 {
+		events = events[len(events)-8:]
+	}
+	for _, ev := range events {
+		fmt.Printf("  %-12s node=%-3s graph=%-4s %s\n", ev.Type, ev.Node, ev.Graph, ev.Detail)
+	}
 }

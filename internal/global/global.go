@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/nffg"
 	"repro/internal/repository"
+	"repro/internal/telemetry"
 )
 
 // Config sizes the global orchestrator.
@@ -19,6 +20,9 @@ type Config struct {
 	ProbeInterval time.Duration
 	// Logf receives reconcile-loop events; nil discards them.
 	Logf func(format string, args ...any)
+	// Journal receives the global control plane's structured telemetry
+	// events; nil gets a private journal.
+	Journal *telemetry.Journal
 }
 
 // member is one managed node plus the orchestrator's view of it.
@@ -43,6 +47,10 @@ type deployment struct {
 // reconcile loop converging observed node state onto the desired state.
 type Orchestrator struct {
 	cfg Config
+
+	journal  *telemetry.Journal
+	registry *telemetry.Registry
+	metrics  *fleetMetrics
 
 	mu      sync.Mutex
 	members map[string]*member
@@ -75,13 +83,22 @@ func New(cfg Config) *Orchestrator {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	return &Orchestrator{
-		cfg:     cfg,
-		members: make(map[string]*member),
-		graphs:  make(map[string]*deployment),
-		alloc:   newVLANAlloc(),
-		pending: make(map[string]map[string]bool),
+	journal := cfg.Journal
+	if journal == nil {
+		journal = telemetry.NewJournal(telemetry.DefaultJournalDepth)
 	}
+	o := &Orchestrator{
+		cfg:      cfg,
+		journal:  journal,
+		registry: telemetry.NewRegistry(),
+		metrics:  newFleetMetrics(),
+		members:  make(map[string]*member),
+		graphs:   make(map[string]*deployment),
+		alloc:    newVLANAlloc(),
+		pending:  make(map[string]map[string]bool),
+	}
+	o.registry.Register(o)
+	return o
 }
 
 // deferRemoval remembers that node still holds (a piece of) graph id and
@@ -267,16 +284,17 @@ func (o *Orchestrator) Placement(id string) (Placement, bool) {
 	return dep.pl, true
 }
 
-// refreshAlive re-probes alive nodes so placement decisions run on fresh
-// capacity numbers. Nodes probed within the last half probe-interval are
-// taken as-is (the reconcile tick just visited them); the rest are probed
-// in parallel. A node that fails its probe is marked dead on the spot.
-// Callers hold o.mu.
+// refreshAlive re-probes every alive node in parallel so placement
+// decisions run on capacity numbers no older than the call. Placement
+// credits a re-placed graph's demand back to the nodes holding it, which is
+// only correct against a status that already reflects the deployment —
+// reusing a probe from before the graph landed would double-count the
+// credit and overpack the node. A node that fails its probe is marked dead
+// on the spot. Callers hold o.mu.
 func (o *Orchestrator) refreshAlive() {
-	freshFor := o.cfg.ProbeInterval / 2
 	var stale []*member
 	for _, m := range o.members {
-		if m.alive && time.Since(m.probed) >= freshFor {
+		if m.alive {
 			stale = append(stale, m)
 		}
 	}
@@ -302,7 +320,9 @@ func (o *Orchestrator) refreshAlive() {
 		m.probed = time.Now()
 		if results[i].err != nil {
 			m.alive = false
+			o.metrics.probeFailures.Inc()
 			o.cfg.Logf("global: node %q dead: %v", m.node.Name(), results[i].err)
+			o.journal.Recordf(telemetry.EventNodeDead, m.node.Name(), "", results[i].err.Error())
 			continue
 		}
 		m.last = results[i].st
@@ -422,6 +442,8 @@ func (o *Orchestrator) deployLocked(g *nffg.Graph) error {
 		deployed = append(deployed, node)
 	}
 	o.graphs[g.ID] = &deployment{desired: g.Clone(), subs: subs, stitches: stitches, pl: pl}
+	o.journal.Recordf(telemetry.EventDeploy, "", g.ID,
+		fmt.Sprintf("split across %v", subgraphNodes(subs)))
 	return nil
 }
 
@@ -513,6 +535,8 @@ func (o *Orchestrator) reassign(dep *deployment, g *nffg.Graph) error {
 	dep.subs = subs
 	dep.stitches = stitches
 	dep.pl = pl
+	o.journal.Recordf(telemetry.EventUpdate, "", g.ID,
+		fmt.Sprintf("re-placed across %v", subgraphNodes(subs)))
 	return nil
 }
 
@@ -590,6 +614,7 @@ func (o *Orchestrator) Undeploy(id string) error {
 	}
 	o.retireStitches(dep.stitches, blocked)
 	delete(o.graphs, id)
+	o.journal.Recordf(telemetry.EventUndeploy, "", id, "")
 	return nil
 }
 
@@ -637,6 +662,11 @@ func (o *Orchestrator) Close() {
 // nffg-diff-driven updates. The background loop calls this every
 // ProbeInterval; tests call it directly.
 func (o *Orchestrator) ReconcileOnce() {
+	start := time.Now()
+	defer func() {
+		o.metrics.reconciles.Inc()
+		o.metrics.reconcileLatency.Observe(time.Since(start).Seconds())
+	}()
 	// Probe outside the lock: a hung node must not stall the control
 	// plane.
 	o.mu.Lock()
@@ -672,8 +702,10 @@ func (o *Orchestrator) ReconcileOnce() {
 		r.m.probed = time.Now()
 		if r.err != nil {
 			r.m.alive = false
+			o.metrics.probeFailures.Inc()
 			if wasAlive {
 				o.cfg.Logf("global: node %q dead: %v", r.m.node.Name(), r.err)
+				o.journal.Recordf(telemetry.EventNodeDead, r.m.node.Name(), "", r.err.Error())
 			}
 			continue
 		}
@@ -681,6 +713,7 @@ func (o *Orchestrator) ReconcileOnce() {
 		r.m.last = r.st
 		if !wasAlive {
 			o.cfg.Logf("global: node %q back", r.m.node.Name())
+			o.journal.Recordf(telemetry.EventNodeBack, r.m.node.Name(), "", "")
 		}
 	}
 
@@ -702,9 +735,13 @@ func (o *Orchestrator) ReconcileOnce() {
 		}
 		if stranded {
 			if err := o.reassign(dep, dep.desired); err != nil {
+				o.metrics.rescheduleFails.Inc()
 				o.cfg.Logf("global: rescheduling %q: %v (will retry)", id, err)
 			} else {
+				o.metrics.reschedules.Inc()
 				o.cfg.Logf("global: rescheduled %q onto %v", id, subgraphNodes(dep.subs))
+				o.journal.Recordf(telemetry.EventResched, "", id,
+					fmt.Sprintf("now on %v", subgraphNodes(dep.subs)))
 			}
 			continue
 		}
@@ -720,6 +757,9 @@ func (o *Orchestrator) ReconcileOnce() {
 				o.cfg.Logf("global: node %q lost graph %q, redeploying", node, id)
 				if err := m.node.Deploy(want); err != nil {
 					o.cfg.Logf("global: redeploying %q on %q: %v", id, node, err)
+				} else {
+					o.metrics.driftRepairs.Inc()
+					o.journal.Recordf(telemetry.EventRepair, node, id, "lost subgraph redeployed")
 				}
 				continue
 			}
@@ -727,6 +767,9 @@ func (o *Orchestrator) ReconcileOnce() {
 				o.cfg.Logf("global: node %q diverged on graph %q, updating", node, id)
 				if err := m.node.Update(want); err != nil {
 					o.cfg.Logf("global: re-updating %q on %q: %v", id, node, err)
+				} else {
+					o.metrics.driftRepairs.Inc()
+					o.journal.Recordf(telemetry.EventRepair, node, id, "diverged subgraph updated")
 				}
 			}
 		}
@@ -752,6 +795,8 @@ func (o *Orchestrator) ReconcileOnce() {
 				o.cfg.Logf("global: node %q holds stale graph %q, removing", name, gid)
 				if err := m.node.Undeploy(gid); err == nil {
 					delete(o.pending[name], gid)
+					o.metrics.retired.Inc()
+					o.journal.Recordf(telemetry.EventRetire, name, gid, "stale subgraph removed")
 				}
 			}
 		}
@@ -771,6 +816,8 @@ func (o *Orchestrator) ReconcileOnce() {
 			o.cfg.Logf("global: retiring deferred removal of %q from %q", gid, name)
 			if err := m.node.Undeploy(gid); err == nil {
 				delete(o.pending[name], gid)
+				o.metrics.retired.Inc()
+				o.journal.Recordf(telemetry.EventRetire, name, gid, "deferred removal completed")
 			}
 		}
 		if len(o.pending[name]) == 0 {

@@ -1,0 +1,279 @@
+package global
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// fleetMetrics instruments the global control plane.
+type fleetMetrics struct {
+	reconciles       telemetry.Counter
+	reschedules      telemetry.Counter
+	rescheduleFails  telemetry.Counter
+	driftRepairs     telemetry.Counter
+	retired          telemetry.Counter
+	probeFailures    telemetry.Counter
+	scrapeFailures   telemetry.Counter
+	reconcileLatency *telemetry.Histogram
+}
+
+func newFleetMetrics() *fleetMetrics {
+	return &fleetMetrics{reconcileLatency: telemetry.NewHistogram(telemetry.LatencyBuckets()...)}
+}
+
+// MetricsSource is the optional scrape surface of a fleet Node: nodes
+// implementing it contribute their samples to the global /metrics view,
+// tagged with a node label.
+type MetricsSource interface {
+	MetricsText() (string, error)
+}
+
+// EventSource is the optional journal surface of a fleet Node: nodes
+// implementing it contribute their events to the global /events view.
+type EventSource interface {
+	Events() ([]telemetry.Event, error)
+}
+
+// Journal returns the global orchestrator's event journal (probe
+// transitions, reschedules, drift repairs, deferred-removal retirements).
+func (o *Orchestrator) Journal() *telemetry.Journal { return o.journal }
+
+// Metrics returns the global orchestrator's own metric registry (the
+// control-plane view; GatherFleet adds the per-node datapath samples).
+func (o *Orchestrator) Metrics() *telemetry.Registry { return o.registry }
+
+// Collect implements telemetry.Collector: reconcile-loop outcome counters
+// and per-member liveness/capacity gauges.
+func (o *Orchestrator) Collect(e *telemetry.Exposition) {
+	o.mu.Lock()
+	type memberView struct {
+		name  string
+		alive bool
+		st    Status
+	}
+	members := make([]memberView, 0, len(o.members))
+	for name, m := range o.members {
+		members = append(members, memberView{name: name, alive: m.alive, st: m.last})
+	}
+	graphs := len(o.graphs)
+	pendingRemovals := 0
+	for _, set := range o.pending {
+		pendingRemovals += len(set)
+	}
+	parked := len(o.parked)
+	o.mu.Unlock()
+
+	for _, m := range members {
+		l := telemetry.Labels{"node": m.name}
+		alive := 0.0
+		if m.alive {
+			alive = 1
+		}
+		e.Gauge("un_global_node_alive", "1 while the member answers health probes.", l, alive)
+		e.Gauge("un_global_node_free_cpu_millis", "Member's free CPU millicores at last probe.", l, float64(m.st.FreeCPUMillis))
+		e.Gauge("un_global_node_total_cpu_millis", "Member's CPU millicore capacity.", l, float64(m.st.TotalCPUMillis))
+		e.Gauge("un_global_node_free_ram_bytes", "Member's free RAM at last probe.", l, float64(m.st.FreeRAMBytes))
+		e.Gauge("un_global_node_graphs", "Subgraphs the member held at last probe.", l, float64(len(m.st.Graphs)))
+	}
+	e.Gauge("un_global_nodes", "Registered fleet members.", nil, float64(len(members)))
+	e.Gauge("un_global_graphs", "Desired global graphs.", nil, float64(graphs))
+	e.Gauge("un_global_pending_removals", "Subgraph removals deferred to unreachable nodes.", nil, float64(pendingRemovals))
+	e.Gauge("un_global_parked_stitch_sets", "Stitch VLAN sets parked on unreachable-node cleanup.", nil, float64(parked))
+	m := o.metrics
+	e.Counter("un_global_reconcile_total", "Reconcile passes run.", nil, m.reconciles.Value())
+	e.Counter("un_global_reschedules_total", "Graphs rescheduled off dead or withdrawn nodes.", nil, m.reschedules.Value())
+	e.Counter("un_global_reschedule_failures_total", "Reschedule attempts that failed (retried next pass).", nil, m.rescheduleFails.Value())
+	e.Counter("un_global_drift_repairs_total", "Lost or diverged subgraphs reconverged.", nil, m.driftRepairs.Value())
+	e.Counter("un_global_retired_total", "Deferred subgraph removals completed.", nil, m.retired.Value())
+	e.Counter("un_global_probe_failures_total", "Health probes that errored.", nil, m.probeFailures.Value())
+	e.Counter("un_global_scrape_failures_total", "Fleet metric scrapes that errored.", nil, m.scrapeFailures.Value())
+	e.Histogram("un_global_reconcile_seconds", "Wall time of one reconcile pass.", nil, m.reconcileLatency.Snapshot())
+	e.Counter("un_global_journal_events_total", "Events ever recorded in the global journal.", nil, o.journal.Total())
+}
+
+// GatherFleet fills e with the fleet-wide metric view: the global
+// orchestrator's own registry plus one scrape of every alive member that
+// exposes metrics, each member's samples tagged with its node name. Scrapes
+// run outside the orchestrator lock; a member that fails mid-scrape (e.g.
+// dies between the liveness snapshot and the pull) is skipped and counted
+// in un_global_scrape_failures_total.
+func (o *Orchestrator) GatherFleet(e *telemetry.Exposition) {
+	o.mu.Lock()
+	type target struct {
+		name string
+		src  MetricsSource
+	}
+	var targets []target
+	for name, m := range o.members {
+		if !m.alive {
+			continue
+		}
+		if src, ok := m.node.(MetricsSource); ok {
+			targets = append(targets, target{name: name, src: src})
+		}
+	}
+	o.mu.Unlock()
+	// Scrape members in parallel (as refreshAlive probes them): one slow
+	// node costs max(single-node time), not the sum, and cannot push the
+	// whole fleet scrape past a collector's deadline.
+	type scrape struct {
+		text string
+		err  error
+	}
+	results := make([]scrape, len(targets))
+	var wg sync.WaitGroup
+	for i, t := range targets {
+		wg.Add(1)
+		go func(i int, src MetricsSource) {
+			defer wg.Done()
+			text, err := src.MetricsText()
+			results[i] = scrape{text: text, err: err}
+		}(i, t.src)
+	}
+	wg.Wait()
+	for i, t := range targets {
+		if results[i].err != nil {
+			o.metrics.scrapeFailures.Inc()
+			o.cfg.Logf("global: scraping %q: %v", t.name, results[i].err)
+			continue
+		}
+		if err := e.AddText(results[i].text, telemetry.Labels{"node": t.name}); err != nil {
+			o.metrics.scrapeFailures.Inc()
+			o.cfg.Logf("global: merging scrape of %q: %v", t.name, err)
+		}
+	}
+	// Own registry last, so this scrape's failures are already counted in
+	// the un_global_scrape_failures_total sample it renders.
+	o.registry.GatherInto(e)
+}
+
+// WriteFleetMetrics renders the fleet-wide metric view to w in Prometheus
+// text format.
+func (o *Orchestrator) WriteFleetMetrics(w io.Writer) error {
+	e := telemetry.NewExposition()
+	o.GatherFleet(e)
+	_, err := e.WriteTo(w)
+	return err
+}
+
+// FleetEvents merges the global journal with the journals of every alive
+// member that exposes one, interleaved by time and tagged with the member's
+// node name.
+func (o *Orchestrator) FleetEvents() []telemetry.Event {
+	o.mu.Lock()
+	type target struct {
+		name string
+		src  EventSource
+	}
+	var targets []target
+	for name, m := range o.members {
+		if !m.alive {
+			continue
+		}
+		if src, ok := m.node.(EventSource); ok {
+			targets = append(targets, target{name: name, src: src})
+		}
+	}
+	o.mu.Unlock()
+	type fetch struct {
+		evs []telemetry.Event
+		err error
+	}
+	results := make([]fetch, len(targets))
+	var wg sync.WaitGroup
+	for i, t := range targets {
+		wg.Add(1)
+		go func(i int, src EventSource) {
+			defer wg.Done()
+			evs, err := src.Events()
+			results[i] = fetch{evs: evs, err: err}
+		}(i, t.src)
+	}
+	wg.Wait()
+	streams := [][]telemetry.Event{o.journal.Events()}
+	for i, t := range targets {
+		if results[i].err != nil {
+			o.metrics.scrapeFailures.Inc()
+			o.cfg.Logf("global: fetching events of %q: %v", t.name, results[i].err)
+			continue
+		}
+		evs := results[i].evs
+		for j := range evs {
+			if evs[j].Node == "" {
+				evs[j].Node = t.name
+			}
+		}
+		streams = append(streams, evs)
+	}
+	return telemetry.MergeEvents(streams...)
+}
+
+// MetricsText implements MetricsSource for LocalNode-wrapped universal
+// nodes exposing WriteMetrics.
+func (l *LocalNode) MetricsText() (string, error) {
+	if err := l.check(); err != nil {
+		return "", err
+	}
+	mw, ok := l.un.(interface{ WriteMetrics(io.Writer) error })
+	if !ok {
+		return "", fmt.Errorf("global: node %q exposes no metrics", l.name)
+	}
+	var buf bytes.Buffer
+	if err := mw.WriteMetrics(&buf); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}
+
+// Events implements EventSource for LocalNode-wrapped universal nodes
+// exposing a journal.
+func (l *LocalNode) Events() ([]telemetry.Event, error) {
+	if err := l.check(); err != nil {
+		return nil, err
+	}
+	es, ok := l.un.(interface{ Events() []telemetry.Event })
+	if !ok {
+		return nil, fmt.Errorf("global: node %q exposes no events", l.name)
+	}
+	return es.Events(), nil
+}
+
+// MetricsText implements MetricsSource over the node's REST interface.
+func (h *HTTPNode) MetricsText() (string, error) {
+	resp, err := h.client.Get(h.base + "/metrics")
+	if err != nil {
+		return "", fmt.Errorf("global: scraping %q: %w", h.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("global: scraping %q: HTTP %d", h.name, resp.StatusCode)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+// Events implements EventSource over the node's REST interface.
+func (h *HTTPNode) Events() ([]telemetry.Event, error) {
+	resp, err := h.client.Get(h.base + "/events")
+	if err != nil {
+		return nil, fmt.Errorf("global: fetching events of %q: %w", h.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("global: fetching events of %q: HTTP %d", h.name, resp.StatusCode)
+	}
+	var evs []telemetry.Event
+	if err := json.NewDecoder(resp.Body).Decode(&evs); err != nil {
+		return nil, err
+	}
+	return evs, nil
+}

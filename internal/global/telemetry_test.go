@@ -1,0 +1,73 @@
+package global_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestGlobalJournalAndMetrics drives a failover and checks the control
+// plane's own telemetry: the journal records the node death and the
+// reschedule, and the fleet metric view counts them under per-node labels.
+func TestGlobalJournalAndMetrics(t *testing.T) {
+	// Triangle topology: losing any one node leaves the other two linked.
+	f := newFleet(t,
+		[]nodeSpec{
+			{name: "n1", ifaces: []string{"lan", "x12", "x13"}, cpuMillis: 250},
+			{name: "n2", ifaces: []string{"x12", "x23"}, cpuMillis: 250},
+			{name: "n3", ifaces: []string{"x23", "wan", "x13"}, cpuMillis: 250},
+		},
+		[]linkSpec{
+			{a: "n1", aIf: "x12", b: "n2", bIf: "x12"},
+			{a: "n2", aIf: "x23", b: "n3", bIf: "x23"},
+			{a: "n1", aIf: "x13", b: "n3", bIf: "x13"},
+		})
+	if err := f.g.Deploy(chainGraph("svc", 6)); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the node hosting the middle of the chain: it owns no graph
+	// endpoint interface, so the survivors can absorb its NFs.
+	pl, _ := f.g.Placement("svc")
+	victim := pl.NFNode["nf3"]
+	f.locals[victim].SetDown(true)
+	f.g.ReconcileOnce()
+
+	types := make(map[string]int)
+	for _, ev := range f.g.Journal().Events() {
+		types[ev.Type]++
+	}
+	for _, want := range []string{telemetry.EventDeploy, telemetry.EventNodeDead, telemetry.EventResched} {
+		if types[want] == 0 {
+			t.Fatalf("journal missing %q event: %v", want, types)
+		}
+	}
+
+	var sb strings.Builder
+	if err := f.g.WriteFleetMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	for _, want := range []string{
+		"un_global_reschedules_total 1",
+		`un_global_node_alive{node="` + victim + `"} 0`,
+		"un_global_reconcile_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("fleet metrics missing %q:\n%s", want, body)
+		}
+	}
+	// The dead node must not contribute datapath samples; a survivor must.
+	if strings.Contains(body, `un_cache_hits_total{lsi="lsi-0",node="`+victim+`"}`) {
+		t.Fatalf("dead node scraped:\n%s", body)
+	}
+	survivors := 0
+	for _, n := range []string{"n1", "n2", "n3"} {
+		if n != victim && strings.Contains(body, `un_cache_hits_total{lsi="lsi-0",node="`+n+`"}`) {
+			survivors++
+		}
+	}
+	if survivors != 2 {
+		t.Fatalf("expected 2 scraped survivors, got %d:\n%s", survivors, body)
+	}
+}

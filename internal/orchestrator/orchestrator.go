@@ -11,6 +11,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/compute"
 	"repro/internal/execenv"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/openflow"
 	"repro/internal/repository"
 	"repro/internal/resources"
+	"repro/internal/telemetry"
 	"repro/internal/vswitch"
 )
 
@@ -37,6 +39,9 @@ type Config struct {
 	Compute *compute.Manager
 	// Clock is the shared virtual clock (optional).
 	Clock *execenv.VirtualClock
+	// Journal receives the node's structured telemetry events; nil gets a
+	// private journal of telemetry.DefaultJournalDepth entries.
+	Journal *telemetry.Journal
 }
 
 // lsiConn is one switch + its control channel.
@@ -138,6 +143,10 @@ func (d *DeployedGraph) Instances() map[string]*compute.Instance {
 type Orchestrator struct {
 	cfg Config
 
+	journal  *telemetry.Journal
+	registry *telemetry.Registry
+	metrics  *opMetrics
+
 	lsi0 *lsiConn
 	// extPorts are the outward-facing peers of the physical interfaces:
 	// traffic generators inject and collect frames here.
@@ -176,8 +185,15 @@ func New(cfg Config) (*Orchestrator, error) {
 	if cfg.NodeName == "" {
 		cfg.NodeName = "un-node"
 	}
+	journal := cfg.Journal
+	if journal == nil {
+		journal = telemetry.NewJournal(telemetry.DefaultJournalDepth)
+	}
 	o := &Orchestrator{
 		cfg:            cfg,
+		journal:        journal,
+		registry:       telemetry.NewRegistry(),
+		metrics:        newOpMetrics(),
 		extPorts:       make(map[string]*netdev.Port),
 		ifPorts:        make(map[string]uint32),
 		graphs:         make(map[string]*DeployedGraph),
@@ -205,6 +221,7 @@ func New(cfg Config) (*Orchestrator, error) {
 		o.extPorts[ifName] = ext
 		o.ifPorts[ifName] = num
 	}
+	o.registry.Register(o)
 	return o, nil
 }
 
@@ -306,6 +323,20 @@ func (o *Orchestrator) nextPort(sw *vswitch.Switch) uint32 {
 // Deploy validates, schedules and instantiates a graph, then programs
 // traffic steering. On any failure the partial deployment is rolled back.
 func (o *Orchestrator) Deploy(g *nffg.Graph) error {
+	start := time.Now()
+	err := o.deploy(g)
+	o.metrics.deployLatency.Observe(time.Since(start).Seconds())
+	if err != nil {
+		o.metrics.deployFailures.Inc()
+		return err
+	}
+	o.metrics.deploys.Inc()
+	o.journal.Recordf(telemetry.EventDeploy, o.cfg.NodeName, g.ID,
+		fmt.Sprintf("%d NFs, %d rules", len(g.NFs), len(g.Rules)))
+	return nil
+}
+
+func (o *Orchestrator) deploy(g *nffg.Graph) error {
 	if err := g.Validate(); err != nil {
 		return err
 	}
@@ -364,6 +395,9 @@ func (o *Orchestrator) instantiate(g *nffg.Graph, placements []Placement) (*Depl
 			return nil, err
 		}
 		d.nfs[pl.NF.ID] = att
+		o.metrics.nfStarts.Inc()
+		o.journal.Recordf(telemetry.EventNFStart, o.cfg.NodeName, g.ID,
+			fmt.Sprintf("%s as %s", pl.NF.ID, pl.Technology))
 	}
 	// Wire endpoints.
 	for _, ep := range g.Endpoints {
@@ -598,6 +632,19 @@ func (o *Orchestrator) detachEndpoint(d *DeployedGraph, att *epAttachment) {
 
 // Undeploy removes a graph and all its state.
 func (o *Orchestrator) Undeploy(id string) error {
+	start := time.Now()
+	err := o.undeploy(id)
+	o.metrics.undeployLatency.Observe(time.Since(start).Seconds())
+	if err != nil {
+		o.metrics.undeployFailures.Inc()
+		return err
+	}
+	o.metrics.undeploys.Inc()
+	o.journal.Recordf(telemetry.EventUndeploy, o.cfg.NodeName, id, "")
+	return nil
+}
+
+func (o *Orchestrator) undeploy(id string) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	d, ok := o.graphs[id]
@@ -615,6 +662,9 @@ func (o *Orchestrator) teardown(d *DeployedGraph) {
 	o.lsi0.sw.DeleteFlows(d.cookie)
 	// Stop NFs.
 	for nfID, att := range d.nfs {
+		o.metrics.nfStops.Inc()
+		o.journal.Recordf(telemetry.EventNFStop, o.cfg.NodeName, d.Graph.ID,
+			fmt.Sprintf("%s as %s", nfID, att.inst.Technology))
 		if drv, ok := o.cfg.Compute.Driver(att.inst.Technology); ok {
 			wasShared := att.inst.Shared
 			name := att.inst.Runtime.Name()
@@ -650,6 +700,20 @@ func (o *Orchestrator) teardown(d *DeployedGraph) {
 // Update applies a new version of a deployed graph. NFs and endpoints are
 // diffed individually; steering rules are recompiled wholesale.
 func (o *Orchestrator) Update(g *nffg.Graph) error {
+	start := time.Now()
+	err := o.update(g)
+	o.metrics.updateLatency.Observe(time.Since(start).Seconds())
+	if err != nil {
+		o.metrics.updateFailures.Inc()
+		return err
+	}
+	o.metrics.updates.Inc()
+	o.journal.Recordf(telemetry.EventUpdate, o.cfg.NodeName, g.ID,
+		fmt.Sprintf("%d NFs, %d rules", len(g.NFs), len(g.Rules)))
+	return nil
+}
+
+func (o *Orchestrator) update(g *nffg.Graph) error {
 	if err := g.Validate(); err != nil {
 		return err
 	}
@@ -685,6 +749,9 @@ func (o *Orchestrator) Update(g *nffg.Graph) error {
 			_ = o.lsi0.sw.RemovePort(att.nnfVlinkLSI0)
 		}
 		delete(d.nfs, n.ID)
+		o.metrics.nfStops.Inc()
+		o.journal.Recordf(telemetry.EventNFStop, o.cfg.NodeName, g.ID,
+			fmt.Sprintf("%s as %s", n.ID, att.inst.Technology))
 	}
 	// 2. Start added NFs.
 	if len(diff.AddedNFs) > 0 {
@@ -709,6 +776,9 @@ func (o *Orchestrator) Update(g *nffg.Graph) error {
 				return err
 			}
 			d.nfs[pl.NF.ID] = att
+			o.metrics.nfStarts.Inc()
+			o.journal.Recordf(telemetry.EventNFStart, o.cfg.NodeName, g.ID,
+				fmt.Sprintf("%s as %s", pl.NF.ID, pl.Technology))
 		}
 	}
 	// 3. Reconfigure changed NFs in place when the driver supports it.

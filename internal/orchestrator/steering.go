@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/nffg"
 	"repro/internal/pkt"
+	"repro/internal/telemetry"
 	"repro/internal/vswitch"
 )
 
@@ -27,7 +28,13 @@ func (o *Orchestrator) program(d *DeployedGraph) error {
 			return err
 		}
 	}
-	return d.lsi.ctrl.Barrier()
+	if err := d.lsi.ctrl.Barrier(); err != nil {
+		return err
+	}
+	o.metrics.steeringRules.Add(uint64(len(d.Graph.Rules)))
+	o.journal.Recordf(telemetry.EventFlowMod, o.cfg.NodeName, d.Graph.ID,
+		fmt.Sprintf("%d rules on %s", len(d.Graph.Rules), o.lsiLabel(d.lsi.sw)))
+	return nil
 }
 
 // nfPortIndex resolves an NF-FG port id to the NF's port index.

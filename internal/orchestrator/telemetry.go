@@ -1,0 +1,117 @@
+package orchestrator
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/telemetry"
+	"repro/internal/vswitch"
+)
+
+// opMetrics instruments the orchestrator's control-plane operations and
+// feeds the node's metric registry and event journal. Counters and
+// histograms are embedded primitives: recording them never takes the
+// orchestrator lock.
+type opMetrics struct {
+	deploys, deployFailures     telemetry.Counter
+	updates, updateFailures     telemetry.Counter
+	undeploys, undeployFailures telemetry.Counter
+	nfStarts, nfStops           telemetry.Counter
+	steeringRules               telemetry.Counter
+	deployLatency               *telemetry.Histogram
+	updateLatency               *telemetry.Histogram
+	undeployLatency             *telemetry.Histogram
+}
+
+func newOpMetrics() *opMetrics {
+	return &opMetrics{
+		deployLatency:   telemetry.NewHistogram(telemetry.LatencyBuckets()...),
+		updateLatency:   telemetry.NewHistogram(telemetry.LatencyBuckets()...),
+		undeployLatency: telemetry.NewHistogram(telemetry.LatencyBuckets()...),
+	}
+}
+
+// Journal returns the node's event journal (NF lifecycle, graph operations,
+// steering reprogramming).
+func (o *Orchestrator) Journal() *telemetry.Journal { return o.journal }
+
+// Events returns the node's retained journal events, oldest first.
+func (o *Orchestrator) Events() []telemetry.Event { return o.journal.Events() }
+
+// Metrics returns the node's metric registry. The orchestrator registers
+// itself at construction; callers may register extra collectors before
+// serving it over /metrics.
+func (o *Orchestrator) Metrics() *telemetry.Registry { return o.registry }
+
+// WriteMetrics renders one scrape of the node registry to w in Prometheus
+// text format.
+func (o *Orchestrator) WriteMetrics(w io.Writer) error {
+	return o.registry.WritePrometheus(w)
+}
+
+// lsiLabel is the per-switch label value: the switch name with the node
+// prefix stripped ("lsi-0", "lsi-<graph>").
+func (o *Orchestrator) lsiLabel(sw *vswitch.Switch) string {
+	return strings.TrimPrefix(sw.Name(), o.cfg.NodeName+"/")
+}
+
+// Collect implements telemetry.Collector: per-LSI datapath counters, the
+// microflow-cache state, a sampled packet-latency histogram, resource-ledger
+// gauges and control-plane operation counters/timings.
+func (o *Orchestrator) Collect(e *telemetry.Exposition) {
+	o.mu.Lock()
+	switches := make([]*vswitch.Switch, 0, len(o.graphs)+1)
+	switches = append(switches, o.lsi0.sw)
+	graphNFs := make(map[string]int, len(o.graphs))
+	for id, d := range o.graphs {
+		switches = append(switches, d.lsi.sw)
+		graphNFs[id] = len(d.nfs)
+	}
+	o.mu.Unlock()
+
+	for _, sw := range switches {
+		t := sw.Telemetry()
+		l := telemetry.Labels{"lsi": o.lsiLabel(sw)}
+		e.Counter("un_lsi_rx_packets_total", "Frames that entered the LSI pipeline.", l, t.Rx)
+		// Tx and per-table matches are derived from per-port/per-entry
+		// counters that leave with their port or flow entry, so the series
+		// can decrease across a graph update: gauges, not counters.
+		e.Gauge("un_lsi_tx_packets", "Frames transmitted out of currently-attached LSI ports.", l, float64(t.Tx))
+		e.Counter("un_lsi_drops_total", "Frames dropped by the LSI (unknown port, unparseable, miss-drop).", l, t.Drops)
+		e.Counter("un_lsi_misses_total", "Table-miss packets on the LSI.", l, t.Misses)
+		e.Counter("un_cache_hits_total", "Microflow-cache hits.", l, t.Cache.Hits)
+		e.Counter("un_cache_misses_total", "Microflow-cache misses (slow-path traversals).", l, t.Cache.Misses)
+		e.Gauge("un_cache_entries", "Resident microflow-cache verdicts, valid or stale.", l, float64(t.Cache.Entries))
+		for ti, matches := range t.TableMatches {
+			tl := telemetry.Labels{"lsi": l["lsi"], "table": fmt.Sprintf("%d", ti)}
+			e.Gauge("un_table_matches", "Packets matched per flow table, summed over the currently-installed entries.", tl, float64(matches))
+		}
+		e.Histogram("un_pipeline_latency_seconds", "Sampled per-packet pipeline latency.", l, t.Latency)
+	}
+
+	e.Gauge("un_graphs", "Deployed NF-FGs on the node.", nil, float64(len(graphNFs)))
+	for id, n := range graphNFs {
+		e.Gauge("un_nf_instances", "Running NF instances per graph.", telemetry.Labels{"graph": id}, float64(n))
+	}
+	usedCPU, totalCPU, usedRAM, totalRAM := o.cfg.Resources.Usage()
+	e.Gauge("un_cpu_millis_used", "CPU millicores charged on the node ledger.", nil, float64(usedCPU))
+	e.Gauge("un_cpu_millis_total", "CPU millicore capacity of the node.", nil, float64(totalCPU))
+	e.Gauge("un_ram_bytes_used", "RAM charged on the node ledger.", nil, float64(usedRAM))
+	e.Gauge("un_ram_bytes_total", "RAM capacity of the node.", nil, float64(totalRAM))
+
+	m := o.metrics
+	e.Counter("un_deploys_total", "Graph deployments accepted.", nil, m.deploys.Value())
+	e.Counter("un_deploy_failures_total", "Graph deployments rejected or rolled back.", nil, m.deployFailures.Value())
+	e.Counter("un_updates_total", "In-place graph updates applied.", nil, m.updates.Value())
+	e.Counter("un_update_failures_total", "In-place graph updates that failed.", nil, m.updateFailures.Value())
+	e.Counter("un_undeploys_total", "Graphs undeployed.", nil, m.undeploys.Value())
+	e.Counter("un_undeploy_failures_total", "Undeploys of graphs that were not deployed.", nil, m.undeployFailures.Value())
+	e.Counter("un_nf_starts_total", "NF instances started.", nil, m.nfStarts.Value())
+	e.Counter("un_nf_stops_total", "NF instances stopped.", nil, m.nfStops.Value())
+	e.Counter("un_steering_rules_programmed_total", "Big-switch steering rules compiled onto LSIs.", nil, m.steeringRules.Value())
+	e.Histogram("un_deploy_seconds", "Graph deployment wall time.", nil, m.deployLatency.Snapshot())
+	e.Histogram("un_update_seconds", "Graph update wall time.", nil, m.updateLatency.Snapshot())
+	e.Histogram("un_undeploy_seconds", "Graph undeploy wall time.", nil, m.undeployLatency.Snapshot())
+	e.Counter("un_journal_events_total", "Events ever recorded in the node journal.", nil, o.journal.Total())
+}

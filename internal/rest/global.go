@@ -15,6 +15,10 @@
 //	GET    /NF-FG         list global graph ids
 //	GET    /NF-FG/{id}/placement  where each NF and endpoint runs
 //	GET    /status        fleet summary
+//	GET    /metrics       fleet-wide telemetry: the global orchestrator's own
+//	                      control-plane metrics plus one scrape of every alive
+//	                      node, per-node samples tagged node="..."
+//	GET    /events        merged event journal of the control plane and fleet
 package rest
 
 import (
@@ -25,6 +29,7 @@ import (
 
 	"repro/internal/global"
 	"repro/internal/nffg"
+	"repro/internal/telemetry"
 )
 
 // GlobalServer exposes one global orchestrator over HTTP.
@@ -53,7 +58,26 @@ func NewGlobal(orch *global.Orchestrator, client *http.Client) *GlobalServer {
 	s.mux.HandleFunc("GET /NF-FG", s.listGraphs)
 	s.mux.HandleFunc("GET /NF-FG/{id}/placement", s.placement)
 	s.mux.HandleFunc("GET /status", s.status)
+	s.mux.HandleFunc("GET /metrics", s.metrics)
+	s.mux.HandleFunc("GET /events", s.events)
 	return s
+}
+
+// metrics serves the fleet-wide Prometheus view: global control-plane
+// metrics plus a live scrape of every alive node, tagged per node. A node
+// dying mid-scrape is skipped (and counted) rather than failing the scrape.
+func (s *GlobalServer) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", telemetry.ContentType)
+	_ = s.orch.WriteFleetMetrics(w)
+}
+
+// events serves the merged control-plane and per-node event journal.
+func (s *GlobalServer) events(w http.ResponseWriter, _ *http.Request) {
+	evs := s.orch.FleetEvents()
+	if evs == nil {
+		evs = []telemetry.Event{}
+	}
+	writeJSON(w, http.StatusOK, evs)
 }
 
 // ServeHTTP implements http.Handler.

@@ -12,6 +12,8 @@
 //	GET    /NF-FG/{id}/stats  per-NF and per-rule counters of a graph
 //	GET    /topology     live Figure-1 topology (text; ?format=dot|json)
 //	GET    /capture/{if} capture interface traffic for ?duration (pcap body)
+//	GET    /metrics      node telemetry, Prometheus text format
+//	GET    /events       node event journal, JSON array (?since=seq)
 package rest
 
 import (
@@ -19,6 +21,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/netdev"
@@ -26,6 +29,7 @@ import (
 	"repro/internal/orchestrator"
 	"repro/internal/pcap"
 	"repro/internal/resources"
+	"repro/internal/telemetry"
 )
 
 // Server exposes one orchestrator over HTTP.
@@ -46,7 +50,35 @@ func New(orch *orchestrator.Orchestrator, pool *resources.Pool) *Server {
 	s.mux.HandleFunc("GET /status", s.status)
 	s.mux.HandleFunc("GET /topology", s.topology)
 	s.mux.HandleFunc("GET /capture/{iface}", s.capture)
+	// One scrape of the node registry: per-LSI traffic and microflow-cache
+	// counters, the sampled pipeline-latency histogram, resource-ledger
+	// gauges and control-plane operation timings.
+	s.mux.Handle("GET /metrics", orch.Metrics().Handler())
+	s.mux.HandleFunc("GET /events", s.events)
 	return s
+}
+
+// events serves the node's retained journal, oldest first. ?since=seq
+// returns only events with a larger sequence number, so a poller can tail
+// the journal without re-reading it.
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	evs := s.orch.Events()
+	if since := r.URL.Query().Get("since"); since != "" {
+		seq, err := strconv.ParseUint(since, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad since %q", since))
+			return
+		}
+		i := 0
+		for i < len(evs) && evs[i].Seq <= seq {
+			i++
+		}
+		evs = evs[i:]
+	}
+	if evs == nil {
+		evs = []telemetry.Event{}
+	}
+	writeJSON(w, http.StatusOK, evs)
 }
 
 // ServeHTTP implements http.Handler.

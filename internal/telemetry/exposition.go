@@ -1,0 +1,249 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Labels names one sample's label set. Rendering sorts the keys, so two
+// logically equal label sets produce the same text.
+type Labels map[string]string
+
+// sample is one rendered-ready measurement: a metric name (possibly a
+// histogram series suffix), a pre-sorted label string and a value.
+type sample struct {
+	name   string // full sample name, e.g. un_lsi_rx_packets_total or foo_bucket
+	labels string // rendered `k="v",...` (no braces), may be empty
+	value  float64
+}
+
+// family is one metric family: the HELP/TYPE header plus its samples.
+type family struct {
+	name    string
+	help    string
+	typ     string // "counter", "gauge", "histogram", "untyped"
+	samples []sample
+}
+
+// Exposition accumulates metric families and renders them as Prometheus
+// text format (version 0.0.4). It is not safe for concurrent use; a scrape
+// builds one, fills it from the collectors and writes it out.
+type Exposition struct {
+	families map[string]*family
+}
+
+// NewExposition returns an empty exposition.
+func NewExposition() *Exposition {
+	return &Exposition{families: make(map[string]*family)}
+}
+
+func (e *Exposition) family(name, help, typ string) *family {
+	f, ok := e.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ}
+		e.families[name] = f
+	}
+	return f
+}
+
+// Counter adds one counter sample. The conventional name ends in _total.
+func (e *Exposition) Counter(name, help string, labels Labels, v uint64) {
+	f := e.family(name, help, "counter")
+	f.samples = append(f.samples, sample{name: name, labels: renderLabels(labels, ""), value: float64(v)})
+}
+
+// Gauge adds one gauge sample.
+func (e *Exposition) Gauge(name, help string, labels Labels, v float64) {
+	f := e.family(name, help, "gauge")
+	f.samples = append(f.samples, sample{name: name, labels: renderLabels(labels, ""), value: v})
+}
+
+// Histogram adds one histogram series: cumulative _bucket samples with le
+// labels, plus _sum and _count.
+func (e *Exposition) Histogram(name, help string, labels Labels, s HistogramSnapshot) {
+	f := e.family(name, help, "histogram")
+	cum := uint64(0)
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		f.samples = append(f.samples, sample{
+			name:   name + "_bucket",
+			labels: renderLabels(labels, formatFloat(b)),
+			value:  float64(cum),
+		})
+	}
+	if len(s.Counts) > len(s.Bounds) {
+		cum += s.Counts[len(s.Bounds)]
+	}
+	f.samples = append(f.samples, sample{name: name + "_bucket", labels: renderLabels(labels, "+Inf"), value: float64(cum)})
+	f.samples = append(f.samples, sample{name: name + "_sum", labels: renderLabels(labels, ""), value: s.Sum})
+	f.samples = append(f.samples, sample{name: name + "_count", labels: renderLabels(labels, ""), value: float64(s.Count)})
+}
+
+// renderLabels renders a label set (plus an optional le value) into the
+// canonical sorted `k="v",...` form.
+func renderLabels(labels Labels, le string) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels)+1)
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	if le != "" {
+		keys = append(keys, "le")
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := labels[k]
+		if k == "le" && le != "" {
+			v = le
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(v))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteTo renders the exposition as Prometheus text format, families sorted
+// by name, samples in insertion order. It implements io.WriterTo.
+func (e *Exposition) WriteTo(w io.Writer) (int64, error) {
+	names := make([]string, 0, len(e.families))
+	for name := range e.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var written int64
+	for _, name := range names {
+		f := e.families[name]
+		if f.help != "" {
+			n, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+			written += int64(n)
+			if err != nil {
+				return written, err
+			}
+		}
+		n, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+		for _, s := range f.samples {
+			var err error
+			if s.labels == "" {
+				n, err = fmt.Fprintf(w, "%s %s\n", s.name, formatFloat(s.value))
+			} else {
+				n, err = fmt.Fprintf(w, "%s{%s} %s\n", s.name, s.labels, formatFloat(s.value))
+			}
+			written += int64(n)
+			if err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, nil
+}
+
+// Collector fills an exposition with the current state of its owner. Collect
+// must be safe to call concurrently with the owner's hot-path updates.
+type Collector interface {
+	Collect(e *Exposition)
+}
+
+// CollectorFunc adapts a function to the Collector interface.
+type CollectorFunc func(e *Exposition)
+
+// Collect implements Collector.
+func (f CollectorFunc) Collect(e *Exposition) { f(e) }
+
+// Registry is a set of collectors scraped together: the /metrics endpoint of
+// one process. Registration and scraping are safe for concurrent use.
+type Registry struct {
+	mu         sync.RWMutex
+	collectors []Collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds a collector to the scrape set.
+func (r *Registry) Register(c Collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, c)
+}
+
+// Gather runs every collector into a fresh exposition.
+func (r *Registry) Gather() *Exposition {
+	e := NewExposition()
+	r.GatherInto(e)
+	return e
+}
+
+// GatherInto runs every collector into an existing exposition, so a caller
+// can merge several sources (e.g. fleet aggregation) into one scrape.
+func (r *Registry) GatherInto(e *Exposition) {
+	r.mu.RLock()
+	collectors := append([]Collector(nil), r.collectors...)
+	r.mu.RUnlock()
+	for _, c := range collectors {
+		c.Collect(e)
+	}
+}
+
+// WritePrometheus renders one scrape of the registry to w.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	_, err := r.Gather().WriteTo(w)
+	return err
+}
+
+// ContentType is the Prometheus text exposition content type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler returns an http.Handler serving the registry as a /metrics
+// endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event types recorded by the node and global orchestrators. The journal
+// accepts arbitrary strings; these constants name the built-in vocabulary.
+const (
+	EventDeploy   = "deploy"       // graph instantiated on a node
+	EventUpdate   = "update"       // graph updated in place
+	EventUndeploy = "undeploy"     // graph removed
+	EventNFStart  = "nf-start"     // one NF instance started
+	EventNFStop   = "nf-stop"      // one NF instance stopped
+	EventFlowMod  = "flow-mod"     // steering rules (re)programmed on an LSI
+	EventNodeDead = "node-dead"    // fleet member failed its health probe
+	EventNodeBack = "node-back"    // fleet member answering again
+	EventResched  = "reschedule"   // graph moved off a dead/withdrawn node
+	EventRepair   = "drift-repair" // lost or diverged subgraph reconverged
+	EventRetire   = "retire"       // deferred subgraph removal completed
+)
+
+// Event is one structured journal entry.
+type Event struct {
+	// Seq orders events within one journal; gaps mean the ring dropped
+	// entries between two reads.
+	Seq uint64 `json:"seq"`
+	// Time is the wall-clock event time.
+	Time time.Time `json:"time"`
+	// Type is the event kind (see the Event* constants).
+	Type string `json:"type"`
+	// Node names the Universal Node involved, when known.
+	Node string `json:"node,omitempty"`
+	// Graph names the NF-FG involved, when any.
+	Graph string `json:"graph,omitempty"`
+	// Detail is a free-form human-readable amplification.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Journal is a bounded in-memory ring of events: cheap enough to record
+// control-plane activity unconditionally, bounded so an unobserved node
+// cannot grow without limit. The zero value is unusable; use NewJournal.
+type Journal struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int    // ring write position
+	n    int    // live entries
+	seq  uint64 // total events ever recorded
+}
+
+// DefaultJournalDepth is the event capacity used when none is given.
+const DefaultJournalDepth = 1024
+
+// NewJournal builds a journal holding up to depth events (oldest evicted
+// first). Non-positive depth uses DefaultJournalDepth.
+func NewJournal(depth int) *Journal {
+	if depth <= 0 {
+		depth = DefaultJournalDepth
+	}
+	return &Journal{buf: make([]Event, depth)}
+}
+
+// Record appends one event, stamping sequence and (if zero) time.
+func (j *Journal) Record(ev Event) {
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	j.mu.Lock()
+	j.seq++
+	ev.Seq = j.seq
+	j.buf[j.next] = ev
+	j.next = (j.next + 1) % len(j.buf)
+	if j.n < len(j.buf) {
+		j.n++
+	}
+	j.mu.Unlock()
+}
+
+// Recordf is shorthand for recording a typed event.
+func (j *Journal) Recordf(typ, node, graph, detail string) {
+	j.Record(Event{Type: typ, Node: node, Graph: graph, Detail: detail})
+}
+
+// Events returns the retained events, oldest first.
+func (j *Journal) Events() []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Event, 0, j.n)
+	start := j.next - j.n
+	if start < 0 {
+		start += len(j.buf)
+	}
+	for i := 0; i < j.n; i++ {
+		out = append(out, j.buf[(start+i)%len(j.buf)])
+	}
+	return out
+}
+
+// Total returns how many events were ever recorded; Total minus the number
+// of retained events is how many the ring has dropped.
+func (j *Journal) Total() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// MergeEvents interleaves several event streams by time (sequence breaking
+// ties), for fleet-wide views assembled from per-node journals.
+func MergeEvents(streams ...[]Event) []Event {
+	var out []Event
+	for _, s := range streams {
+		out = append(out, s...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].Time.Equal(out[j].Time) {
+			return out[i].Time.Before(out[j].Time)
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}

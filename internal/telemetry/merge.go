@@ -1,0 +1,201 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// AddText parses one Prometheus text-format document (such as another
+// process's /metrics body) and merges its samples into the exposition, with
+// extra labels injected into every sample — the primitive behind fleet-wide
+// aggregation, where the global orchestrator scrapes each node and tags its
+// samples with node="...". The first HELP/TYPE seen for a family wins;
+// histogram series (_bucket/_sum/_count) stay grouped under their declared
+// family. Unparseable lines abort with an error so a corrupt node scrape is
+// dropped wholesale instead of merged half-way.
+func (e *Exposition) AddText(text string, extra Labels) error {
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	curFamily := "" // family declared by the last HELP/TYPE comment
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, ok := parseComment(line)
+			if !ok {
+				continue // free-form comment
+			}
+			switch kind {
+			case "HELP":
+				f := e.family(name, "", "untyped")
+				if f.help == "" {
+					f.help = rest
+				}
+				curFamily = name
+			case "TYPE":
+				f := e.family(name, "", "untyped")
+				if f.typ == "" || f.typ == "untyped" {
+					f.typ = rest
+				}
+				curFamily = name
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("telemetry: merging metrics text: %w", err)
+		}
+		fam := curFamily
+		if !belongsTo(name, fam) {
+			fam = name
+			curFamily = name
+		}
+		f := e.family(fam, "", "untyped")
+		f.samples = append(f.samples, sample{
+			name:   name,
+			labels: mergeLabelText(labels, extra),
+			value:  value,
+		})
+	}
+	return sc.Err()
+}
+
+// belongsTo reports whether a sample name is part of the family declared by
+// the preceding HELP/TYPE comment (exactly it, or a histogram/summary series
+// of it).
+func belongsTo(name, fam string) bool {
+	if fam == "" {
+		return false
+	}
+	if name == fam {
+		return true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if name == fam+suffix {
+			return true
+		}
+	}
+	return false
+}
+
+// parseComment splits `# HELP name rest` / `# TYPE name rest`.
+func parseComment(line string) (kind, name, rest string, ok bool) {
+	fields := strings.SplitN(strings.TrimSpace(strings.TrimPrefix(line, "#")), " ", 3)
+	if len(fields) < 2 || (fields[0] != "HELP" && fields[0] != "TYPE") {
+		return "", "", "", false
+	}
+	kind, name = fields[0], fields[1]
+	if len(fields) == 3 {
+		rest = fields[2]
+	}
+	return kind, name, rest, true
+}
+
+// parseSample splits one sample line into name, raw label body (without
+// braces) and value. Timestamps (a trailing integer) are dropped.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("malformed sample %q", line)
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.SplitN(rest, " ", 2)
+		if len(fields) != 2 {
+			return "", "", 0, fmt.Errorf("malformed sample %q", line)
+		}
+		name = fields[0]
+		rest = strings.TrimSpace(fields[1])
+	}
+	if name == "" {
+		return "", "", 0, fmt.Errorf("malformed sample %q", line)
+	}
+	valueField := rest
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		valueField = rest[:i] // drop optional timestamp
+	}
+	value, err = strconv.ParseFloat(valueField, 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("malformed value in %q: %w", line, err)
+	}
+	return name, strings.TrimSuffix(strings.TrimSpace(labels), ","), value, nil
+}
+
+// mergeLabelText injects extra labels into a raw rendered label body,
+// keeping the result sorted by key. Existing keys win over injected ones so
+// a node cannot have its own identity overwritten by a stale self-label.
+func mergeLabelText(raw string, extra Labels) string {
+	if len(extra) == 0 {
+		return raw
+	}
+	type kv struct{ k, v string } // v is the raw quoted payload, pre-escaped
+	var pairs []kv
+	seen := make(map[string]bool)
+	for _, part := range splitLabelPairs(raw) {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			continue
+		}
+		v = strings.TrimSuffix(strings.TrimPrefix(v, `"`), `"`)
+		pairs = append(pairs, kv{k: k, v: v})
+		seen[k] = true
+	}
+	for k, v := range extra {
+		if !seen[k] {
+			pairs = append(pairs, kv{k: k, v: escapeLabelValue(v)})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(p.v)
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// splitLabelPairs splits a raw label body on commas outside quotes.
+func splitLabelPairs(raw string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	escaped := false
+	for _, r := range raw {
+		switch {
+		case escaped:
+			escaped = false
+			cur.WriteRune(r)
+		case r == '\\' && inQuote:
+			escaped = true
+			cur.WriteRune(r)
+		case r == '"':
+			inQuote = !inQuote
+			cur.WriteRune(r)
+		case r == ',' && !inQuote:
+			if s := strings.TrimSpace(cur.String()); s != "" {
+				out = append(out, s)
+			}
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if s := strings.TrimSpace(cur.String()); s != "" {
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,259 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+	g.Set(-1)
+	if got := g.Value(); got != -1 {
+		t.Fatalf("gauge = %v, want -1", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	for _, v := range []float64{0.5, 1, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// 0.5 and 1 land in <=1; 5 in <=10; 50 in <=100; 500 and 5000 overflow.
+	want := []uint64{2, 1, 1, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if s.Sum != 0.5+1+5+50+500+5000 {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+}
+
+// TestExpositionFormat pins the exact rendered text: families sorted by
+// name, HELP/TYPE once per family, labels sorted, histogram rendered
+// cumulatively with a +Inf bucket.
+func TestExpositionFormat(t *testing.T) {
+	e := NewExposition()
+	e.Counter("zz_total", "Last family.", nil, 7)
+	e.Counter("aa_total", "First family.", Labels{"b": "2", "a": "1"}, 1)
+	e.Counter("aa_total", "ignored duplicate help", Labels{"a": "9"}, 2)
+	e.Gauge("mm", "Middle family.", nil, 1.5)
+	h := NewHistogram(0.1, 1)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	e.Histogram("hh_seconds", "A histogram.", Labels{"l": "x"}, h.Snapshot())
+
+	var sb strings.Builder
+	if _, err := e.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_total First family.
+# TYPE aa_total counter
+aa_total{a="1",b="2"} 1
+aa_total{a="9"} 2
+# HELP hh_seconds A histogram.
+# TYPE hh_seconds histogram
+hh_seconds_bucket{l="x",le="0.1"} 1
+hh_seconds_bucket{l="x",le="1"} 2
+hh_seconds_bucket{l="x",le="+Inf"} 3
+hh_seconds_sum{l="x"} 5.55
+hh_seconds_count{l="x"} 3
+# HELP mm Middle family.
+# TYPE mm gauge
+mm 1.5
+# HELP zz_total Last family.
+# TYPE zz_total counter
+zz_total 7
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	e := NewExposition()
+	e.Gauge("g", "", Labels{"path": `a\b"c` + "\n"}, 1)
+	var sb strings.Builder
+	if _, err := e.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `g{path="a\\b\"c\n"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("escaping: got %q, want to contain %q", sb.String(), want)
+	}
+}
+
+// TestAddTextMerge round-trips one exposition through text into another
+// with an injected node label, as the global fleet aggregation does.
+func TestAddTextMerge(t *testing.T) {
+	src := NewExposition()
+	src.Counter("un_x_total", "Things.", Labels{"lsi": "lsi-0"}, 5)
+	h := NewHistogram(1)
+	h.Observe(0.5)
+	src.Histogram("un_lat_seconds", "Latency.", nil, h.Snapshot())
+	var sb strings.Builder
+	if _, err := src.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := NewExposition()
+	dst.Counter("un_x_total", "Things.", Labels{"lsi": "lsi-0", "node": "n0"}, 9)
+	if err := dst.AddText(sb.String(), Labels{"node": "n1"}); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if _, err := dst.WriteTo(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		`un_x_total{lsi="lsi-0",node="n0"} 9`,
+		`un_x_total{lsi="lsi-0",node="n1"} 5`,
+		`un_lat_seconds_bucket{le="+Inf",node="n1"} 1`,
+		`un_lat_seconds_count{node="n1"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("merged text missing %q:\n%s", want, text)
+		}
+	}
+	// One TYPE line per family, even though both nodes contributed.
+	if n := strings.Count(text, "# TYPE un_x_total"); n != 1 {
+		t.Fatalf("TYPE un_x_total appears %d times", n)
+	}
+	// Histogram series grouped under the declared family, not their own.
+	if strings.Contains(text, "# TYPE un_lat_seconds_bucket") {
+		t.Fatalf("histogram series leaked into its own family:\n%s", text)
+	}
+}
+
+func TestAddTextRejectsGarbage(t *testing.T) {
+	e := NewExposition()
+	if err := e.AddText("not a metric line at all", nil); err == nil {
+		t.Fatal("want error for malformed sample")
+	}
+}
+
+func TestJournalRing(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 6; i++ {
+		j.Recordf(EventDeploy, "n1", "g", "")
+	}
+	evs := j.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	if evs[0].Seq != 3 || evs[3].Seq != 6 {
+		t.Fatalf("ring kept wrong window: seqs %d..%d", evs[0].Seq, evs[3].Seq)
+	}
+	if j.Total() != 6 {
+		t.Fatalf("total = %d, want 6", j.Total())
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("non-contiguous seqs: %v", evs)
+		}
+	}
+}
+
+func TestMergeEvents(t *testing.T) {
+	base := time.Now()
+	a := []Event{{Seq: 1, Time: base}, {Seq: 2, Time: base.Add(2 * time.Second)}}
+	b := []Event{{Seq: 1, Time: base.Add(time.Second)}}
+	got := MergeEvents(a, b)
+	if len(got) != 3 || !got[1].Time.Equal(base.Add(time.Second)) {
+		t.Fatalf("merge order wrong: %v", got)
+	}
+}
+
+// TestConcurrencyHammer drives every primitive and the scrape path from
+// many goroutines at once; run under -race it proves the hot-path
+// increments and the pull-side snapshots do not need external locking.
+func TestConcurrencyHammer(t *testing.T) {
+	var c Counter
+	var g Gauge
+	h := NewHistogram(LatencyBuckets()...)
+	j := NewJournal(64)
+	reg := NewRegistry()
+	reg.Register(CollectorFunc(func(e *Exposition) {
+		e.Counter("c_total", "", nil, c.Value())
+		e.Gauge("g", "", nil, g.Value())
+		e.Histogram("h_seconds", "", nil, h.Snapshot())
+		e.Counter("j_total", "", nil, j.Total())
+	}))
+
+	const writers = 8
+	const perWriter = 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Scrapers run concurrently with the writers for the whole test.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var sb strings.Builder
+				if err := reg.WritePrometheus(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = j.Events()
+			}
+		}()
+	}
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i%1000) * 1e-6)
+				if i%100 == 0 {
+					j.Recordf(EventFlowMod, "n", "g", "hammer")
+				}
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	if got := c.Value(); got != writers*perWriter {
+		t.Fatalf("counter lost updates: %d, want %d", got, writers*perWriter)
+	}
+	s := h.Snapshot()
+	if s.Count != writers*perWriter {
+		t.Fatalf("histogram lost observations: %d, want %d", s.Count, writers*perWriter)
+	}
+	var total uint64
+	for _, n := range s.Counts {
+		total += n
+	}
+	if total != s.Count {
+		t.Fatalf("bucket sum %d != count %d", total, s.Count)
+	}
+}

@@ -6,9 +6,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/netdev"
 	"repro/internal/pkt"
+	"repro/internal/telemetry"
 )
 
 // DefaultTables is the number of flow tables a switch starts with.
@@ -106,8 +108,15 @@ type Switch struct {
 	cache *microflowCache
 
 	misses   atomic.Uint64
-	pipeline atomic.Uint64 // packets processed
+	pipeline atomic.Uint64 // packets processed (rx)
+	drops    atomic.Uint64 // frames dropped (unknown port, miss-drop)
+	latency  *telemetry.Histogram
 }
+
+// latencySampleMask selects which packets pay for a latency measurement:
+// one in (mask+1) pipeline entries takes two clock reads and a histogram
+// observation; the rest only test the counter the hot path maintains anyway.
+const latencySampleMask = 1<<10 - 1
 
 // New creates a switch with the default number of tables.
 func New(name string, dpid uint64) *Switch { return NewTables(name, dpid, DefaultTables) }
@@ -122,6 +131,7 @@ func NewTables(name string, dpid uint64, n int) *Switch {
 		dpid:    dpid,
 		nTables: n,
 		cache:   newMicroflowCache(),
+		latency: telemetry.NewHistogram(telemetry.DatapathLatencyBuckets()...),
 	}
 	s.tables.Store(&tableSet{tables: make([][]*FlowEntry, n)})
 	s.ports.Store(&portTable{ports: make(map[uint32]*netdev.Port)})
@@ -305,14 +315,28 @@ func (s *Switch) Misses() uint64 { return s.misses.Load() }
 // PacketsProcessed returns the count of frames that entered the pipeline.
 func (s *Switch) PacketsProcessed() uint64 { return s.pipeline.Load() }
 
-// process runs one received frame through the pipeline: a microflow-cache
-// hit replays the memoized verdict; anything else walks the tables and, if
-// the cache is enabled, records the traversal for the next packet.
+// process runs one received frame through the pipeline, sampling the
+// packet latency histogram on one in every latencySampleMask+1 frames (the
+// pipeline counter the hot path bumps anyway selects the sample, so the
+// common case costs one mask test).
 func (s *Switch) process(inPort uint32, f netdev.Frame) {
-	s.pipeline.Add(1)
+	if s.pipeline.Add(1)&latencySampleMask == 0 {
+		start := time.Now()
+		s.run(inPort, f)
+		s.latency.Observe(time.Since(start).Seconds())
+		return
+	}
+	s.run(inPort, f)
+}
+
+// run is the pipeline body: a microflow-cache hit replays the memoized
+// verdict; anything else walks the tables and, if the cache is enabled,
+// records the traversal for the next packet.
+func (s *Switch) run(inPort uint32, f netdev.Frame) {
 	var key flowKey
 	if err := extractKey(f.Data, inPort, &key); err != nil {
 		s.misses.Add(1)
+		s.drops.Add(1)
 		return
 	}
 	if !s.cache.enabled.Load() {
@@ -408,9 +432,17 @@ func lookupEntry(entries []*FlowEntry, key *flowKey) *FlowEntry {
 
 func (s *Switch) missAction(inPort uint32, table int, data []byte) {
 	s.misses.Add(1)
+	// A punt only counts as delivered when a controller is actually
+	// attached; MissController with no handler still discards the frame.
+	// The handler is loaded once so a concurrent detach cannot slip the
+	// frame between the check and the delivery uncounted.
 	if MissPolicy(s.miss.Load()) == MissController {
-		s.packetIn(inPort, table, ReasonMiss, data)
+		if fn := s.onPktIn.Load(); fn != nil {
+			s.deliverPacketIn(fn, inPort, table, ReasonMiss, data)
+			return
+		}
 	}
+	s.drops.Add(1)
 }
 
 func (s *Switch) packetIn(inPort uint32, table int, reason PacketInReason, data []byte) {
@@ -418,6 +450,10 @@ func (s *Switch) packetIn(inPort uint32, table int, reason PacketInReason, data 
 	if fn == nil {
 		return
 	}
+	s.deliverPacketIn(fn, inPort, table, reason, data)
+}
+
+func (s *Switch) deliverPacketIn(fn *PacketInHandler, inPort uint32, table int, reason PacketInReason, data []byte) {
 	d := pkt.GetBuffer(len(data))
 	copy(d, data)
 	(*fn)(PacketIn{InPort: inPort, TableID: table, Reason: reason, Data: d})
@@ -428,6 +464,7 @@ func (s *Switch) packetIn(inPort uint32, table int, reason PacketInReason, data 
 func (s *Switch) sendOut(num uint32, data []byte) {
 	p := s.ports.Load().ports[num]
 	if p == nil {
+		s.drops.Add(1)
 		return
 	}
 	d := pkt.GetBuffer(len(data))

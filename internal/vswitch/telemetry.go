@@ -1,0 +1,58 @@
+package vswitch
+
+import "repro/internal/telemetry"
+
+// Telemetry is the full observability snapshot of one switch: the per-LSI
+// traffic counters, the microflow-cache state, per-table match counts and
+// the sampled packet-latency histogram.
+type Telemetry struct {
+	// Name is the switch name.
+	Name string
+	// Rx counts frames that entered the pipeline.
+	Rx uint64
+	// Tx counts frames transmitted out of ports (a flood counts once per
+	// egress port). Derived at snapshot time from the per-port netdev
+	// counters the send path maintains anyway, so the packet path pays no
+	// extra atomic for it; detached ports take their counts with them.
+	Tx uint64
+	// Drops counts frames discarded: unknown egress port, unparseable
+	// frame, or a table miss under the drop policy.
+	Drops uint64
+	// Misses counts table-miss packets regardless of policy.
+	Misses uint64
+	// TableMatches holds, per table, how many packets matched an entry
+	// there. Derived at snapshot time from the per-entry hit counters, so
+	// the packet path pays nothing for it; entries deleted from a table
+	// take their counts with them.
+	TableMatches []uint64
+	// Cache is the microflow-cache counter snapshot.
+	Cache CacheStats
+	// Latency is the sampled per-packet pipeline latency, in seconds. One
+	// in 1024 packets is measured.
+	Latency telemetry.HistogramSnapshot
+}
+
+// Telemetry snapshots the switch's counters. Safe to call concurrently with
+// traffic.
+func (s *Switch) Telemetry() Telemetry {
+	t := Telemetry{
+		Name:    s.name,
+		Rx:      s.pipeline.Load(),
+		Drops:   s.drops.Load(),
+		Misses:  s.misses.Load(),
+		Cache:   s.CacheStats(),
+		Latency: s.latency.Snapshot(),
+	}
+	for _, p := range s.ports.Load().ports {
+		t.Tx += p.Stats().TxPackets
+	}
+	tables := s.tables.Load().tables
+	t.TableMatches = make([]uint64, len(tables))
+	for ti, entries := range tables {
+		for _, e := range entries {
+			p, _ := e.Stats()
+			t.TableMatches[ti] += p
+		}
+	}
+	return t
+}

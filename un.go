@@ -48,6 +48,7 @@ import (
 	"repro/internal/repository"
 	"repro/internal/resources"
 	"repro/internal/rest"
+	"repro/internal/telemetry"
 	"repro/internal/vswitch"
 )
 
@@ -76,6 +77,11 @@ type (
 	Topology = orchestrator.Topology
 	// CacheStats is a snapshot of datapath microflow-cache counters.
 	CacheStats = vswitch.CacheStats
+	// Event is one structured telemetry-journal entry (NF lifecycle, graph
+	// operations, steering reprogramming).
+	Event = telemetry.Event
+	// MetricsRegistry is the node's scrapeable metric registry.
+	MetricsRegistry = telemetry.Registry
 )
 
 // Endpoint types.
@@ -297,6 +303,22 @@ func (n *Node) Topology() Topology { return n.orch.Topology() }
 // the node (LSI-0 plus one per deployed graph): the hit rate of the
 // fast-path datapath serving the node's traffic.
 func (n *Node) DatapathCacheStats() CacheStats { return n.orch.CacheStats() }
+
+// Metrics returns the node's metric registry: per-LSI traffic and cache
+// counters, the sampled pipeline-latency histogram, resource gauges and
+// control-plane operation timings. The REST interface serves it on
+// GET /metrics in Prometheus text format.
+func (n *Node) Metrics() *MetricsRegistry { return n.orch.Metrics() }
+
+// WriteMetrics renders one scrape of the node registry to w in Prometheus
+// text format. The global orchestrator uses this to aggregate fleet-wide
+// metrics with per-node labels.
+func (n *Node) WriteMetrics(w io.Writer) error { return n.orch.WriteMetrics(w) }
+
+// Events returns the node's retained telemetry journal, oldest first: NF
+// starts and stops, graph deploy/update/undeploy, steering reprogramming.
+// The REST interface serves it on GET /events.
+func (n *Node) Events() []Event { return n.orch.Events() }
 
 // Clock exposes the node's virtual clock; traffic measurements read it.
 func (n *Node) Clock() *execenv.VirtualClock { return n.clock }
