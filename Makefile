@@ -12,7 +12,7 @@ GO ?= go
 # Keep in sync with the COVERAGE_BASELINE env of .github/workflows/ci.yml.
 COVERAGE_BASELINE ?= 75.0
 
-BENCH_PATTERN = ^(BenchmarkPipelineCached|BenchmarkTable1Throughput)$$
+BENCH_PATTERN = ^(BenchmarkPipelineCached|BenchmarkTable1Throughput|BenchmarkReflavor|BenchmarkParallelDeploy)$$
 
 .PHONY: ci lint fmt vet staticcheck govulncheck build test race coverage \
 	bench-gate bench-baseline examples-smoke clean
@@ -50,10 +50,10 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 coverage:
 	$(GO) test -covermode=atomic -coverprofile=coverage.out ./...

@@ -650,3 +650,97 @@ func BenchmarkGlobalReconcile(b *testing.B) {
 		orch.ReconcileOnce()
 	}
 }
+
+// benchChain builds eth0 -> fw0 -> ... -> fw(n-1) -> eth1 with every NF
+// pinned to the given technology.
+func benchChain(id string, n int, tech un.Technology) *un.Graph {
+	g := &un.Graph{
+		ID: id,
+		Endpoints: []un.Endpoint{
+			{ID: "in", Type: un.EPInterface, Interface: "eth0"},
+			{ID: "out", Type: un.EPInterface, Interface: "eth1"},
+		},
+	}
+	for i := 0; i < n; i++ {
+		g.NFs = append(g.NFs, un.NF{
+			ID: fmt.Sprintf("fw%d", i), Name: "firewall",
+			Ports:                []un.NFPort{{ID: "0"}, {ID: "1"}},
+			TechnologyPreference: tech,
+		})
+	}
+	prev := un.EndpointRef("in")
+	for i := 0; i < n; i++ {
+		g.Rules = append(g.Rules, un.FlowRule{
+			ID: fmt.Sprintf("r%d", i), Priority: 10,
+			Match:   un.RuleMatch{PortIn: prev},
+			Actions: []un.RuleAction{{Type: un.ActOutput, Output: un.NFPortRef(g.NFs[i].ID, "0")}},
+		})
+		prev = un.NFPortRef(g.NFs[i].ID, "1")
+	}
+	g.Rules = append(g.Rules, un.FlowRule{
+		ID: "r-out", Priority: 10,
+		Match:   un.RuleMatch{PortIn: prev},
+		Actions: []un.RuleAction{{Type: un.ActOutput, Output: un.EndpointRef("out")}},
+	})
+	return g
+}
+
+// BenchmarkParallelDeploy measures the wall-clock deployment of one 8-NF
+// graph with serialized vs concurrent NF starts, under emulated
+// provisioning latency (2% of each flavor's simulated boot time: 6ms per
+// Docker container). The parallel case is the orchestrator default; the
+// serial case pins MaxParallelStarts to 1, i.e. the seed's behavior.
+func BenchmarkParallelDeploy(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		par  int
+	}{{"serial", 1}, {"parallel", 8}} {
+		b.Run(mode.name, func(b *testing.B) {
+			node, err := un.NewNode(un.Config{
+				Name:              "bench-" + mode.name,
+				CPUMillis:         64000,
+				StartupWallScale:  0.02,
+				MaxParallelStarts: mode.par,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer node.Close()
+			g := benchChain("par", 8, un.TechDocker)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := node.Deploy(g); err != nil {
+					b.Fatal(err)
+				}
+				if err := node.Undeploy("par"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReflavor measures one make-before-break NF hot-swap round trip
+// (VM -> native -> VM per iteration, so the graph ends each iteration where
+// it started), including the atomic steering swap and the drain of the
+// outgoing instance.
+func BenchmarkReflavor(b *testing.B) {
+	node, err := un.NewNode(un.Config{Name: "bench-reflavor"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer node.Close()
+	if err := node.Deploy(bench.IPsecGraph("vpn", un.TechVM)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := node.Reflavor("vpn", "vpn", un.TechNative); err != nil {
+			b.Fatal(err)
+		}
+		if err := node.Reflavor("vpn", "vpn", un.TechVM); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(2, "swaps/op")
+}

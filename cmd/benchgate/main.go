@@ -129,7 +129,7 @@ func main() {
 	var (
 		baselinePath = flag.String("baseline", "BENCH_BASELINE.json", "baseline test2json benchmark run")
 		currentPath  = flag.String("current", "", "current test2json benchmark run")
-		gate         = flag.String("gate", "BenchmarkPipelineCached|BenchmarkTable1Throughput",
+		gate         = flag.String("gate", "BenchmarkPipelineCached|BenchmarkTable1Throughput|BenchmarkReflavor|BenchmarkParallelDeploy",
 			"regexp of benchmark names the gate enforces")
 		maxRegress = flag.Float64("max-regress", 30, "max allowed ns/op regression percent on gated benchmarks")
 		extractDir = flag.String("extract-dir", "", "write baseline.txt/current.txt here for benchstat")

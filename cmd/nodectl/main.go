@@ -7,6 +7,8 @@
 //	nodectl [-server ...] graph -format dot               # Graphviz
 //	nodectl [-server ...] status                          # node status JSON
 //	nodectl [-server ...] capture eth0 -duration 2s -o out.pcap
+//	nodectl [-server ...] reflavor <graph> <nf> [tech]    # hot-swap an NF's
+//	        execution technology (omit tech to let the policy choose)
 package main
 
 import (
@@ -60,6 +62,16 @@ func main() {
 			os.Exit(2)
 		}
 		err = capture(*server, iface, *duration, *out)
+	case "reflavor":
+		if len(args) < 3 {
+			usage()
+			os.Exit(2)
+		}
+		tech := ""
+		if len(args) > 3 {
+			tech = args[3]
+		}
+		err = reflavor(*server, args[1], args[2], tech)
 	default:
 		usage()
 		os.Exit(2)
@@ -78,7 +90,36 @@ commands:
   status                             print node status
   capture <iface> [-duration 1s] [-o file.pcap]
                                      capture interface traffic to a pcap file
+  reflavor <graph> <nf> [vm|docker|dpdk|native]
+                                     hot-swap one NF's execution technology in
+                                     place (no tech: the placement policy picks)
 `)
+}
+
+func reflavor(server, graph, nf, tech string) error {
+	body, err := json.Marshal(map[string]string{"technology": tech})
+	if err != nil {
+		return err
+	}
+	url := fmt.Sprintf("%s/NF-FG/%s/nf/%s/reflavor", server, graph, nf)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	reply, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(reply))
+	}
+	var pretty bytes.Buffer
+	if json.Indent(&pretty, reply, "", "  ") == nil {
+		reply = pretty.Bytes()
+	}
+	fmt.Println(string(bytes.TrimSpace(reply)))
+	return nil
 }
 
 func capture(server, iface, duration, out string) error {

@@ -53,15 +53,18 @@ func (n *nodeFlags) Set(v string) error {
 func main() {
 	var nodes nodeFlags
 	var (
-		listen = flag.String("listen", ":9090", "REST listen address")
-		probe  = flag.Duration("probe", 2*time.Second, "health-probe and reconcile interval")
+		listen   = flag.String("listen", ":9090", "REST listen address")
+		probe    = flag.Duration("probe", 2*time.Second, "health-probe and reconcile interval")
+		pressure = flag.Float64("pressure", global.DefaultPressureFreeCPUFraction,
+			"free-CPU fraction under which the reconcile loop reflavors NFs in place (negative disables)")
 	)
 	flag.Var(&nodes, "node", "pre-register a node as name=url (repeatable)")
 	flag.Parse()
 
 	orch := global.New(global.Config{
-		ProbeInterval: *probe,
-		Logf:          log.Printf,
+		ProbeInterval:           *probe,
+		PressureFreeCPUFraction: *pressure,
+		Logf:                    log.Printf,
 	})
 	client := &http.Client{Timeout: 5 * time.Second}
 	for _, n := range nodes {
@@ -75,6 +78,7 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "un-global: REST listening on %s (probe every %v)\n", *listen, *probe)
 	fmt.Fprintf(os.Stderr, "un-global: fleet telemetry on GET /metrics (per-node labels) and GET /events\n")
+	fmt.Fprintf(os.Stderr, "un-global: NF hot-swap on POST /NF-FG/{id}/nf/{nf}/reflavor (pressure relief at %.0f%% free CPU)\n", *pressure*100)
 	if err := http.ListenAndServe(*listen, rest.NewGlobal(orch, client)); err != nil {
 		log.Fatalf("un-global: %v", err)
 	}

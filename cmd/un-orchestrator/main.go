@@ -6,6 +6,7 @@
 //
 //	un-orchestrator [-listen :8080] [-name cpe] [-interfaces eth0,eth1]
 //	                [-cpu 16000] [-ram-mb 8192] [-capabilities kvm,docker,...]
+//	                [-policy first-fit|bin-pack|cost]
 package main
 
 import (
@@ -26,14 +27,16 @@ func main() {
 		cpu          = flag.Int("cpu", 16000, "CPU capacity in millicores")
 		ramMB        = flag.Int("ram-mb", 8192, "RAM capacity in MiB")
 		capabilities = flag.String("capabilities", "", "comma-separated capability set (empty = all)")
+		policy       = flag.String("policy", "first-fit", "placement policy: first-fit, bin-pack or cost")
 	)
 	flag.Parse()
 
 	cfg := un.Config{
-		Name:       *name,
-		Interfaces: splitList(*interfaces),
-		CPUMillis:  *cpu,
-		RAMBytes:   uint64(*ramMB) * un.MB,
+		Name:            *name,
+		Interfaces:      splitList(*interfaces),
+		CPUMillis:       *cpu,
+		RAMBytes:        uint64(*ramMB) * un.MB,
+		PlacementPolicy: *policy,
 	}
 	if *capabilities != "" {
 		cfg.Capabilities = splitList(*capabilities)
@@ -47,6 +50,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "un-orchestrator: node %q up, interfaces %v\n", *name, cfg.Interfaces)
 	fmt.Fprintf(os.Stderr, "un-orchestrator: REST listening on %s\n", *listen)
 	fmt.Fprintf(os.Stderr, "un-orchestrator: telemetry on GET /metrics (Prometheus text) and GET /events\n")
+	fmt.Fprintf(os.Stderr, "un-orchestrator: placement policy %q; NF hot-swap on POST /NF-FG/{id}/nf/{nf}/reflavor\n", *policy)
 	if err := node.ListenAndServe(*listen); err != nil {
 		log.Fatalf("un-orchestrator: %v", err)
 	}

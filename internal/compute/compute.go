@@ -52,11 +52,31 @@ type Instance struct {
 // RAM returns the instance's runtime footprint.
 func (i *Instance) RAM() uint64 { return i.Runtime.Env().RAM() }
 
+// Caps advertises the optional lifecycle abilities of a driver. The
+// orchestrator's state machine keys on them: reconfiguration decides the
+// in-place-vs-restart path of a graph update, draining decides whether a
+// flavor hot-swap may let the outgoing instance finish in-flight packets
+// before stopping it.
+type Caps struct {
+	// SupportsReconfigure reports that a running instance may be handed a
+	// new configuration in place (the processor must still implement
+	// nf.Configurer; this flag says the driver's packaging tolerates it).
+	SupportsReconfigure bool
+	// SupportsDrain reports that an instance detached from steering keeps
+	// processing already-delivered traffic until Stop, so a make-before-
+	// break swap can wait for it to quiesce. Shared native NFs do not
+	// drain: the instance is mark-multiplexed across graphs and release
+	// semantics replace a drain.
+	SupportsDrain bool
+}
+
 // Driver instantiates NFs of one technology. Implementations must be safe
 // for concurrent use.
 type Driver interface {
 	// Technology identifies the packaging this driver handles.
 	Technology() nffg.Technology
+	// Caps advertises the driver's lifecycle abilities.
+	Caps() Caps
 	// Available reports whether the driver can currently deploy the
 	// template for the given graph (capability present, NNF not busy).
 	Available(graphID string, tpl *repository.Template) bool

@@ -2,6 +2,7 @@ package compute
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/execenv"
 	"repro/internal/imagestore"
@@ -23,6 +24,21 @@ type Deps struct {
 	Model execenv.CostModel
 	// Clock accumulates simulated time across all instances.
 	Clock *execenv.VirtualClock
+	// StartupWallScale, when positive, makes Start additionally spend that
+	// fraction of the flavor's simulated boot latency as real wall time —
+	// emulating actual provisioning latency so that concurrent-start
+	// scheduling can be measured against the wall clock. 0 (the default)
+	// keeps starts instant.
+	StartupWallScale float64
+}
+
+// startupWall sleeps the configured wall-clock fraction of a flavor's boot
+// latency.
+func (d Deps) startupWall(f execenv.Flavor) {
+	if d.StartupWallScale <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(float64(d.Model.StartupTime(f)) * d.StartupWallScale))
 }
 
 func (d Deps) validate() error {
@@ -70,6 +86,12 @@ func newEnvDriver(tech nffg.Technology, flavor execenv.Flavor, cap resources.Cap
 
 // Technology implements Driver.
 func (d *envDriver) Technology() nffg.Technology { return d.tech }
+
+// Caps implements Driver: hypervisor-style environments are private to one
+// graph, so they reconfigure in place and drain cleanly on hot-swap.
+func (d *envDriver) Caps() Caps {
+	return Caps{SupportsReconfigure: true, SupportsDrain: true}
+}
 
 // Available implements Driver.
 func (d *envDriver) Available(_ string, tpl *repository.Template) bool {
@@ -119,6 +141,7 @@ func (d *envDriver) Start(req StartRequest) (*Instance, error) {
 		return nil, err
 	}
 	rt := nf.NewRuntime(req.InstanceName, proc, env, req.Template.Ports)
+	d.deps.startupWall(d.flavor)
 	rt.Start()
 
 	return &Instance{

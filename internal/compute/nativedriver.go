@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/execenv"
 	"repro/internal/nffg"
 	"repro/internal/nnf"
 	"repro/internal/repository"
@@ -32,6 +33,13 @@ func NewNativeDriver(deps Deps, mgr *nnf.Manager) (Driver, error) {
 
 // Technology implements Driver.
 func (d *nativeDriver) Technology() nffg.Technology { return nffg.TechNative }
+
+// Caps implements Driver: native NFs reconfigure in place (the plugin
+// translates new config), but do not drain — a sharable instance is
+// mark-multiplexed across graphs, so detach is a release, not a quiesce.
+func (d *nativeDriver) Caps() Caps {
+	return Caps{SupportsReconfigure: true}
+}
 
 // Available implements Driver: the node must advertise the NNF capability
 // and the NNF must be acquirable by this graph right now (the paper's
@@ -68,6 +76,9 @@ func (d *nativeDriver) Start(req StartRequest) (*Instance, error) {
 		return nil, fmt.Errorf("compute: pulling %q: %w", spec.Image, err)
 	}
 	wasRunning := len(d.mgr.Instances(req.Template.Name)) > 0
+	if !wasRunning {
+		d.deps.startupWall(execenv.FlavorNative)
+	}
 	att, err := d.mgr.Acquire(req.GraphID, req.Template.Name, req.Config)
 	if err != nil {
 		_ = d.deps.Images.Remove(spec.Image)

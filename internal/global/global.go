@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/nffg"
+	"repro/internal/policy"
 	"repro/internal/repository"
 	"repro/internal/telemetry"
 )
@@ -16,14 +17,29 @@ type Config struct {
 	// Repo resolves NF templates for demand estimation; nil uses the
 	// default catalog.
 	Repo *repository.Repository
+	// Policy ranks hosting-node candidates during placement; nil uses
+	// policy.BinPack, the chain-co-locating capacity packer. The same
+	// policy engine ranks execution flavors in the local orchestrator.
+	Policy policy.PlacementPolicy
 	// ProbeInterval is the health-probe and reconcile period (default 2s).
 	ProbeInterval time.Duration
+	// PressureFreeCPUFraction is the reconcile loop's resource-pressure
+	// threshold: a node whose free CPU falls below this fraction of its
+	// capacity gets one NF shifted to a cheaper flavor per pass (an
+	// in-place Reflavor) before the scheduler resorts to moving graphs
+	// across nodes. 0 uses DefaultPressureFreeCPUFraction; negative
+	// disables pressure relief.
+	PressureFreeCPUFraction float64
 	// Logf receives reconcile-loop events; nil discards them.
 	Logf func(format string, args ...any)
 	// Journal receives the global control plane's structured telemetry
 	// events; nil gets a private journal.
 	Journal *telemetry.Journal
 }
+
+// DefaultPressureFreeCPUFraction is the free-CPU fraction below which the
+// reconcile loop starts shifting flavors on a node.
+const DefaultPressureFreeCPUFraction = 0.10
 
 // member is one managed node plus the orchestrator's view of it.
 type member struct {
@@ -77,8 +93,14 @@ func New(cfg Config) *Orchestrator {
 	if cfg.Repo == nil {
 		cfg.Repo = repository.Default()
 	}
+	if cfg.Policy == nil {
+		cfg.Policy = policy.BinPack{}
+	}
 	if cfg.ProbeInterval <= 0 {
 		cfg.ProbeInterval = 2 * time.Second
+	}
+	if cfg.PressureFreeCPUFraction == 0 {
+		cfg.PressureFreeCPUFraction = DefaultPressureFreeCPUFraction
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -384,7 +406,7 @@ func (o *Orchestrator) partition(g *nffg.Graph, prior *deployment) (Placement, m
 			}
 		}
 	}
-	pl, err := place(g, o.cfg.Repo, views, o.links, pins)
+	pl, err := place(g, o.cfg.Repo, o.cfg.Policy, views, o.links, pins)
 	if err != nil {
 		return Placement{}, nil, nil, err
 	}
@@ -584,6 +606,125 @@ func (o *Orchestrator) revertReassign(dep *deployment, id string, applied, vacat
 	return ok
 }
 
+// Reflavor hot-swaps one NF of a deployed global graph onto a different
+// execution technology, on whichever node currently hosts it. The swap is
+// make-before-break on the node: the graph keeps forwarding throughout.
+func (o *Orchestrator) Reflavor(graphID, nfID string, tech nffg.Technology) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	dep, ok := o.graphs[graphID]
+	if !ok {
+		return fmt.Errorf("global: graph %q not deployed", graphID)
+	}
+	node, placed := dep.pl.NFNode[nfID]
+	if !placed {
+		return fmt.Errorf("global: graph %q has no NF %q", graphID, nfID)
+	}
+	m, registered := o.members[node]
+	if !registered || !m.alive {
+		return fmt.Errorf("global: node %q hosting %s/%s is unreachable", node, graphID, nfID)
+	}
+	if err := m.node.Reflavor(graphID, nfID, tech); err != nil {
+		o.metrics.reflavorFails.Inc()
+		return err
+	}
+	o.metrics.reflavors.Inc()
+	o.journal.Recordf(telemetry.EventReflavor, node, graphID,
+		fmt.Sprintf("%s -> %s", nfID, tech))
+	return nil
+}
+
+// relievePressure shifts flavors on resource-pressured nodes: a node whose
+// free CPU dropped below the pressure threshold gets one NF hot-swapped to
+// the cheapest cheaper flavor its template packages — freeing capacity in
+// place, before the scheduler has to move whole subgraphs across nodes.
+// Pinned NFs are not the policy's to move. One reflavor per node per pass
+// keeps the loop gentle. Callers hold o.mu.
+func (o *Orchestrator) relievePressure() {
+	if o.cfg.PressureFreeCPUFraction < 0 {
+		return
+	}
+	names := make([]string, 0, len(o.members))
+	for name := range o.members {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := o.members[name]
+		if !m.alive || m.last.TotalCPUMillis == 0 {
+			continue
+		}
+		free := float64(m.last.FreeCPUMillis) / float64(m.last.TotalCPUMillis)
+		if free >= o.cfg.PressureFreeCPUFraction {
+			continue
+		}
+		// Try candidates best-gain first: the top pick can be transiently
+		// undeployable on the node (e.g. a non-sharable NNF held by
+		// another graph), in which case the next one still relieves.
+		for _, c := range o.cheaperFlavorsOn(m) {
+			o.cfg.Logf("global: node %q under CPU pressure (%.0f%% free), reflavoring %s/%s %s -> %s",
+				name, free*100, c.nf.Graph, c.nf.NF, c.nf.Technology, c.tech)
+			if err := m.node.Reflavor(c.nf.Graph, c.nf.NF, c.tech); err != nil {
+				o.metrics.reflavorFails.Inc()
+				o.cfg.Logf("global: pressure reflavor of %s/%s on %q: %v", c.nf.Graph, c.nf.NF, name, err)
+				continue
+			}
+			o.metrics.reflavors.Inc()
+			o.journal.Recordf(telemetry.EventReflavor, name, c.nf.Graph,
+				fmt.Sprintf("%s %s -> %s (CPU pressure)", c.nf.NF, c.nf.Technology, c.tech))
+			break
+		}
+	}
+}
+
+// reliefCandidate is one possible pressure-relief swap on a node.
+type reliefCandidate struct {
+	nf   NFStatus
+	tech nffg.Technology
+	gain int // CPU millicores freed
+}
+
+// cheaperFlavorsOn scans a pressured member's reported NF instances for
+// reflavor candidates — unpinned NFs of graphs we own whose template
+// packages a flavor with a smaller CPU reservation than the one they run
+// as — ordered by CPU gain, largest first. Callers hold o.mu.
+func (o *Orchestrator) cheaperFlavorsOn(m *member) []reliefCandidate {
+	caps := make(map[string]bool, len(m.last.Capabilities))
+	for _, c := range m.last.Capabilities {
+		caps[c] = true
+	}
+	var out []reliefCandidate
+	for _, nfSt := range m.last.NFs {
+		dep, ours := o.graphs[nfSt.Graph]
+		if !ours {
+			continue
+		}
+		n := dep.desired.FindNF(nfSt.NF)
+		if n == nil || n.TechnologyPreference != nffg.TechAny {
+			continue
+		}
+		tpl, ok := o.cfg.Repo.Lookup(n.Name)
+		if !ok {
+			continue
+		}
+		cur, running := tpl.Flavors[nffg.Technology(nfSt.Technology)]
+		if !running {
+			continue
+		}
+		for _, tech := range tpl.SupportedTechnologies() {
+			fl := tpl.Flavors[tech]
+			if !caps[string(fl.Capability)] {
+				continue
+			}
+			if gain := cur.CPUMillis - fl.CPUMillis; gain > 0 {
+				out = append(out, reliefCandidate{nf: nfSt, tech: tech, gain: gain})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].gain > out[j].gain })
+	return out
+}
+
 // Undeploy removes a global graph. The desired-state removal always takes
 // effect; a node that cannot be told to drop its piece has the cleanup
 // deferred to the reconcile loop (and blocks reuse of the graph's stitch
@@ -774,6 +915,10 @@ func (o *Orchestrator) ReconcileOnce() {
 			}
 		}
 	}
+
+	// Resource pressure: shift flavors in place on packed nodes before any
+	// cross-node move becomes necessary.
+	o.relievePressure()
 
 	// Anti-entropy: drop subgraphs of graphs we own from nodes that are
 	// no longer part of the partition (e.g. after a failover the old host

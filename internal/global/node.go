@@ -29,17 +29,28 @@ import (
 	"repro/internal/orchestrator"
 )
 
+// NFStatus is one running NF instance as reported by a node probe: which
+// flavor it runs as and where it stands in its lifecycle. The reconcile
+// loop's pressure-relief phase reads it to find reflavor candidates.
+type NFStatus struct {
+	Graph      string `json:"graph"`
+	NF         string `json:"nf"`
+	Technology string `json:"technology"`
+	State      string `json:"state,omitempty"`
+}
+
 // Status is one node's health, capacity and identity snapshot, as seen by a
 // successful probe. A probe that errors marks the node dead instead.
 type Status struct {
-	Name           string   `json:"name"`
-	FreeCPUMillis  int      `json:"free-cpu-millicores"`
-	TotalCPUMillis int      `json:"total-cpu-millicores"`
-	FreeRAMBytes   uint64   `json:"free-ram-bytes"`
-	TotalRAMBytes  uint64   `json:"total-ram-bytes"`
-	Interfaces     []string `json:"interfaces"`
-	Capabilities   []string `json:"capabilities"`
-	Graphs         []string `json:"graphs"`
+	Name           string     `json:"name"`
+	FreeCPUMillis  int        `json:"free-cpu-millicores"`
+	TotalCPUMillis int        `json:"total-cpu-millicores"`
+	FreeRAMBytes   uint64     `json:"free-ram-bytes"`
+	TotalRAMBytes  uint64     `json:"total-ram-bytes"`
+	Interfaces     []string   `json:"interfaces"`
+	Capabilities   []string   `json:"capabilities"`
+	Graphs         []string   `json:"graphs"`
+	NFs            []NFStatus `json:"nfs,omitempty"`
 }
 
 // Node is one Universal Node under global management: the local
@@ -57,6 +68,9 @@ type Node interface {
 	Update(g *nffg.Graph) error
 	// Undeploy removes a (sub)graph.
 	Undeploy(id string) error
+	// Reflavor hot-swaps one NF of a deployed (sub)graph onto a different
+	// execution technology.
+	Reflavor(graphID, nfID string, tech nffg.Technology) error
 	// GraphSpec fetches the deployed version of a graph for drift diffing.
 	GraphSpec(id string) (*nffg.Graph, bool, error)
 }
@@ -67,6 +81,7 @@ type UniversalNode interface {
 	Deploy(g *nffg.Graph) error
 	Update(g *nffg.Graph) error
 	Undeploy(id string) error
+	Reflavor(graphID, nfID string, tech nffg.Technology) error
 	GraphIDs() []string
 	GraphSpec(id string) (*nffg.Graph, bool)
 	Topology() orchestrator.Topology
@@ -108,6 +123,12 @@ func (l *LocalNode) Status() (Status, error) {
 	}
 	usedCPU, totalCPU, usedRAM, totalRAM := l.un.Usage()
 	topo := l.un.Topology()
+	var nfs []NFStatus
+	for _, g := range topo.Graphs {
+		for _, n := range g.NFs {
+			nfs = append(nfs, NFStatus{Graph: g.ID, NF: n.ID, Technology: n.Technology, State: n.State})
+		}
+	}
 	return Status{
 		Name:           l.name,
 		FreeCPUMillis:  totalCPU - usedCPU,
@@ -117,6 +138,7 @@ func (l *LocalNode) Status() (Status, error) {
 		Interfaces:     topo.Interfaces,
 		Capabilities:   l.un.Capabilities(),
 		Graphs:         l.un.GraphIDs(),
+		NFs:            nfs,
 	}, nil
 }
 
@@ -142,6 +164,14 @@ func (l *LocalNode) Undeploy(id string) error {
 		return err
 	}
 	return l.un.Undeploy(id)
+}
+
+// Reflavor implements Node.
+func (l *LocalNode) Reflavor(graphID, nfID string, tech nffg.Technology) error {
+	if err := l.check(); err != nil {
+		return err
+	}
+	return l.un.Reflavor(graphID, nfID, tech)
 }
 
 // GraphSpec implements Node.
@@ -192,6 +222,12 @@ type restStatus struct {
 		Used  uint64 `json:"used"`
 		Total uint64 `json:"total"`
 	} `json:"ram-bytes"`
+	NFInstances []struct {
+		Graph      string `json:"graph"`
+		NF         string `json:"nf"`
+		Technology string `json:"technology"`
+		State      string `json:"state"`
+	} `json:"nf-instances"`
 }
 
 // Status implements Node.
@@ -208,6 +244,10 @@ func (h *HTTPNode) Status() (Status, error) {
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		return Status{}, fmt.Errorf("global: probing %q: %w", h.name, err)
 	}
+	var nfs []NFStatus
+	for _, n := range st.NFInstances {
+		nfs = append(nfs, NFStatus{Graph: n.Graph, NF: n.NF, Technology: n.Technology, State: n.State})
+	}
 	return Status{
 		Name:           h.name,
 		FreeCPUMillis:  int(st.CPU.Total - st.CPU.Used),
@@ -217,6 +257,7 @@ func (h *HTTPNode) Status() (Status, error) {
 		Interfaces:     st.Interfaces,
 		Capabilities:   st.Capabilities,
 		Graphs:         st.Graphs,
+		NFs:            nfs,
 	}, nil
 }
 
@@ -263,6 +304,25 @@ func (h *HTTPNode) Undeploy(id string) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("global: undeploying %q on %q: HTTP %d: %s",
 			id, h.name, resp.StatusCode, readError(resp.Body))
+	}
+	return nil
+}
+
+// Reflavor implements Node.
+func (h *HTTPNode) Reflavor(graphID, nfID string, tech nffg.Technology) error {
+	body, err := json.Marshal(map[string]string{"technology": string(tech)})
+	if err != nil {
+		return err
+	}
+	url := fmt.Sprintf("%s/NF-FG/%s/nf/%s/reflavor", h.base, graphID, nfID)
+	resp, err := h.client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("global: reflavoring %s/%s on %q: %w", graphID, nfID, h.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("global: reflavoring %s/%s on %q: HTTP %d: %s",
+			graphID, nfID, h.name, resp.StatusCode, readError(resp.Body))
 	}
 	return nil
 }

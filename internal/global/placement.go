@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/nffg"
+	"repro/internal/policy"
 	"repro/internal/repository"
 )
 
@@ -213,15 +214,17 @@ func adjacencyOrder(g *nffg.Graph) []nffg.NF {
 }
 
 // place partitions a graph across the fleet: endpoints pin to the node
-// owning their interface, then NFs are packed with a greedy chain walk that
-// keeps adjacent NFs co-located and only moves to a directly-linked node
-// when the current node is full — a bin-pack on each node's resource ledger
-// that minimizes inter-node hops.
+// owning their interface, then NFs are packed along a greedy chain walk.
+// Per NF, every node with the capability and capacity becomes a placement
+// candidate — flagged with whether it co-locates with the chain's current
+// position and whether a direct link reaches it — and the configured
+// placement policy ranks them: the same policy engine that ranks execution
+// flavors inside the local orchestrator's scheduler.
 //
 // internalPins maps internal-group names to the node already anchoring the
 // group (from other deployed graphs): the EPInternal rendezvous only forms
 // on one node's LSI-0, so both members must land together.
-func place(g *nffg.Graph, repo *repository.Repository, views []*nodeView, links []Link, internalPins map[string]string) (Placement, error) {
+func place(g *nffg.Graph, repo *repository.Repository, pol policy.PlacementPolicy, views []*nodeView, links []Link, internalPins map[string]string) (Placement, error) {
 	if len(views) == 0 {
 		return Placement{}, fmt.Errorf("global: no nodes available")
 	}
@@ -267,36 +270,32 @@ func place(g *nffg.Graph, repo *repository.Repository, views []*nodeView, links 
 		if err != nil {
 			return Placement{}, err
 		}
-		chosen := ""
-		if cur != "" && byName[cur].canHost(d) {
-			chosen = cur
-		} else {
-			// Best-fit, preferring nodes directly linked to the
-			// current one (fewest stitch hops), then any node — the
-			// stitcher can relay through transit nodes. Largest free
-			// CPU wins; the name-sorted view order breaks ties.
-			var best *nodeView
-			bestLinked := false
-			for _, v := range views {
-				if !v.canHost(d) {
-					continue
-				}
-				vLinked := cur == "" || ls.linked(cur, v.name)
-				switch {
-				case best == nil,
-					vLinked && !bestLinked,
-					vLinked == bestLinked && v.freeCPU > best.freeCPU:
-					best = v
-					bestLinked = vLinked
-				}
+		// Every node that can host the demand is a candidate; the policy
+		// ranks them (co-located beats linked beats relayed — the stitcher
+		// can relay through transit nodes — and capacity or cost decides
+		// among peers; the name-sorted view order breaks ties).
+		cands := make([]policy.Candidate, 0, len(views))
+		for _, v := range views {
+			if !v.canHost(d) {
+				continue
 			}
-			if best == nil {
-				return Placement{}, fmt.Errorf(
-					"global: graph %q: no node can host NF %q (want %dm CPU, %d B RAM, caps %v)",
-					g.ID, n.ID, d.cpuMillis, d.ram, d.anyOfCaps)
-			}
-			chosen = best.name
+			cands = append(cands, policy.Candidate{
+				Node:          v.name,
+				Tech:          n.TechnologyPreference,
+				CPUMillis:     d.cpuMillis,
+				RAMBytes:      d.ram,
+				FreeCPUMillis: v.freeCPU,
+				FreeRAMBytes:  v.freeRAM,
+				Colocated:     v.name == cur,
+				Linked:        cur == "" || ls.linked(cur, v.name),
+			})
 		}
+		if len(cands) == 0 {
+			return Placement{}, fmt.Errorf(
+				"global: graph %q: no node can host NF %q (want %dm CPU, %d B RAM, caps %v)",
+				g.ID, n.ID, d.cpuMillis, d.ram, d.anyOfCaps)
+		}
+		chosen := pol.Rank(policy.Request{GraphID: g.ID, NFID: n.ID}, cands)[0].Node
 		byName[chosen].charge(d)
 		pl.NFNode[n.ID] = chosen
 		cur = chosen

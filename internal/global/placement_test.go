@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/nffg"
+	"repro/internal/policy"
 	"repro/internal/repository"
 )
 
@@ -83,7 +84,7 @@ func TestPlaceRespectsTechCapability(t *testing.T) {
 	// Pin the firewall to docker: it must land on the docker node even
 	// though the walk starts on the endpoint node.
 	g := twoNFChain(nffg.TechDocker, nffg.TechNative)
-	pl, err := place(g, repo, views, links, nil)
+	pl, err := place(g, repo, policy.BinPack{}, views, links, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestPlaceCoLocatesWhenPossible(t *testing.T) {
 	}
 	// n2 has more capacity, but the chain fits on the endpoint node: the
 	// walk must not hop for nothing.
-	pl, err := place(twoNFChain(), repo, views, nil, nil)
+	pl, err := place(twoNFChain(), repo, policy.BinPack{}, views, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,16 +118,16 @@ func TestPlaceErrors(t *testing.T) {
 	caps := []string{"nnf:firewall", "nnf:monitor"}
 	// No node has the endpoint interface.
 	views := []*nodeView{view("n1", 4000, 1<<30, caps, []string{"other"})}
-	if _, err := place(twoNFChain(), repo, views, nil, nil); err == nil {
+	if _, err := place(twoNFChain(), repo, policy.BinPack{}, views, nil, nil); err == nil {
 		t.Error("placement with unhosted endpoint interface accepted")
 	}
 	// Capacity exhausted.
 	views = []*nodeView{view("n1", 10, 1<<30, caps, []string{"lan", "wan"})}
-	if _, err := place(twoNFChain(), repo, views, nil, nil); err == nil {
+	if _, err := place(twoNFChain(), repo, policy.BinPack{}, views, nil, nil); err == nil {
 		t.Error("placement beyond fleet capacity accepted")
 	}
 	// No nodes at all.
-	if _, err := place(twoNFChain(), repo, nil, nil, nil); err == nil {
+	if _, err := place(twoNFChain(), repo, policy.BinPack{}, nil, nil, nil); err == nil {
 		t.Error("placement on empty fleet accepted")
 	}
 }
@@ -157,7 +158,7 @@ func TestPlacePinsInternalGroups(t *testing.T) {
 		},
 	}
 	// Unanchored: the internal endpoint rides with its NF.
-	pl, err := place(g, repo, views(), nil, nil)
+	pl, err := place(g, repo, policy.BinPack{}, views(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestPlacePinsInternalGroups(t *testing.T) {
 	}
 	// Anchored by another graph: the endpoint must follow the anchor so
 	// the LSI-0 rendezvous actually forms.
-	pl, err = place(g, repo, views(), nil, map[string]string{"svc-bus": "n2"})
+	pl, err = place(g, repo, policy.BinPack{}, views(), nil, map[string]string{"svc-bus": "n2"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestPlacePinsInternalGroups(t *testing.T) {
 	}
 	// Anchor on a node that is gone: placement must refuse rather than
 	// silently strand the rendezvous.
-	if _, err := place(g, repo, views(), nil, map[string]string{"svc-bus": "dead"}); err == nil {
+	if _, err := place(g, repo, policy.BinPack{}, views(), nil, map[string]string{"svc-bus": "dead"}); err == nil {
 		t.Error("placement with unavailable internal anchor accepted")
 	}
 }
@@ -197,7 +198,7 @@ func TestSplitMultiHopRelay(t *testing.T) {
 		{A: "mid", AIf: "r", B: "right", BIf: "r"},
 	}
 	g := twoNFChain()
-	pl, err := place(g, repo, views, links, nil)
+	pl, err := place(g, repo, policy.BinPack{}, views, links, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +220,7 @@ func TestSplitMultiHopRelay(t *testing.T) {
 		view("mid", 0, 1<<30, nil, []string{"l", "r"}),
 		view("right", 0, 1<<30, nil, []string{"r", "wan"}),
 	}
-	pl, err = place(g, repo, views, links, nil)
+	pl, err = place(g, repo, policy.BinPack{}, views, links, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,142 @@
+package global_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	un "repro"
+	"repro/internal/global"
+	"repro/internal/nffg"
+)
+
+// vpnGraph is the IPsec CPE service between the lan and wan endpoints, its
+// flavor left to the scheduler.
+func vpnGraph(id string) *nffg.Graph {
+	return &nffg.Graph{
+		ID: id,
+		NFs: []nffg.NF{{
+			ID: "vpn", Name: "ipsec",
+			Ports: []nffg.NFPort{{ID: "0"}, {ID: "1"}},
+			Config: map[string]string{
+				"local": "192.0.2.1", "remote": "203.0.113.9",
+				"spi": "4096", "key": "000102030405060708090a0b0c0d0e0f10111213",
+			},
+		}},
+		Endpoints: []nffg.Endpoint{
+			{ID: "lan", Type: nffg.EPInterface, Interface: "lan"},
+			{ID: "wan", Type: nffg.EPInterface, Interface: "wan"},
+		},
+		Rules: []nffg.FlowRule{
+			{ID: "r1", Priority: 10, Match: nffg.RuleMatch{PortIn: nffg.EndpointRef("lan")},
+				Actions: []nffg.RuleAction{{Type: nffg.ActOutput, Output: nffg.NFPortRef("vpn", "0")}}},
+			{ID: "r2", Priority: 10, Match: nffg.RuleMatch{PortIn: nffg.NFPortRef("vpn", "1")},
+				Actions: []nffg.RuleAction{{Type: nffg.ActOutput, Output: nffg.EndpointRef("wan")}}},
+		},
+	}
+}
+
+// vpnNode builds one full Universal Node with the given capability set.
+func vpnNode(t *testing.T, name string, cpuMillis int, caps []string) *un.Node {
+	t.Helper()
+	node, err := un.NewNode(un.Config{
+		Name:         name,
+		Interfaces:   []string{"lan", "wan"},
+		CPUMillis:    cpuMillis,
+		RAMBytes:     4 << 30,
+		Capabilities: caps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(node.Close)
+	return node
+}
+
+// TestGlobalReflavor routes a hot-swap through the global orchestrator to
+// the node hosting the NF.
+func TestGlobalReflavor(t *testing.T) {
+	node := vpnNode(t, "n1", 8000, []string{"kvm", "docker", "nnf:ipsec"})
+	local := global.NewLocalNode("n1", node)
+	g := global.New(global.Config{Logf: t.Logf, ProbeInterval: time.Hour})
+	if err := g.AddNode(local); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Deploy(vpnGraph("vpn")); err != nil {
+		t.Fatal(err)
+	}
+	if techs, _ := node.Placements("vpn"); techs["vpn"] != nffg.TechNative {
+		t.Fatalf("deployed flavor %v, want native", techs)
+	}
+	if err := g.Reflavor("vpn", "vpn", nffg.TechDocker); err != nil {
+		t.Fatal(err)
+	}
+	if techs, _ := node.Placements("vpn"); techs["vpn"] != nffg.TechDocker {
+		t.Fatalf("flavor after global reflavor %v, want docker", techs)
+	}
+
+	// Error paths.
+	if err := g.Reflavor("ghost", "vpn", nffg.TechDocker); err == nil {
+		t.Error("reflavor of unknown graph accepted")
+	}
+	if err := g.Reflavor("vpn", "ghost", nffg.TechDocker); err == nil {
+		t.Error("reflavor of unknown NF accepted")
+	}
+	local.SetDown(true)
+	if err := g.Reflavor("vpn", "vpn", nffg.TechVM); err == nil ||
+		!strings.Contains(err.Error(), "unreachable") {
+		t.Errorf("reflavor via dead node: %v, want unreachable error", err)
+	}
+}
+
+// TestPressureReliefReflavors: an NF that had to deploy as a Docker
+// container (the single native IPsec instance was taken) is shifted back to
+// the cheaper native flavor by the reconcile loop once the node is CPU
+// pressured and the native slot is free again — capacity heals in place,
+// with no cross-node move.
+func TestPressureReliefReflavors(t *testing.T) {
+	node := vpnNode(t, "n1", 1000, []string{"kvm", "docker", "nnf:ipsec"})
+	local := global.NewLocalNode("n1", node)
+	g := global.New(global.Config{
+		Logf:                    t.Logf,
+		ProbeInterval:           time.Hour,
+		PressureFreeCPUFraction: 0.95,
+	})
+	if err := g.AddNode(local); err != nil {
+		t.Fatal(err)
+	}
+	// Graph A grabs the one native IPsec instance (250m)...
+	if err := g.Deploy(vpnGraph("vpn-a")); err != nil {
+		t.Fatal(err)
+	}
+	// ...so graph B downgrades to the Docker flavor (500m).
+	if err := g.Deploy(vpnGraph("vpn-b")); err != nil {
+		t.Fatal(err)
+	}
+	if techs, _ := node.Placements("vpn-b"); techs["vpn"] != nffg.TechDocker {
+		t.Fatalf("vpn-b deployed as %v, want docker (native slot taken)", techs)
+	}
+	// Graph A leaves; the node stays pressured and the native slot frees.
+	if err := g.Undeploy("vpn-a"); err != nil {
+		t.Fatal(err)
+	}
+	g.ReconcileOnce()
+	if techs, _ := node.Placements("vpn-b"); techs["vpn"] != nffg.TechNative {
+		t.Fatalf("vpn-b still %v after pressure relief, want native", techs)
+	}
+	// The relief is journaled with the pressure cause.
+	found := false
+	for _, ev := range g.Journal().Events() {
+		if ev.Type == "reflavor" && strings.Contains(ev.Detail, "CPU pressure") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("pressure reflavor not journaled")
+	}
+	// A relaxed threshold leaves placements alone.
+	g.ReconcileOnce()
+	if techs, _ := node.Placements("vpn-b"); techs["vpn"] != nffg.TechNative {
+		t.Fatal("second pass disturbed a settled placement")
+	}
+}

@@ -20,6 +20,8 @@ type fleetMetrics struct {
 	retired          telemetry.Counter
 	probeFailures    telemetry.Counter
 	scrapeFailures   telemetry.Counter
+	reflavors        telemetry.Counter
+	reflavorFails    telemetry.Counter
 	reconcileLatency *telemetry.Histogram
 }
 
@@ -93,6 +95,8 @@ func (o *Orchestrator) Collect(e *telemetry.Exposition) {
 	e.Counter("un_global_retired_total", "Deferred subgraph removals completed.", nil, m.retired.Value())
 	e.Counter("un_global_probe_failures_total", "Health probes that errored.", nil, m.probeFailures.Value())
 	e.Counter("un_global_scrape_failures_total", "Fleet metric scrapes that errored.", nil, m.scrapeFailures.Value())
+	e.Counter("un_global_reflavors_total", "NF flavor hot-swaps issued (API and pressure relief).", nil, m.reflavors.Value())
+	e.Counter("un_global_reflavor_failures_total", "NF flavor hot-swaps that failed.", nil, m.reflavorFails.Value())
 	e.Histogram("un_global_reconcile_seconds", "Wall time of one reconcile pass.", nil, m.reconcileLatency.Snapshot())
 	e.Counter("un_global_journal_events_total", "Events ever recorded in the global journal.", nil, o.journal.Total())
 }

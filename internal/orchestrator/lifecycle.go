@@ -1,0 +1,197 @@
+package orchestrator
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/compute"
+	"repro/internal/nf"
+	"repro/internal/telemetry"
+)
+
+// NFState is one step of the per-NF lifecycle state machine:
+//
+//	pending → starting → attaching → running → draining → stopped
+//
+// with a failed edge out of every pre-running state. The orchestrator
+// advances states individually per NF, so the NFs of one graph move through
+// their lifecycles concurrently and a failure identifies exactly which NF —
+// and which phase — broke.
+type NFState string
+
+// Lifecycle states.
+const (
+	StatePending   NFState = "pending"   // scheduled, not yet handed to a driver
+	StateStarting  NFState = "starting"  // driver.Start in flight
+	StateAttaching NFState = "attaching" // ports being wired to the LSI
+	StateRunning   NFState = "running"   // attached and steered
+	StateDraining  NFState = "draining"  // detached from steering, finishing in-flight traffic
+	StateStopped   NFState = "stopped"   // instance stopped and detached
+	StateFailed    NFState = "failed"    // start or attach failed
+)
+
+// stateOrder backs the compact numeric encoding used by the atomic state
+// field and the un_nf_state gauge.
+var stateOrder = []NFState{
+	StatePending, StateStarting, StateAttaching, StateRunning,
+	StateDraining, StateStopped, StateFailed,
+}
+
+// Value returns the state's numeric gauge encoding (its index in the
+// lifecycle order; failed is the largest).
+func (s NFState) Value() float64 { return float64(s.index()) }
+
+func (s NFState) index() int32 {
+	for i, st := range stateOrder {
+		if st == s {
+			return int32(i)
+		}
+	}
+	return 0
+}
+
+// State returns the attachment's current lifecycle state.
+func (a *nfAttachment) State() NFState {
+	return stateOrder[a.state.Load()]
+}
+
+// setState advances one attachment's lifecycle state and journals the
+// transition. Safe without the orchestrator lock: the state field is atomic
+// and the journal synchronizes internally, so concurrent starts report
+// their progress in real time.
+func (o *Orchestrator) setState(graphID, nfID string, att *nfAttachment, to NFState) {
+	from := stateOrder[att.state.Swap(to.index())]
+	if from == to {
+		return
+	}
+	o.journal.Recordf(telemetry.EventNFState, o.cfg.NodeName, graphID,
+		fmt.Sprintf("%s: %s -> %s", nfID, from, to))
+}
+
+// graphLock is one graph's operation lock plus the number of operations
+// holding or waiting on it, so the registry entry can be dropped once the
+// last one leaves (a daemon deploying unique graph ids must not accumulate
+// locks forever).
+type graphLock struct {
+	mu   sync.Mutex
+	refs int
+}
+
+// lockGraph acquires the per-graph operation lock. Deploy, Update, Undeploy
+// and Reflavor hold it for their whole run, so operations on one graph
+// serialize while different graphs proceed in parallel; the shared
+// orchestrator mutex is only held for the bookkeeping phases in between.
+// Pair with unlockGraph.
+func (o *Orchestrator) lockGraph(id string) *graphLock {
+	o.glmu.Lock()
+	l := o.gLocks[id]
+	if l == nil {
+		l = &graphLock{}
+		o.gLocks[id] = l
+	}
+	l.refs++
+	o.glmu.Unlock()
+	l.mu.Lock()
+	return l
+}
+
+// unlockGraph releases the per-graph operation lock and retires the
+// registry entry once no operation holds or waits on it.
+func (o *Orchestrator) unlockGraph(id string, l *graphLock) {
+	l.mu.Unlock()
+	o.glmu.Lock()
+	if l.refs--; l.refs == 0 {
+		delete(o.gLocks, id)
+	}
+	o.glmu.Unlock()
+}
+
+// DefaultMaxParallelStarts bounds how many NF instances of one graph boot
+// concurrently when the config does not say.
+const DefaultMaxParallelStarts = 8
+
+// DefaultDrainTimeout bounds how long a hot-swap waits for the outgoing
+// instance to finish in-flight traffic.
+const DefaultDrainTimeout = 250 * time.Millisecond
+
+// startNFs boots every placement concurrently, bounded by
+// cfg.MaxParallelStarts, walking each NF through pending → starting. It
+// must be called without the orchestrator lock: driver starts are the slow
+// phase of a deployment (image pull, environment boot) and drivers are
+// concurrency-safe by contract. On any failure every instance that did
+// start is stopped and the first error is returned — the graph never sees a
+// half-started NF set.
+func (o *Orchestrator) startNFs(graphID string, placements []Placement) ([]*nfAttachment, error) {
+	limit := o.cfg.MaxParallelStarts
+	if limit <= 0 {
+		limit = DefaultMaxParallelStarts
+	}
+	atts := make([]*nfAttachment, len(placements))
+	errs := make([]error, len(placements))
+	sem := make(chan struct{}, limit)
+	var wg sync.WaitGroup
+	for i, pl := range placements {
+		att := &nfAttachment{}
+		atts[i] = att
+		o.setState(graphID, pl.NF.ID, att, StatePending)
+		wg.Add(1)
+		go func(i int, pl Placement, att *nfAttachment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			o.setState(graphID, pl.NF.ID, att, StateStarting)
+			inst, err := pl.Driver.Start(compute.StartRequest{
+				InstanceName: graphID + "." + pl.NF.ID,
+				GraphID:      graphID,
+				Template:     pl.Template,
+				Config:       pl.NF.Config,
+			})
+			if err != nil {
+				o.setState(graphID, pl.NF.ID, att, StateFailed)
+				errs[i] = fmt.Errorf("orchestrator: starting %q: %w", pl.NF.ID, err)
+				return
+			}
+			att.inst = inst
+		}(i, pl, att)
+	}
+	wg.Wait()
+	var firstErr error
+	for _, err := range errs {
+		if err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr == nil {
+		return atts, nil
+	}
+	o.stopUnattached(placements, atts)
+	return nil, firstErr
+}
+
+// drainInstance waits until the outgoing runtime's counters stop moving:
+// with synchronous frame delivery, a stable rx/tx pair over several samples
+// means no sender goroutine is still inside the instance. Bounded by
+// cfg.DrainTimeout.
+func (o *Orchestrator) drainInstance(rt *nf.Runtime) {
+	timeout := o.cfg.DrainTimeout
+	if timeout <= 0 {
+		timeout = DefaultDrainTimeout
+	}
+	deadline := time.Now().Add(timeout)
+	last := rt.Stats()
+	stable := 0
+	for time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+		cur := rt.Stats()
+		if cur == last {
+			if stable++; stable >= 3 {
+				return
+			}
+			continue
+		}
+		stable = 0
+		last = cur
+	}
+}

@@ -11,13 +11,16 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/compute"
 	"repro/internal/execenv"
 	"repro/internal/netdev"
+	"repro/internal/nf"
 	"repro/internal/nffg"
 	"repro/internal/openflow"
+	"repro/internal/policy"
 	"repro/internal/repository"
 	"repro/internal/resources"
 	"repro/internal/telemetry"
@@ -42,6 +45,18 @@ type Config struct {
 	// Journal receives the node's structured telemetry events; nil gets a
 	// private journal of telemetry.DefaultJournalDepth entries.
 	Journal *telemetry.Journal
+	// Model is the execution-environment cost model the scheduler quotes
+	// per-packet candidate costs from; nil uses the Table-1 calibration.
+	Model *execenv.CostModel
+	// Policy ranks placement candidates; nil uses policy.FirstFit (the
+	// paper's static native > docker > dpdk > vm preference).
+	Policy policy.PlacementPolicy
+	// MaxParallelStarts bounds how many NFs of one graph boot concurrently
+	// (default DefaultMaxParallelStarts).
+	MaxParallelStarts int
+	// DrainTimeout bounds how long a flavor hot-swap waits for the
+	// outgoing instance to quiesce (default DefaultDrainTimeout).
+	DrainTimeout time.Duration
 }
 
 // lsiConn is one switch + its control channel.
@@ -79,9 +94,17 @@ func (l *lsiConn) close() {
 	<-l.done
 }
 
-// nfAttachment records how one NF of a graph reaches its LSI.
+// nfAttachment records how one NF of a graph reaches its LSI, and where the
+// NF stands in its lifecycle.
 type nfAttachment struct {
 	inst *compute.Instance
+	// state is the NF's lifecycle state (an index into stateOrder),
+	// atomic so concurrent start goroutines report progress lock-free.
+	state atomic.Int32
+	// cookie tags this NF's LSI-0 flows (shared-NNF steering marks), so a
+	// single attachment can be detached — e.g. by a flavor hot-swap —
+	// without disturbing a successor instance's flows.
+	cookie uint64
 	// lsiPorts maps logical NF port index -> graph-LSI port number
 	// (direct attachments only).
 	lsiPorts []uint32
@@ -154,11 +177,19 @@ type Orchestrator struct {
 	// ifPorts maps interface name -> LSI-0 port number.
 	ifPorts map[string]uint32
 
+	// glmu guards gLocks, the per-graph operation locks serializing
+	// Deploy/Update/Undeploy/Reflavor per graph id.
+	glmu   sync.Mutex
+	gLocks map[string]*graphLock
+
 	mu       sync.Mutex
 	graphs   map[string]*DeployedGraph
 	dpidGen  uint64
 	cookieGn uint64
 	portGen  map[*vswitch.Switch]uint32
+	// rates holds the last per-graph LSI rx probe, backing the observed
+	// packet rate the cost-driven policy consumes.
+	rates map[string]*rateProbe
 	// vlanEPs guards (interface, vlan) uniqueness across graphs.
 	vlanEPs map[string]string // "if/vlan" -> graph id
 	// internalGroups tracks EPInternal rendezvous: group -> members.
@@ -189,6 +220,13 @@ func New(cfg Config) (*Orchestrator, error) {
 	if journal == nil {
 		journal = telemetry.NewJournal(telemetry.DefaultJournalDepth)
 	}
+	if cfg.Policy == nil {
+		cfg.Policy = policy.FirstFit{}
+	}
+	if cfg.Model == nil {
+		m := execenv.Default()
+		cfg.Model = &m
+	}
 	o := &Orchestrator{
 		cfg:            cfg,
 		journal:        journal,
@@ -196,8 +234,10 @@ func New(cfg Config) (*Orchestrator, error) {
 		metrics:        newOpMetrics(),
 		extPorts:       make(map[string]*netdev.Port),
 		ifPorts:        make(map[string]uint32),
+		gLocks:         make(map[string]*graphLock),
 		graphs:         make(map[string]*DeployedGraph),
 		portGen:        make(map[*vswitch.Switch]uint32),
+		rates:          make(map[string]*rateProbe),
 		vlanEPs:        make(map[string]string),
 		internalGroups: make(map[string][]groupMember),
 		nnfPorts:       make(map[string]uint32),
@@ -340,18 +380,70 @@ func (o *Orchestrator) deploy(g *nffg.Graph) error {
 	if err := g.Validate(); err != nil {
 		return err
 	}
+	gl := o.lockGraph(g.ID)
+	defer o.unlockGraph(g.ID, gl)
+
 	o.mu.Lock()
-	defer o.mu.Unlock()
 	if _, dup := o.graphs[g.ID]; dup {
+		o.mu.Unlock()
 		return fmt.Errorf("orchestrator: graph %q already deployed (use Update)", g.ID)
 	}
 	placements, err := o.schedule(g)
 	if err != nil {
+		o.mu.Unlock()
 		return err
 	}
-	d, err := o.instantiate(g.Clone(), placements)
+	dpid := o.nextDPID()
+	cookie := o.nextCookie()
+	o.mu.Unlock()
+
+	lsi, err := newLSIConn(fmt.Sprintf("%s/lsi-%s", o.cfg.NodeName, g.ID), dpid)
 	if err != nil {
 		return err
+	}
+	d := &DeployedGraph{
+		Graph:  g.Clone(),
+		lsi:    lsi,
+		cookie: cookie,
+		nfs:    make(map[string]*nfAttachment),
+		eps:    make(map[string]*epAttachment),
+	}
+	// Start phase, outside the node lock: every NF of the graph boots
+	// concurrently (the graph lock keeps same-graph operations out).
+	atts, err := o.startNFs(g.ID, placements)
+	if err != nil {
+		lsi.close()
+		return err
+	}
+
+	// Attach phase, under the node lock: ports, endpoints and steering.
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for i, pl := range placements {
+		att := atts[i]
+		o.setState(g.ID, pl.NF.ID, att, StateAttaching)
+		if err := o.attachNF(d, att); err != nil {
+			o.setState(g.ID, pl.NF.ID, att, StateFailed)
+			// The instance started but is not yet recorded: stop it and
+			// the not-yet-attached rest explicitly, then roll back.
+			_ = pl.Driver.Stop(att.inst)
+			o.stopUnattached(placements[i+1:], atts[i+1:])
+			o.teardown(d)
+			return err
+		}
+		d.nfs[pl.NF.ID] = att
+		o.setState(g.ID, pl.NF.ID, att, StateRunning)
+		o.metrics.nfStarts.Inc()
+		o.journal.Recordf(telemetry.EventNFStart, o.cfg.NodeName, g.ID,
+			fmt.Sprintf("%s as %s", pl.NF.ID, pl.Technology))
+	}
+	for _, ep := range g.Endpoints {
+		att, err := o.attachEndpoint(d, ep)
+		if err != nil {
+			o.teardown(d)
+			return err
+		}
+		d.eps[ep.ID] = att
 	}
 	if err := o.program(d); err != nil {
 		o.teardown(d)
@@ -361,54 +453,18 @@ func (o *Orchestrator) deploy(g *nffg.Graph) error {
 	return nil
 }
 
-// instantiate creates the graph LSI, starts the NFs and wires every port.
-func (o *Orchestrator) instantiate(g *nffg.Graph, placements []Placement) (*DeployedGraph, error) {
-	lsi, err := newLSIConn(fmt.Sprintf("%s/lsi-%s", o.cfg.NodeName, g.ID), o.nextDPID())
-	if err != nil {
-		return nil, err
-	}
-	d := &DeployedGraph{
-		Graph:  g,
-		lsi:    lsi,
-		cookie: o.nextCookie(),
-		nfs:    make(map[string]*nfAttachment),
-		eps:    make(map[string]*epAttachment),
-	}
-	// Start NFs.
-	for _, pl := range placements {
-		inst, err := pl.Driver.Start(compute.StartRequest{
-			InstanceName: g.ID + "." + pl.NF.ID,
-			GraphID:      g.ID,
-			Template:     pl.Template,
-			Config:       pl.NF.Config,
-		})
-		if err != nil {
-			o.teardown(d)
-			return nil, fmt.Errorf("orchestrator: starting %q: %w", pl.NF.ID, err)
+// stopUnattached stops instances that were started but never made it into
+// the graph's attachment map (teardown cannot see them).
+func (o *Orchestrator) stopUnattached(placements []Placement, atts []*nfAttachment) {
+	for i, att := range atts {
+		if att == nil || att.inst == nil {
+			continue
 		}
-		att := &nfAttachment{inst: inst}
-		if err := o.attachNF(d, att); err != nil {
-			// The instance started but is not yet recorded: stop it
-			// explicitly, then roll back the rest.
-			_ = pl.Driver.Stop(inst)
-			o.teardown(d)
-			return nil, err
+		o.setState(att.inst.GraphID, placements[i].NF.ID, att, StateStopped)
+		if drv, ok := o.cfg.Compute.Driver(att.inst.Technology); ok {
+			_ = drv.Stop(att.inst)
 		}
-		d.nfs[pl.NF.ID] = att
-		o.metrics.nfStarts.Inc()
-		o.journal.Recordf(telemetry.EventNFStart, o.cfg.NodeName, g.ID,
-			fmt.Sprintf("%s as %s", pl.NF.ID, pl.Technology))
 	}
-	// Wire endpoints.
-	for _, ep := range g.Endpoints {
-		att, err := o.attachEndpoint(d, ep)
-		if err != nil {
-			o.teardown(d)
-			return nil, err
-		}
-		d.eps[ep.ID] = att
-	}
-	return d, nil
 }
 
 // attachNF wires one NF instance to the graph LSI (direct) or to LSI-0
@@ -448,9 +504,14 @@ func (o *Orchestrator) attachNF(d *DeployedGraph, att *nfAttachment) error {
 		att.nnfVlink = gPort
 		att.nnfVlinkLSI0 = zPort
 		att.lsiSide = append(att.lsiSide, gSide, zSide)
-		// LSI-0 steering for the marks: toward the NNF and back.
+		// LSI-0 steering for the marks: toward the NNF and back. The flows
+		// live under a per-attachment cookie so a flavor hot-swap can
+		// retire one instance's marks without touching its successor's.
+		if att.cookie == 0 {
+			att.cookie = o.nextCookie()
+		}
 		for _, mark := range inst.InMarks {
-			err := o.lsi0.ctrl.InstallFlow(0, 300, d.cookie,
+			err := o.lsi0.ctrl.InstallFlow(0, 300, att.cookie,
 				vswitch.MatchAll().WithInPort(zPort).WithVLAN(mark),
 				[]vswitch.Action{vswitch.Output(lsi0Port)})
 			if err != nil {
@@ -458,7 +519,7 @@ func (o *Orchestrator) attachNF(d *DeployedGraph, att *nfAttachment) error {
 			}
 		}
 		for _, mark := range inst.OutMarks {
-			err := o.lsi0.ctrl.InstallFlow(0, 300, d.cookie,
+			err := o.lsi0.ctrl.InstallFlow(0, 300, att.cookie,
 				vswitch.MatchAll().WithInPort(lsi0Port).WithVLAN(mark),
 				[]vswitch.Action{vswitch.Output(zPort)})
 			if err != nil {
@@ -645,6 +706,8 @@ func (o *Orchestrator) Undeploy(id string) error {
 }
 
 func (o *Orchestrator) undeploy(id string) error {
+	gl := o.lockGraph(id)
+	defer o.unlockGraph(id, gl)
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	d, ok := o.graphs[id]
@@ -653,40 +716,56 @@ func (o *Orchestrator) undeploy(id string) error {
 	}
 	o.teardown(d)
 	delete(o.graphs, id)
+	delete(o.rates, id)
 	return nil
 }
 
-// teardown reverses instantiate+program. Safe on partially-built graphs.
+// detachNF stops one NF instance and removes its attachment: LSI-0 flows
+// under the attachment cookie, virtual-link and direct ports, and — when
+// the last user of a shared NNF leaves — its LSI-0 port. Callers hold o.mu.
+func (o *Orchestrator) detachNF(d *DeployedGraph, nfID string, att *nfAttachment) {
+	o.setState(d.Graph.ID, nfID, att, StateStopped)
+	if drv, ok := o.cfg.Compute.Driver(att.inst.Technology); ok {
+		wasShared := att.inst.Shared
+		name := att.inst.Runtime.Name()
+		_ = drv.Stop(att.inst)
+		// If the shared NNF instance fully stopped, detach its LSI-0 port.
+		if wasShared && !att.inst.Runtime.Running() {
+			if num, attached := o.nnfPorts[name]; attached {
+				if p := o.lsi0.sw.Port(num); p != nil {
+					netdev.Disconnect(p)
+				}
+				_ = o.lsi0.sw.RemovePort(num)
+				delete(o.nnfPorts, name)
+			}
+		}
+	}
+	if att.cookie != 0 {
+		o.lsi0.sw.DeleteFlows(att.cookie)
+	}
+	for _, p := range att.lsiSide {
+		netdev.Disconnect(p)
+	}
+	for _, num := range att.lsiPorts {
+		_ = d.lsi.sw.RemovePort(num)
+	}
+	if att.nnfVlink != 0 {
+		_ = d.lsi.sw.RemovePort(att.nnfVlink)
+	}
+	if att.nnfVlinkLSI0 != 0 {
+		_ = o.lsi0.sw.RemovePort(att.nnfVlinkLSI0)
+	}
+	o.metrics.nfStops.Inc()
+	o.journal.Recordf(telemetry.EventNFStop, o.cfg.NodeName, d.Graph.ID,
+		fmt.Sprintf("%s as %s", nfID, att.inst.Technology))
+}
+
+// teardown reverses a deployment. Safe on partially-built graphs.
 func (o *Orchestrator) teardown(d *DeployedGraph) {
 	// Remove LSI-0 state installed under the graph's cookie.
 	o.lsi0.sw.DeleteFlows(d.cookie)
-	// Stop NFs.
 	for nfID, att := range d.nfs {
-		o.metrics.nfStops.Inc()
-		o.journal.Recordf(telemetry.EventNFStop, o.cfg.NodeName, d.Graph.ID,
-			fmt.Sprintf("%s as %s", nfID, att.inst.Technology))
-		if drv, ok := o.cfg.Compute.Driver(att.inst.Technology); ok {
-			wasShared := att.inst.Shared
-			name := att.inst.Runtime.Name()
-			_ = drv.Stop(att.inst)
-			// If the shared NNF instance fully stopped, detach its
-			// LSI-0 port.
-			if wasShared && !att.inst.Runtime.Running() {
-				if num, attached := o.nnfPorts[name]; attached {
-					if p := o.lsi0.sw.Port(num); p != nil {
-						netdev.Disconnect(p)
-					}
-					_ = o.lsi0.sw.RemovePort(num)
-					delete(o.nnfPorts, name)
-				}
-			}
-		}
-		for _, p := range att.lsiSide {
-			netdev.Disconnect(p)
-		}
-		if att.nnfVlinkLSI0 != 0 {
-			_ = o.lsi0.sw.RemovePort(att.nnfVlinkLSI0)
-		}
+		o.detachNF(d, nfID, att)
 		delete(d.nfs, nfID)
 	}
 	// Detach endpoint virtual links from LSI-0 and bookkeeping.
@@ -695,6 +774,31 @@ func (o *Orchestrator) teardown(d *DeployedGraph) {
 		delete(d.eps, epID)
 	}
 	d.lsi.close()
+}
+
+// rateProbe is the last observed-rate sample of one graph's LSI.
+type rateProbe struct {
+	rx uint64
+	at time.Time
+}
+
+// observedRateLocked estimates the graph's current datapath packet rate
+// (packets/second) from the delta of its LSI rx counter since the previous
+// probe: the telemetry input of the cost-driven placement policy. Returns 0
+// for unknown graphs and on the first probe. Callers hold o.mu.
+func (o *Orchestrator) observedRateLocked(id string) float64 {
+	d, ok := o.graphs[id]
+	if !ok {
+		return 0
+	}
+	rx := d.lsi.sw.PacketsProcessed()
+	now := time.Now()
+	prev := o.rates[id]
+	o.rates[id] = &rateProbe{rx: rx, at: now}
+	if prev == nil || !now.After(prev.at) || rx < prev.rx {
+		return 0
+	}
+	return float64(rx-prev.rx) / now.Sub(prev.at).Seconds()
 }
 
 // Update applies a new version of a deployed graph. NFs and endpoints are
@@ -717,85 +821,112 @@ func (o *Orchestrator) update(g *nffg.Graph) error {
 	if err := g.Validate(); err != nil {
 		return err
 	}
+	gl := o.lockGraph(g.ID)
+	defer o.unlockGraph(g.ID, gl)
+
 	o.mu.Lock()
-	defer o.mu.Unlock()
 	d, ok := o.graphs[g.ID]
 	if !ok {
+		o.mu.Unlock()
 		return fmt.Errorf("orchestrator: graph %q not deployed (use Deploy)", g.ID)
 	}
 	diff := nffg.Compute(d.Graph, g)
 	if diff.Empty() {
+		o.mu.Unlock()
 		return nil
 	}
-	// 1. Remove dropped NFs.
-	for _, n := range diff.RemovedNFs {
-		att, exists := d.nfs[n.ID]
-		if !exists {
-			continue
-		}
-		if drv, reg := o.cfg.Compute.Driver(att.inst.Technology); reg {
-			_ = drv.Stop(att.inst)
-		}
-		for _, p := range att.lsiSide {
-			netdev.Disconnect(p)
-		}
-		for _, num := range att.lsiPorts {
-			_ = d.lsi.sw.RemovePort(num)
-		}
-		if att.nnfVlink != 0 {
-			_ = d.lsi.sw.RemovePort(att.nnfVlink)
-		}
-		if att.nnfVlinkLSI0 != 0 {
-			_ = o.lsi0.sw.RemovePort(att.nnfVlinkLSI0)
-		}
-		delete(d.nfs, n.ID)
-		o.metrics.nfStops.Inc()
-		o.journal.Recordf(telemetry.EventNFStop, o.cfg.NodeName, g.ID,
-			fmt.Sprintf("%s as %s", n.ID, att.inst.Technology))
-	}
-	// 2. Start added NFs.
+	// 1. Schedule the added NFs against the deployed spec.
+	var placements []Placement
 	if len(diff.AddedNFs) > 0 {
 		sub := &nffg.Graph{ID: g.ID, NFs: diff.AddedNFs}
-		placements, err := o.schedule(sub)
+		var err error
+		placements, err = o.schedule(sub)
 		if err != nil {
+			o.mu.Unlock()
 			return err
 		}
-		for _, pl := range placements {
-			inst, err := pl.Driver.Start(compute.StartRequest{
-				InstanceName: g.ID + "." + pl.NF.ID,
-				GraphID:      g.ID,
-				Template:     pl.Template,
-				Config:       pl.NF.Config,
-			})
-			if err != nil {
-				return fmt.Errorf("orchestrator: update: starting %q: %w", pl.NF.ID, err)
-			}
-			att := &nfAttachment{inst: inst}
-			if err := o.attachNF(d, att); err != nil {
-				_ = pl.Driver.Stop(inst)
-				return err
-			}
-			d.nfs[pl.NF.ID] = att
-			o.metrics.nfStarts.Inc()
-			o.journal.Recordf(telemetry.EventNFStart, o.cfg.NodeName, g.ID,
-				fmt.Sprintf("%s as %s", pl.NF.ID, pl.Technology))
-		}
 	}
-	// 3. Reconfigure changed NFs in place when the driver supports it.
+	o.mu.Unlock()
+
+	// 2. Start the added NFs concurrently, outside the node lock (the
+	// graph lock keeps other same-graph operations out). A start failure
+	// stops the siblings inside startNFs: nothing is attached yet.
+	atts, err := o.startNFs(g.ID, placements)
+	if err != nil {
+		return err
+	}
+
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	// added tracks the NF ids this update attached and restarted the NFs
+	// it replaced for a config change; a failure past this point rolls
+	// back exactly these — added NFs are detached, restarted NFs are put
+	// back on the previous spec's instance — leaving the prior deployment
+	// intact.
+	var added, restarted []string
+	fail := func(err error) error {
+		o.rollbackStarted(d, added)
+		for _, nfID := range restarted {
+			// d.Graph still holds the pre-update spec here (step 6
+			// restores it before failing), so this reinstates the
+			// old-config instance best-effort.
+			if prev := d.Graph.FindNF(nfID); prev != nil {
+				_ = o.restartNF(d, g.ID, *prev)
+			}
+		}
+		if len(restarted) > 0 {
+			// The reinstated instances sit on fresh LSI ports: repoint
+			// the (pre-update) steering at them.
+			_ = o.reprogram(d)
+		}
+		return err
+	}
+	// 3. Attach the added NFs.
+	for i, pl := range placements {
+		att := atts[i]
+		o.setState(g.ID, pl.NF.ID, att, StateAttaching)
+		if err := o.attachNF(d, att); err != nil {
+			o.setState(g.ID, pl.NF.ID, att, StateFailed)
+			_ = pl.Driver.Stop(att.inst)
+			o.stopUnattached(placements[i+1:], atts[i+1:])
+			return fail(err)
+		}
+		d.nfs[pl.NF.ID] = att
+		o.setState(g.ID, pl.NF.ID, att, StateRunning)
+		added = append(added, pl.NF.ID)
+		o.metrics.nfStarts.Inc()
+		o.journal.Recordf(telemetry.EventNFStart, o.cfg.NodeName, g.ID,
+			fmt.Sprintf("%s as %s", pl.NF.ID, pl.Technology))
+	}
+	// 4. Changed NFs: reconfigure in place when both the driver and the
+	// processor support it, otherwise stop and restart the instance with
+	// the new configuration — a changed spec must never leave stale config
+	// running. The journal records which path each NF took.
 	for _, n := range diff.ChangedNFs {
 		att, exists := d.nfs[n.ID]
 		if !exists {
 			continue
 		}
-		if cfgr, ok := att.inst.Runtime.Processor().(interface {
-			Configure(map[string]string) error
-		}); ok {
+		drv, reg := o.cfg.Compute.Driver(att.inst.Technology)
+		cfgr, configurable := att.inst.Runtime.Processor().(nf.Configurer)
+		if reg && drv.Caps().SupportsReconfigure && configurable {
 			if err := cfgr.Configure(n.Config); err != nil {
-				return fmt.Errorf("orchestrator: update: reconfiguring %q: %w", n.ID, err)
+				return fail(fmt.Errorf("orchestrator: update: reconfiguring %q: %w", n.ID, err))
 			}
+			o.journal.Recordf(telemetry.EventNFConfig, o.cfg.NodeName, g.ID,
+				fmt.Sprintf("%s reconfigured in place", n.ID))
+			continue
 		}
+		if err := o.restartNF(d, g.ID, n); err != nil {
+			// restartNF already attempted to restore the previous
+			// instance; only the earlier steps remain to roll back.
+			return fail(fmt.Errorf("orchestrator: update: restarting %q with new config: %w", n.ID, err))
+		}
+		restarted = append(restarted, n.ID)
+		o.journal.Recordf(telemetry.EventNFConfig, o.cfg.NodeName, g.ID,
+			fmt.Sprintf("%s restarted (processor not reconfigurable in place)", n.ID))
 	}
-	// 4. Endpoints: removed ones are detached in place (their LSI-0
+	// 5. Endpoints: removed ones are detached in place (their LSI-0
 	// classification flows are tagged with a per-endpoint cookie), added
 	// ones attached; a changed endpoint appears in the diff as
 	// removed+added under the same id. The global orchestrator leans on
@@ -821,17 +952,137 @@ func (o *Orchestrator) update(g *nffg.Graph) error {
 		}
 		att, err := o.attachEndpoint(d, ep)
 		if err != nil {
-			return fmt.Errorf("orchestrator: update: attaching endpoint %q: %w", ep.ID, err)
+			return fail(fmt.Errorf("orchestrator: update: attaching endpoint %q: %w", ep.ID, err))
 		}
 		d.eps[ep.ID] = att
 	}
-	// 5. Recompile steering.
+	// 6. Recompile steering against the new spec and repoint it with one
+	// atomic snapshot swap: the datapath sees the old complete rule set or
+	// the new one, never the gap in between.
+	oldGraph := d.Graph
 	d.Graph = g.Clone()
-	if err := d.lsi.ctrl.DeleteFlows(d.cookie); err != nil {
+	entries, err := o.compileEntries(d, d.cookie)
+	if err != nil {
+		d.Graph = oldGraph
+		return fail(err)
+	}
+	if _, err := d.lsi.sw.SwapFlows(d.cookie, entries); err != nil {
+		d.Graph = oldGraph
+		return fail(err)
+	}
+	o.metrics.steeringRules.Add(uint64(len(d.Graph.Rules)))
+	o.journal.Recordf(telemetry.EventFlowMod, o.cfg.NodeName, g.ID,
+		fmt.Sprintf("%d rules swapped on %s", len(d.Graph.Rules), o.lsiLabel(d.lsi.sw)))
+	// 7. Detach removed NFs last, after steering stopped referencing them,
+	// so their traffic is re-steered before the ports disappear.
+	for _, n := range diff.RemovedNFs {
+		att, exists := d.nfs[n.ID]
+		if !exists {
+			continue
+		}
+		o.setState(g.ID, n.ID, att, StateDraining)
+		o.detachNF(d, n.ID, att)
+		delete(d.nfs, n.ID)
+	}
+	return nil
+}
+
+// rollbackStarted undoes the NFs a failed update attached: each is stopped
+// and detached, so the deployed graph returns to exactly its pre-update NF
+// set (the spec is restored by the caller keeping d.Graph untouched).
+// Callers hold o.mu.
+func (o *Orchestrator) rollbackStarted(d *DeployedGraph, started []string) {
+	for _, nfID := range started {
+		att, ok := d.nfs[nfID]
+		if !ok {
+			continue
+		}
+		o.detachNF(d, nfID, att)
+		delete(d.nfs, nfID)
+	}
+}
+
+// startAndAttachNF schedules, starts and attaches one NF of a deployed
+// graph, walking it through the lifecycle states. Callers hold o.mu.
+func (o *Orchestrator) startAndAttachNF(d *DeployedGraph, graphID string, n nffg.NF) error {
+	placements, err := o.schedule(&nffg.Graph{ID: graphID, NFs: []nffg.NF{n}})
+	if err != nil {
 		return err
 	}
-	if err := d.lsi.ctrl.Barrier(); err != nil {
+	pl := placements[0]
+	att := &nfAttachment{}
+	o.setState(graphID, n.ID, att, StateStarting)
+	inst, err := pl.Driver.Start(compute.StartRequest{
+		InstanceName: graphID + "." + n.ID,
+		GraphID:      graphID,
+		Template:     pl.Template,
+		Config:       n.Config,
+	})
+	if err != nil {
+		o.setState(graphID, n.ID, att, StateFailed)
 		return err
 	}
-	return o.program(d)
+	att.inst = inst
+	o.setState(graphID, n.ID, att, StateAttaching)
+	if err := o.attachNF(d, att); err != nil {
+		o.setState(graphID, n.ID, att, StateFailed)
+		_ = pl.Driver.Stop(inst)
+		return err
+	}
+	d.nfs[n.ID] = att
+	o.setState(graphID, n.ID, att, StateRunning)
+	o.metrics.nfStarts.Inc()
+	o.journal.Recordf(telemetry.EventNFStart, o.cfg.NodeName, graphID,
+		fmt.Sprintf("%s as %s", n.ID, pl.Technology))
+	return nil
+}
+
+// restartNF replaces a changed NF's instance with a fresh one running the
+// new configuration: the fallback path of a graph update when in-place
+// reconfiguration is unsupported. The old instance stops before the new one
+// starts — a non-sharable NNF or an exhausted flavor cannot run twice — so
+// the NF is briefly out of the datapath; steering still points at its old
+// ports until step 6 swaps it. If the new instance cannot start, the
+// previous spec's instance is restored best-effort so the graph is not
+// left with a hole its steering still points into. Callers hold o.mu.
+func (o *Orchestrator) restartNF(d *DeployedGraph, graphID string, n nffg.NF) error {
+	if old, ok := d.nfs[n.ID]; ok {
+		o.setState(graphID, n.ID, old, StateDraining)
+		o.detachNF(d, n.ID, old)
+		delete(d.nfs, n.ID)
+	}
+	err := o.startAndAttachNF(d, graphID, n)
+	if err == nil {
+		return nil
+	}
+	// Best-effort recovery: put the previous spec's instance back so the
+	// graph is not left with a silent hole the steering points into. The
+	// restored instance sits on fresh LSI ports, so the steering must be
+	// repointed at it too (d.Graph still is the spec it came from).
+	if prev := d.Graph.FindNF(n.ID); prev != nil {
+		rerr := o.startAndAttachNF(d, graphID, *prev)
+		if rerr == nil {
+			rerr = o.reprogram(d)
+		}
+		if rerr != nil {
+			o.journal.Recordf(telemetry.EventNFConfig, o.cfg.NodeName, graphID,
+				fmt.Sprintf("%s lost: restart failed (%v), recovery failed (%v)", n.ID, err, rerr))
+		} else {
+			o.journal.Recordf(telemetry.EventNFConfig, o.cfg.NodeName, graphID,
+				fmt.Sprintf("%s restored to previous config after failed restart", n.ID))
+		}
+	}
+	return err
+}
+
+// reprogram recompiles the graph's steering against its current spec and
+// attachments and repoints the LSI with one atomic snapshot swap. Callers
+// hold o.mu.
+func (o *Orchestrator) reprogram(d *DeployedGraph) error {
+	entries, err := o.compileEntries(d, d.cookie)
+	if err != nil {
+		return err
+	}
+	_, err = d.lsi.sw.SwapFlows(d.cookie, entries)
+	return err
 }

@@ -11,20 +11,41 @@ import (
 	"repro/internal/vswitch"
 )
 
+// compileEntries compiles the graph's big-switch flow rules into concrete
+// flow entries for the graph's LSI, tagged with the given cookie. Nothing
+// is installed: deploy pushes the entries through the OpenFlow channel,
+// update and reflavor hand them to the switch's atomic snapshot swap.
+func (o *Orchestrator) compileEntries(d *DeployedGraph, cookie uint64) ([]*vswitch.FlowEntry, error) {
+	entries := make([]*vswitch.FlowEntry, 0, len(d.Graph.Rules))
+	for _, r := range d.Graph.Rules {
+		match, pre, err := o.compileMatch(d, r.Match)
+		if err != nil {
+			return nil, fmt.Errorf("orchestrator: graph %q rule %q: %w", d.Graph.ID, r.ID, err)
+		}
+		actions, err := o.compileActions(d, r.Actions)
+		if err != nil {
+			return nil, fmt.Errorf("orchestrator: graph %q rule %q: %w", d.Graph.ID, r.ID, err)
+		}
+		entries = append(entries, &vswitch.FlowEntry{
+			Priority: r.Priority,
+			Cookie:   cookie,
+			Match:    match,
+			Actions:  append(pre, actions...),
+		})
+	}
+	return entries, nil
+}
+
 // program is the traffic steering manager: it compiles the graph's
 // big-switch flow rules into concrete flow entries on the graph's LSI and
 // pushes them through the OpenFlow channel.
 func (o *Orchestrator) program(d *DeployedGraph) error {
-	for _, r := range d.Graph.Rules {
-		match, pre, err := o.compileMatch(d, r.Match)
-		if err != nil {
-			return fmt.Errorf("orchestrator: graph %q rule %q: %w", d.Graph.ID, r.ID, err)
-		}
-		actions, err := o.compileActions(d, r.Actions)
-		if err != nil {
-			return fmt.Errorf("orchestrator: graph %q rule %q: %w", d.Graph.ID, r.ID, err)
-		}
-		if err := d.lsi.ctrl.InstallFlow(0, r.Priority, d.cookie, match, append(pre, actions...)); err != nil {
+	entries, err := o.compileEntries(d, d.cookie)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := d.lsi.ctrl.InstallFlow(e.Table, e.Priority, e.Cookie, e.Match, e.Actions); err != nil {
 			return err
 		}
 	}

@@ -17,11 +17,13 @@ type opMetrics struct {
 	deploys, deployFailures     telemetry.Counter
 	updates, updateFailures     telemetry.Counter
 	undeploys, undeployFailures telemetry.Counter
+	reflavors, reflavorFailures telemetry.Counter
 	nfStarts, nfStops           telemetry.Counter
 	steeringRules               telemetry.Counter
 	deployLatency               *telemetry.Histogram
 	updateLatency               *telemetry.Histogram
 	undeployLatency             *telemetry.Histogram
+	reflavorLatency             *telemetry.Histogram
 }
 
 func newOpMetrics() *opMetrics {
@@ -29,6 +31,7 @@ func newOpMetrics() *opMetrics {
 		deployLatency:   telemetry.NewHistogram(telemetry.LatencyBuckets()...),
 		updateLatency:   telemetry.NewHistogram(telemetry.LatencyBuckets()...),
 		undeployLatency: telemetry.NewHistogram(telemetry.LatencyBuckets()...),
+		reflavorLatency: telemetry.NewHistogram(telemetry.LatencyBuckets()...),
 	}
 }
 
@@ -60,13 +63,21 @@ func (o *Orchestrator) lsiLabel(sw *vswitch.Switch) string {
 // microflow-cache state, a sampled packet-latency histogram, resource-ledger
 // gauges and control-plane operation counters/timings.
 func (o *Orchestrator) Collect(e *telemetry.Exposition) {
+	type nfStateSample struct {
+		graph, nf string
+		state     NFState
+	}
 	o.mu.Lock()
 	switches := make([]*vswitch.Switch, 0, len(o.graphs)+1)
 	switches = append(switches, o.lsi0.sw)
 	graphNFs := make(map[string]int, len(o.graphs))
+	var nfStates []nfStateSample
 	for id, d := range o.graphs {
 		switches = append(switches, d.lsi.sw)
 		graphNFs[id] = len(d.nfs)
+		for nfID, att := range d.nfs {
+			nfStates = append(nfStates, nfStateSample{graph: id, nf: nfID, state: att.State()})
+		}
 	}
 	o.mu.Unlock()
 
@@ -94,6 +105,11 @@ func (o *Orchestrator) Collect(e *telemetry.Exposition) {
 	for id, n := range graphNFs {
 		e.Gauge("un_nf_instances", "Running NF instances per graph.", telemetry.Labels{"graph": id}, float64(n))
 	}
+	for _, s := range nfStates {
+		e.Gauge("un_nf_state",
+			"Per-NF lifecycle state (0 pending, 1 starting, 2 attaching, 3 running, 4 draining, 5 stopped, 6 failed).",
+			telemetry.Labels{"graph": s.graph, "nf": s.nf}, s.state.Value())
+	}
 	usedCPU, totalCPU, usedRAM, totalRAM := o.cfg.Resources.Usage()
 	e.Gauge("un_cpu_millis_used", "CPU millicores charged on the node ledger.", nil, float64(usedCPU))
 	e.Gauge("un_cpu_millis_total", "CPU millicore capacity of the node.", nil, float64(totalCPU))
@@ -107,11 +123,14 @@ func (o *Orchestrator) Collect(e *telemetry.Exposition) {
 	e.Counter("un_update_failures_total", "In-place graph updates that failed.", nil, m.updateFailures.Value())
 	e.Counter("un_undeploys_total", "Graphs undeployed.", nil, m.undeploys.Value())
 	e.Counter("un_undeploy_failures_total", "Undeploys of graphs that were not deployed.", nil, m.undeployFailures.Value())
+	e.Counter("un_reflavors_total", "NF flavor hot-swaps completed.", nil, m.reflavors.Value())
+	e.Counter("un_reflavor_failures_total", "NF flavor hot-swaps that failed.", nil, m.reflavorFailures.Value())
 	e.Counter("un_nf_starts_total", "NF instances started.", nil, m.nfStarts.Value())
 	e.Counter("un_nf_stops_total", "NF instances stopped.", nil, m.nfStops.Value())
 	e.Counter("un_steering_rules_programmed_total", "Big-switch steering rules compiled onto LSIs.", nil, m.steeringRules.Value())
 	e.Histogram("un_deploy_seconds", "Graph deployment wall time.", nil, m.deployLatency.Snapshot())
 	e.Histogram("un_update_seconds", "Graph update wall time.", nil, m.updateLatency.Snapshot())
 	e.Histogram("un_undeploy_seconds", "Graph undeploy wall time.", nil, m.undeployLatency.Snapshot())
+	e.Histogram("un_reflavor_seconds", "NF flavor hot-swap wall time (start to drained).", nil, m.reflavorLatency.Snapshot())
 	e.Counter("un_journal_events_total", "Events ever recorded in the node journal.", nil, o.journal.Total())
 }

@@ -50,8 +50,10 @@ type NFInfo struct {
 	ID         string
 	Instance   string
 	Technology string
-	Shared     bool
-	RAMBytes   uint64
+	// State is the NF's lifecycle state ("running", "draining", ...).
+	State    string
+	Shared   bool
+	RAMBytes uint64
 }
 
 // Topology captures the current node state.
@@ -85,6 +87,7 @@ func (o *Orchestrator) Topology() Topology {
 				ID:         nfID,
 				Instance:   att.inst.Runtime.Name(),
 				Technology: string(att.inst.Technology),
+				State:      string(att.State()),
 				Shared:     att.inst.Shared,
 				RAMBytes:   att.inst.RAM(),
 			})

@@ -1,0 +1,157 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/execenv"
+	"repro/internal/nffg"
+)
+
+// flavorCands builds the ipsec template's three flavors as candidates in the
+// seed's static preference order, on a node with the given headroom.
+func flavorCands(freeCPU int) []Candidate {
+	model := execenv.Default()
+	mk := func(tech nffg.Technology, cpu int) Candidate {
+		fl := FlavorOf(tech)
+		return Candidate{
+			Tech:          tech,
+			CPUMillis:     cpu,
+			RAMBytes:      model.BaseRAM(fl) + 20<<20,
+			CostNs:        float64(model.PacketCost(fl, RefFrameBytes, 0)),
+			FreeCPUMillis: freeCPU,
+			FreeRAMBytes:  8 << 30,
+			Linked:        true,
+		}
+	}
+	return []Candidate{
+		mk(nffg.TechNative, 250),
+		mk(nffg.TechDocker, 500),
+		mk(nffg.TechVM, 1000),
+	}
+}
+
+func TestFirstFitKeepsSubmissionOrder(t *testing.T) {
+	got := FirstFit{}.Rank(Request{}, flavorCands(16000))
+	want := []nffg.Technology{nffg.TechNative, nffg.TechDocker, nffg.TechVM}
+	for i, tech := range want {
+		if got[i].Tech != tech {
+			t.Fatalf("rank[%d] = %s, want %s", i, got[i].Tech, tech)
+		}
+	}
+}
+
+func TestFirstFitColocationDominates(t *testing.T) {
+	cands := []Candidate{
+		{Node: "a", FreeCPUMillis: 100},
+		{Node: "b", FreeCPUMillis: 9000, Colocated: true},
+	}
+	got := FirstFit{}.Rank(Request{}, cands)
+	if got[0].Node != "b" {
+		t.Fatalf("first-fit must prefer the co-located host, got %q", got[0].Node)
+	}
+}
+
+func TestBinPackPicksCheapestFlavor(t *testing.T) {
+	got := BinPack{}.Rank(Request{}, flavorCands(16000))
+	if got[0].Tech != nffg.TechNative {
+		t.Fatalf("bin-pack on flavors must pick the lightest charge, got %s", got[0].Tech)
+	}
+}
+
+func TestBinPackNodeOrdering(t *testing.T) {
+	cands := []Candidate{
+		{Node: "unlinked-huge", CPUMillis: 500, FreeCPUMillis: 90000},
+		{Node: "linked-small", CPUMillis: 500, FreeCPUMillis: 4000, Linked: true},
+		{Node: "linked-big", CPUMillis: 500, FreeCPUMillis: 12000, Linked: true},
+		{Node: "colocated", CPUMillis: 500, FreeCPUMillis: 600, Colocated: true, Linked: true},
+	}
+	got := BinPack{}.Rank(Request{}, cands)
+	want := []string{"colocated", "linked-big", "linked-small", "unlinked-huge"}
+	for i, name := range want {
+		if got[i].Node != name {
+			t.Fatalf("rank[%d] = %q, want %q (full order %v)", i, got[i].Node, name, got)
+		}
+	}
+}
+
+func TestBinPackDoesNotMutateInput(t *testing.T) {
+	cands := flavorCands(16000)
+	first := cands[0].Tech
+	// Input order is vm-last; ranking must not reorder the caller's slice.
+	cands2 := []Candidate{cands[2], cands[0], cands[1]}
+	_ = BinPack{}.Rank(Request{}, cands2)
+	if cands2[0].Tech != nffg.TechVM || cands[0].Tech != first {
+		t.Fatal("Rank mutated the input slice")
+	}
+}
+
+func TestCostDrivenIdleVsLoaded(t *testing.T) {
+	cands := flavorCands(16000)
+	// Idle: the reservation dominates, the lightest flavor wins.
+	idle := CostDriven{}.Rank(Request{}, cands)
+	if idle[0].Tech != nffg.TechNative {
+		t.Fatalf("cost policy at rate 0 should pick native (cheapest reservation), got %s", idle[0].Tech)
+	}
+	// The VM must always rank last: it is both the heaviest reservation and
+	// the costliest per packet.
+	loaded := CostDriven{}.Rank(Request{RatePPS: 500_000}, cands)
+	if loaded[len(loaded)-1].Tech != nffg.TechVM {
+		t.Fatalf("cost policy under load must rank the VM last, got %v", loaded)
+	}
+}
+
+func TestCostDrivenRateFlipsChoice(t *testing.T) {
+	// A DPDK-style candidate: expensive reservation, near-free packets.
+	fast := Candidate{Tech: nffg.TechDPDK, CPUMillis: 2000, CostNs: 350, Linked: true}
+	// A native-style candidate: cheap reservation, costlier packets.
+	light := Candidate{Tech: nffg.TechNative, CPUMillis: 250, CostNs: 2053, Linked: true}
+	idle := CostDriven{}.Rank(Request{}, []Candidate{fast, light})
+	if idle[0].Tech != nffg.TechNative {
+		t.Fatalf("at rate 0 the light flavor must win, got %s", idle[0].Tech)
+	}
+	// At 2 Mpps the per-packet gap (1703 ns) times the rate dwarfs the
+	// 1750-millicore reservation gap.
+	hot := CostDriven{}.Rank(Request{RatePPS: 2_000_000}, []Candidate{fast, light})
+	if hot[0].Tech != nffg.TechDPDK {
+		t.Fatalf("at 2 Mpps the fast flavor must win, got %s", hot[0].Tech)
+	}
+}
+
+func TestScore(t *testing.T) {
+	c := Candidate{CPUMillis: 100, CostNs: 1000}
+	if got := Score(c, 0); got != 100*1e6 {
+		t.Fatalf("idle score = %g, want reservation only", got)
+	}
+	if got := Score(c, 1000); got != 100*1e6+1000*1000 {
+		t.Fatalf("loaded score = %g", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"":          "first-fit",
+		"first-fit": "first-fit",
+		"bin-pack":  "bin-pack",
+		"cost":      "cost",
+	} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if p.Name() != want {
+			t.Fatalf("ByName(%q).Name() = %q, want %q", name, p.Name(), want)
+		}
+	}
+	if _, err := ByName("random"); err == nil {
+		t.Fatal("ByName must reject unknown policies")
+	}
+}
+
+func TestFlavorOf(t *testing.T) {
+	if FlavorOf(nffg.TechVM) != execenv.FlavorVM ||
+		FlavorOf(nffg.TechDocker) != execenv.FlavorDocker ||
+		FlavorOf(nffg.TechDPDK) != execenv.FlavorDPDK ||
+		FlavorOf(nffg.TechNative) != execenv.FlavorNative {
+		t.Fatal("FlavorOf mapping broken")
+	}
+}

@@ -13,6 +13,8 @@
 //	GET    /NF-FG/{id}    retrieve the desired graph
 //	DELETE /NF-FG/{id}    undeploy a global graph
 //	GET    /NF-FG         list global graph ids
+//	POST   /NF-FG/{id}/nf/{nf}/reflavor  hot-swap one NF's execution
+//	       technology on whichever node hosts it ({"technology": "..."})
 //	GET    /NF-FG/{id}/placement  where each NF and endpoint runs
 //	GET    /status        fleet summary
 //	GET    /metrics       fleet-wide telemetry: the global orchestrator's own
@@ -56,6 +58,7 @@ func NewGlobal(orch *global.Orchestrator, client *http.Client) *GlobalServer {
 	s.mux.HandleFunc("GET /NF-FG/{id}", s.getGraph)
 	s.mux.HandleFunc("DELETE /NF-FG/{id}", s.deleteGraph)
 	s.mux.HandleFunc("GET /NF-FG", s.listGraphs)
+	s.mux.HandleFunc("POST /NF-FG/{id}/nf/{nf}/reflavor", s.reflavor)
 	s.mux.HandleFunc("GET /NF-FG/{id}/placement", s.placement)
 	s.mux.HandleFunc("GET /status", s.status)
 	s.mux.HandleFunc("GET /metrics", s.metrics)
@@ -194,6 +197,26 @@ func (s *GlobalServer) deleteGraph(w http.ResponseWriter, r *http.Request) {
 
 func (s *GlobalServer) listGraphs(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{"graphs": s.orch.GraphIDs()})
+}
+
+func (s *GlobalServer) reflavor(w http.ResponseWriter, r *http.Request) {
+	id, nfID := r.PathValue("id"), r.PathValue("nf")
+	var req ReflavorRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing reflavor request: %w", err))
+		return
+	}
+	if _, ok := s.orch.Graph(id); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("graph %q not deployed", id))
+		return
+	}
+	if err := s.orch.Reflavor(id, nfID, nffg.Technology(req.Technology)); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status": "reflavored", "id": id, "nf": nfID, "technology": req.Technology,
+	})
 }
 
 // PlacementReply is the GET /NF-FG/{id}/placement body.

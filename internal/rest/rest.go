@@ -8,7 +8,11 @@
 //	GET    /NF-FG/{id}   retrieve a deployed graph
 //	DELETE /NF-FG/{id}   undeploy a graph
 //	GET    /NF-FG        list deployed graph ids
-//	GET    /status       node status: graphs, resources, capabilities
+//	POST   /NF-FG/{id}/nf/{nf}/reflavor  hot-swap one NF's execution
+//	       technology ({"technology": "native"}; empty or "any" lets the
+//	       placement policy choose)
+//	GET    /status       node status: graphs, resources, capabilities,
+//	       per-NF technology and lifecycle state
 //	GET    /NF-FG/{id}/stats  per-NF and per-rule counters of a graph
 //	GET    /topology     live Figure-1 topology (text; ?format=dot|json)
 //	GET    /capture/{if} capture interface traffic for ?duration (pcap body)
@@ -47,6 +51,7 @@ func New(orch *orchestrator.Orchestrator, pool *resources.Pool) *Server {
 	s.mux.HandleFunc("DELETE /NF-FG/{id}", s.deleteGraph)
 	s.mux.HandleFunc("GET /NF-FG", s.listGraphs)
 	s.mux.HandleFunc("GET /NF-FG/{id}/stats", s.graphStats)
+	s.mux.HandleFunc("POST /NF-FG/{id}/nf/{nf}/reflavor", s.reflavor)
 	s.mux.HandleFunc("GET /status", s.status)
 	s.mux.HandleFunc("GET /topology", s.topology)
 	s.mux.HandleFunc("GET /capture/{iface}", s.capture)
@@ -149,6 +154,45 @@ func (s *Server) listGraphs(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{"graphs": s.orch.GraphIDs()})
 }
 
+// ReflavorRequest is the POST /NF-FG/{id}/nf/{nf}/reflavor body. An empty
+// or "any" technology asks the node's placement policy to choose at the
+// currently observed traffic rate.
+type ReflavorRequest struct {
+	Technology string `json:"technology"`
+}
+
+func (s *Server) reflavor(w http.ResponseWriter, r *http.Request) {
+	id, nfID := r.PathValue("id"), r.PathValue("nf")
+	var req ReflavorRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing reflavor request: %w", err))
+		return
+	}
+	if _, ok := s.orch.Graph(id); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("graph %q not deployed", id))
+		return
+	}
+	tech := nffg.Technology(req.Technology)
+	if req.Technology == "" || tech == nffg.TechAny {
+		chosen, err := s.orch.ReflavorAuto(id, nfID)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{
+			"status": "reflavored", "id": id, "nf": nfID, "technology": string(chosen),
+		})
+		return
+	}
+	if err := s.orch.Reflavor(id, nfID, tech); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status": "reflavored", "id": id, "nf": nfID, "technology": req.Technology,
+	})
+}
+
 // StatusReply is the GET /status body. Interfaces lets the global
 // orchestrator pin NF-FG endpoints to the node owning the named interface.
 type StatusReply struct {
@@ -173,8 +217,10 @@ type InstanceStatus struct {
 	NF         string `json:"nf"`
 	Instance   string `json:"instance"`
 	Technology string `json:"technology"`
-	Shared     bool   `json:"shared,omitempty"`
-	RAMBytes   uint64 `json:"ram-bytes"`
+	// State is the NF's lifecycle state ("running", "draining", ...).
+	State    string `json:"state"`
+	Shared   bool   `json:"shared,omitempty"`
+	RAMBytes uint64 `json:"ram-bytes"`
 }
 
 func (s *Server) status(w http.ResponseWriter, _ *http.Request) {
@@ -197,6 +243,7 @@ func (s *Server) status(w http.ResponseWriter, _ *http.Request) {
 				NF:         n.ID,
 				Instance:   n.Instance,
 				Technology: n.Technology,
+				State:      n.State,
 				Shared:     n.Shared,
 				RAMBytes:   n.RAMBytes,
 			})

@@ -175,7 +175,13 @@ func TestNodeEventsEndpoint(t *testing.T) {
 			t.Fatalf("event %+v missing node name", ev)
 		}
 	}
-	want := []string{"nf-start", "flow-mod", "deploy", "nf-stop", "undeploy"}
+	// The lifecycle state machine journals each per-NF transition
+	// (pending->starting, starting->attaching, attaching->running on
+	// deploy; running->stopped on undeploy) around the classic events.
+	want := []string{
+		"nf-state", "nf-state", "nf-state", "nf-start", "flow-mod", "deploy",
+		"nf-state", "nf-stop", "undeploy",
+	}
 	if strings.Join(types, ",") != strings.Join(want, ",") {
 		t.Fatalf("event sequence %v, want %v", types, want)
 	}
@@ -185,14 +191,15 @@ func TestNodeEventsEndpoint(t *testing.T) {
 		}
 	}
 
-	// ?since tails the journal.
-	cursor := evs[2].Seq
+	// ?since tails the journal: a cursor on the deploy event returns only
+	// the undeploy-side events.
+	cursor := evs[5].Seq
 	body, _ = getBody(t, fmt.Sprintf("%s/events?since=%d", srv.URL, cursor))
 	var tail []telemetry.Event
 	if err := json.Unmarshal([]byte(body), &tail); err != nil {
 		t.Fatal(err)
 	}
-	if len(tail) != 2 || tail[0].Type != "nf-stop" {
+	if len(tail) != 3 || tail[0].Type != "nf-state" || tail[1].Type != "nf-stop" {
 		t.Fatalf("since=%d returned %v", cursor, tail)
 	}
 	if _, resp := getBody(t, srv.URL+"/events?since=bogus"); resp.StatusCode != http.StatusBadRequest {

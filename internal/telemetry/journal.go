@@ -20,6 +20,9 @@ const (
 	EventResched  = "reschedule"   // graph moved off a dead/withdrawn node
 	EventRepair   = "drift-repair" // lost or diverged subgraph reconverged
 	EventRetire   = "retire"       // deferred subgraph removal completed
+	EventNFState  = "nf-state"     // one NF lifecycle state transition
+	EventNFConfig = "nf-config"    // changed NF reconfigured in place or restarted
+	EventReflavor = "reflavor"     // one NF hot-swapped to another flavor
 )
 
 // Event is one structured journal entry.

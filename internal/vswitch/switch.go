@@ -285,6 +285,54 @@ func (s *Switch) DeleteFlows(cookie uint64) int {
 	return removed
 }
 
+// SwapFlows atomically replaces every entry carrying delCookie with the
+// given entries: one copy-on-write snapshot is built under mu — old-cookie
+// entries filtered out, new entries sorted in — and published with a single
+// atomic store. The packet path therefore sees either the complete old rule
+// set or the complete new one, never a half-reprogrammed table: the
+// steering-gap-free primitive behind graph updates and NF flavor hot-swaps.
+// Added entries keep their own cookies (they may differ from delCookie,
+// e.g. drain rules installed under a separate cookie for later removal).
+// It returns how many entries the swap removed.
+func (s *Switch) SwapFlows(delCookie uint64, add []*FlowEntry) (int, error) {
+	for _, e := range add {
+		if e.Table < 0 || e.Table >= s.nTables {
+			return 0, fmt.Errorf("vswitch: table %d out of range [0,%d)", e.Table, s.nTables)
+		}
+		for _, a := range e.Actions {
+			if g, ok := a.(GotoTableAction); ok && g.Table <= e.Table {
+				return 0, fmt.Errorf("vswitch: goto_table:%d from table %d must move forward", g.Table, e.Table)
+			}
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.tables.Load().tables
+	next := make([][]*FlowEntry, len(cur))
+	removed := 0
+	for ti, t := range cur {
+		kept := make([]*FlowEntry, 0, len(t))
+		for _, e := range t {
+			if e.Cookie == delCookie {
+				removed++
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		next[ti] = kept
+	}
+	for _, e := range add {
+		next[e.Table] = append(next[e.Table], e)
+	}
+	for ti := range next {
+		t := next[ti]
+		sort.SliceStable(t, func(i, j int) bool { return t[i].Priority > t[j].Priority })
+	}
+	s.tables.Store(&tableSet{tables: next})
+	s.cache.invalidate()
+	return removed, nil
+}
+
 // DeleteAllFlows clears every table and returns the number of removed
 // entries.
 func (s *Switch) DeleteAllFlows() int {

@@ -45,6 +45,7 @@ import (
 	"repro/internal/nnf"
 	"repro/internal/orchestrator"
 	"repro/internal/pcap"
+	"repro/internal/policy"
 	"repro/internal/repository"
 	"repro/internal/resources"
 	"repro/internal/rest"
@@ -139,6 +140,19 @@ type Config struct {
 	// CostModel overrides the execution-environment cost model; nil uses
 	// the Table-1 calibration.
 	CostModel *execenv.CostModel
+	// PlacementPolicy selects how the scheduler ranks execution flavors:
+	// "first-fit" (the default: the paper's static native > docker > dpdk
+	// > vm preference), "bin-pack" (cheapest reservation first) or "cost"
+	// (minimize modeled CPU consumption at the observed traffic rate).
+	PlacementPolicy string
+	// MaxParallelStarts bounds how many NFs of one graph boot concurrently
+	// during Deploy/Update (default 8).
+	MaxParallelStarts int
+	// StartupWallScale, when positive, additionally spends that fraction
+	// of each flavor's simulated boot latency as real wall time on NF
+	// start — emulating provisioning latency for wall-clock scheduling
+	// experiments. 0 keeps starts instant.
+	StartupWallScale float64
 }
 
 // Node is a running NFV compute node.
@@ -187,13 +201,18 @@ func NewNode(cfg Config) (*Node, error) {
 			pool.AddCapability(resources.Capability(c))
 		}
 	}
+	pol, err := policy.ByName(cfg.PlacementPolicy)
+	if err != nil {
+		return nil, err
+	}
 	clock := &execenv.VirtualClock{}
 	deps := compute.Deps{
-		NFs:       nf.DefaultRegistry(),
-		Images:    store,
-		Resources: pool,
-		Model:     model,
-		Clock:     clock,
+		NFs:              nf.DefaultRegistry(),
+		Images:           store,
+		Resources:        pool,
+		Model:            model,
+		Clock:            clock,
+		StartupWallScale: cfg.StartupWallScale,
 	}
 	nnfMgr := nnf.NewManager(nnf.Builtins(), netns.NewRegistry(), model, clock)
 	cmgr := compute.NewManager()
@@ -216,12 +235,15 @@ func NewNode(cfg Config) (*Node, error) {
 		return nil, err
 	}
 	orch, err := orchestrator.New(orchestrator.Config{
-		NodeName:   cfg.Name,
-		Interfaces: cfg.Interfaces,
-		Resources:  pool,
-		Repo:       repository.Default(),
-		Compute:    cmgr,
-		Clock:      clock,
+		NodeName:          cfg.Name,
+		Interfaces:        cfg.Interfaces,
+		Resources:         pool,
+		Repo:              repository.Default(),
+		Compute:           cmgr,
+		Clock:             clock,
+		Model:             &model,
+		Policy:            pol,
+		MaxParallelStarts: cfg.MaxParallelStarts,
 	})
 	if err != nil {
 		return nil, err
@@ -242,6 +264,39 @@ func (n *Node) Update(g *Graph) error { return n.orch.Update(g) }
 
 // Undeploy removes a deployed graph.
 func (n *Node) Undeploy(id string) error { return n.orch.Undeploy(id) }
+
+// Reflavor hot-swaps one NF of a deployed graph onto a different execution
+// technology with make-before-break semantics: the new-flavor instance
+// starts and attaches, the LSI steering repoints atomically (no steering
+// gap, zero packet loss in the switchover), then the old instance drains
+// and stops. The REST interface exposes it as
+// POST /NF-FG/{id}/nf/{nf}/reflavor.
+func (n *Node) Reflavor(graphID, nfID string, tech Technology) error {
+	return n.orch.Reflavor(graphID, nfID, tech)
+}
+
+// ReflavorAuto re-ranks the NF's packaged flavors with the node's placement
+// policy at the currently observed traffic rate and hot-swaps to the winner
+// when it differs from the running flavor. It returns the chosen technology.
+func (n *Node) ReflavorAuto(graphID, nfID string) (Technology, error) {
+	return n.orch.ReflavorAuto(graphID, nfID)
+}
+
+// NFState reports the lifecycle state of one NF of a deployed graph
+// (pending, starting, attaching, running, draining, stopped, failed).
+func (n *Node) NFState(graphID, nfID string) (string, bool) {
+	for _, g := range n.orch.Topology().Graphs {
+		if g.ID != graphID {
+			continue
+		}
+		for _, inf := range g.NFs {
+			if inf.ID == nfID {
+				return inf.State, true
+			}
+		}
+	}
+	return "", false
+}
 
 // GraphIDs lists the deployed graphs.
 func (n *Node) GraphIDs() []string { return n.orch.GraphIDs() }
