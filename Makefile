@@ -12,10 +12,10 @@ GO ?= go
 # Keep in sync with the COVERAGE_BASELINE env of .github/workflows/ci.yml.
 COVERAGE_BASELINE ?= 75.0
 
-BENCH_PATTERN = ^(BenchmarkPipelineCached|BenchmarkTable1Throughput|BenchmarkReflavor|BenchmarkParallelDeploy)$$
+BENCH_PATTERN = ^(BenchmarkPipelineCached|BenchmarkPipelineParallel|BenchmarkTable1Throughput|BenchmarkReflavor|BenchmarkParallelDeploy)$$
 
 .PHONY: ci lint fmt vet staticcheck govulncheck build test race coverage \
-	bench-gate bench-baseline examples-smoke clean
+	bench-gate bench-baseline profile examples-smoke clean
 
 ci: lint build race coverage bench-gate examples-smoke
 
@@ -76,6 +76,16 @@ bench-gate:
 	else \
 		echo "benchstat not installed; skipping delta report (CI renders it)"; \
 	fi
+
+# CPU and allocation profiles of the parallel datapath benchmark, for
+# chasing hot-path regressions the gate flags. CI uploads profile/ as an
+# artifact of the bench-gate job.
+profile:
+	@mkdir -p profile
+	$(GO) test -run '^$$' -bench '^BenchmarkPipelineParallel$$' -benchtime=1s \
+		-cpuprofile profile/cpu.pprof -memprofile profile/alloc.pprof \
+		-o profile/bench.test . | tee profile/bench.txt
+	@echo "wrote profile/cpu.pprof and profile/alloc.pprof (inspect with: $(GO) tool pprof profile/bench.test profile/cpu.pprof)"
 
 # Regenerate the committed baseline (run on the hardware class the gate
 # compares against, then commit BENCH_BASELINE.json).

@@ -22,7 +22,9 @@ package un_test
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	un "repro"
@@ -152,6 +154,59 @@ func BenchmarkPipelineCached(b *testing.B) {
 		cs := sw.CacheStats()
 		b.ReportMetric(cs.HitRate(), "cache-hit-rate")
 	})
+}
+
+// BenchmarkPipelineParallel measures the worker-pool datapath: N
+// run-to-completion workers, each fed by its own lock-free ring, with
+// injecting goroutines (one per GOMAXPROCS) spraying 512 distinct microflows
+// that the RSS steering hash spreads across the workers. Inject applies
+// backpressure when a ring fills, so ns/op tracks the pipeline's actual
+// processing rate; on a multi-core runner throughput should scale
+// near-linearly with the worker count until the core count is exhausted.
+func BenchmarkPipelineParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("%d", workers), func(b *testing.B) {
+			sw := vswitch.NewOptions("bench", 1, vswitch.Options{Workers: workers})
+			defer sw.Close()
+			_, swIn := netdev.Veth("in", "sw-in")
+			sink, swSink := netdev.Veth("sink", "sw-sink")
+			if err := sw.AddPort(1, swIn); err != nil {
+				b.Fatal(err)
+			}
+			if err := sw.AddPort(2, swSink); err != nil {
+				b.Fatal(err)
+			}
+			sink.SetHandler(func(f netdev.Frame) { pkt.PutBuffer(f.Data) })
+			if err := sw.AddFlow(&vswitch.FlowEntry{
+				Match: vswitch.MatchAll().WithInPort(1), Actions: []vswitch.Action{vswitch.Output(2)},
+			}); err != nil {
+				b.Fatal(err)
+			}
+			const nFlows = 512
+			frames := make([][]byte, nFlows)
+			for i := range frames {
+				frames[i] = benchFrame(b, uint16(10000+i))
+			}
+			var seed atomic.Uint32
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(seed.Add(1)) * 7919
+				for pb.Next() {
+					sw.Inject(1, frames[i%nFlows])
+					i++
+				}
+			})
+			// The rings may still hold steered frames: the benchmark is done
+			// when the workers have processed all of them.
+			for sw.PacketsProcessed() < uint64(b.N) {
+				runtime.Gosched()
+			}
+			b.StopTimer()
+			b.ReportMetric(sw.CacheStats().HitRate(), "cache-hit-rate")
+		})
+	}
 }
 
 // BenchmarkPipelineFlows measures one packet traversing a table holding N

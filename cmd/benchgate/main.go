@@ -1,7 +1,10 @@
 // Command benchgate is the benchmark regression gate of the CI pipeline: it
 // compares a current `go test -json` benchmark run against the committed
 // baseline (BENCH_BASELINE.json) and fails when a gated benchmark's ns/op
-// regressed beyond the allowed percentage.
+// regressed beyond the allowed percentage. Independently of the baseline it
+// also enforces an absolute allocs/op ceiling (default 0) on the benchmarks
+// matching -alloc-gate, so the zero-allocation hot path cannot silently
+// start allocating.
 //
 // Both inputs are test2json streams (`go test -bench ... -json`). Runs with
 // -count>1 are collapsed per benchmark by median, which is robust against a
@@ -43,12 +46,24 @@ type testEvent struct {
 
 // result is one benchmark's collapsed measurement.
 type result struct {
-	name string
-	nsop []float64 // one per -count run
+	name   string
+	nsop   []float64 // one per -count run
+	allocs []float64 // allocs/op per -count run, if reported
 }
 
-func (r *result) median() float64 {
-	s := append([]float64(nil), r.nsop...)
+func (r *result) median() float64 { return median(r.nsop) }
+
+// medianAllocs returns the collapsed allocs/op and whether the benchmark
+// reported the metric at all (b.ReportAllocs or -benchmem).
+func (r *result) medianAllocs() (float64, bool) {
+	if len(r.allocs) == 0 {
+		return 0, false
+	}
+	return median(r.allocs), true
+}
+
+func median(vals []float64) float64 {
+	s := append([]float64(nil), vals...)
 	sort.Float64s(s)
 	n := len(s)
 	if n%2 == 1 {
@@ -59,6 +74,9 @@ func (r *result) median() float64 {
 
 // benchLine matches a benchmark result line: name, iterations, ns/op.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.eE+]+) ns/op`)
+
+// allocLine matches the allocs/op metric later in the same result line.
+var allocLine = regexp.MustCompile(`\s([0-9.eE+]+) allocs/op`)
 
 // textLine matches the lines worth extracting for benchstat.
 var textLine = regexp.MustCompile(`^(goos:|goarch:|pkg:|cpu:|Benchmark)`)
@@ -121,6 +139,11 @@ func parseRun(path string) (map[string]*result, string, error) {
 			results[m[1]] = r
 		}
 		r.nsop = append(r.nsop, ns)
+		if am := allocLine.FindStringSubmatch(out); am != nil {
+			if a, err := strconv.ParseFloat(am[1], 64); err == nil {
+				r.allocs = append(r.allocs, a)
+			}
+		}
 	}
 	return results, text.String(), nil
 }
@@ -129,9 +152,12 @@ func main() {
 	var (
 		baselinePath = flag.String("baseline", "BENCH_BASELINE.json", "baseline test2json benchmark run")
 		currentPath  = flag.String("current", "", "current test2json benchmark run")
-		gate         = flag.String("gate", "BenchmarkPipelineCached|BenchmarkTable1Throughput|BenchmarkReflavor|BenchmarkParallelDeploy",
+		gate         = flag.String("gate", "BenchmarkPipelineCached|BenchmarkPipelineParallel|BenchmarkTable1Throughput|BenchmarkReflavor|BenchmarkParallelDeploy",
 			"regexp of benchmark names the gate enforces")
 		maxRegress = flag.Float64("max-regress", 30, "max allowed ns/op regression percent on gated benchmarks")
+		allocGate  = flag.String("alloc-gate", "^BenchmarkPipelineCached/hit$|^BenchmarkPipelineParallel/",
+			"regexp of benchmarks whose allocs/op must not exceed -max-allocs (checked on the current run, independent of the baseline)")
+		maxAllocs  = flag.Float64("max-allocs", 0, "max allowed allocs/op on alloc-gated benchmarks")
 		extractDir = flag.String("extract-dir", "", "write baseline.txt/current.txt here for benchstat")
 	)
 	flag.Parse()
@@ -142,6 +168,11 @@ func main() {
 	gateRE, err := regexp.Compile(*gate)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: bad -gate: %v\n", err)
+		os.Exit(2)
+	}
+	allocRE, err := regexp.Compile(*allocGate)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: bad -alloc-gate: %v\n", err)
 		os.Exit(2)
 	}
 	base, baseText, err := parseRun(*baselinePath)
@@ -203,8 +234,31 @@ func main() {
 			fmt.Printf("%-52s (new, not in baseline)\n", name)
 		}
 	}
+	// The allocation gate is absolute, not relative: a zero-alloc hot path
+	// must stay zero-alloc regardless of what the baseline recorded.
+	curNames := make([]string, 0, len(cur))
+	for name := range cur {
+		curNames = append(curNames, name)
+	}
+	sort.Strings(curNames)
+	for _, name := range curNames {
+		if !allocRE.MatchString(name) {
+			continue
+		}
+		a, reported := cur[name].medianAllocs()
+		switch {
+		case !reported:
+			failed = true
+			fmt.Printf("%-52s allocs/op not reported FAIL (alloc gate needs b.ReportAllocs)\n", name)
+		case a > *maxAllocs:
+			failed = true
+			fmt.Printf("%-52s %14.1f allocs/op FAIL (> %g)\n", name, a, *maxAllocs)
+		default:
+			fmt.Printf("%-52s %14.1f allocs/op alloc-gated ok\n", name, a)
+		}
+	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchgate: gated benchmark regressed more than %.0f%% (or went missing)\n", *maxRegress)
+		fmt.Fprintf(os.Stderr, "benchgate: gated benchmark regressed more than %.0f%%, went missing, or broke the allocs/op gate\n", *maxRegress)
 		os.Exit(1)
 	}
 	fmt.Println("benchgate: ok")

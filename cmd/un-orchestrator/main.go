@@ -6,7 +6,7 @@
 //
 //	un-orchestrator [-listen :8080] [-name cpe] [-interfaces eth0,eth1]
 //	                [-cpu 16000] [-ram-mb 8192] [-capabilities kvm,docker,...]
-//	                [-policy first-fit|bin-pack|cost]
+//	                [-policy first-fit|bin-pack|cost] [-workers 0]
 package main
 
 import (
@@ -28,6 +28,7 @@ func main() {
 		ramMB        = flag.Int("ram-mb", 8192, "RAM capacity in MiB")
 		capabilities = flag.String("capabilities", "", "comma-separated capability set (empty = all)")
 		policy       = flag.String("policy", "first-fit", "placement policy: first-fit, bin-pack or cost")
+		workers      = flag.Int("workers", 0, "datapath workers per LSI (0 = synchronous run-to-completion)")
 	)
 	flag.Parse()
 
@@ -37,6 +38,7 @@ func main() {
 		CPUMillis:       *cpu,
 		RAMBytes:        uint64(*ramMB) * un.MB,
 		PlacementPolicy: *policy,
+		Workers:         *workers,
 	}
 	if *capabilities != "" {
 		cfg.Capabilities = splitList(*capabilities)
@@ -47,7 +49,7 @@ func main() {
 	}
 	defer node.Close()
 
-	fmt.Fprintf(os.Stderr, "un-orchestrator: node %q up, interfaces %v\n", *name, cfg.Interfaces)
+	fmt.Fprintf(os.Stderr, "un-orchestrator: node %q up, interfaces %v, datapath workers %d\n", *name, cfg.Interfaces, *workers)
 	fmt.Fprintf(os.Stderr, "un-orchestrator: REST listening on %s\n", *listen)
 	fmt.Fprintf(os.Stderr, "un-orchestrator: telemetry on GET /metrics (Prometheus text) and GET /events\n")
 	fmt.Fprintf(os.Stderr, "un-orchestrator: placement policy %q; NF hot-swap on POST /NF-FG/{id}/nf/{nf}/reflavor\n", *policy)

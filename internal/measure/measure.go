@@ -15,6 +15,8 @@ package measure
 
 import (
 	"fmt"
+	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/execenv"
@@ -35,10 +37,9 @@ type Spec struct {
 	// header included); Table 1 uses MTU-sized 1500-byte frames.
 	FrameSize int
 	// Batch is the number of frames injected per burst (default
-	// DefaultBatch; 1 degenerates to frame-at-a-time injection). Run
-	// clamps it to the collecting port's RX queue capacity so a burst can
-	// never tail-drop at the sink; RunBidirectional ignores it — strict
-	// per-frame alternation is the shape of that measurement.
+	// DefaultBatch; 1 degenerates to frame-at-a-time injection).
+	// RunBidirectional ignores it — strict per-frame alternation is the
+	// shape of that measurement.
 	Batch int
 	// VLANID optionally tags the generated traffic (0 = untagged).
 	VLANID uint16
@@ -168,11 +169,54 @@ func (r Report) String() string {
 		r.TxPackets, r.RxPackets, r.LossRate()*100, r.MbpsVirtual(), r.MbpsWall())
 }
 
+// drainGrace is how long the post-run drain waits after the last observed
+// arrival before declaring the pipeline quiescent. The synchronous datapath
+// never pays it (everything has arrived when the send loop ends); with
+// datapath workers (vswitch Options.Workers) frames are still in flight in
+// the worker rings when the sender finishes, and the grace bounds how long
+// stragglers are waited for.
+const drainGrace = 20 * time.Millisecond
+
+// settle waits until rx has been silent for drainGrace or every
+// transmitted frame is accounted for, yielding the CPU to the datapath
+// workers between polls. count must report the frames collected so far.
+func settle(count func() uint64, tx uint64) {
+	deadline := time.Now().Add(drainGrace)
+	last := count()
+	for last < tx && time.Now().Before(deadline) {
+		runtime.Gosched()
+		if n := count(); n != last {
+			last = n
+			deadline = time.Now().Add(drainGrace)
+		}
+	}
+}
+
+// rxCounter collects arriving frames through a synchronous port handler:
+// counting happens on whichever goroutine delivers the frame, so unlike a
+// polled receive queue it can never overflow no matter how the dataplane
+// schedules delivery. Collected pool-backed buffers are recycled on the
+// spot.
+type rxCounter struct {
+	packets atomic.Uint64
+	bytes   atomic.Uint64
+}
+
+func (c *rxCounter) attach(p *netdev.Port) {
+	p.SetHandler(func(f netdev.Frame) {
+		c.packets.Add(1)
+		c.bytes.Add(uint64(len(f.Data)))
+		pkt.PutBuffer(f.Data)
+	})
+}
+
 // Run injects spec.Packets frames into tx in bursts of spec.Batch and
 // collects whatever arrives at rx, measuring simulated time on the given
-// clock. The dataplane is synchronous, so every frame of a burst has fully
-// traversed the chain when SendBatch returns; rx is drained between bursts,
-// and drained pool-backed frame buffers are recycled.
+// clock. Arrivals are counted by a synchronous handler installed on rx for
+// the duration of the run (the port is restored to queue mode afterwards).
+// With a synchronous dataplane every frame of a burst has fully traversed
+// the chain when SendBatch returns; with an asynchronous one (datapath
+// workers) the final settle waits for in-flight frames.
 func Run(tx, rx *netdev.Port, clock *execenv.VirtualClock, spec Spec) (Report, error) {
 	s, err := spec.withDefaults()
 	if err != nil {
@@ -183,21 +227,10 @@ func Run(tx, rx *netdev.Port, clock *execenv.VirtualClock, spec Spec) (Report, e
 		return Report{}, err
 	}
 	frame = unpoolable(frame)
-	if qc := rx.QueueCap(); s.Batch > qc {
-		s.Batch = qc // a burst beyond the collecting ring would tail-drop
-	}
 	rep := Report{FrameBytes: len(frame)}
-	drain := func() {
-		for {
-			f, ok := rx.TryRecv()
-			if !ok {
-				return
-			}
-			rep.RxPackets++
-			rep.RxBytes += uint64(len(f.Data))
-			pkt.PutBuffer(f.Data)
-		}
-	}
+	var rxc rxCounter
+	rxc.attach(rx)
+	defer rx.SetHandler(nil)
 	burst := make([]netdev.Frame, 0, s.Batch)
 	virtualStart := clock.Now()
 	wallStart := time.Now()
@@ -217,9 +250,10 @@ func Run(tx, rx *netdev.Port, clock *execenv.VirtualClock, spec Spec) (Report, e
 			return rep, err
 		}
 		sent += n
-		drain()
 	}
-	drain()
+	settle(rxc.packets.Load, rep.TxPackets)
+	rep.RxPackets = rxc.packets.Load()
+	rep.RxBytes = rxc.bytes.Load()
 	rep.Virtual = clock.Now() - virtualStart
 	rep.Wall = time.Since(wallStart)
 	return rep, nil
@@ -262,17 +296,11 @@ func RunBidirectional(a, b *netdev.Port, clock *execenv.VirtualClock, spec Spec)
 	forward = unpoolable(forward)
 	reverse = unpoolable(reverse)
 	rep := Report{FrameBytes: len(forward)}
-	drain := func(p *netdev.Port) {
-		for {
-			f, ok := p.TryRecv()
-			if !ok {
-				return
-			}
-			rep.RxPackets++
-			rep.RxBytes += uint64(len(f.Data))
-			pkt.PutBuffer(f.Data)
-		}
-	}
+	var rxc rxCounter
+	rxc.attach(a)
+	rxc.attach(b)
+	defer a.SetHandler(nil)
+	defer b.SetHandler(nil)
 	virtualStart := clock.Now()
 	wallStart := time.Now()
 	for i := 0; i < s.Packets; i++ {
@@ -287,11 +315,10 @@ func RunBidirectional(a, b *netdev.Port, clock *execenv.VirtualClock, spec Spec)
 		}
 		rep.TxPackets++
 		rep.TxBytes += uint64(len(forward))
-		drain(a)
-		drain(b)
 	}
-	drain(a)
-	drain(b)
+	settle(rxc.packets.Load, rep.TxPackets)
+	rep.RxPackets = rxc.packets.Load()
+	rep.RxBytes = rxc.bytes.Load()
 	rep.Virtual = clock.Now() - virtualStart
 	rep.Wall = time.Since(wallStart)
 	return rep, nil

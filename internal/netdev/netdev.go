@@ -48,8 +48,7 @@ func (f Frame) Clone() Frame {
 	return Frame{Data: d, Hops: f.Hops}
 }
 
-// Stats holds per-port counters. All fields are read with atomic snapshots
-// via the Stats method on Port.
+// Stats holds per-port counters, snapshotted by the Stats method on Port.
 type Stats struct {
 	RxPackets, RxBytes   uint64
 	TxPackets, TxBytes   uint64
@@ -83,21 +82,51 @@ const (
 // retain the frame's data slice.
 type Tap func(dir TapDir, f Frame)
 
-// Port is one endpoint of a virtual link.
-type Port struct {
-	name string
-
-	mu      sync.RWMutex
+// portState is everything the per-frame path needs to know about a port's
+// configuration, packed behind one atomic pointer so Send and deliver read it
+// with a single load instead of one load per field. The struct is immutable;
+// mutators copy-on-write it under linkMu.
+type portState struct {
 	peer    *Port
 	handler Handler
 	batch   BatchHandler
 	tap     Tap
-	queue   chan Frame
 	up      bool
-
-	rxPackets, rxBytes, rxDropped atomic.Uint64
-	txPackets, txBytes, txDropped atomic.Uint64
 }
+
+// Port is one endpoint of a virtual link.
+//
+// The per-frame path (Send/SendBatch/deliver) is lock-free: the whole port
+// configuration is one atomic snapshot load, and the only counters it
+// maintains are the sender-side TX pair — RX counters are derived. Because a
+// link is a lossless cable, everything the peer transmitted either was
+// delivered here or was dropped here, so RxPackets is reconstructed at
+// snapshot time as the peer's TX delta minus the drops this port counted,
+// and the receive fast path pays zero atomic read-modify-writes. The TX
+// deltas of past links are folded into a history at Disconnect; the drop
+// counters are only touched on the (cold) drop paths.
+type Port struct {
+	name  string
+	state atomic.Pointer[portState]
+	queue chan Frame
+
+	txPackets, txBytes, txDropped atomic.Uint64
+	rxDropped, rxDroppedBytes     atomic.Uint64
+
+	// rxHist accumulates the frames received over links that have since been
+	// disconnected; the base fields snapshot the peer's TX counters and this
+	// port's drop counters at Connect time so the current link contributes
+	// exactly its own delta. All four are written only under linkMu.
+	rxHistPackets, rxHistBytes  uint64
+	peerTxBasePkts, peerTxBaseB uint64
+	rxDropBasePkts, rxDropBaseB uint64
+}
+
+// linkMu serializes every control-plane mutation of port state (cabling,
+// admin state, handler and tap installation) across all ports: these are
+// rare, and one global lock keeps the copy-on-write portState swaps trivially
+// consistent while the per-frame path stays free of it.
+var linkMu sync.Mutex
 
 // ErrNotConnected is returned by Send on a port with no peer.
 var ErrNotConnected = errors.New("netdev: port not connected")
@@ -120,7 +149,18 @@ func NewPortQueueLen(name string, queueLen int) *Port {
 	if queueLen < 1 {
 		queueLen = 1
 	}
-	return &Port{name: name, queue: make(chan Frame, queueLen), up: true}
+	p := &Port{name: name, queue: make(chan Frame, queueLen)}
+	p.state.Store(&portState{up: true})
+	return p
+}
+
+// mutate copy-on-write-updates the port's state snapshot under linkMu.
+func (p *Port) mutate(fn func(*portState)) {
+	linkMu.Lock()
+	defer linkMu.Unlock()
+	st := *p.state.Load()
+	fn(&st)
+	p.state.Store(&st)
 }
 
 // Name returns the port's name.
@@ -131,49 +171,31 @@ func (p *Port) Name() string { return p.name }
 func (p *Port) QueueCap() int { return cap(p.queue) }
 
 // Peer returns the connected peer port, or nil.
-func (p *Port) Peer() *Port {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return p.peer
-}
+func (p *Port) Peer() *Port { return p.state.Load().peer }
 
 // SetUp sets the administrative state of the port.
-func (p *Port) SetUp(up bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.up = up
-}
+func (p *Port) SetUp(up bool) { p.mutate(func(st *portState) { st.up = up }) }
 
 // IsUp reports the administrative state of the port.
-func (p *Port) IsUp() bool {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return p.up
-}
+func (p *Port) IsUp() bool { return p.state.Load().up }
 
 // SetHandler installs fn as the synchronous receive handler. Passing nil
 // reverts the port to queued reception.
 func (p *Port) SetHandler(fn Handler) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.handler = fn
+	p.mutate(func(st *portState) { st.handler = fn })
 }
 
 // SetBatchHandler installs fn as the synchronous burst receive handler,
 // preferred over the single-frame handler when whole bursts arrive via
 // SendBatch. Passing nil removes it.
 func (p *Port) SetBatchHandler(fn BatchHandler) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.batch = fn
+	p.mutate(func(st *portState) { st.batch = fn })
 }
 
 // SetTap installs an observer for frames crossing the port in either
 // direction; nil removes it.
 func (p *Port) SetTap(t Tap) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.tap = t
+	p.mutate(func(st *portState) { st.tap = t })
 }
 
 // Recv dequeues one frame from the RX queue, blocking until one is
@@ -192,19 +214,17 @@ func (p *Port) TryRecv() (Frame, bool) {
 
 // Send transmits a frame out of this port to its peer. Delivery is
 // synchronous when the peer has a handler, queued otherwise. A full peer
-// queue drops the frame and counts it on both sides.
+// queue drops the frame and counts it on the receive side.
 func (p *Port) Send(f Frame) error {
-	p.mu.RLock()
-	peer, up, tap := p.peer, p.up, p.tap
-	p.mu.RUnlock()
-	if tap != nil {
-		tap(TapTx, f)
+	st := p.state.Load()
+	if st.tap != nil {
+		st.tap(TapTx, f)
 	}
-	if !up {
+	if !st.up {
 		p.txDropped.Add(1)
 		return ErrPortDown
 	}
-	if peer == nil {
+	if st.peer == nil {
 		p.txDropped.Add(1)
 		return ErrNotConnected
 	}
@@ -215,7 +235,7 @@ func (p *Port) Send(f Frame) error {
 	}
 	p.txPackets.Add(1)
 	p.txBytes.Add(uint64(len(f.Data)))
-	return peer.deliver(f)
+	return st.peer.deliver(f)
 }
 
 // SendBatch transmits a burst of frames out of this port as one unit,
@@ -227,19 +247,17 @@ func (p *Port) SendBatch(frames []Frame) (int, error) {
 	if len(frames) == 0 {
 		return 0, nil
 	}
-	p.mu.RLock()
-	peer, up, tap := p.peer, p.up, p.tap
-	p.mu.RUnlock()
-	if tap != nil {
+	st := p.state.Load()
+	if st.tap != nil {
 		for _, f := range frames {
-			tap(TapTx, f)
+			st.tap(TapTx, f)
 		}
 	}
-	if !up {
+	if !st.up {
 		p.txDropped.Add(uint64(len(frames)))
 		return 0, ErrPortDown
 	}
-	if peer == nil {
+	if st.peer == nil {
 		p.txDropped.Add(uint64(len(frames)))
 		return 0, ErrNotConnected
 	}
@@ -270,45 +288,42 @@ func (p *Port) SendBatch(frames []Frame) (int, error) {
 		}
 		p.txPackets.Add(uint64(len(sent)))
 		p.txBytes.Add(bytes)
-		peer.deliverBatch(sent)
+		st.peer.deliverBatch(sent)
 	}
 	return len(sent), err
 }
 
-// deliver receives a frame on this port.
+// deliver receives a frame on this port. The fast path (up, handler
+// installed) performs one atomic state load and zero counter updates: the
+// frame is implicitly counted by the sender's TX counters, from which this
+// port's RX counters are derived at snapshot time.
 func (p *Port) deliver(f Frame) error {
-	p.mu.RLock()
-	handler, batch, up, tap := p.handler, p.batch, p.up, p.tap
-	p.mu.RUnlock()
-	if tap != nil {
-		tap(TapRx, f)
+	st := p.state.Load()
+	if st.tap != nil {
+		st.tap(TapRx, f)
 	}
-	if !up {
+	if !st.up {
 		// A down receiver silently drops, as a cable into a down NIC
 		// would; the sender is not told.
 		p.rxDropped.Add(1)
+		p.rxDroppedBytes.Add(uint64(len(f.Data)))
 		return nil
 	}
-	if handler != nil {
-		p.rxPackets.Add(1)
-		p.rxBytes.Add(uint64(len(f.Data)))
-		handler(f)
+	if st.handler != nil {
+		st.handler(f)
 		return nil
 	}
-	if batch != nil {
-		p.rxPackets.Add(1)
-		p.rxBytes.Add(uint64(len(f.Data)))
+	if st.batch != nil {
 		one := [1]Frame{f}
-		batch(one[:])
+		st.batch(one[:])
 		return nil
 	}
 	select {
 	case p.queue <- f:
-		p.rxPackets.Add(1)
-		p.rxBytes.Add(uint64(len(f.Data)))
 		return nil
 	default:
 		p.rxDropped.Add(1)
+		p.rxDroppedBytes.Add(uint64(len(f.Data)))
 		return nil // tail drop is not an error for the sender
 	}
 }
@@ -316,57 +331,93 @@ func (p *Port) deliver(f Frame) error {
 // deliverBatch receives a burst on this port. A batch handler gets the whole
 // burst in one call; otherwise the burst degrades to per-frame delivery.
 func (p *Port) deliverBatch(frames []Frame) {
-	p.mu.RLock()
-	handler, batch, up, tap := p.handler, p.batch, p.up, p.tap
-	p.mu.RUnlock()
-	if tap != nil {
+	st := p.state.Load()
+	if st.tap != nil {
 		for _, f := range frames {
-			tap(TapRx, f)
+			st.tap(TapRx, f)
 		}
 	}
-	if !up {
-		p.rxDropped.Add(uint64(len(frames)))
-		return
-	}
-	if batch != nil {
+	if !st.up {
 		var bytes uint64
 		for _, f := range frames {
 			bytes += uint64(len(f.Data))
 		}
-		p.rxPackets.Add(uint64(len(frames)))
-		p.rxBytes.Add(bytes)
-		batch(frames)
+		p.rxDropped.Add(uint64(len(frames)))
+		p.rxDroppedBytes.Add(bytes)
 		return
 	}
-	if handler != nil {
+	if st.batch != nil {
+		st.batch(frames)
+		return
+	}
+	if st.handler != nil {
 		for _, f := range frames {
-			p.rxPackets.Add(1)
-			p.rxBytes.Add(uint64(len(f.Data)))
-			handler(f)
+			st.handler(f)
 		}
 		return
 	}
 	for _, f := range frames {
 		select {
 		case p.queue <- f:
-			p.rxPackets.Add(1)
-			p.rxBytes.Add(uint64(len(f.Data)))
 		default:
 			p.rxDropped.Add(1)
+			p.rxDroppedBytes.Add(uint64(len(f.Data)))
 		}
 	}
 }
 
-// Stats returns a snapshot of the port counters.
+// rxDeltaLocked returns the packets and bytes received over the current
+// link: the peer's TX delta since Connect minus the drops counted here since
+// Connect. Caller holds linkMu. The drop counters are read before the peer's
+// TX counters so a concurrent burst can only make the result momentarily
+// under-count drops (never go negative): every drop is preceded by the
+// corresponding TX increment.
+func (p *Port) rxDeltaLocked(peer *Port) (pkts, bytes uint64) {
+	dropP := p.rxDropped.Load()
+	dropB := p.rxDroppedBytes.Load()
+	pkts = peer.txPackets.Load() - p.peerTxBasePkts - (dropP - p.rxDropBasePkts)
+	bytes = peer.txBytes.Load() - p.peerTxBaseB - (dropB - p.rxDropBaseB)
+	return pkts, bytes
+}
+
+// snapBasesLocked records the starting point of a new link: the peer's
+// current TX counters and this port's current drop counters. Caller holds
+// linkMu.
+func (p *Port) snapBasesLocked(peer *Port) {
+	p.peerTxBasePkts = peer.txPackets.Load()
+	p.peerTxBaseB = peer.txBytes.Load()
+	p.rxDropBasePkts = p.rxDropped.Load()
+	p.rxDropBaseB = p.rxDroppedBytes.Load()
+}
+
+// foldRxLocked folds the current link's RX delta into the history, in
+// preparation for disconnecting from peer. Caller holds linkMu.
+func (p *Port) foldRxLocked(peer *Port) {
+	pkts, bytes := p.rxDeltaLocked(peer)
+	p.rxHistPackets += pkts
+	p.rxHistBytes += bytes
+}
+
+// Stats returns a snapshot of the port counters. RX packet and byte counts
+// are derived from the peer's TX counters (see Port), so the snapshot takes
+// the control-plane link lock; concurrent traffic keeps flowing.
 func (p *Port) Stats() Stats {
-	return Stats{
-		RxPackets: p.rxPackets.Load(),
-		RxBytes:   p.rxBytes.Load(),
+	linkMu.Lock()
+	defer linkMu.Unlock()
+	s := Stats{
+		RxPackets: p.rxHistPackets,
+		RxBytes:   p.rxHistBytes,
 		RxDropped: p.rxDropped.Load(),
 		TxPackets: p.txPackets.Load(),
 		TxBytes:   p.txBytes.Load(),
 		TxDropped: p.txDropped.Load(),
 	}
+	if peer := p.state.Load().peer; peer != nil {
+		pkts, bytes := p.rxDeltaLocked(peer)
+		s.RxPackets += pkts
+		s.RxBytes += bytes
+	}
+	return s
 }
 
 // Connect links two ports as a point-to-point cable. Either port may be
@@ -378,38 +429,42 @@ func Connect(a, b *Port) error {
 	if a == b {
 		return errors.New("netdev: cannot connect a port to itself")
 	}
-	// Lock in address order to avoid deadlock with concurrent Connects.
-	first, second := a, b
-	if fmt.Sprintf("%p", a) > fmt.Sprintf("%p", b) {
-		first, second = b, a
-	}
-	first.mu.Lock()
-	defer first.mu.Unlock()
-	second.mu.Lock()
-	defer second.mu.Unlock()
-	if a.peer != nil || b.peer != nil {
+	linkMu.Lock()
+	defer linkMu.Unlock()
+	sa, sb := *a.state.Load(), *b.state.Load()
+	if sa.peer != nil || sb.peer != nil {
 		return fmt.Errorf("netdev: port already connected (%s.peer=%v, %s.peer=%v)",
-			a.name, a.peer != nil, b.name, b.peer != nil)
+			a.name, sa.peer != nil, b.name, sb.peer != nil)
 	}
-	a.peer, b.peer = b, a
+	a.snapBasesLocked(b)
+	b.snapBasesLocked(a)
+	sa.peer, sb.peer = b, a
+	a.state.Store(&sa)
+	b.state.Store(&sb)
 	return nil
 }
 
-// Disconnect removes the link between p and its peer, if any.
+// Disconnect removes the link between p and its peer, if any. The RX counts
+// accumulated over the link are folded into each port's history so Stats
+// keeps reporting them after the cable is pulled.
 func Disconnect(p *Port) {
 	if p == nil {
 		return
 	}
-	p.mu.Lock()
-	peer := p.peer
-	p.peer = nil
-	p.mu.Unlock()
-	if peer != nil {
-		peer.mu.Lock()
-		if peer.peer == p {
-			peer.peer = nil
-		}
-		peer.mu.Unlock()
+	linkMu.Lock()
+	defer linkMu.Unlock()
+	st := *p.state.Load()
+	peer := st.peer
+	if peer == nil {
+		return
+	}
+	p.foldRxLocked(peer)
+	st.peer = nil
+	p.state.Store(&st)
+	if pst := *peer.state.Load(); pst.peer == p {
+		peer.foldRxLocked(p)
+		pst.peer = nil
+		peer.state.Store(&pst)
 	}
 }
 

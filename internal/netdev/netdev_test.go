@@ -268,6 +268,36 @@ func TestSendBatchHopLimitDropsOnlyViolators(t *testing.T) {
 	}
 }
 
+// TestStatsSurviveDisconnect pins the derived-RX accounting: RX counters are
+// reconstructed from the peer's TX counters while a link is up and folded
+// into a history when the cable is pulled, so pulling it must not lose them
+// and a new link must accumulate on top.
+func TestStatsSurviveDisconnect(t *testing.T) {
+	a, b := Veth("a", "b")
+	for i := 0; i < 4; i++ {
+		if err := a.Send(Frame{Data: make([]byte, 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := b.Stats(); st.RxPackets != 4 || st.RxBytes != 40 {
+		t.Fatalf("stats before disconnect = %+v, want rx 4 pkts/40 B", st)
+	}
+	Disconnect(a)
+	if st := b.Stats(); st.RxPackets != 4 || st.RxBytes != 40 {
+		t.Errorf("stats after disconnect = %+v, want rx 4 pkts/40 B preserved", st)
+	}
+	c := NewPort("c")
+	if err := Connect(b, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(Frame{Data: make([]byte, 5)}); err != nil {
+		t.Fatal(err)
+	}
+	if st := b.Stats(); st.RxPackets != 5 || st.RxBytes != 45 {
+		t.Errorf("stats after reconnect = %+v, want rx 5 pkts/45 B", st)
+	}
+}
+
 func TestStatsString(t *testing.T) {
 	a, b := Veth("a", "b")
 	_ = a.Send(Frame{Data: make([]byte, 100)})

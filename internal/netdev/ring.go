@@ -1,0 +1,127 @@
+package netdev
+
+import (
+	"sync/atomic"
+)
+
+// Ring is a bounded lock-free queue in the style of Dmitry Vyukov's bounded
+// MPMC queue: every cell carries a sequence number that encodes whether it is
+// free for the producer or holds a value for the consumer, so producers and
+// the consumer never touch a shared lock. The datapath uses one Ring per
+// switch worker as its RX feed: any port goroutine may produce (the RSS
+// steering hash decides which ring), exactly one worker consumes, giving the
+// per-worker run-to-completion model its single-consumer ordering guarantee.
+//
+// Capacity is rounded up to a power of two. A full ring rejects the push
+// (TryPush returns false); the caller decides between tail-drop (NIC
+// semantics) and backpressure. A Ring must not be copied after first use.
+type Ring[T any] struct {
+	mask  uint64
+	cells []ringCell[T]
+
+	_   [64]byte // keep producer and consumer cursors on separate cache lines
+	enq atomic.Uint64
+	_   [64]byte
+	deq atomic.Uint64
+}
+
+type ringCell[T any] struct {
+	seq atomic.Uint64
+	val T
+}
+
+// NewRing creates a ring with at least the given capacity (minimum 2,
+// rounded up to a power of two).
+func NewRing[T any](capacity int) *Ring[T] {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	r := &Ring[T]{mask: uint64(n - 1), cells: make([]ringCell[T], n)}
+	for i := range r.cells {
+		r.cells[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// Cap returns the ring capacity.
+func (r *Ring[T]) Cap() int { return len(r.cells) }
+
+// Len returns the approximate number of queued items; exact only when
+// producers and consumer are quiescent.
+func (r *Ring[T]) Len() int {
+	n := int64(r.enq.Load()) - int64(r.deq.Load())
+	if n < 0 {
+		return 0
+	}
+	if n > int64(len(r.cells)) {
+		return len(r.cells)
+	}
+	return int(n)
+}
+
+// TryPush enqueues v, returning false when the ring is full. Safe for any
+// number of concurrent producers.
+func (r *Ring[T]) TryPush(v T) bool {
+	pos := r.enq.Load()
+	for {
+		cell := &r.cells[pos&r.mask]
+		diff := int64(cell.seq.Load()) - int64(pos)
+		switch {
+		case diff == 0:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				cell.val = v
+				cell.seq.Store(pos + 1)
+				return true
+			}
+			pos = r.enq.Load()
+		case diff < 0:
+			// The cell still holds an unconsumed value from one lap ago:
+			// the ring is full.
+			return false
+		default:
+			pos = r.enq.Load()
+		}
+	}
+}
+
+// TryPop dequeues one item, returning false when the ring is empty. Safe for
+// concurrent consumers, though the datapath runs exactly one per ring.
+func (r *Ring[T]) TryPop() (T, bool) {
+	var zero T
+	pos := r.deq.Load()
+	for {
+		cell := &r.cells[pos&r.mask]
+		diff := int64(cell.seq.Load()) - int64(pos+1)
+		switch {
+		case diff == 0:
+			if r.deq.CompareAndSwap(pos, pos+1) {
+				v := cell.val
+				cell.val = zero // drop the reference for the GC
+				cell.seq.Store(pos + r.mask + 1)
+				return v, true
+			}
+			pos = r.deq.Load()
+		case diff < 0:
+			return zero, false
+		default:
+			pos = r.deq.Load()
+		}
+	}
+}
+
+// PopBatch dequeues up to len(dst) items into dst and returns how many were
+// taken, amortizing the per-item synchronization the way NIC RX ring polling
+// does.
+func (r *Ring[T]) PopBatch(dst []T) int {
+	n := 0
+	for n < len(dst) {
+		v, ok := r.TryPop()
+		if !ok {
+			break
+		}
+		dst[n] = v
+		n++
+	}
+	return n
+}

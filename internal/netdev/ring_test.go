@@ -1,0 +1,138 @@
+package netdev
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRingCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {1024, 1024}, {1025, 2048},
+	} {
+		if got := NewRing[int](tc.ask).Cap(); got != tc.want {
+			t.Errorf("NewRing(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+func TestRingFIFO(t *testing.T) {
+	r := NewRing[int](8)
+	if _, ok := r.TryPop(); ok {
+		t.Fatal("pop from empty ring succeeded")
+	}
+	for i := 1; i <= 5; i++ {
+		if !r.TryPush(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if r.Len() != 5 {
+		t.Errorf("Len = %d, want 5", r.Len())
+	}
+	for i := 1; i <= 5; i++ {
+		v, ok := r.TryPop()
+		if !ok || v != i {
+			t.Fatalf("pop = %d, %v; want %d", v, ok, i)
+		}
+	}
+	if _, ok := r.TryPop(); ok {
+		t.Fatal("ring not empty after draining")
+	}
+}
+
+func TestRingFullRejectsPush(t *testing.T) {
+	r := NewRing[int](4)
+	for i := 0; i < r.Cap(); i++ {
+		if !r.TryPush(i) {
+			t.Fatalf("push %d failed below capacity", i)
+		}
+	}
+	if r.TryPush(99) {
+		t.Fatal("push into full ring succeeded")
+	}
+	if v, ok := r.TryPop(); !ok || v != 0 {
+		t.Fatalf("pop = %d, %v", v, ok)
+	}
+	if !r.TryPush(99) {
+		t.Fatal("push failed after freeing a slot")
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing[int](4)
+	next := 0
+	for round := 0; round < 1000; round++ {
+		for i := 0; i < 3; i++ {
+			if !r.TryPush(round*3 + i) {
+				t.Fatalf("push failed at round %d", round)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := r.TryPop()
+			if !ok || v != next {
+				t.Fatalf("pop = %d, %v; want %d", v, ok, next)
+			}
+			next++
+		}
+	}
+}
+
+func TestRingPopBatch(t *testing.T) {
+	r := NewRing[int](16)
+	for i := 0; i < 10; i++ {
+		r.TryPush(i)
+	}
+	buf := make([]int, 4)
+	for _, want := range []int{4, 4, 2, 0} {
+		if got := r.PopBatch(buf); got != want {
+			t.Fatalf("PopBatch = %d, want %d", got, want)
+		}
+	}
+}
+
+// TestRingConcurrentProducers drives the MPMC path the datapath uses: many
+// producers, one consumer, every value delivered exactly once.
+func TestRingConcurrentProducers(t *testing.T) {
+	const producers, perProducer = 4, 10000
+	r := NewRing[int](256)
+	seen := make([]atomic.Bool, producers*perProducer)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				v := p*perProducer + i
+				for !r.TryPush(v) {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	got := 0
+	for got < producers*perProducer {
+		v, ok := r.TryPop()
+		if !ok {
+			select {
+			case <-done:
+				// Every push has completed; an empty ring now means loss.
+				if v, ok = r.TryPop(); !ok {
+					t.Fatalf("producers done, ring empty, only %d/%d consumed", got, producers*perProducer)
+				}
+			default:
+				runtime.Gosched()
+				continue
+			}
+		}
+		if seen[v].Swap(true) {
+			t.Fatalf("value %d consumed twice", v)
+		}
+		got++
+	}
+	if _, ok := r.TryPop(); ok {
+		t.Fatal("ring not empty after consuming everything")
+	}
+}

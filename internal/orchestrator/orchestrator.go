@@ -57,6 +57,11 @@ type Config struct {
 	// DrainTimeout bounds how long a flavor hot-swap waits for the
 	// outgoing instance to quiesce (default DefaultDrainTimeout).
 	DrainTimeout time.Duration
+	// DatapathWorkers selects the datapath mode of every LSI the node
+	// creates: 0 (the default) processes frames synchronously in the
+	// sender's goroutine; N > 0 runs N RSS-steered datapath workers per
+	// switch (see vswitch.Options.Workers).
+	DatapathWorkers int
 }
 
 // lsiConn is one switch + its control channel.
@@ -70,8 +75,8 @@ type lsiConn struct {
 // newLSIConn builds a switch with a live OpenFlow channel over an
 // in-process pipe, exactly as the un-orchestrator runs one controller per
 // LSI.
-func newLSIConn(name string, dpid uint64) (*lsiConn, error) {
-	sw := vswitch.New(name, dpid)
+func newLSIConn(name string, dpid uint64, workers int) (*lsiConn, error) {
+	sw := vswitch.NewOptions(name, dpid, vswitch.Options{Workers: workers})
 	ctrlSide, agentSide := net.Pipe()
 	agent := openflow.NewAgent(sw, agentSide)
 	done := make(chan struct{})
@@ -92,6 +97,9 @@ func (l *lsiConn) close() {
 	_ = l.ctrl.Close()
 	l.agent.Stop()
 	<-l.done
+	// Stop the datapath workers last: the agent is gone, so nothing new is
+	// steered, and Close drains whatever the rings still hold.
+	l.sw.Close()
 }
 
 // nfAttachment records how one NF of a graph reaches its LSI, and where the
@@ -242,7 +250,7 @@ func New(cfg Config) (*Orchestrator, error) {
 		internalGroups: make(map[string][]groupMember),
 		nnfPorts:       make(map[string]uint32),
 	}
-	lsi0, err := newLSIConn(cfg.NodeName+"/lsi-0", o.nextDPID())
+	lsi0, err := newLSIConn(cfg.NodeName+"/lsi-0", o.nextDPID(), cfg.DatapathWorkers)
 	if err != nil {
 		return nil, err
 	}
@@ -397,7 +405,7 @@ func (o *Orchestrator) deploy(g *nffg.Graph) error {
 	cookie := o.nextCookie()
 	o.mu.Unlock()
 
-	lsi, err := newLSIConn(fmt.Sprintf("%s/lsi-%s", o.cfg.NodeName, g.ID), dpid)
+	lsi, err := newLSIConn(fmt.Sprintf("%s/lsi-%s", o.cfg.NodeName, g.ID), dpid, o.cfg.DatapathWorkers)
 	if err != nil {
 		return err
 	}

@@ -53,6 +53,13 @@ func (o *Orchestrator) WriteMetrics(w io.Writer) error {
 	return o.registry.WritePrometheus(w)
 }
 
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // lsiLabel is the per-switch label value: the switch name with the node
 // prefix stripped ("lsi-0", "lsi-<graph>").
 func (o *Orchestrator) lsiLabel(sw *vswitch.Switch) string {
@@ -91,6 +98,7 @@ func (o *Orchestrator) Collect(e *telemetry.Exposition) {
 		e.Gauge("un_lsi_tx_packets", "Frames transmitted out of currently-attached LSI ports.", l, float64(t.Tx))
 		e.Counter("un_lsi_drops_total", "Frames dropped by the LSI (unknown port, unparseable, miss-drop).", l, t.Drops)
 		e.Counter("un_lsi_misses_total", "Table-miss packets on the LSI.", l, t.Misses)
+		e.Counter("un_switch_malformed_total", "Frames rejected by header parsing (counted as drops, not misses).", l, t.Malformed)
 		e.Counter("un_cache_hits_total", "Microflow-cache hits.", l, t.Cache.Hits)
 		e.Counter("un_cache_misses_total", "Microflow-cache misses (slow-path traversals).", l, t.Cache.Misses)
 		e.Gauge("un_cache_entries", "Resident microflow-cache verdicts, valid or stale.", l, float64(t.Cache.Entries))
@@ -99,6 +107,13 @@ func (o *Orchestrator) Collect(e *telemetry.Exposition) {
 			e.Gauge("un_table_matches", "Packets matched per flow table, summed over the currently-installed entries.", tl, float64(matches))
 		}
 		e.Histogram("un_pipeline_latency_seconds", "Sampled per-packet pipeline latency.", l, t.Latency)
+		for wi, ws := range t.Workers {
+			wl := telemetry.Labels{"lsi": l["lsi"], "worker": fmt.Sprintf("%d", wi)}
+			e.Gauge("un_switch_worker_queue_depth", "Frames waiting in the datapath worker's RX ring.", wl, float64(ws.QueueLen))
+			e.Gauge("un_switch_worker_busy", "1 while the datapath worker is processing, 0 while parked.", wl, boolGauge(ws.Busy))
+			e.Counter("un_switch_worker_queue_drops_total", "Frames tail-dropped at the worker's full RX ring.", wl, ws.QueueDrops)
+			e.Counter("un_switch_worker_packets_total", "Frames processed by the datapath worker.", wl, ws.Packets)
+		}
 	}
 
 	e.Gauge("un_graphs", "Deployed NF-FGs on the node.", nil, float64(len(graphNFs)))

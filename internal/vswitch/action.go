@@ -15,10 +15,12 @@ type Action interface {
 }
 
 // actionContext is the mutable per-packet state threaded through an action
-// list.
+// list. ctrs is the counter lane of the worker (or sender) processing the
+// packet, so actions account drops against their own core's counters.
 type actionContext struct {
 	data      []byte
 	key       *flowKey
+	ctrs      *dpCounters
 	tableID   int
 	gotoTable int // -1 when the pipeline ends here
 	dirty     bool
@@ -38,7 +40,7 @@ type OutputAction struct{ Port uint32 }
 func Output(port uint32) Action { return OutputAction{Port: port} }
 
 func (a OutputAction) apply(sw *Switch, ctx *actionContext) {
-	sw.sendOut(a.Port, ctx.data)
+	sw.sendOut(a.Port, ctx.data, ctx.ctrs)
 }
 
 func (a OutputAction) String() string { return fmt.Sprintf("output:%d", a.Port) }
@@ -50,7 +52,7 @@ type FloodAction struct{}
 func Flood() Action { return FloodAction{} }
 
 func (a FloodAction) apply(sw *Switch, ctx *actionContext) {
-	sw.flood(ctx.key.inPort, ctx.data)
+	sw.flood(ctx.key.inPort, ctx.data, ctx.ctrs)
 }
 
 func (a FloodAction) String() string { return "flood" }

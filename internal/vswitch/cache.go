@@ -2,7 +2,6 @@ package vswitch
 
 import (
 	"hash/maphash"
-	"sync"
 	"sync/atomic"
 )
 
@@ -21,92 +20,140 @@ import (
 // counter AFTER publishing the new state; a verdict records the generation
 // read BEFORE its traversal and is only served while the two still agree,
 // so a verdict computed against stale tables can never validate.
+//
+// The cache is split into partitions of fixed-size slot arrays read and
+// written with single atomic pointer operations — no locks anywhere. A
+// synchronous switch (Workers=0) uses one partition; a worker-pool switch
+// uses exactly one partition per worker: both the RSS steering decision and
+// the partition choice are hash%N with the same hash, so a given microflow's
+// verdict is only ever read and written by the core that forwards the flow
+// and its cache lines never bounce between cores.
 
 const (
-	// cacheShardCount shards the exact-match map to keep concurrent
-	// senders off each other's locks. Must be a power of two.
-	cacheShardCount = 64
-	// cacheShardMax bounds one shard; an overflowing shard is reset
-	// wholesale (it is a cache — losing entries only costs a slow-path
-	// walk).
-	cacheShardMax = 4096
+	// cacheSlotsSync is the slot count of a synchronous switch's single
+	// partition; cacheSlotsWorker is the per-worker partition size. Both
+	// must be powers of two. Like the OVS exact-match cache, a colliding
+	// insert simply evicts the previous occupant — losing an entry only
+	// costs a slow-path walk — so the cache is memory-bounded with no
+	// eviction bookkeeping.
+	cacheSlotsSync   = 8192
+	cacheSlotsWorker = 4096
+	// verdictMaxEntries bounds the matched-entry chain recorded inline in a
+	// verdict. A traversal matching more tables than this is executed but
+	// not memoized, keeping the verdict a fixed-size allocation.
+	verdictMaxEntries = 8
 )
 
-// cacheVerdict is the memoized outcome of one slow-path traversal.
+// cacheVerdict is the memoized outcome of one slow-path traversal. Verdicts
+// are immutable once published; the slow path records into per-lane scratch
+// and put copies that into a fresh heap value.
 type cacheVerdict struct {
 	// gen is the invalidation generation the traversal ran under.
 	gen uint64
-	// entries are the flow entries matched, one per visited table.
-	entries []*FlowEntry
+	// key is the pristine input key; the map is keyed by the key's hash, so
+	// a lookup must compare keys to reject the (rare) colliding microflow.
+	key flowKey
 	// missTable is the table that missed, or -1 when the pipeline ended
 	// through its action list.
 	missTable int
+	// entries[:nEntries] are the flow entries matched, one per visited
+	// table, inline so a verdict is one allocation.
+	nEntries int
+	entries  [verdictMaxEntries]*FlowEntry
 }
 
-type cacheShard struct {
-	mu sync.RWMutex
-	m  map[flowKey]*cacheVerdict
+// cachePart is one cache partition: a fixed open-addressed array of
+// immutable verdicts, read and written with single atomic pointer
+// operations — the datapath never takes a lock, and a /metrics scrape reads
+// only the size gauge (maintained on empty-slot fills), never the slots.
+type cachePart struct {
+	slots []atomic.Pointer[cacheVerdict]
+	size  atomic.Int64
 }
 
-// microflowCache is the sharded exact-match flow cache of one Switch.
+// microflowCache is the partitioned exact-match flow cache of one Switch.
 type microflowCache struct {
-	seed    maphash.Seed
+	// seed randomizes the flowKey hash per switch so adversarial microflow
+	// sets cannot be precomputed to pile onto one partition.
+	seed    uint64
 	gen     atomic.Uint64
-	hits    atomic.Uint64
-	misses  atomic.Uint64
 	enabled atomic.Bool
-	shards  [cacheShardCount]cacheShard
+	parts   []cachePart
 }
 
-func newMicroflowCache() *microflowCache {
-	c := &microflowCache{seed: maphash.MakeSeed()}
+// newMicroflowCache builds the cache: one big partition for a synchronous
+// switch, one partition per worker for a pool (nParts > 1).
+func newMicroflowCache(nParts int) *microflowCache {
+	slots := cacheSlotsSync
+	if nParts > 1 {
+		slots = cacheSlotsWorker
+	} else {
+		nParts = 1
+	}
+	c := &microflowCache{
+		seed:  maphash.Comparable(maphash.MakeSeed(), uint64(0)),
+		parts: make([]cachePart, nParts),
+	}
+	for i := range c.parts {
+		c.parts[i].slots = make([]atomic.Pointer[cacheVerdict], slots)
+	}
 	c.enabled.Store(true)
 	return c
 }
 
-func (c *microflowCache) shard(k flowKey) *cacheShard {
-	return &c.shards[maphash.Comparable(c.seed, k)&(cacheShardCount-1)]
+// part picks the partition from the hash's low bits — the same bits RSS
+// steering uses, so in worker mode part(hash) is always the partition owned
+// by the worker processing the flow.
+func (c *microflowCache) part(hash uint64) *cachePart {
+	if len(c.parts) == 1 {
+		return &c.parts[0]
+	}
+	return &c.parts[hash%uint64(len(c.parts))]
 }
 
-// get returns the cached verdict for k if it is still valid under gen.
-func (c *microflowCache) get(k flowKey, gen uint64) *cacheVerdict {
-	sh := c.shard(k)
-	sh.mu.RLock()
-	v := sh.m[k]
-	sh.mu.RUnlock()
-	if v == nil || v.gen != gen {
+// slot indexes within a partition using the hash's high bits, which are
+// independent of the low bits the partition choice consumed.
+func (p *cachePart) slot(hash uint64) *atomic.Pointer[cacheVerdict] {
+	return &p.slots[(hash>>32)&uint64(len(p.slots)-1)]
+}
+
+// get returns the cached verdict for the key (pre-hashed by the caller) if
+// it is still valid under gen: one atomic load plus a key compare.
+func (c *microflowCache) get(hash uint64, key *flowKey, gen uint64) *cacheVerdict {
+	v := c.part(hash).slot(hash).Load()
+	if v == nil || v.gen != gen || v.key != *key {
 		return nil
 	}
 	return v
 }
 
-// put installs a verdict, resetting the shard when it outgrows its bound.
-func (c *microflowCache) put(k flowKey, v *cacheVerdict) {
-	sh := c.shard(k)
-	sh.mu.Lock()
-	if sh.m == nil || len(sh.m) >= cacheShardMax {
-		sh.m = make(map[flowKey]*cacheVerdict, 64)
+// put installs a copy of the scratch verdict, evicting whatever occupied
+// the slot (verdicts are immutable, so a reader holding the old pointer
+// just finishes its replay against the still-valid old verdict).
+func (c *microflowCache) put(hash uint64, v *cacheVerdict) {
+	nv := new(cacheVerdict)
+	*nv = *v
+	p := c.part(hash)
+	if old := p.slot(hash).Swap(nv); old == nil {
+		p.size.Add(1)
 	}
-	sh.m[k] = v
-	sh.mu.Unlock()
 }
 
 // invalidate retires every cached verdict in O(1) by advancing the
-// generation. Stale entries linger until overwritten or their shard resets,
-// but can never be served again.
+// generation. Stale entries linger until overwritten, but can never be
+// served again.
 func (c *microflowCache) invalidate() {
 	c.gen.Add(1)
 }
 
+// entryCount is O(partitions) atomic loads: the sizes are maintained on
+// slot fills, so a /metrics scrape never touches the datapath slots.
 func (c *microflowCache) entryCount() int {
-	n := 0
-	for i := range c.shards {
-		sh := &c.shards[i]
-		sh.mu.RLock()
-		n += len(sh.m)
-		sh.mu.RUnlock()
+	n := int64(0)
+	for i := range c.parts {
+		n += c.parts[i].size.Load()
 	}
-	return n
+	return int(n)
 }
 
 // CacheStats is a snapshot of a switch's microflow-cache counters.
@@ -135,14 +182,18 @@ func (s CacheStats) HitRate() float64 {
 }
 
 // CacheStats returns a snapshot of the switch's microflow-cache counters.
+// Hit and miss counts are aggregated from the per-lane datapath counters.
 func (s *Switch) CacheStats() CacheStats {
-	return CacheStats{
-		Hits:       s.cache.hits.Load(),
-		Misses:     s.cache.misses.Load(),
+	cs := CacheStats{
 		Entries:    s.cache.entryCount(),
 		Generation: s.cache.gen.Load(),
 		Enabled:    s.cache.enabled.Load(),
 	}
+	s.eachCtrs(func(c *dpCounters) {
+		cs.Hits += c.cacheHits.Load()
+		cs.Misses += c.cacheMisses.Load()
+	})
+	return cs
 }
 
 // SetCacheEnabled switches the microflow cache on or off. Disabling sends

@@ -1,0 +1,77 @@
+package vswitch
+
+import (
+	"testing"
+
+	"repro/internal/pkt"
+)
+
+// FuzzExtractKey throws truncated and garbage frames at the header parser
+// and checks its invariants: no panic, deterministic results, short frames
+// rejected, and — through a live switch — rejected frames counted as
+// malformed drops, never as table misses.
+func FuzzExtractKey(f *testing.F) {
+	valid, err := pkt.BuildFrame(pkt.FrameSpec{
+		SrcMAC: pkt.MAC{2, 0, 0, 0, 0, 1}, DstMAC: pkt.MAC{2, 0, 0, 0, 0, 2},
+		SrcIP: pkt.Addr{10, 0, 0, 1}, DstIP: pkt.Addr{10, 0, 0, 2},
+		SrcPort: 1000, DstPort: 80, PayloadLen: 16,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	tagged, err := pkt.BuildFrame(pkt.FrameSpec{
+		SrcMAC: pkt.MAC{2, 0, 0, 0, 0, 1}, DstMAC: pkt.MAC{2, 0, 0, 0, 0, 2},
+		VLANID: 42,
+		SrcIP:  pkt.Addr{10, 0, 0, 1}, DstIP: pkt.Addr{10, 0, 0, 2},
+		SrcPort: 1000, DstPort: 80, PayloadLen: 16,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xde, 0xad})
+	f.Add(valid)
+	f.Add(valid[:pkt.EthernetHeaderLen])   // header only, no payload
+	f.Add(valid[:pkt.EthernetHeaderLen+3]) // truncated IPv4 header
+	f.Add(tagged)
+	f.Add(tagged[:pkt.EthernetHeaderLen+1])                         // truncated VLAN tag
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 0x81, 0x00}) // VLAN EtherType, tag missing
+
+	sw := New("fuzz", 1)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var k1, k2 flowKey
+		err1 := extractKey(data, 7, &k1)
+		err2 := extractKey(data, 7, &k2)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("nondeterministic parse: %v vs %v", err1, err2)
+		}
+		if len(data) < pkt.EthernetHeaderLen && err1 == nil {
+			t.Fatalf("accepted %d-byte frame, Ethernet header is %d bytes", len(data), pkt.EthernetHeaderLen)
+		}
+		if err1 == nil {
+			if k1 != k2 {
+				t.Fatalf("nondeterministic key: %+v vs %+v", k1, k2)
+			}
+			if k1.inPort != 7 {
+				t.Fatalf("inPort = %d, want 7", k1.inPort)
+			}
+			if k1.hash(99) != k2.hash(99) {
+				t.Fatal("nondeterministic hash for identical keys")
+			}
+		}
+		// The datapath must classify exactly the parser's rejects as
+		// malformed — counted as drops, never as misses.
+		malformedBefore, missesBefore := sw.Malformed(), sw.Misses()
+		sw.Inject(7, data)
+		dm := sw.Malformed() - malformedBefore
+		if err1 != nil && dm != 1 {
+			t.Fatalf("parser rejected frame but switch counted %d malformed", dm)
+		}
+		if err1 == nil && dm != 0 {
+			t.Fatal("parser accepted frame but switch counted it malformed")
+		}
+		if err1 != nil && sw.Misses() != missesBefore {
+			t.Fatal("malformed frame counted as a table miss")
+		}
+	})
+}

@@ -80,19 +80,95 @@ type tableSet struct {
 }
 
 // portTable is the immutable copy-on-write snapshot of the attached ports.
+// dense mirrors the map for the common small port numbers so the egress hot
+// path indexes an array instead of hashing into a map.
 type portTable struct {
 	ports map[uint32]*netdev.Port
+	dense []*netdev.Port // dense[num] == ports[num] for num < len(dense)
+}
+
+// densePortLimit bounds the dense egress index; port numbers above it (rare:
+// OpenFlow reserved ranges) fall back to the map.
+const densePortLimit = 256
+
+func newPortTable(ports map[uint32]*netdev.Port) *portTable {
+	maxNum := uint32(0)
+	for n := range ports {
+		if n > maxNum && n < densePortLimit {
+			maxNum = n
+		}
+	}
+	t := &portTable{ports: ports, dense: make([]*netdev.Port, maxNum+1)}
+	for n, p := range ports {
+		if n < uint32(len(t.dense)) {
+			t.dense[n] = p
+		}
+	}
+	return t
+}
+
+// lookup returns the port registered under num, or nil.
+func (t *portTable) lookup(num uint32) *netdev.Port {
+	if num < uint32(len(t.dense)) {
+		return t.dense[num]
+	}
+	return t.ports[num]
+}
+
+// dpCounters is one datapath lane's per-packet counter set. A synchronous
+// switch has a single set shared by the sender goroutines; a worker-pool
+// switch gives each worker its own, so the hot path only ever touches
+// cache lines owned by its core, and Telemetry/Misses/CacheStats aggregate
+// at scrape time.
+type dpCounters struct {
+	pipeline    atomic.Uint64 // frames that entered the pipeline (rx)
+	misses      atomic.Uint64 // table-miss packets
+	drops       atomic.Uint64 // discarded: unknown egress, miss-drop, queue-full
+	malformed   atomic.Uint64 // frames extractKey rejected (not a table miss)
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+	_           [16]byte // pad to 64 bytes against false sharing
+}
+
+// dpScratch is the per-packet working state of one datapath lane: the
+// parsed flow key, the action context and the verdict being recorded. The
+// action interface calls would otherwise force all three to escape to the
+// heap per packet; keeping them in a reused scratch struct is what makes
+// the hit path allocation-free. Synchronous lanes draw scratch from a pool
+// (nested switch-to-switch delivery gets its own), workers own one each.
+type dpScratch struct {
+	key flowKey
+	ctx actionContext
+	v   cacheVerdict
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(dpScratch) }}
+
+// Options configures a Switch beyond the defaults.
+type Options struct {
+	// Tables is the number of flow tables (minimum 1; 0 means
+	// DefaultTables).
+	Tables int
+	// Workers selects the datapath mode. 0 (the default) processes frames
+	// synchronously in the sender's goroutine, run-to-completion. N > 0
+	// starts N run-to-completion worker goroutines, each fed by its own
+	// lock-free ring; received frames are steered to a worker by flow-key
+	// hash (RSS-style), so a given microflow — and its cache partition — is
+	// always handled by the same worker. See the package README section
+	// "Parallel datapath" for how to choose N.
+	Workers int
 }
 
 // Switch is one Logical Switch Instance: a multi-table flow pipeline over a
 // set of numbered ports.
 //
-// The per-packet path is lock-free: flow tables and the port table are
-// published as immutable snapshots through atomic pointers, the miss policy
-// and packet-in handler are atomics, and the pipeline verdict for each exact
-// flow key is memoized in a sharded microflow cache (see cache.go). Writers
-// serialize on mu, clone-and-swap the affected snapshot, then advance the
-// cache generation so no stale verdict survives a flow-mod or port change.
+// The per-packet path is lock-free and allocation-free on a cache hit: flow
+// tables and the port table are published as immutable snapshots through
+// atomic pointers, the miss policy and packet-in handler are atomics, and
+// the pipeline verdict for each exact flow key is memoized in a partitioned
+// microflow cache (see cache.go). Writers serialize on mu, clone-and-swap
+// the affected snapshot, then advance the cache generation so no stale
+// verdict survives a flow-mod or port change.
 type Switch struct {
 	name    string
 	dpid    uint64
@@ -107,10 +183,24 @@ type Switch struct {
 
 	cache *microflowCache
 
-	misses   atomic.Uint64
-	pipeline atomic.Uint64 // packets processed (rx)
-	drops    atomic.Uint64 // frames dropped (unknown port, miss-drop)
-	latency  *telemetry.Histogram
+	// syncCtrs counts packets processed in sender context: the whole
+	// datapath when Workers == 0, and the enqueue-side drops/malformed
+	// accounting when workers are running.
+	syncCtrs dpCounters
+	// workers is fixed at construction (nil for a synchronous switch) so
+	// counter aggregation keeps working after Close.
+	workers []*dpWorker
+	// pool is non-nil while the worker goroutines are running; process
+	// reads it once per frame to pick the dispatch mode.
+	pool atomic.Pointer[workerPool]
+
+	// scratch is the fast-path scratch slot of the synchronous datapath: the
+	// common case (one goroutine in the pipeline at a time) claims it with a
+	// single swap instead of a sync.Pool round trip; concurrent senders and
+	// nested switch-to-switch hops find it empty and fall back to the pool.
+	scratch atomic.Pointer[dpScratch]
+
+	latency *telemetry.Histogram
 }
 
 // latencySampleMask selects which packets pay for a latency measurement:
@@ -118,23 +208,46 @@ type Switch struct {
 // observation; the rest only test the counter the hot path maintains anyway.
 const latencySampleMask = 1<<10 - 1
 
-// New creates a switch with the default number of tables.
-func New(name string, dpid uint64) *Switch { return NewTables(name, dpid, DefaultTables) }
+// New creates a switch with the default number of tables and a synchronous
+// datapath.
+func New(name string, dpid uint64) *Switch { return NewOptions(name, dpid, Options{}) }
 
 // NewTables creates a switch with n flow tables (minimum 1).
 func NewTables(name string, dpid uint64, n int) *Switch {
 	if n < 1 {
 		n = 1
 	}
+	return NewOptions(name, dpid, Options{Tables: n})
+}
+
+// NewOptions creates a switch from an Options struct. With Workers > 0 the
+// worker goroutines start immediately; stop them with Close.
+func NewOptions(name string, dpid uint64, o Options) *Switch {
+	nt := o.Tables
+	if nt < 1 {
+		nt = DefaultTables
+	}
+	nw := o.Workers
+	if nw < 0 {
+		nw = 0
+	}
+	nParts := 1
+	if nw > 0 {
+		nParts = nw
+	}
 	s := &Switch{
 		name:    name,
 		dpid:    dpid,
-		nTables: n,
-		cache:   newMicroflowCache(),
+		nTables: nt,
+		cache:   newMicroflowCache(nParts),
 		latency: telemetry.NewHistogram(telemetry.DatapathLatencyBuckets()...),
 	}
-	s.tables.Store(&tableSet{tables: make([][]*FlowEntry, n)})
-	s.ports.Store(&portTable{ports: make(map[uint32]*netdev.Port)})
+	s.tables.Store(&tableSet{tables: make([][]*FlowEntry, nt)})
+	s.ports.Store(newPortTable(make(map[uint32]*netdev.Port)))
+	s.scratch.Store(new(dpScratch))
+	if nw > 0 {
+		s.startWorkers(nw)
+	}
 	return s
 }
 
@@ -146,6 +259,10 @@ func (s *Switch) DPID() uint64 { return s.dpid }
 
 // NumTables returns the number of flow tables.
 func (s *Switch) NumTables() int { return s.nTables }
+
+// Workers returns the number of datapath workers (0 for a synchronous
+// switch).
+func (s *Switch) Workers() int { return len(s.workers) }
 
 // SetMissPolicy configures the table-miss behaviour.
 func (s *Switch) SetMissPolicy(p MissPolicy) {
@@ -159,6 +276,15 @@ func (s *Switch) SetPacketInHandler(fn PacketInHandler) {
 		return
 	}
 	s.onPktIn.Store(&fn)
+}
+
+// eachCtrs visits every datapath counter lane: the sender-context set plus
+// one per worker.
+func (s *Switch) eachCtrs(fn func(*dpCounters)) {
+	fn(&s.syncCtrs)
+	for _, w := range s.workers {
+		fn(&w.ctrs)
+	}
 }
 
 // AddPort attaches a netdev port under the given OpenFlow port number
@@ -179,7 +305,7 @@ func (s *Switch) AddPort(num uint32, p *netdev.Port) error {
 		next[k] = v
 	}
 	next[num] = p
-	s.ports.Store(&portTable{ports: next})
+	s.ports.Store(newPortTable(next))
 	s.cache.invalidate()
 	p.SetHandler(func(f netdev.Frame) { s.process(num, f) })
 	p.SetBatchHandler(func(fs []netdev.Frame) {
@@ -207,14 +333,14 @@ func (s *Switch) RemovePort(num uint32) error {
 			next[k] = v
 		}
 	}
-	s.ports.Store(&portTable{ports: next})
+	s.ports.Store(newPortTable(next))
 	s.cache.invalidate()
 	return nil
 }
 
 // Port returns the netdev port with the given number, or nil.
 func (s *Switch) Port(num uint32) *netdev.Port {
-	return s.ports.Load().ports[num]
+	return s.ports.Load().lookup(num)
 }
 
 // Ports returns the attached port numbers, sorted.
@@ -357,113 +483,163 @@ func (s *Switch) Flows() []*FlowEntry {
 	return out
 }
 
-// Misses returns the count of table-miss packets.
-func (s *Switch) Misses() uint64 { return s.misses.Load() }
-
-// PacketsProcessed returns the count of frames that entered the pipeline.
-func (s *Switch) PacketsProcessed() uint64 { return s.pipeline.Load() }
-
-// process runs one received frame through the pipeline, sampling the
-// packet latency histogram on one in every latencySampleMask+1 frames (the
-// pipeline counter the hot path bumps anyway selects the sample, so the
-// common case costs one mask test).
-func (s *Switch) process(inPort uint32, f netdev.Frame) {
-	if s.pipeline.Add(1)&latencySampleMask == 0 {
-		start := time.Now()
-		s.run(inPort, f)
-		s.latency.Observe(time.Since(start).Seconds())
-		return
-	}
-	s.run(inPort, f)
+// Misses returns the count of table-miss packets, aggregated across
+// datapath lanes.
+func (s *Switch) Misses() uint64 {
+	var n uint64
+	s.eachCtrs(func(c *dpCounters) { n += c.misses.Load() })
+	return n
 }
 
-// run is the pipeline body: a microflow-cache hit replays the memoized
-// verdict; anything else walks the tables and, if the cache is enabled,
-// records the traversal for the next packet.
-func (s *Switch) run(inPort uint32, f netdev.Frame) {
-	var key flowKey
-	if err := extractKey(f.Data, inPort, &key); err != nil {
-		s.misses.Add(1)
-		s.drops.Add(1)
+// PacketsProcessed returns the count of frames that entered the pipeline,
+// aggregated across datapath lanes.
+func (s *Switch) PacketsProcessed() uint64 {
+	var n uint64
+	s.eachCtrs(func(c *dpCounters) { n += c.pipeline.Load() })
+	return n
+}
+
+// Malformed returns the count of received frames rejected by header
+// parsing. These count as processed and dropped but not as table or cache
+// misses.
+func (s *Switch) Malformed() uint64 {
+	var n uint64
+	s.eachCtrs(func(c *dpCounters) { n += c.malformed.Load() })
+	return n
+}
+
+// process runs one received frame through the pipeline (or steers it to a
+// worker ring), sampling the packet latency histogram on one in every
+// latencySampleMask+1 frames per lane (the pipeline counter the hot path
+// bumps anyway selects the sample, so the common case costs one mask test).
+func (s *Switch) process(inPort uint32, f netdev.Frame) {
+	if p := s.pool.Load(); p != nil {
+		s.steer(p, inPort, f.Data, false)
 		return
 	}
+	sc := s.scratch.Swap(nil)
+	fromPool := sc == nil
+	if fromPool {
+		sc = scratchPool.Get().(*dpScratch)
+	}
+	ctrs := &s.syncCtrs
+	if ctrs.pipeline.Add(1)&latencySampleMask == 0 {
+		start := time.Now()
+		s.run(inPort, f.Data, ctrs, sc)
+		s.latency.Observe(time.Since(start).Seconds())
+	} else {
+		s.run(inPort, f.Data, ctrs, sc)
+	}
+	if fromPool {
+		scratchPool.Put(sc)
+	} else {
+		s.scratch.Store(sc)
+	}
+}
+
+// run parses the frame and hands it to the keyed pipeline body. A frame the
+// parser rejects is counted as malformed + dropped, not as a miss: it never
+// consulted the tables, so it must not pollute the cache-hit-rate or
+// table-miss metrics.
+func (s *Switch) run(inPort uint32, data []byte, ctrs *dpCounters, sc *dpScratch) {
+	if err := extractKey(data, inPort, &sc.key); err != nil {
+		ctrs.malformed.Add(1)
+		ctrs.drops.Add(1)
+		return
+	}
+	s.runKeyed(inPort, data, sc.key.hash(s.cache.seed), ctrs, sc)
+}
+
+// runKeyed is the pipeline body once sc.key holds the parsed flow key and
+// hash its maphash: a microflow-cache hit replays the memoized verdict;
+// anything else walks the tables and, if the cache is enabled, records the
+// traversal for the next packet. The same hash picked the worker (in pool
+// mode) and picks the cache partition, so a flow's verdict stays core-local.
+func (s *Switch) runKeyed(inPort uint32, data []byte, hash uint64, ctrs *dpCounters, sc *dpScratch) {
 	if !s.cache.enabled.Load() {
-		s.runPipeline(inPort, f.Data, &key, 0, false)
+		s.runPipeline(inPort, data, ctrs, sc, 0, false)
 		return
 	}
 	// Read the generation before the tables: a concurrent flow-mod swaps
 	// the snapshot first and bumps the generation second, so a verdict
 	// recorded under an old generation can never describe new tables.
 	gen := s.cache.gen.Load()
-	if v := s.cache.get(key, gen); v != nil {
-		s.cache.hits.Add(1)
-		s.replay(inPort, f.Data, &key, v)
+	if v := s.cache.get(hash, &sc.key, gen); v != nil {
+		ctrs.cacheHits.Add(1)
+		s.replay(inPort, data, ctrs, sc, v)
 		return
 	}
-	s.cache.misses.Add(1)
-	key0 := key // pristine copy: actions mutate the key during traversal
-	if v := s.runPipeline(inPort, f.Data, &key, gen, true); v != nil {
-		s.cache.put(key0, v)
+	ctrs.cacheMisses.Add(1)
+	sc.v.key = sc.key // pristine copy: actions mutate the key during traversal
+	if s.runPipeline(inPort, data, ctrs, sc, gen, true) {
+		s.cache.put(hash, &sc.v)
 	}
 }
 
 // runPipeline is the slow path: a full multi-table traversal over the
-// current table snapshot. With record set it returns the traversal as a
-// cacheable verdict.
-func (s *Switch) runPipeline(inPort uint32, data []byte, key *flowKey, gen uint64, record bool) *cacheVerdict {
+// current table snapshot. With record set it fills sc.v with the traversal
+// and reports whether the verdict is cacheable (a traversal deeper than
+// verdictMaxEntries executes but is not memoized).
+func (s *Switch) runPipeline(inPort uint32, data []byte, ctrs *dpCounters, sc *dpScratch, gen uint64, record bool) bool {
 	tables := s.tables.Load().tables
-	ctx := actionContext{data: data, key: key, gotoTable: 0}
-	var matched []*FlowEntry
+	sc.ctx = actionContext{data: data, key: &sc.key, ctrs: ctrs}
+	ctx := &sc.ctx
 	if record {
-		matched = make([]*FlowEntry, 0, s.nTables)
+		sc.v.gen = gen
+		sc.v.nEntries = 0
+		sc.v.missTable = -1
 	}
 	table := 0
 	for table < s.nTables {
-		entry := lookupEntry(tables[table], key)
+		entry := lookupEntry(tables[table], &sc.key)
 		if entry == nil {
-			s.missAction(inPort, table, ctx.data)
+			s.missAction(inPort, table, ctx.data, ctrs)
 			if record {
-				return &cacheVerdict{gen: gen, entries: matched, missTable: table}
+				sc.v.missTable = table
 			}
-			return nil
+			return record
 		}
 		if record {
-			matched = append(matched, entry)
+			if sc.v.nEntries == verdictMaxEntries {
+				record = false
+			} else {
+				sc.v.entries[sc.v.nEntries] = entry
+				sc.v.nEntries++
+			}
 		}
 		entry.packets.Add(1)
 		entry.bytes.Add(uint64(len(ctx.data)))
 		ctx.tableID = table
 		ctx.gotoTable = -1
 		for _, a := range entry.Actions {
-			a.apply(s, &ctx)
+			a.apply(s, ctx)
 		}
 		if ctx.gotoTable < 0 {
 			break // pipeline ends; Output actions already ran
 		}
 		table = ctx.gotoTable
 	}
-	if record {
-		return &cacheVerdict{gen: gen, entries: matched, missTable: -1}
-	}
-	return nil
+	return record
 }
 
 // replay re-applies a memoized traversal to one packet: per matched entry it
 // bumps the hit counters and runs the action list, exactly as the slow path
 // would, then finishes with the recorded table miss if there was one.
-func (s *Switch) replay(inPort uint32, data []byte, key *flowKey, v *cacheVerdict) {
-	ctx := actionContext{data: data, key: key, gotoTable: -1}
-	for _, e := range v.entries {
+func (s *Switch) replay(inPort uint32, data []byte, ctrs *dpCounters, sc *dpScratch, v *cacheVerdict) {
+	sc.ctx = actionContext{data: data, key: &sc.key, gotoTable: -1, ctrs: ctrs}
+	ctx := &sc.ctx
+	for i := 0; i < v.nEntries; i++ {
+		e := v.entries[i]
 		e.packets.Add(1)
 		e.bytes.Add(uint64(len(ctx.data)))
 		ctx.tableID = e.Table
 		ctx.gotoTable = -1
 		for _, a := range e.Actions {
-			a.apply(s, &ctx)
+			a.apply(s, ctx)
 		}
 	}
 	if v.missTable >= 0 {
-		s.missAction(inPort, v.missTable, ctx.data)
+		s.missAction(inPort, v.missTable, ctx.data, ctrs)
 	}
 }
 
@@ -478,8 +654,8 @@ func lookupEntry(entries []*FlowEntry, key *flowKey) *FlowEntry {
 	return nil
 }
 
-func (s *Switch) missAction(inPort uint32, table int, data []byte) {
-	s.misses.Add(1)
+func (s *Switch) missAction(inPort uint32, table int, data []byte, ctrs *dpCounters) {
+	ctrs.misses.Add(1)
 	// A punt only counts as delivered when a controller is actually
 	// attached; MissController with no handler still discards the frame.
 	// The handler is loaded once so a concurrent detach cannot slip the
@@ -490,7 +666,7 @@ func (s *Switch) missAction(inPort uint32, table int, data []byte) {
 			return
 		}
 	}
-	s.drops.Add(1)
+	ctrs.drops.Add(1)
 }
 
 func (s *Switch) packetIn(inPort uint32, table int, reason PacketInReason, data []byte) {
@@ -509,10 +685,10 @@ func (s *Switch) deliverPacketIn(fn *PacketInHandler, inPort uint32, table int, 
 
 // sendOut transmits data on the given port number. Unknown ports drop. The
 // copy is pool-backed; the final consumer may recycle it with pkt.PutBuffer.
-func (s *Switch) sendOut(num uint32, data []byte) {
-	p := s.ports.Load().ports[num]
+func (s *Switch) sendOut(num uint32, data []byte, ctrs *dpCounters) {
+	p := s.ports.Load().lookup(num)
 	if p == nil {
-		s.drops.Add(1)
+		ctrs.drops.Add(1)
 		return
 	}
 	d := pkt.GetBuffer(len(data))
@@ -521,7 +697,7 @@ func (s *Switch) sendOut(num uint32, data []byte) {
 }
 
 // flood transmits data on every port except the ingress.
-func (s *Switch) flood(inPort uint32, data []byte) {
+func (s *Switch) flood(inPort uint32, data []byte, ctrs *dpCounters) {
 	ports := s.ports.Load().ports
 	nums := make([]uint32, 0, len(ports))
 	for n := range ports {
@@ -531,21 +707,28 @@ func (s *Switch) flood(inPort uint32, data []byte) {
 	}
 	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
 	for _, n := range nums {
-		s.sendOut(n, data)
+		s.sendOut(n, data, ctrs)
 	}
 }
 
 // Inject runs a frame through the pipeline as if it had been received on
 // inPort. It is the switch-side half of an OpenFlow packet-out with
-// in-port semantics.
+// in-port semantics. Unlike port reception — which tail-drops when a worker
+// ring is full, as a NIC ring would — Inject applies backpressure: it
+// retries the enqueue until the worker drains, so control-plane packet-outs
+// are never silently lost.
 func (s *Switch) Inject(inPort uint32, data []byte) {
+	if p := s.pool.Load(); p != nil {
+		s.steer(p, inPort, data, true)
+		return
+	}
 	s.process(inPort, netdev.Frame{Data: data})
 }
 
 // Output transmits a frame directly out of a port, bypassing the pipeline:
 // the switch-side half of a plain OpenFlow packet-out.
 func (s *Switch) Output(port uint32, data []byte) {
-	s.sendOut(port, data)
+	s.sendOut(port, data, &s.syncCtrs)
 }
 
 // Dump renders the flow tables like `ovs-ofctl dump-flows` for debugging.

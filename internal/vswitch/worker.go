@@ -1,0 +1,261 @@
+package vswitch
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/netdev"
+	"repro/internal/pkt"
+)
+
+// The worker pool is the per-core parallel mode of the datapath. Each worker
+// is a run-to-completion goroutine fed by its own lock-free ring; received
+// frames are steered to a worker by flow-key hash, RSS-style, so every
+// packet of a microflow is processed by the same worker — which also owns
+// that flow's cache partition (steering index and partition index are the
+// same hash mod N), its own scratch state and its own counter cache lines.
+// Nothing per-flow is ever shared between cores.
+//
+// Ownership: the steering step copies the frame into a pool-backed buffer
+// (the sender's buffer is only valid during the Send call), and the worker
+// recycles it after the pipeline finishes — every egress path (sendOut,
+// packet-in) copies again, so the ring buffer never escapes.
+
+// workerRingLen is the per-worker RX ring capacity, sized like a NIC RX
+// descriptor ring.
+const workerRingLen = 1024
+
+// steerRetries bounds how many scheduler yields a port-RX steer spends
+// waiting for ring space before tail-dropping. A busy-but-alive worker
+// drains within a yield or two (the retry is what lets a single-CPU host
+// absorb a burst instead of dropping it wholesale); only a worker that is
+// genuinely stuck — blocked in an NF, livelocked — exhausts the budget.
+const steerRetries = 128
+
+// workerItem is one steered frame: the key is parsed and hashed once on the
+// producer side (steering needs the hash anyway), so the worker starts
+// straight at the cache lookup.
+type workerItem struct {
+	key    flowKey
+	hash   uint64
+	inPort uint32
+	data   []byte // pool-backed private copy, recycled by the worker
+}
+
+type dpWorker struct {
+	id   int
+	ring *netdev.Ring[workerItem]
+	// wake (capacity 1) plus the parked flag implement sleep/wakeup without
+	// busy-spinning: the worker publishes parked=true, rechecks the ring,
+	// then blocks; a producer that observes parked=true after its push
+	// drops a token in the channel. Sequentially consistent atomics make a
+	// lost wakeup impossible.
+	wake   chan struct{}
+	parked atomic.Bool
+	qdrops atomic.Uint64 // frames tail-dropped because the ring was full
+	ctrs   dpCounters
+	sc     dpScratch
+}
+
+type workerPool struct {
+	workers []*dpWorker
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// startWorkers builds the pool and launches the worker goroutines. Called
+// once from NewOptions before the switch is visible to any sender.
+func (s *Switch) startWorkers(n int) {
+	p := &workerPool{done: make(chan struct{})}
+	for i := 0; i < n; i++ {
+		p.workers = append(p.workers, &dpWorker{
+			id:   i,
+			ring: netdev.NewRing[workerItem](workerRingLen),
+			wake: make(chan struct{}, 1),
+		})
+	}
+	s.workers = p.workers
+	s.pool.Store(p)
+	for _, w := range p.workers {
+		p.wg.Add(1)
+		go func(w *dpWorker) {
+			defer p.wg.Done()
+			w.loop(s, p.done)
+		}(w)
+	}
+}
+
+// Close stops the datapath workers, processing anything still queued. It is
+// a no-op on a synchronous switch and idempotent otherwise. Frames steered
+// concurrently with Close are either completed here or processed
+// synchronously by their sender once the pool pointer is gone.
+func (s *Switch) Close() {
+	p := s.pool.Swap(nil)
+	if p == nil {
+		return
+	}
+	close(p.done)
+	p.wg.Wait()
+	// A producer that loaded the pool pointer just before the swap may have
+	// pushed after its worker drained; the workers are gone, so finish
+	// those frames inline.
+	for _, w := range p.workers {
+		w.drain(s)
+	}
+}
+
+// steer parses, hashes and enqueues one received frame to its worker. With
+// backpressure false (port RX) a full ring tail-drops the frame, as a NIC
+// RX ring would; with backpressure true (Inject) the enqueue retries until
+// space frees up.
+func (s *Switch) steer(p *workerPool, inPort uint32, data []byte, backpressure bool) {
+	var it workerItem
+	if err := extractKey(data, inPort, &it.key); err != nil {
+		// Malformed frames are counted at the steering stage against the
+		// sender-context lane; they still count as received.
+		s.syncCtrs.pipeline.Add(1)
+		s.syncCtrs.malformed.Add(1)
+		s.syncCtrs.drops.Add(1)
+		return
+	}
+	it.hash = it.key.hash(s.cache.seed)
+	w := p.workers[it.hash%uint64(len(p.workers))]
+	it.inPort = inPort
+	it.data = pkt.GetBuffer(len(data))
+	copy(it.data, data)
+	tries := 0
+	for !w.ring.TryPush(it) {
+		if !backpressure {
+			tries++
+			if tries > steerRetries {
+				w.qdrops.Add(1)
+				s.syncCtrs.drops.Add(1)
+				pkt.PutBuffer(it.data)
+				return
+			}
+			// The ring is full, so the worker has work: make sure it is
+			// awake, then give it the CPU.
+			if w.parked.Load() {
+				select {
+				case w.wake <- struct{}{}:
+				default:
+				}
+			}
+			runtime.Gosched()
+			continue
+		}
+		if s.pool.Load() != p {
+			// The pool closed while we were waiting for ring space: the
+			// workers are gone and the ring will never drain, so finish the
+			// frame in this goroutine instead of spinning forever.
+			sc := scratchPool.Get().(*dpScratch)
+			sc.key = it.key
+			s.syncCtrs.pipeline.Add(1)
+			s.runKeyed(it.inPort, it.data, it.hash, &s.syncCtrs, sc)
+			scratchPool.Put(sc)
+			pkt.PutBuffer(it.data)
+			return
+		}
+		if w.parked.Load() {
+			select {
+			case w.wake <- struct{}{}:
+			default:
+			}
+		}
+		runtime.Gosched()
+	}
+	if w.parked.Load() {
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// loop is the worker body: pop, process, recycle; park when idle.
+func (w *dpWorker) loop(s *Switch, done <-chan struct{}) {
+	for {
+		it, ok := w.ring.TryPop()
+		if !ok {
+			w.parked.Store(true)
+			// Recheck after publishing parked: a producer that pushed
+			// before the store sees parked=false only if we also see its
+			// item here.
+			if it, ok = w.ring.TryPop(); !ok {
+				select {
+				case <-w.wake:
+					w.parked.Store(false)
+					continue
+				case <-done:
+					w.parked.Store(false)
+					w.drain(s)
+					return
+				}
+			}
+			w.parked.Store(false)
+		}
+		w.exec(s, it)
+	}
+}
+
+// drain processes everything left in the ring.
+func (w *dpWorker) drain(s *Switch) {
+	for {
+		it, ok := w.ring.TryPop()
+		if !ok {
+			return
+		}
+		w.exec(s, it)
+	}
+}
+
+// exec runs one steered frame through the pipeline with this worker's
+// counters and scratch, then recycles the ring buffer (every egress path
+// copies, so the buffer cannot escape the pipeline).
+func (w *dpWorker) exec(s *Switch, it workerItem) {
+	w.sc.key = it.key
+	if w.ctrs.pipeline.Add(1)&latencySampleMask == 0 {
+		start := time.Now()
+		s.runKeyed(it.inPort, it.data, it.hash, &w.ctrs, &w.sc)
+		s.latency.Observe(time.Since(start).Seconds())
+	} else {
+		s.runKeyed(it.inPort, it.data, it.hash, &w.ctrs, &w.sc)
+	}
+	pkt.PutBuffer(it.data)
+}
+
+// WorkerStats is the telemetry snapshot of one datapath worker.
+type WorkerStats struct {
+	// QueueLen is the instantaneous depth of the worker's RX ring.
+	QueueLen int
+	// QueueCap is the ring capacity.
+	QueueCap int
+	// Busy reports whether the worker was processing (not parked) at
+	// snapshot time.
+	Busy bool
+	// QueueDrops counts frames tail-dropped because the ring was full.
+	QueueDrops uint64
+	// Packets counts frames this worker processed.
+	Packets uint64
+}
+
+// WorkerTelemetry snapshots per-worker queue depth and activity; nil for a
+// synchronous switch.
+func (s *Switch) WorkerTelemetry() []WorkerStats {
+	if len(s.workers) == 0 {
+		return nil
+	}
+	out := make([]WorkerStats, len(s.workers))
+	for i, w := range s.workers {
+		out[i] = WorkerStats{
+			QueueLen:   w.ring.Len(),
+			QueueCap:   w.ring.Cap(),
+			Busy:       !w.parked.Load(),
+			QueueDrops: w.qdrops.Load(),
+			Packets:    w.ctrs.pipeline.Load(),
+		}
+	}
+	return out
+}

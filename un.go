@@ -153,6 +153,11 @@ type Config struct {
 	// start — emulating provisioning latency for wall-clock scheduling
 	// experiments. 0 keeps starts instant.
 	StartupWallScale float64
+	// Workers selects the datapath mode of every LSI: 0 (the default)
+	// processes frames synchronously in the sender's goroutine; N > 0 runs
+	// N RSS-steered run-to-completion datapath workers per switch. See the
+	// README section "Parallel datapath" for how to choose N.
+	Workers int
 }
 
 // Node is a running NFV compute node.
@@ -244,6 +249,7 @@ func NewNode(cfg Config) (*Node, error) {
 		Model:             &model,
 		Policy:            pol,
 		MaxParallelStarts: cfg.MaxParallelStarts,
+		DatapathWorkers:   cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
