@@ -12,7 +12,7 @@ GO ?= go
 # Keep in sync with the COVERAGE_BASELINE env of .github/workflows/ci.yml.
 COVERAGE_BASELINE ?= 75.0
 
-BENCH_PATTERN = ^(BenchmarkPipelineCached|BenchmarkPipelineParallel|BenchmarkTable1Throughput|BenchmarkReflavor|BenchmarkParallelDeploy)$$
+BENCH_PATTERN = ^(BenchmarkPipelineCached|BenchmarkPipelineParallel|BenchmarkTable1Throughput|BenchmarkReflavor|BenchmarkParallelDeploy|BenchmarkScaleOutThroughput|BenchmarkStateMigration)$$
 
 .PHONY: ci lint fmt vet staticcheck govulncheck build test race coverage \
 	bench-gate bench-baseline profile examples-smoke clean
@@ -101,9 +101,11 @@ examples-smoke:
 	done
 	@if command -v timeout >/dev/null 2>&1; then \
 		timeout 120 $(GO) run ./examples/quickstart && \
-		timeout 120 $(GO) run ./examples/multinode; \
+		timeout 120 $(GO) run ./examples/multinode && \
+		timeout 120 $(GO) run ./examples/scaleout; \
 	else \
-		$(GO) run ./examples/quickstart && $(GO) run ./examples/multinode; \
+		$(GO) run ./examples/quickstart && $(GO) run ./examples/multinode && \
+		$(GO) run ./examples/scaleout; \
 	fi
 
 clean:

@@ -152,7 +152,7 @@ func main() {
 	var (
 		baselinePath = flag.String("baseline", "BENCH_BASELINE.json", "baseline test2json benchmark run")
 		currentPath  = flag.String("current", "", "current test2json benchmark run")
-		gate         = flag.String("gate", "BenchmarkPipelineCached|BenchmarkPipelineParallel|BenchmarkTable1Throughput|BenchmarkReflavor|BenchmarkParallelDeploy",
+		gate         = flag.String("gate", "BenchmarkPipelineCached|BenchmarkPipelineParallel|BenchmarkTable1Throughput|BenchmarkReflavor|BenchmarkParallelDeploy|BenchmarkScaleOutThroughput|BenchmarkStateMigration",
 			"regexp of benchmark names the gate enforces")
 		maxRegress = flag.Float64("max-regress", 30, "max allowed ns/op regression percent on gated benchmarks")
 		allocGate  = flag.String("alloc-gate", "^BenchmarkPipelineCached/hit$|^BenchmarkPipelineParallel/",

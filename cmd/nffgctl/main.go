@@ -3,11 +3,16 @@
 //
 // Usage:
 //
-//	nffgctl [-server http://localhost:8080] deploy <graph.json>
+//	nffgctl [-server http://localhost:8080] deploy [-dry-run] <graph.json>
 //	nffgctl [-server ...] get <graph-id>
 //	nffgctl [-server ...] delete <graph-id>
 //	nffgctl [-server ...] list
 //	nffgctl [-server ...] status
+//
+// nffgctl speaks the versioned /v1 API surface. With -dry-run, deploy
+// validates and admission-checks the graph (including replica resource
+// demand) on the server and prints the would-be placement without
+// mutating anything.
 package main
 
 import (
@@ -34,27 +39,30 @@ func main() {
 	var err error
 	switch args[0] {
 	case "deploy":
-		if len(args) != 2 {
+		fs := flag.NewFlagSet("deploy", flag.ExitOnError)
+		dryRun := fs.Bool("dry-run", false, "validate and plan on the server without deploying")
+		_ = fs.Parse(args[1:])
+		if fs.NArg() != 1 {
 			usage()
 			os.Exit(2)
 		}
-		err = deploy(*server, args[1])
+		err = deploy(*server, fs.Arg(0), *dryRun)
 	case "get":
 		if len(args) != 2 {
 			usage()
 			os.Exit(2)
 		}
-		err = get(*server+"/NF-FG/"+args[1], true)
+		err = get(*server+"/v1/graphs/"+args[1], true)
 	case "delete":
 		if len(args) != 2 {
 			usage()
 			os.Exit(2)
 		}
-		err = del(*server + "/NF-FG/" + args[1])
+		err = del(*server + "/v1/graphs/" + args[1])
 	case "list":
-		err = get(*server+"/NF-FG", false)
+		err = get(*server+"/v1/graphs", false)
 	case "status":
-		err = get(*server+"/status", false)
+		err = get(*server+"/v1/status", false)
 	default:
 		usage()
 		os.Exit(2)
@@ -69,7 +77,9 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: nffgctl [-server URL] <command>
 
 commands:
-  deploy <graph.json>   PUT the NF-FG in the file (id read from the graph)
+  deploy [-dry-run] <graph.json>
+                        PUT the NF-FG in the file (id read from the graph);
+                        -dry-run plans placement without deploying
   get <graph-id>        print a deployed graph
   delete <graph-id>     undeploy a graph
   list                  list deployed graph ids
@@ -77,7 +87,7 @@ commands:
 `)
 }
 
-func deploy(server, path string) error {
+func deploy(server, path string, dryRun bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -90,7 +100,11 @@ func deploy(server, path string) error {
 	if err := g.Validate(); err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodPut, server+"/NF-FG/"+g.ID, bytes.NewReader(data))
+	url := server + "/v1/graphs/" + g.ID
+	if dryRun {
+		url += "?dry-run=true"
+	}
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(data))
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,10 @@
 //	nodectl [-server ...] capture eth0 -duration 2s -o out.pcap
 //	nodectl [-server ...] reflavor <graph> <nf> [tech]    # hot-swap an NF's
 //	        execution technology (omit tech to let the policy choose)
+//	nodectl [-server ...] scale <graph> <nf> <replicas>   # resize an NF's
+//	        replica set with live flow-state migration
+//
+// nodectl speaks the versioned /v1 API surface.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 )
 
 func main() {
@@ -37,13 +42,13 @@ func main() {
 		fs := flag.NewFlagSet("graph", flag.ExitOnError)
 		fs.StringVar(&format, "format", "", "output format: text (default), dot, json")
 		_ = fs.Parse(args[1:])
-		url := *server + "/topology"
+		url := *server + "/v1/topology"
 		if format != "" {
 			url += "?format=" + format
 		}
 		err = fetch(url, false)
 	case "status":
-		err = fetch(*server+"/status", true)
+		err = fetch(*server+"/v1/status", true)
 	case "capture":
 		fs := flag.NewFlagSet("capture", flag.ExitOnError)
 		duration := fs.String("duration", "1s", "capture duration")
@@ -72,6 +77,12 @@ func main() {
 			tech = args[3]
 		}
 		err = reflavor(*server, args[1], args[2], tech)
+	case "scale":
+		if len(args) != 4 {
+			usage()
+			os.Exit(2)
+		}
+		err = scale(*server, args[1], args[2], args[3])
 	default:
 		usage()
 		os.Exit(2)
@@ -93,6 +104,8 @@ commands:
   reflavor <graph> <nf> [vm|docker|dpdk|native]
                                      hot-swap one NF's execution technology in
                                      place (no tech: the placement policy picks)
+  scale <graph> <nf> <replicas>      resize one NF's replica set; flow state
+                                     migrates live, no packets are lost
 `)
 }
 
@@ -101,7 +114,24 @@ func reflavor(server, graph, nf, tech string) error {
 	if err != nil {
 		return err
 	}
-	url := fmt.Sprintf("%s/NF-FG/%s/nf/%s/reflavor", server, graph, nf)
+	url := fmt.Sprintf("%s/v1/graphs/%s/nfs/%s/reflavor", server, graph, nf)
+	return postJSON(url, body)
+}
+
+func scale(server, graph, nf, replicas string) error {
+	n, err := strconv.Atoi(replicas)
+	if err != nil {
+		return fmt.Errorf("replicas %q: not a number", replicas)
+	}
+	body, err := json.Marshal(map[string]int{"replicas": n})
+	if err != nil {
+		return err
+	}
+	url := fmt.Sprintf("%s/v1/graphs/%s/nfs/%s/scale", server, graph, nf)
+	return postJSON(url, body)
+}
+
+func postJSON(url string, body []byte) error {
 	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
 		return err
@@ -126,7 +156,7 @@ func capture(server, iface, duration, out string) error {
 	if out == "" {
 		out = iface + ".pcap"
 	}
-	resp, err := http.Get(server + "/capture/" + iface + "?duration=" + duration)
+	resp, err := http.Get(server + "/v1/capture/" + iface + "?duration=" + duration)
 	if err != nil {
 		return err
 	}

@@ -1,10 +1,11 @@
 // Command un-global runs the global orchestrator daemon: one control plane
 // over a fleet of Universal Nodes (each a cmd/un-orchestrator daemon).
 // Nodes register over the REST interface (or with -node at startup), inter-
-// node links are declared with POST /links, and NF-FGs submitted with PUT
-// /NF-FG/{id} are partitioned across the fleet by the resource-aware
-// placement scheduler. A reconcile loop probes node health and reschedules
-// graphs off dead nodes.
+// node links are declared with POST /v1/links, and NF-FGs submitted with
+// PUT /v1/graphs/{id} are partitioned across the fleet by the resource-
+// aware placement scheduler. A reconcile loop probes node health and
+// reschedules graphs off dead nodes. The legacy unversioned routes
+// (/NF-FG, /nodes, ...) remain as deprecated aliases.
 //
 // Usage:
 //
@@ -17,10 +18,10 @@
 //	un-orchestrator -listen :8082 -name n2 -interfaces trunk,wan &
 //	un-global -listen :9090 -node n1=http://127.0.0.1:8081 \
 //	                        -node n2=http://127.0.0.1:8082
-//	curl -X POST :9090/links -d '{"a-node":"n1","a-if":"trunk",
-//	                              "b-node":"n2","b-if":"trunk"}'
-//	curl -X PUT :9090/NF-FG/svc -d @graph.json
-//	curl :9090/NF-FG/svc/placement
+//	curl -X POST :9090/v1/links -d '{"a-node":"n1","a-if":"trunk",
+//	                                 "b-node":"n2","b-if":"trunk"}'
+//	curl -X PUT :9090/v1/graphs/svc -d @graph.json
+//	curl :9090/v1/graphs/svc/placement
 package main
 
 import (
@@ -78,7 +79,7 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "un-global: REST listening on %s (probe every %v)\n", *listen, *probe)
 	fmt.Fprintf(os.Stderr, "un-global: fleet telemetry on GET /metrics (per-node labels) and GET /events\n")
-	fmt.Fprintf(os.Stderr, "un-global: NF hot-swap on POST /NF-FG/{id}/nf/{nf}/reflavor (pressure relief at %.0f%% free CPU)\n", *pressure*100)
+	fmt.Fprintf(os.Stderr, "un-global: NF hot-swap on POST /v1/graphs/{id}/nfs/{nf}/reflavor, replica resize on POST /v1/graphs/{id}/nfs/{nf}/scale (pressure relief at %.0f%% free CPU)\n", *pressure*100)
 	if err := http.ListenAndServe(*listen, rest.NewGlobal(orch, client)); err != nil {
 		log.Fatalf("un-global: %v", err)
 	}

@@ -1,6 +1,7 @@
 // Command un-orchestrator runs the NFV compute node daemon: it assembles a
 // node (local orchestrator, compute drivers, NNF manager, image store,
-// resource ledger) and serves the NF-FG REST interface.
+// resource ledger) and serves the versioned NF-FG REST interface (/v1,
+// with the legacy unversioned routes kept as deprecated aliases).
 //
 // Usage:
 //
@@ -52,7 +53,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "un-orchestrator: node %q up, interfaces %v, datapath workers %d\n", *name, cfg.Interfaces, *workers)
 	fmt.Fprintf(os.Stderr, "un-orchestrator: REST listening on %s\n", *listen)
 	fmt.Fprintf(os.Stderr, "un-orchestrator: telemetry on GET /metrics (Prometheus text) and GET /events\n")
-	fmt.Fprintf(os.Stderr, "un-orchestrator: placement policy %q; NF hot-swap on POST /NF-FG/{id}/nf/{nf}/reflavor\n", *policy)
+	fmt.Fprintf(os.Stderr, "un-orchestrator: placement policy %q; NF hot-swap on POST /v1/graphs/{id}/nfs/{nf}/reflavor, replica resize on POST /v1/graphs/{id}/nfs/{nf}/scale\n", *policy)
 	if err := node.ListenAndServe(*listen); err != nil {
 		log.Fatalf("un-orchestrator: %v", err)
 	}

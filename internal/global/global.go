@@ -634,6 +634,90 @@ func (o *Orchestrator) Reflavor(graphID, nfID string, tech nffg.Technology) erro
 	return nil
 }
 
+// Scale resizes one NF's replica set on whichever node hosts it. The node's
+// local orchestrator performs the live flow-state migration; the fleet view
+// records the new replica count in the desired graph so reschedules and
+// drift repairs reproduce it.
+func (o *Orchestrator) Scale(graphID, nfID string, replicas int) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	dep, ok := o.graphs[graphID]
+	if !ok {
+		return fmt.Errorf("global: graph %q not deployed", graphID)
+	}
+	node, placed := dep.pl.NFNode[nfID]
+	if !placed {
+		return fmt.Errorf("global: graph %q has no NF %q", graphID, nfID)
+	}
+	m, registered := o.members[node]
+	if !registered || !m.alive {
+		return fmt.Errorf("global: node %q hosting %s/%s is unreachable", node, graphID, nfID)
+	}
+	if err := m.node.Scale(graphID, nfID, replicas); err != nil {
+		o.metrics.scaleFails.Inc()
+		return err
+	}
+	if n := dep.desired.FindNF(nfID); n != nil {
+		n.Replicas = replicas
+	}
+	if sub, ok := dep.subs[node]; ok {
+		if n := sub.FindNF(nfID); n != nil {
+			n.Replicas = replicas
+		}
+	}
+	o.metrics.scales.Inc()
+	o.journal.Recordf(telemetry.EventScale, node, graphID,
+		fmt.Sprintf("%s -> %d replicas", nfID, replicas))
+	return nil
+}
+
+// Plan is the global dry-run: validate the graph and partition it across
+// the currently-alive fleet — replica resource demand included — without
+// deploying anything or keeping any allocation.
+type Plan struct {
+	Graph string `json:"graph"`
+	// Exists reports whether the graph is already deployed fleet-wide (the
+	// PUT would be an update rather than a first deploy).
+	Exists bool `json:"exists"`
+	// NFs maps NF id -> hosting node; Endpoints maps endpoint id -> node.
+	NFs       map[string]string `json:"nfs"`
+	Endpoints map[string]string `json:"endpoints"`
+	// Subgraphs maps node -> the NF ids its subgraph would carry.
+	Subgraphs map[string][]string `json:"subgraphs"`
+}
+
+// PlanDeploy computes the would-be placement of a graph over the fleet.
+func (o *Orchestrator) PlanDeploy(g *nffg.Graph) (*Plan, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	dep := o.graphs[g.ID]
+	pl, subs, stitches, err := o.partition(g, dep)
+	if err != nil {
+		return nil, err
+	}
+	// Nothing is deployed: hand the stitch VLANs straight back.
+	o.releaseStitches(stitches)
+	plan := &Plan{
+		Graph:     g.ID,
+		Exists:    dep != nil,
+		NFs:       pl.NFNode,
+		Endpoints: pl.EPNode,
+		Subgraphs: make(map[string][]string, len(subs)),
+	}
+	for node, sub := range subs {
+		ids := make([]string, 0, len(sub.NFs))
+		for _, n := range sub.NFs {
+			ids = append(ids, n.ID)
+		}
+		sort.Strings(ids)
+		plan.Subgraphs[node] = ids
+	}
+	return plan, nil
+}
+
 // relievePressure shifts flavors on resource-pressured nodes: a node whose
 // free CPU dropped below the pressure threshold gets one NF hot-swapped to
 // the cheapest cheaper flavor its template packages — freeing capacity in

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -71,6 +72,8 @@ type Node interface {
 	// Reflavor hot-swaps one NF of a deployed (sub)graph onto a different
 	// execution technology.
 	Reflavor(graphID, nfID string, tech nffg.Technology) error
+	// Scale resizes one NF's replica set with live flow-state migration.
+	Scale(graphID, nfID string, replicas int) error
 	// GraphSpec fetches the deployed version of a graph for drift diffing.
 	GraphSpec(id string) (*nffg.Graph, bool, error)
 }
@@ -82,6 +85,7 @@ type UniversalNode interface {
 	Update(g *nffg.Graph) error
 	Undeploy(id string) error
 	Reflavor(graphID, nfID string, tech nffg.Technology) error
+	Scale(graphID, nfID string, replicas int) error
 	GraphIDs() []string
 	GraphSpec(id string) (*nffg.Graph, bool)
 	Topology() orchestrator.Topology
@@ -174,6 +178,14 @@ func (l *LocalNode) Reflavor(graphID, nfID string, tech nffg.Technology) error {
 	return l.un.Reflavor(graphID, nfID, tech)
 }
 
+// Scale implements Node.
+func (l *LocalNode) Scale(graphID, nfID string, replicas int) error {
+	if err := l.check(); err != nil {
+		return err
+	}
+	return l.un.Scale(graphID, nfID, replicas)
+}
+
 // GraphSpec implements Node.
 func (l *LocalNode) GraphSpec(id string) (*nffg.Graph, bool, error) {
 	if err := l.check(); err != nil {
@@ -232,7 +244,7 @@ type restStatus struct {
 
 // Status implements Node.
 func (h *HTTPNode) Status() (Status, error) {
-	resp, err := h.client.Get(h.base + "/status")
+	resp, err := h.client.Get(h.base + "/v1/status")
 	if err != nil {
 		return Status{}, fmt.Errorf("global: probing %q: %w", h.name, err)
 	}
@@ -266,7 +278,7 @@ func (h *HTTPNode) put(g *nffg.Graph) error {
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodPut, h.base+"/NF-FG/"+g.ID, bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPut, h.base+"/v1/graphs/"+g.ID, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -292,7 +304,7 @@ func (h *HTTPNode) Update(g *nffg.Graph) error { return h.put(g) }
 
 // Undeploy implements Node.
 func (h *HTTPNode) Undeploy(id string) error {
-	req, err := http.NewRequest(http.MethodDelete, h.base+"/NF-FG/"+id, nil)
+	req, err := http.NewRequest(http.MethodDelete, h.base+"/v1/graphs/"+id, nil)
 	if err != nil {
 		return err
 	}
@@ -314,7 +326,7 @@ func (h *HTTPNode) Reflavor(graphID, nfID string, tech nffg.Technology) error {
 	if err != nil {
 		return err
 	}
-	url := fmt.Sprintf("%s/NF-FG/%s/nf/%s/reflavor", h.base, graphID, nfID)
+	url := fmt.Sprintf("%s/v1/graphs/%s/nfs/%s/reflavor", h.base, graphID, nfID)
 	resp, err := h.client.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("global: reflavoring %s/%s on %q: %w", graphID, nfID, h.name, err)
@@ -327,9 +339,28 @@ func (h *HTTPNode) Reflavor(graphID, nfID string, tech nffg.Technology) error {
 	return nil
 }
 
+// Scale implements Node.
+func (h *HTTPNode) Scale(graphID, nfID string, replicas int) error {
+	body, err := json.Marshal(map[string]int{"replicas": replicas})
+	if err != nil {
+		return err
+	}
+	url := fmt.Sprintf("%s/v1/graphs/%s/nfs/%s/scale", h.base, graphID, nfID)
+	resp, err := h.client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("global: scaling %s/%s on %q: %w", graphID, nfID, h.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("global: scaling %s/%s on %q: HTTP %d: %s",
+			graphID, nfID, h.name, resp.StatusCode, readError(resp.Body))
+	}
+	return nil
+}
+
 // GraphSpec implements Node.
 func (h *HTTPNode) GraphSpec(id string) (*nffg.Graph, bool, error) {
-	resp, err := h.client.Get(h.base + "/NF-FG/" + id)
+	resp, err := h.client.Get(h.base + "/v1/graphs/" + id)
 	if err != nil {
 		return nil, false, fmt.Errorf("global: fetching %q from %q: %w", id, h.name, err)
 	}
@@ -348,17 +379,31 @@ func (h *HTTPNode) GraphSpec(id string) (*nffg.Graph, bool, error) {
 	return &g, true, nil
 }
 
-// readError extracts the {"error": "..."} body of a failed REST call.
+// readError extracts the message of a failed REST call's error envelope
+// ({"error": {"code", "message", "detail"}}), falling back to the
+// pre-versioning {"error": "..."} form and finally the raw body.
 func readError(r io.Reader) string {
 	data, err := io.ReadAll(io.LimitReader(r, 4096))
 	if err != nil {
 		return ""
 	}
-	var e struct {
+	var env struct {
+		Error struct {
+			Message string   `json:"message"`
+			Detail  []string `json:"detail"`
+		} `json:"error"`
+	}
+	if json.Unmarshal(data, &env) == nil && env.Error.Message != "" {
+		if len(env.Error.Detail) > 1 {
+			return env.Error.Message + " (" + strings.Join(env.Error.Detail, "; ") + ")"
+		}
+		return env.Error.Message
+	}
+	var legacy struct {
 		Error string `json:"error"`
 	}
-	if json.Unmarshal(data, &e) == nil && e.Error != "" {
-		return e.Error
+	if json.Unmarshal(data, &legacy) == nil && legacy.Error != "" {
+		return legacy.Error
 	}
 	return string(bytes.TrimSpace(data))
 }

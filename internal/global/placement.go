@@ -81,22 +81,28 @@ func estimateDemand(repo *repository.Repository, n nffg.NF) (nfDemand, error) {
 	if !ok {
 		return nfDemand{}, fmt.Errorf("global: NF %q: template %q not in repository", n.ID, n.Name)
 	}
-	d := nfDemand{nf: n, ram: tpl.WorkloadRAM}
+	// A scaled-out NF runs `replicas` instances on its node, so the whole
+	// replica set's demand must fit there.
+	reps := n.Replicas
+	if reps < 1 {
+		reps = 1
+	}
+	d := nfDemand{nf: n, ram: tpl.WorkloadRAM * uint64(reps)}
 	if n.TechnologyPreference != nffg.TechAny {
 		fl, ok := tpl.Flavors[n.TechnologyPreference]
 		if !ok {
 			return nfDemand{}, fmt.Errorf("global: NF %q: template %q has no %q flavor",
 				n.ID, n.Name, n.TechnologyPreference)
 		}
-		d.cpuMillis = fl.CPUMillis
+		d.cpuMillis = fl.CPUMillis * reps
 		d.anyOfCaps = []string{string(fl.Capability)}
 		return d, nil
 	}
 	first := true
 	for _, tech := range tpl.SupportedTechnologies() {
 		fl := tpl.Flavors[tech]
-		if first || fl.CPUMillis < d.cpuMillis {
-			d.cpuMillis = fl.CPUMillis
+		if first || fl.CPUMillis*reps < d.cpuMillis {
+			d.cpuMillis = fl.CPUMillis * reps
 			first = false
 		}
 		d.anyOfCaps = append(d.anyOfCaps, string(fl.Capability))

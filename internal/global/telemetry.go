@@ -22,6 +22,8 @@ type fleetMetrics struct {
 	scrapeFailures   telemetry.Counter
 	reflavors        telemetry.Counter
 	reflavorFails    telemetry.Counter
+	scales           telemetry.Counter
+	scaleFails       telemetry.Counter
 	reconcileLatency *telemetry.Histogram
 }
 
@@ -97,6 +99,8 @@ func (o *Orchestrator) Collect(e *telemetry.Exposition) {
 	e.Counter("un_global_scrape_failures_total", "Fleet metric scrapes that errored.", nil, m.scrapeFailures.Value())
 	e.Counter("un_global_reflavors_total", "NF flavor hot-swaps issued (API and pressure relief).", nil, m.reflavors.Value())
 	e.Counter("un_global_reflavor_failures_total", "NF flavor hot-swaps that failed.", nil, m.reflavorFails.Value())
+	e.Counter("un_global_scales_total", "NF replica-set resizes issued through the fleet API.", nil, m.scales.Value())
+	e.Counter("un_global_scale_failures_total", "NF replica-set resizes that failed.", nil, m.scaleFails.Value())
 	e.Histogram("un_global_reconcile_seconds", "Wall time of one reconcile pass.", nil, m.reconcileLatency.Snapshot())
 	e.Counter("un_global_journal_events_total", "Events ever recorded in the global journal.", nil, o.journal.Total())
 }
@@ -250,7 +254,7 @@ func (l *LocalNode) Events() ([]telemetry.Event, error) {
 
 // MetricsText implements MetricsSource over the node's REST interface.
 func (h *HTTPNode) MetricsText() (string, error) {
-	resp, err := h.client.Get(h.base + "/metrics")
+	resp, err := h.client.Get(h.base + "/v1/metrics")
 	if err != nil {
 		return "", fmt.Errorf("global: scraping %q: %w", h.name, err)
 	}
@@ -267,7 +271,7 @@ func (h *HTTPNode) MetricsText() (string, error) {
 
 // Events implements EventSource over the node's REST interface.
 func (h *HTTPNode) Events() ([]telemetry.Event, error) {
-	resp, err := h.client.Get(h.base + "/events")
+	resp, err := h.client.Get(h.base + "/v1/events")
 	if err != nil {
 		return nil, fmt.Errorf("global: fetching events of %q: %w", h.name, err)
 	}

@@ -93,15 +93,26 @@ type pathTable struct {
 // processor also serves as an ordinary per-graph firewall.
 //
 // Port convention: frames received on port 0 exit port 1 and vice versa.
+//
+// With `conntrack: "true"` in the configuration the firewall is stateful:
+// connections accepted from the inside (port 0) are recorded, and return
+// traffic on port 1 matching an established connection is accepted before
+// the rule tables are consulted — the iptables ESTABLISHED idiom. The
+// conntrack table is exportable per flow (StatefulNF), and because
+// FlowBucket is symmetric both directions of a tracked connection live in
+// the same steering bucket, so the table shards cleanly across replicas.
 type Firewall struct {
 	mu    sync.RWMutex
 	def   pathTable
 	paths map[uint16]*pathTable
+
+	conntrack bool
+	conns     map[FlowTuple]struct{} // established, keyed by the inside-originated direction
 }
 
 // NewFirewall returns a firewall whose default path accepts everything.
 func NewFirewall() *Firewall {
-	return &Firewall{paths: make(map[uint16]*pathTable)}
+	return &Firewall{paths: make(map[uint16]*pathTable), conns: make(map[FlowTuple]struct{})}
 }
 
 // NewFirewallFromConfig builds a firewall from an NF-FG configuration map:
@@ -143,10 +154,19 @@ func (f *Firewall) Configure(config map[string]string) error {
 	default:
 		return fmt.Errorf("nf: firewall default policy %q unknown", config["default"])
 	}
+	ct := false
+	switch strings.TrimSpace(config["conntrack"]) {
+	case "", "false":
+	case "true":
+		ct = true
+	default:
+		return fmt.Errorf("nf: firewall conntrack %q must be true or false", config["conntrack"])
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.def.rules = rules
 	f.def.defaultPolicy = policy
+	f.conntrack = ct
 	return nil
 }
 
@@ -255,6 +275,8 @@ func (f *Firewall) Process(inPort int, frame []byte) (Result, error) {
 		mark = v.VLANID
 	}
 
+	tuple := FlowTuple{Proto: ipLayer.Protocol, Src: ipLayer.SrcIP, Dst: ipLayer.DstIP, SrcPort: l4src, DstPort: l4dst}
+
 	f.mu.Lock()
 	table := &f.def
 	if mark != 0 {
@@ -263,11 +285,25 @@ func (f *Firewall) Process(inPort int, frame []byte) (Result, error) {
 		}
 	}
 	verdict := table.defaultPolicy
-	for _, r := range table.rules {
-		if r.matches(ipLayer, l4src, l4dst) {
-			verdict = r.Verdict
-			break
+	established := false
+	if f.conntrack && inPort == 1 {
+		// Return direction: an established inside-originated connection is
+		// accepted before the rule tables run (iptables ESTABLISHED).
+		rev := FlowTuple{Proto: tuple.Proto, Src: tuple.Dst, Dst: tuple.Src, SrcPort: tuple.DstPort, DstPort: tuple.SrcPort}
+		_, established = f.conns[rev]
+	}
+	if established {
+		verdict = VerdictAccept
+	} else {
+		for _, r := range table.rules {
+			if r.matches(ipLayer, l4src, l4dst) {
+				verdict = r.Verdict
+				break
+			}
 		}
+	}
+	if f.conntrack && inPort == 0 && verdict == VerdictAccept {
+		f.conns[tuple] = struct{}{}
 	}
 	table.hits++
 	if verdict == VerdictDrop {
@@ -279,6 +315,53 @@ func (f *Firewall) Process(inPort int, frame []byte) (Result, error) {
 		return Result{}, nil
 	}
 	return Result{Emissions: []Emission{{Port: outPort, Frame: frame}}}, nil
+}
+
+// Connections returns the number of tracked established connections.
+func (f *Firewall) Connections() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.conns)
+}
+
+// ExportFlowState implements StatefulNF: one entry per tracked connection,
+// keyed by the inside-originated direction.
+func (f *Firewall) ExportFlowState(filter func(FlowTuple) bool) []FlowState {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	var out []FlowState
+	for t := range f.conns {
+		if filter != nil && !filter(t) {
+			continue
+		}
+		out = append(out, FlowState{Tuple: t, Kind: "conntrack"})
+	}
+	return out
+}
+
+// ImportFlowState implements StatefulNF. Importing is idempotent.
+func (f *Firewall) ImportFlowState(states []FlowState) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, st := range states {
+		if st.Kind != "conntrack" {
+			continue
+		}
+		f.conns[st.Tuple] = struct{}{}
+	}
+	return nil
+}
+
+// DropFlowState removes tracked connections the filter accepts (nil drops
+// all) — the source-side cleanup after a bucket migrates away.
+func (f *Firewall) DropFlowState(filter func(FlowTuple) bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for t := range f.conns {
+		if filter == nil || filter(t) {
+			delete(f.conns, t)
+		}
+	}
 }
 
 // PathStats returns hit/drop counters for a mark path (mark 0 = default).

@@ -1,6 +1,8 @@
 package nf
 
 import (
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/pkt"
@@ -119,6 +121,89 @@ func (g *IPsec) AddSA(sa *SA) error { return g.sadb.Add(sa) }
 
 // SADB exposes the SA database (for tests and inspection).
 func (g *IPsec) SADB() *SADB { return g.sadb }
+
+// saState is the wire encoding of one exported SA: identity, key material
+// and the mutable send/anti-replay counters.
+type saState struct {
+	SPI           uint32 `json:"spi"`
+	Local         string `json:"local"`
+	Remote        string `json:"remote"`
+	Key           string `json:"key"` // hex, AES-128 || salt
+	Seq           uint32 `json:"seq"`
+	ReplayHighest uint32 `json:"replay-highest"`
+	ReplayBitmap  uint64 `json:"replay-bitmap"`
+}
+
+// saTuple is the steering identity of an SA: the inbound ESP flow from the
+// peer. ESP carries no transport ports, so the datapath flow key of those
+// frames has zero ports — this tuple hashes exactly like they do.
+func saTuple(sa *SA) FlowTuple {
+	return FlowTuple{Proto: pkt.IPProtocolESP, Src: sa.Remote, Dst: sa.Local}
+}
+
+// ExportFlowState implements StatefulNF: one entry per SA, keyed by the
+// peer's inbound ESP flow. The export includes live sequence/anti-replay
+// counters so the importing replica neither reuses a GCM nonce nor
+// re-accepts a replayed datagram.
+func (g *IPsec) ExportFlowState(filter func(FlowTuple) bool) []FlowState {
+	var out []FlowState
+	for _, sa := range g.sadb.All() {
+		t := saTuple(sa)
+		if filter != nil && !filter(t) {
+			continue
+		}
+		seq, high, bitmap := sa.exportState()
+		data, err := json.Marshal(saState{
+			SPI:    sa.SPI,
+			Local:  sa.Local.String(),
+			Remote: sa.Remote.String(),
+			Key:    hex.EncodeToString(sa.KeyMaterial()),
+			Seq:    seq, ReplayHighest: high, ReplayBitmap: bitmap,
+		})
+		if err != nil {
+			continue
+		}
+		out = append(out, FlowState{Tuple: t, Kind: "ipsec-sa", Data: data})
+	}
+	return out
+}
+
+// ImportFlowState implements StatefulNF. An SA already present (same SPI)
+// only has its counters merged forward; otherwise the SA is installed.
+func (g *IPsec) ImportFlowState(states []FlowState) error {
+	for _, st := range states {
+		if st.Kind != "ipsec-sa" {
+			continue
+		}
+		var s saState
+		if err := json.Unmarshal(st.Data, &s); err != nil {
+			return fmt.Errorf("nf: ipsec import: %w", err)
+		}
+		if sa, ok := g.sadb.BySPI(s.SPI); ok {
+			sa.restoreState(s.Seq, s.ReplayHighest, s.ReplayBitmap)
+			continue
+		}
+		local, err := pkt.ParseAddr(s.Local)
+		if err != nil {
+			return fmt.Errorf("nf: ipsec import: %w", err)
+		}
+		remote, err := pkt.ParseAddr(s.Remote)
+		if err != nil {
+			return fmt.Errorf("nf: ipsec import: %w", err)
+		}
+		key, err := ParseSAKey(s.Key)
+		if err != nil {
+			return fmt.Errorf("nf: ipsec import: %w", err)
+		}
+		sa, err := NewSA(s.SPI, local, remote, key)
+		if err != nil {
+			return fmt.Errorf("nf: ipsec import: %w", err)
+		}
+		sa.restoreState(s.Seq, s.ReplayHighest, s.ReplayBitmap)
+		g.sadb.Put(sa)
+	}
+	return nil
+}
 
 // Process implements Processor.
 func (g *IPsec) Process(inPort int, frame []byte) (Result, error) {

@@ -1,6 +1,7 @@
 package nf
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 
@@ -13,24 +14,57 @@ const (
 	NATPortOutside = 1
 )
 
-// natKey identifies an inside connection.
-type natKey struct {
-	proto pkt.IPProtocol
-	ip    pkt.Addr
-	port  uint16
+// natConn identifies one inside-originated connection by its full
+// 5-tuple. Keying translations per connection (symmetric NAT, RFC 4787
+// address-and-port-dependent mapping) rather than per inside endpoint is
+// what makes the NAT shardable: a binding then belongs to exactly one
+// steering bucket, so it can move between replicas with its flow.
+type natConn struct {
+	proto   pkt.IPProtocol
+	srcIP   pkt.Addr
+	srcPort uint16
+	dstIP   pkt.Addr
+	dstPort uint16
+}
+
+// tuple returns the steering 5-tuple of the connection's inside-to-outside
+// direction — the identity a binding exports under.
+func (c natConn) tuple() FlowTuple {
+	return FlowTuple{Proto: c.proto, Src: c.srcIP, Dst: c.dstIP, SrcPort: c.srcPort, DstPort: c.dstPort}
+}
+
+// natRev identifies a translation from the return direction: remote
+// endpoint plus allocated external port. Return packets are only accepted
+// from the remote the binding was created toward (symmetric NAT), which is
+// also what makes concurrent replicas allocation-safe — see allocPort.
+type natRev struct {
+	proto      pkt.IPProtocol
+	remoteIP   pkt.Addr
+	remotePort uint16
+	extPort    uint16
+}
+
+// natOrigin is the inside endpoint a return packet is rewritten back to.
+type natOrigin struct {
+	ip   pkt.Addr
+	port uint16
 }
 
 // NAT is a source NAT (masquerade), one of the "(large) number of common
 // network functions" a Linux CPE ships natively. Traffic from the inside
 // port is rewritten to the external address with an allocated port; return
 // traffic on the outside port is translated back.
+//
+// NAT implements StatefulNF: its bindings export keyed by the outbound
+// 5-tuple so the orchestrator can re-home a bucket's flows to another
+// replica without dropping established connections.
 type NAT struct {
 	external pkt.Addr
 
 	mu       sync.Mutex
 	nextPort uint16
-	forward  map[natKey]uint16 // inside (proto,ip,port) -> external port
-	reverse  map[uint16]natKey // external port -> inside
+	forward  map[natConn]uint16   // outbound 5-tuple -> external port
+	reverse  map[natRev]natOrigin // return direction -> inside endpoint
 }
 
 // natPortBase is the first external port allocated.
@@ -41,8 +75,8 @@ func NewNAT(external pkt.Addr) *NAT {
 	return &NAT{
 		external: external,
 		nextPort: natPortBase,
-		forward:  make(map[natKey]uint16),
-		reverse:  make(map[uint16]natKey),
+		forward:  make(map[natConn]uint16),
+		reverse:  make(map[natRev]natOrigin),
 	}
 }
 
@@ -66,6 +100,107 @@ func (n *NAT) Bindings() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return len(n.forward)
+}
+
+// allocPort picks an unused external port for conn such that the RETURN
+// flow (remote -> external:port) hashes to the same steering bucket as the
+// outbound flow. That constraint keeps both directions of a connection on
+// the same replica, and it also makes allocation conflict-free across
+// replicas with no coordination: a colliding allocation would need two
+// replicas to pick the same (remote, remote-port, ext-port) triple, but
+// that triple fully determines the return bucket, and a bucket is owned by
+// exactly one replica — so only the owner can ever mint bindings for it,
+// and the local reverse-map check suffices. With 64 buckets the search
+// visits ~64 candidate ports per allocation.
+//
+// Caller holds n.mu.
+func (n *NAT) allocPort(conn natConn) (uint16, bool) {
+	want := conn.tuple().Bucket()
+	for tries := 0; tries < 1<<16; tries++ {
+		p := n.nextPort
+		n.nextPort++
+		if n.nextPort == 0 {
+			n.nextPort = natPortBase
+		}
+		rk := natRev{proto: conn.proto, remoteIP: conn.dstIP, remotePort: conn.dstPort, extPort: p}
+		if _, used := n.reverse[rk]; used {
+			continue
+		}
+		ret := FlowTuple{Proto: conn.proto, Src: conn.dstIP, Dst: n.external, SrcPort: conn.dstPort, DstPort: p}
+		if ret.Bucket() != want {
+			continue
+		}
+		return p, true
+	}
+	return 0, false
+}
+
+// natBindingData is the wire encoding of one exported binding; the
+// connection 5-tuple itself rides in FlowState.Tuple.
+type natBindingData struct {
+	ExtPort uint16 `json:"ext-port"`
+}
+
+// ExportFlowState implements StatefulNF.
+func (n *NAT) ExportFlowState(filter func(FlowTuple) bool) []FlowState {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []FlowState
+	for conn, ext := range n.forward {
+		t := conn.tuple()
+		if filter != nil && !filter(t) {
+			continue
+		}
+		data, err := json.Marshal(natBindingData{ExtPort: ext})
+		if err != nil {
+			continue // cannot happen for a fixed struct
+		}
+		out = append(out, FlowState{Tuple: t, Kind: "nat-binding", Data: data})
+	}
+	return out
+}
+
+// ImportFlowState implements StatefulNF. Re-importing an existing binding
+// overwrites it (catch-up passes re-send flows already moved).
+func (n *NAT) ImportFlowState(states []FlowState) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, st := range states {
+		if st.Kind != "nat-binding" {
+			continue
+		}
+		var d natBindingData
+		if err := json.Unmarshal(st.Data, &d); err != nil {
+			return fmt.Errorf("nf: nat import: %w", err)
+		}
+		conn := natConn{
+			proto: st.Tuple.Proto,
+			srcIP: st.Tuple.Src, srcPort: st.Tuple.SrcPort,
+			dstIP: st.Tuple.Dst, dstPort: st.Tuple.DstPort,
+		}
+		if old, ok := n.forward[conn]; ok && old != d.ExtPort {
+			delete(n.reverse, natRev{proto: conn.proto, remoteIP: conn.dstIP, remotePort: conn.dstPort, extPort: old})
+		}
+		n.forward[conn] = d.ExtPort
+		n.reverse[natRev{proto: conn.proto, remoteIP: conn.dstIP, remotePort: conn.dstPort, extPort: d.ExtPort}] =
+			natOrigin{ip: conn.srcIP, port: conn.srcPort}
+	}
+	return nil
+}
+
+// DropFlowState removes the bindings the filter accepts — the source side
+// of a completed migration, so a later scale-up cannot resurrect stale
+// state. A nil filter clears everything.
+func (n *NAT) DropFlowState(filter func(FlowTuple) bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for conn, ext := range n.forward {
+		if filter != nil && !filter(conn.tuple()) {
+			continue
+		}
+		delete(n.forward, conn)
+		delete(n.reverse, natRev{proto: conn.proto, remoteIP: conn.dstIP, remotePort: conn.dstPort, extPort: ext})
+	}
 }
 
 // Process implements Processor.
@@ -112,34 +247,31 @@ func (n *NAT) outbound(frame []byte) (Result, error) {
 	if eth == nil || ip == nil {
 		return Result{}, nil // not translatable: drop
 	}
-	var srcPort uint16
+	var srcPort, dstPort uint16
 	var l4 pkt.Layer
 	var payload []byte
 	switch t := p.TransportLayer().(type) {
 	case *pkt.UDP:
-		srcPort, l4, payload = t.SrcPort, t, t.LayerPayload()
+		srcPort, dstPort, l4, payload = t.SrcPort, t.DstPort, t, t.LayerPayload()
 	case *pkt.TCP:
-		srcPort, l4, payload = t.SrcPort, t, t.LayerPayload()
+		srcPort, dstPort, l4, payload = t.SrcPort, t.DstPort, t, t.LayerPayload()
 	default:
 		return Result{}, nil // ICMP etc. not handled by this NAT
 	}
 
-	key := natKey{proto: ip.Protocol, ip: ip.SrcIP, port: srcPort}
+	conn := natConn{proto: ip.Protocol, srcIP: ip.SrcIP, srcPort: srcPort, dstIP: ip.DstIP, dstPort: dstPort}
 	n.mu.Lock()
-	ext, ok := n.forward[key]
+	ext, ok := n.forward[conn]
 	if !ok {
-		for {
-			ext = n.nextPort
-			n.nextPort++
-			if n.nextPort == 0 {
-				n.nextPort = natPortBase
-			}
-			if _, used := n.reverse[ext]; !used {
-				break
-			}
+		var free bool
+		ext, free = n.allocPort(conn)
+		if !free {
+			n.mu.Unlock()
+			return Result{}, fmt.Errorf("nf: nat port space exhausted")
 		}
-		n.forward[key] = ext
-		n.reverse[ext] = key
+		n.forward[conn] = ext
+		n.reverse[natRev{proto: conn.proto, remoteIP: conn.dstIP, remotePort: conn.dstPort, extPort: ext}] =
+			natOrigin{ip: conn.srcIP, port: conn.srcPort}
 	}
 	n.mu.Unlock()
 
@@ -164,31 +296,31 @@ func (n *NAT) inbound(frame []byte) (Result, error) {
 	if eth == nil || ip == nil || ip.DstIP != n.external {
 		return Result{}, nil
 	}
-	var dstPort uint16
+	var srcPort, dstPort uint16
 	var l4 pkt.Layer
 	var payload []byte
 	switch t := p.TransportLayer().(type) {
 	case *pkt.UDP:
-		dstPort, l4, payload = t.DstPort, t, t.LayerPayload()
+		srcPort, dstPort, l4, payload = t.SrcPort, t.DstPort, t, t.LayerPayload()
 	case *pkt.TCP:
-		dstPort, l4, payload = t.DstPort, t, t.LayerPayload()
+		srcPort, dstPort, l4, payload = t.SrcPort, t.DstPort, t, t.LayerPayload()
 	default:
 		return Result{}, nil
 	}
 
 	n.mu.Lock()
-	key, ok := n.reverse[dstPort]
+	origin, ok := n.reverse[natRev{proto: ip.Protocol, remoteIP: ip.SrcIP, remotePort: srcPort, extPort: dstPort}]
 	n.mu.Unlock()
-	if !ok || key.proto != ip.Protocol {
-		return Result{}, nil // no binding: drop, like a real masquerade
+	if !ok {
+		return Result{}, nil // no binding from that remote: drop, like a real symmetric NAT
 	}
 
-	ip.DstIP = key.ip
+	ip.DstIP = origin.ip
 	switch t := l4.(type) {
 	case *pkt.UDP:
-		t.DstPort = key.port
+		t.DstPort = origin.port
 	case *pkt.TCP:
-		t.DstPort = key.port
+		t.DstPort = origin.port
 	}
 	out, err := rewrite(eth, ip, l4, payload)
 	if err != nil {

@@ -189,15 +189,22 @@ func TestNATOutboundInboundRoundTrip(t *testing.T) {
 
 func TestNATStableBindingAndUnknownDrop(t *testing.T) {
 	n := NewNAT(pkt.Addr{198, 51, 100, 1})
+	// Same connection twice: the binding is stable.
 	r1, _ := n.Process(NATPortInside, udpFrame(t, ipA, ipB, 1000, 80, 0))
-	r2, _ := n.Process(NATPortInside, udpFrame(t, ipA, ipB, 1000, 443, 0))
+	r2, _ := n.Process(NATPortInside, udpFrame(t, ipA, ipB, 1000, 80, 0))
 	p1 := pkt.NewPacket(r1.Emissions[0].Frame, pkt.LayerTypeEthernet, pkt.Default).Layer(pkt.LayerTypeUDP).(*pkt.UDP)
 	p2 := pkt.NewPacket(r2.Emissions[0].Frame, pkt.LayerTypeEthernet, pkt.Default).Layer(pkt.LayerTypeUDP).(*pkt.UDP)
 	if p1.SrcPort != p2.SrcPort {
-		t.Error("same inside endpoint got different bindings")
+		t.Error("same connection got different bindings")
 	}
 	if n.Bindings() != 1 {
 		t.Errorf("bindings = %d, want 1", n.Bindings())
+	}
+	// Symmetric NAT: a different remote service is a distinct connection
+	// with its own mapping.
+	n.Process(NATPortInside, udpFrame(t, ipA, ipB, 1000, 443, 0))
+	if n.Bindings() != 2 {
+		t.Errorf("bindings after second connection = %d, want 2", n.Bindings())
 	}
 	// Unsolicited inbound to an unbound port: dropped.
 	res, _ := n.Process(NATPortOutside, udpFrame(t, ipB, pkt.Addr{198, 51, 100, 1}, 80, 9999, 0))

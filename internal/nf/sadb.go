@@ -63,6 +63,9 @@ type SA struct {
 
 	aead cipher.AEAD
 	salt [4]byte
+	// keyMaterial is retained so the SA can be exported to a sibling
+	// replica during scale-out state migration.
+	keyMaterial []byte
 
 	mu     sync.Mutex
 	seq    uint32 // last sequence number sent
@@ -91,7 +94,35 @@ func NewSA(spi uint32, local, remote pkt.Addr, keyMaterial []byte) (*SA, error) 
 	}
 	sa := &SA{SPI: spi, Local: local, Remote: remote, aead: aead}
 	copy(sa.salt[:], keyMaterial[16:])
+	sa.keyMaterial = append([]byte(nil), keyMaterial...)
 	return sa, nil
+}
+
+// KeyMaterial returns the SA's raw key material (for state export).
+func (sa *SA) KeyMaterial() []byte { return sa.keyMaterial }
+
+// exportState snapshots the mutable per-direction state.
+func (sa *SA) exportState() (seq, replayHighest uint32, replayBitmap uint64) {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	return sa.seq, sa.replay.highest, sa.replay.bitmap
+}
+
+// restoreState installs state exported from a sibling replica's SA. The
+// counters only move forward: a catch-up import never rewinds the send
+// sequence (which would reuse GCM nonces) or the anti-replay window.
+func (sa *SA) restoreState(seq, replayHighest uint32, replayBitmap uint64) {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	if seq > sa.seq {
+		sa.seq = seq
+	}
+	if replayHighest > sa.replay.highest {
+		sa.replay.highest = replayHighest
+		sa.replay.bitmap = replayBitmap
+	} else if replayHighest == sa.replay.highest {
+		sa.replay.bitmap |= replayBitmap
+	}
 }
 
 // ParseSAKey decodes hex key material ("0011..ff", 40 hex chars).
@@ -264,6 +295,26 @@ func (db *SADB) ByPeer(remote pkt.Addr) (*SA, bool) {
 	defer db.mu.RUnlock()
 	sa, ok := db.byPeer[remote]
 	return sa, ok
+}
+
+// Put installs an SA, replacing any existing one with the same SPI (the
+// idempotent form Add used by state import).
+func (db *SADB) Put(sa *SA) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.bySPI[sa.SPI] = sa
+	db.byPeer[sa.Remote] = sa
+}
+
+// All returns a snapshot of every installed SA.
+func (db *SADB) All() []*SA {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]*SA, 0, len(db.bySPI))
+	for _, sa := range db.bySPI {
+		out = append(out, sa)
+	}
+	return out
 }
 
 // Len returns the number of installed SAs.

@@ -1,0 +1,72 @@
+package nf
+
+import (
+	"repro/internal/pkt"
+	"repro/internal/vswitch"
+)
+
+// Per-flow state export/import: the contract that makes a stateful NF
+// scalable. When a logical NF runs as N replicas behind consistent-hash
+// bucket steering, rebalancing a bucket from one replica to another moves
+// two things in lockstep: the steering rule (vswitch SelectBucket table)
+// and the per-flow state the old replica accumulated for that bucket's
+// flows. StatefulNF is the second half — a processor that can serialize
+// the state of a selected subset of its flows and absorb such a dump from
+// a sibling replica.
+
+// FlowTuple identifies a flow the same way the datapath steering does: by
+// transport 5-tuple. Its Bucket method IS the steering function — an NF
+// and the vswitch must never disagree about which replica owns a flow.
+//
+// The tuple is direction-sensitive (Src is the packet's source); a
+// processor exporting state for a bidirectional flow reports the tuple of
+// the direction that reaches it through the scaled steering point, because
+// that is the direction whose bucket decides ownership.
+type FlowTuple struct {
+	Proto   pkt.IPProtocol `json:"proto"`
+	Src     pkt.Addr       `json:"src"`
+	Dst     pkt.Addr       `json:"dst"`
+	SrcPort uint16         `json:"src-port"`
+	DstPort uint16         `json:"dst-port"`
+}
+
+// Bucket returns the consistent-hash steering bucket this flow belongs to.
+func (t FlowTuple) Bucket() int {
+	return vswitch.FlowBucket(t.Proto, t.Src, t.Dst, t.SrcPort, t.DstPort)
+}
+
+// FlowState is one exportable unit of per-flow state. Kind names the state
+// table it came from ("nat-binding", "conntrack", "ipsec-sa"); Data is an
+// opaque processor-defined encoding that only the same processor type needs
+// to understand.
+type FlowState struct {
+	Tuple FlowTuple `json:"tuple"`
+	Kind  string    `json:"kind"`
+	Data  []byte    `json:"data"`
+}
+
+// StatefulNF is implemented by processors whose correctness depends on
+// per-flow state (NAT bindings, firewall conntrack, IPsec SAs). The
+// orchestrator uses it during scale-out rebalancing: export the moving
+// buckets' flows from the source replica, import them into the target,
+// then repoint steering.
+type StatefulNF interface {
+	// ExportFlowState returns the state of every flow the filter accepts.
+	// A nil filter exports everything. The source replica keeps serving
+	// (and keeps its state) until steering moves — export is a snapshot,
+	// not a handoff, so the orchestrator runs a second catch-up pass after
+	// repointing.
+	ExportFlowState(filter func(FlowTuple) bool) []FlowState
+
+	// ImportFlowState installs state exported by a sibling replica.
+	// Imports are idempotent: re-importing a flow already present (as the
+	// catch-up pass will) overwrites it rather than erroring.
+	ImportFlowState(states []FlowState) error
+}
+
+// BucketFilter returns an export filter accepting exactly the flows whose
+// bucket is in the given set — the filter the rebalancer uses to move a
+// bucket range between replicas.
+func BucketFilter(buckets map[int]bool) func(FlowTuple) bool {
+	return func(t FlowTuple) bool { return buckets[t.Bucket()] }
+}

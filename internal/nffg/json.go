@@ -27,6 +27,7 @@ type jsonNF struct {
 	Ports      []jsonNFPort      `json:"ports,omitempty"`
 	Technology string            `json:"technology-preference,omitempty"`
 	Config     map[string]string `json:"configuration,omitempty"`
+	Replicas   int               `json:"replicas,omitempty"`
 }
 
 type jsonNFPort struct {
@@ -94,6 +95,7 @@ func (g *Graph) MarshalJSON() ([]byte, error) {
 			Name:       nf.Name,
 			Technology: string(nf.TechnologyPreference),
 			Config:     nf.Config,
+			Replicas:   nf.Replicas,
 		}
 		for _, p := range nf.Ports {
 			jnf.Ports = append(jnf.Ports, jsonNFPort(p))
@@ -170,6 +172,7 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 			Name:                 jnf.Name,
 			TechnologyPreference: Technology(jnf.Technology),
 			Config:               jnf.Config,
+			Replicas:             jnf.Replicas,
 		}
 		for _, p := range jnf.Ports {
 			nf.Ports = append(nf.Ports, NFPort(p))

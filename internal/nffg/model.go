@@ -61,6 +61,11 @@ type NF struct {
 	// Config carries NF-specific configuration handed to the driver at
 	// start time (the paper's "predefined configuration script").
 	Config map[string]string
+	// Replicas asks the orchestrator to shard this NF across N instances
+	// behind consistent-hash flow steering. 0 and 1 both mean a single
+	// instance. Replicas beyond 1 require a stateful-scalable NF: per-flow
+	// state migrates between instances as the replica set changes.
+	Replicas int
 }
 
 // NFPort is one port of an NF.

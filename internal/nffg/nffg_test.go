@@ -199,6 +199,28 @@ func TestValidateRejections(t *testing.T) {
 	}
 }
 
+func TestValidateCollectsAllViolations(t *testing.T) {
+	// Three independent defects; one pass must report every one of them.
+	g := sampleGraph()
+	g.NFs[0].Name = ""
+	g.Rules[0].Match.PortIn = EndpointRef("ghost")
+	g.Rules[1].Priority = 70000
+	err := g.Validate()
+	if err == nil {
+		t.Fatal("validation passed")
+	}
+	vs := Violations(err)
+	if len(vs) != 3 {
+		t.Fatalf("Violations = %d (%q), want 3", len(vs), vs)
+	}
+	joined := strings.Join(vs, "\n")
+	for _, want := range []string{"name", "ghost", "priority"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("violations %q miss %q", vs, want)
+		}
+	}
+}
+
 func TestDiff(t *testing.T) {
 	old := sampleGraph()
 	upd := sampleGraph()

@@ -1,44 +1,64 @@
 package nffg
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 )
 
-// Validate checks the structural consistency of a graph: unique identifiers,
-// resolvable port references, well-formed selectors. A graph must validate
-// before the orchestrator will deploy it.
+// MaxReplicas bounds NF.Replicas: more replicas than steering buckets
+// cannot all receive traffic (the vswitch shards flows over 64
+// consistent-hash buckets).
+const MaxReplicas = 64
+
+// Validate checks the structural consistency of a graph: unique
+// identifiers, resolvable port references, well-formed selectors. A graph
+// must validate before the orchestrator will deploy it.
+//
+// Validation runs the whole graph and returns ALL violations joined into
+// one error (errors.Join), not just the first — a dry-run or admission
+// reject reports everything the author has to fix in one round trip.
 func (g *Graph) Validate() error {
+	var errs []error
+	bad := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
 	if g.ID == "" {
-		return fmt.Errorf("nffg: graph id is empty")
+		bad("nffg: graph id is empty")
 	}
 	nfIDs := make(map[string]bool, len(g.NFs))
 	for _, nf := range g.NFs {
 		if nf.ID == "" {
-			return fmt.Errorf("nffg: graph %q: NF with empty id", g.ID)
+			bad("nffg: graph %q: NF with empty id", g.ID)
+			continue
 		}
 		if nfIDs[nf.ID] {
-			return fmt.Errorf("nffg: graph %q: duplicate NF id %q", g.ID, nf.ID)
+			bad("nffg: graph %q: duplicate NF id %q", g.ID, nf.ID)
 		}
 		nfIDs[nf.ID] = true
 		if nf.Name == "" {
-			return fmt.Errorf("nffg: graph %q: NF %q has no template name", g.ID, nf.ID)
+			bad("nffg: graph %q: NF %q has no template name", g.ID, nf.ID)
 		}
 		if !nf.TechnologyPreference.Valid() {
-			return fmt.Errorf("nffg: graph %q: NF %q has unknown technology %q",
+			bad("nffg: graph %q: NF %q has unknown technology %q",
 				g.ID, nf.ID, nf.TechnologyPreference)
 		}
+		if nf.Replicas < 0 || nf.Replicas > MaxReplicas {
+			bad("nffg: graph %q: NF %q: replicas %d out of range [0,%d]",
+				g.ID, nf.ID, nf.Replicas, MaxReplicas)
+		}
 		if len(nf.Ports) == 0 {
-			return fmt.Errorf("nffg: graph %q: NF %q has no ports", g.ID, nf.ID)
+			bad("nffg: graph %q: NF %q has no ports", g.ID, nf.ID)
 		}
 		portIDs := make(map[string]bool, len(nf.Ports))
 		for _, p := range nf.Ports {
 			if p.ID == "" {
-				return fmt.Errorf("nffg: graph %q: NF %q has a port with empty id", g.ID, nf.ID)
+				bad("nffg: graph %q: NF %q has a port with empty id", g.ID, nf.ID)
+				continue
 			}
 			if portIDs[p.ID] {
-				return fmt.Errorf("nffg: graph %q: NF %q duplicate port id %q", g.ID, nf.ID, p.ID)
+				bad("nffg: graph %q: NF %q duplicate port id %q", g.ID, nf.ID, p.ID)
 			}
 			portIDs[p.ID] = true
 		}
@@ -46,64 +66,66 @@ func (g *Graph) Validate() error {
 	epIDs := make(map[string]bool, len(g.Endpoints))
 	for _, ep := range g.Endpoints {
 		if ep.ID == "" {
-			return fmt.Errorf("nffg: graph %q: endpoint with empty id", g.ID)
+			bad("nffg: graph %q: endpoint with empty id", g.ID)
+			continue
 		}
 		if epIDs[ep.ID] {
-			return fmt.Errorf("nffg: graph %q: duplicate endpoint id %q", g.ID, ep.ID)
+			bad("nffg: graph %q: duplicate endpoint id %q", g.ID, ep.ID)
 		}
 		epIDs[ep.ID] = true
 		switch ep.Type {
 		case EPInterface:
 			if ep.Interface == "" {
-				return fmt.Errorf("nffg: graph %q: endpoint %q: missing if-name", g.ID, ep.ID)
+				bad("nffg: graph %q: endpoint %q: missing if-name", g.ID, ep.ID)
 			}
 		case EPVLAN:
 			if ep.Interface == "" {
-				return fmt.Errorf("nffg: graph %q: endpoint %q: missing if-name", g.ID, ep.ID)
+				bad("nffg: graph %q: endpoint %q: missing if-name", g.ID, ep.ID)
 			}
 			if ep.VLANID == 0 || ep.VLANID > 4094 {
-				return fmt.Errorf("nffg: graph %q: endpoint %q: vlan id %d out of range",
+				bad("nffg: graph %q: endpoint %q: vlan id %d out of range",
 					g.ID, ep.ID, ep.VLANID)
 			}
 		case EPInternal:
 			if ep.InternalGroup == "" {
-				return fmt.Errorf("nffg: graph %q: endpoint %q: missing internal-group", g.ID, ep.ID)
+				bad("nffg: graph %q: endpoint %q: missing internal-group", g.ID, ep.ID)
 			}
 		default:
-			return fmt.Errorf("nffg: graph %q: endpoint %q: unknown type %q", g.ID, ep.ID, ep.Type)
+			bad("nffg: graph %q: endpoint %q: unknown type %q", g.ID, ep.ID, ep.Type)
 		}
 	}
 	ruleIDs := make(map[string]bool, len(g.Rules))
 	for _, r := range g.Rules {
 		if r.ID == "" {
-			return fmt.Errorf("nffg: graph %q: rule with empty id", g.ID)
+			bad("nffg: graph %q: rule with empty id", g.ID)
+			continue
 		}
 		if ruleIDs[r.ID] {
-			return fmt.Errorf("nffg: graph %q: duplicate rule id %q", g.ID, r.ID)
+			bad("nffg: graph %q: duplicate rule id %q", g.ID, r.ID)
 		}
 		ruleIDs[r.ID] = true
 		if r.Priority < 0 || r.Priority > 65535 {
-			return fmt.Errorf("nffg: graph %q: rule %q: priority %d out of range", g.ID, r.ID, r.Priority)
+			bad("nffg: graph %q: rule %q: priority %d out of range", g.ID, r.ID, r.Priority)
 		}
 		if r.Match.PortIn.IsZero() {
-			return fmt.Errorf("nffg: graph %q: rule %q: missing port_in", g.ID, r.ID)
-		}
-		if err := g.checkRef(r.Match.PortIn); err != nil {
-			return fmt.Errorf("nffg: graph %q: rule %q: port_in: %w", g.ID, r.ID, err)
+			bad("nffg: graph %q: rule %q: missing port_in", g.ID, r.ID)
+		} else if err := g.checkRef(r.Match.PortIn); err != nil {
+			bad("nffg: graph %q: rule %q: port_in: %w", g.ID, r.ID, err)
 		}
 		if r.Match.VLANID > 4094 {
-			return fmt.Errorf("nffg: graph %q: rule %q: vlan id %d out of range", g.ID, r.ID, r.Match.VLANID)
+			bad("nffg: graph %q: rule %q: vlan id %d out of range", g.ID, r.ID, r.Match.VLANID)
 		}
 		for _, cidr := range []string{r.Match.IPSrc, r.Match.IPDst} {
 			if cidr == "" {
 				continue
 			}
 			if err := checkCIDR(cidr); err != nil {
-				return fmt.Errorf("nffg: graph %q: rule %q: %w", g.ID, r.ID, err)
+				bad("nffg: graph %q: rule %q: %w", g.ID, r.ID, err)
 			}
 		}
 		if len(r.Actions) == 0 {
-			return fmt.Errorf("nffg: graph %q: rule %q: no actions", g.ID, r.ID)
+			bad("nffg: graph %q: rule %q: no actions", g.ID, r.ID)
+			continue
 		}
 		outputs := 0
 		for ai, a := range r.Actions {
@@ -111,29 +133,46 @@ func (g *Graph) Validate() error {
 			case ActOutput:
 				outputs++
 				if err := g.checkRef(a.Output); err != nil {
-					return fmt.Errorf("nffg: graph %q: rule %q action %d: %w", g.ID, r.ID, ai, err)
+					bad("nffg: graph %q: rule %q action %d: %w", g.ID, r.ID, ai, err)
 				}
 			case ActPushVLAN:
 				if a.VLANID == 0 || a.VLANID > 4094 {
-					return fmt.Errorf("nffg: graph %q: rule %q action %d: vlan id %d out of range",
+					bad("nffg: graph %q: rule %q action %d: vlan id %d out of range",
 						g.ID, r.ID, ai, a.VLANID)
 				}
 			case ActPopVLAN:
 			case ActSetEthSrc, ActSetEthDst:
 				if !validMAC(a.MAC) {
-					return fmt.Errorf("nffg: graph %q: rule %q action %d: bad MAC %q",
+					bad("nffg: graph %q: rule %q action %d: bad MAC %q",
 						g.ID, r.ID, ai, a.MAC)
 				}
 			default:
-				return fmt.Errorf("nffg: graph %q: rule %q action %d: unknown type %q",
+				bad("nffg: graph %q: rule %q action %d: unknown type %q",
 					g.ID, r.ID, ai, a.Type)
 			}
 		}
 		if outputs == 0 {
-			return fmt.Errorf("nffg: graph %q: rule %q: no output action", g.ID, r.ID)
+			bad("nffg: graph %q: rule %q: no output action", g.ID, r.ID)
 		}
 	}
-	return nil
+	return errors.Join(errs...)
+}
+
+// Violations flattens a Validate error into its individual messages (one
+// per violation); a nil error yields nil. REST handlers use it to return a
+// complete problem list in the error envelope.
+func Violations(err error) []string {
+	if err == nil {
+		return nil
+	}
+	if m, ok := err.(interface{ Unwrap() []error }); ok {
+		var out []string
+		for _, e := range m.Unwrap() {
+			out = append(out, e.Error())
+		}
+		return out
+	}
+	return []string{err.Error()}
 }
 
 // checkRef verifies that a port reference resolves inside the graph.

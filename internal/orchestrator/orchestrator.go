@@ -153,6 +153,10 @@ type DeployedGraph struct {
 	cookie uint64
 	nfs    map[string]*nfAttachment // by NF id
 	eps    map[string]*epAttachment // by endpoint id
+	// scales holds the replica set of each scaled-out NF; an NF absent here
+	// runs as the single instance in nfs. nfs[id] is always the scaled NF's
+	// replica 0.
+	scales map[string]*nfScale
 }
 
 // LSI returns the graph's switch, for inspection.
@@ -373,6 +377,14 @@ func (o *Orchestrator) nextPort(sw *vswitch.Switch) uint32 {
 func (o *Orchestrator) Deploy(g *nffg.Graph) error {
 	start := time.Now()
 	err := o.deploy(g)
+	if err == nil {
+		// The graph runs single-instance; now honor any replicas > 1 in the
+		// spec. A graph that cannot reach its requested scale does not stay
+		// half-deployed.
+		if err = o.reconcileReplicas(g); err != nil {
+			_ = o.undeploy(g.ID)
+		}
+	}
 	o.metrics.deployLatency.Observe(time.Since(start).Seconds())
 	if err != nil {
 		o.metrics.deployFailures.Inc()
@@ -415,6 +427,7 @@ func (o *Orchestrator) deploy(g *nffg.Graph) error {
 		cookie: cookie,
 		nfs:    make(map[string]*nfAttachment),
 		eps:    make(map[string]*epAttachment),
+		scales: make(map[string]*nfScale),
 	}
 	// Start phase, outside the node lock: every NF of the graph boots
 	// concurrently (the graph lock keeps same-graph operations out).
@@ -772,6 +785,13 @@ func (o *Orchestrator) detachNF(d *DeployedGraph, nfID string, att *nfAttachment
 func (o *Orchestrator) teardown(d *DeployedGraph) {
 	// Remove LSI-0 state installed under the graph's cookie.
 	o.lsi0.sw.DeleteFlows(d.cookie)
+	// Extra replicas of scaled NFs first; replica 0 is in nfs below.
+	for nfID, sc := range d.scales {
+		for _, att := range sc.replicas[1:] {
+			o.detachNF(d, nfID, att)
+		}
+		delete(d.scales, nfID)
+	}
 	for nfID, att := range d.nfs {
 		o.detachNF(d, nfID, att)
 		delete(d.nfs, nfID)
@@ -814,6 +834,11 @@ func (o *Orchestrator) observedRateLocked(id string) float64 {
 func (o *Orchestrator) Update(g *nffg.Graph) error {
 	start := time.Now()
 	err := o.update(g)
+	if err == nil {
+		// A replica-count change in the new spec is a scale operation, not a
+		// config change: the diff above deliberately skipped it.
+		err = o.reconcileReplicas(g)
+	}
 	o.metrics.updateLatency.Observe(time.Since(start).Seconds())
 	if err != nil {
 		o.metrics.updateFailures.Inc()
@@ -915,14 +940,40 @@ func (o *Orchestrator) update(g *nffg.Graph) error {
 		if !exists {
 			continue
 		}
+		// A change to the replica count alone is a scale operation, handled
+		// by the Update wrapper after this pass; the instances keep running.
+		if prev := d.Graph.FindNF(n.ID); prev != nil && equalIgnoringReplicas(*prev, n) {
+			continue
+		}
+		sc := d.scales[n.ID]
 		drv, reg := o.cfg.Compute.Driver(att.inst.Technology)
 		cfgr, configurable := att.inst.Runtime.Processor().(nf.Configurer)
 		if reg && drv.Caps().SupportsReconfigure && configurable {
 			if err := cfgr.Configure(n.Config); err != nil {
 				return fail(fmt.Errorf("orchestrator: update: reconfiguring %q: %w", n.ID, err))
 			}
+			// Every replica of a scaled NF must see the new configuration.
+			if sc != nil {
+				for _, rep := range sc.replicas[1:] {
+					rc, ok := rep.inst.Runtime.Processor().(nf.Configurer)
+					if !ok {
+						continue
+					}
+					if err := rc.Configure(n.Config); err != nil {
+						return fail(fmt.Errorf("orchestrator: update: reconfiguring replica of %q: %w", n.ID, err))
+					}
+				}
+			}
 			o.journal.Recordf(telemetry.EventNFConfig, o.cfg.NodeName, g.ID,
 				fmt.Sprintf("%s reconfigured in place", n.ID))
+			continue
+		}
+		if sc != nil {
+			if err := o.restartReplicas(d, g.ID, n, sc); err != nil {
+				return fail(fmt.Errorf("orchestrator: update: restarting replicas of %q: %w", n.ID, err))
+			}
+			o.journal.Recordf(telemetry.EventNFConfig, o.cfg.NodeName, g.ID,
+				fmt.Sprintf("%s: %d replicas restarted (processor not reconfigurable in place)", n.ID, len(sc.replicas)))
 			continue
 		}
 		if err := o.restartNF(d, g.ID, n); err != nil {
@@ -987,6 +1038,13 @@ func (o *Orchestrator) update(g *nffg.Graph) error {
 		att, exists := d.nfs[n.ID]
 		if !exists {
 			continue
+		}
+		if sc := d.scales[n.ID]; sc != nil {
+			for _, rep := range sc.replicas[1:] {
+				o.setState(g.ID, n.ID, rep, StateDraining)
+				o.detachNF(d, n.ID, rep)
+			}
+			delete(d.scales, n.ID)
 		}
 		o.setState(g.ID, n.ID, att, StateDraining)
 		o.detachNF(d, n.ID, att)

@@ -171,6 +171,12 @@ func (o *Orchestrator) reflavor(graphID, nfID string, tech nffg.Technology) (boo
 		fmt.Sprintf("%s as %s (reflavor)", nfID, tech))
 
 	o.mu.Lock()
+	if sc := d.scales[nfID]; sc != nil && len(sc.replicas) > 1 && inst.Shared {
+		o.setState(graphID, nfID, newAtt, StateFailed)
+		o.detachNF(d, nfID, newAtt)
+		o.mu.Unlock()
+		return false, fmt.Errorf("orchestrator: reflavor: %q is scaled out; a shared native instance cannot serve as a replica", nfID)
+	}
 	o.setState(graphID, nfID, newAtt, StateAttaching)
 	if err := o.attachNF(d, newAtt); err != nil {
 		o.setState(graphID, nfID, newAtt, StateFailed)
@@ -180,13 +186,30 @@ func (o *Orchestrator) reflavor(graphID, nfID string, tech nffg.Technology) (boo
 	}
 	// Break, atomically: compile the full rule set against the incoming
 	// attachment plus drain rules that keep the outgoing instance's return
-	// path alive, and publish both in one snapshot swap.
+	// path alive, and publish both in one snapshot swap. A scaled NF's
+	// replica 0 is this attachment under another name: keep both in step.
 	d.nfs[nfID] = newAtt
+	sc := d.scales[nfID]
+	if sc != nil {
+		sc.replicas[0] = newAtt
+	}
 	revert := func(err error) (bool, error) {
 		d.nfs[nfID] = old
+		if sc != nil {
+			sc.replicas[0] = old
+		}
 		o.detachNF(d, nfID, newAtt)
 		o.mu.Unlock()
 		return false, err
+	}
+	// Carry the outgoing instance's per-flow state (NAT bindings, conntrack
+	// entries, IPsec SAs) into its successor before any traffic reaches it.
+	if src, ok := statefulNF(old); ok {
+		if dst, ok := statefulNF(newAtt); ok {
+			if err := dst.ImportFlowState(src.ExportFlowState(nil)); err != nil {
+				return revert(fmt.Errorf("orchestrator: reflavor: migrating state of %q: %w", nfID, err))
+			}
+		}
 	}
 	newEntries, err := o.compileEntries(d, d.cookie)
 	if err != nil {
@@ -211,6 +234,14 @@ func (o *Orchestrator) reflavor(graphID, nfID string, tech nffg.Technology) (boo
 	}
 
 	o.mu.Lock()
+	// Catch-up: flows the outgoing instance minted between the export and
+	// the steering swap (or finished during the drain) move over too;
+	// imports overwrite, so the pass is idempotent.
+	if src, ok := statefulNF(old); ok {
+		if dst, ok := statefulNF(d.nfs[nfID]); ok {
+			_ = dst.ImportFlowState(src.ExportFlowState(nil))
+		}
+	}
 	o.detachNF(d, nfID, old)
 	_ = d.lsi.sw.DeleteFlows(drainCookie)
 	o.mu.Unlock()

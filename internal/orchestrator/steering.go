@@ -18,20 +18,48 @@ import (
 func (o *Orchestrator) compileEntries(d *DeployedGraph, cookie uint64) ([]*vswitch.FlowEntry, error) {
 	entries := make([]*vswitch.FlowEntry, 0, len(d.Graph.Rules))
 	for _, r := range d.Graph.Rules {
-		match, pre, err := o.compileMatch(d, r.Match)
-		if err != nil {
-			return nil, fmt.Errorf("orchestrator: graph %q rule %q: %w", d.Graph.ID, r.ID, err)
-		}
 		actions, err := o.compileActions(d, r.Actions)
 		if err != nil {
 			return nil, fmt.Errorf("orchestrator: graph %q rule %q: %w", d.Graph.ID, r.ID, err)
 		}
-		entries = append(entries, &vswitch.FlowEntry{
-			Priority: r.Priority,
-			Cookie:   cookie,
-			Match:    match,
-			Actions:  append(pre, actions...),
-		})
+		// A rule whose ingress is a scaled NF expands to one entry per
+		// replica: any replica's emission matches the same downstream path.
+		var reps []*nfAttachment
+		if r.Match.PortIn.IsNF() {
+			if sc := d.scales[r.Match.PortIn.NF]; sc != nil && len(sc.replicas) > 1 {
+				reps = sc.replicas
+			}
+		}
+		if reps == nil {
+			match, pre, err := o.compileMatch(d, r.Match)
+			if err != nil {
+				return nil, fmt.Errorf("orchestrator: graph %q rule %q: %w", d.Graph.ID, r.ID, err)
+			}
+			entries = append(entries, &vswitch.FlowEntry{
+				Priority: r.Priority,
+				Cookie:   cookie,
+				Match:    match,
+				Actions:  append(pre, actions...),
+			})
+			continue
+		}
+		nfID := r.Match.PortIn.NF
+		orig := d.nfs[nfID]
+		for _, rep := range reps {
+			d.nfs[nfID] = rep
+			match, pre, err := o.compileMatch(d, r.Match)
+			if err != nil {
+				d.nfs[nfID] = orig
+				return nil, fmt.Errorf("orchestrator: graph %q rule %q: %w", d.Graph.ID, r.ID, err)
+			}
+			entries = append(entries, &vswitch.FlowEntry{
+				Priority: r.Priority,
+				Cookie:   cookie,
+				Match:    match,
+				Actions:  append(pre, actions...),
+			})
+		}
+		d.nfs[nfID] = orig
 	}
 	return entries, nil
 }
@@ -162,13 +190,25 @@ func (o *Orchestrator) compileActions(d *DeployedGraph, actions []nffg.RuleActio
 				if err != nil {
 					return nil, err
 				}
-				if att.inst.Shared {
+				sc := d.scales[a.Output.NF]
+				switch {
+				case sc != nil && len(sc.replicas) > 1:
+					// Shard over the NF's replicas: every flow bucket maps
+					// to its owning replica's LSI port for this logical
+					// port. The bucket hash is symmetric, so both directions
+					// of a connection land on the same replica.
+					var ports [vswitch.NumStateBuckets]uint32
+					for b, ri := range sc.assign {
+						ports[b] = sc.replicas[ri].lsiPorts[idx]
+					}
+					out = append(out, vswitch.SelectBucket(ports))
+				case att.inst.Shared:
 					// Tag with the graph's ingress mark for that
 					// logical port and ship to LSI-0.
 					out = append(out,
 						vswitch.PushVLAN(att.inst.InMarks[idx]),
 						vswitch.Output(att.nnfVlink))
-				} else {
+				default:
 					out = append(out, vswitch.Output(att.lsiPorts[idx]))
 				}
 			default:

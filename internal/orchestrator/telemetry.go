@@ -18,20 +18,26 @@ type opMetrics struct {
 	updates, updateFailures     telemetry.Counter
 	undeploys, undeployFailures telemetry.Counter
 	reflavors, reflavorFailures telemetry.Counter
+	scales, scaleFailures       telemetry.Counter
+	migratedFlows               telemetry.Counter
 	nfStarts, nfStops           telemetry.Counter
 	steeringRules               telemetry.Counter
 	deployLatency               *telemetry.Histogram
 	updateLatency               *telemetry.Histogram
 	undeployLatency             *telemetry.Histogram
 	reflavorLatency             *telemetry.Histogram
+	scaleLatency                *telemetry.Histogram
+	migrationLatency            *telemetry.Histogram
 }
 
 func newOpMetrics() *opMetrics {
 	return &opMetrics{
-		deployLatency:   telemetry.NewHistogram(telemetry.LatencyBuckets()...),
-		updateLatency:   telemetry.NewHistogram(telemetry.LatencyBuckets()...),
-		undeployLatency: telemetry.NewHistogram(telemetry.LatencyBuckets()...),
-		reflavorLatency: telemetry.NewHistogram(telemetry.LatencyBuckets()...),
+		deployLatency:    telemetry.NewHistogram(telemetry.LatencyBuckets()...),
+		updateLatency:    telemetry.NewHistogram(telemetry.LatencyBuckets()...),
+		undeployLatency:  telemetry.NewHistogram(telemetry.LatencyBuckets()...),
+		reflavorLatency:  telemetry.NewHistogram(telemetry.LatencyBuckets()...),
+		scaleLatency:     telemetry.NewHistogram(telemetry.LatencyBuckets()...),
+		migrationLatency: telemetry.NewHistogram(telemetry.LatencyBuckets()...),
 	}
 }
 
@@ -74,16 +80,26 @@ func (o *Orchestrator) Collect(e *telemetry.Exposition) {
 		graph, nf string
 		state     NFState
 	}
+	type replicaSample struct {
+		graph, nf string
+		n         int
+	}
 	o.mu.Lock()
 	switches := make([]*vswitch.Switch, 0, len(o.graphs)+1)
 	switches = append(switches, o.lsi0.sw)
 	graphNFs := make(map[string]int, len(o.graphs))
 	var nfStates []nfStateSample
+	var replicas []replicaSample
 	for id, d := range o.graphs {
 		switches = append(switches, d.lsi.sw)
 		graphNFs[id] = len(d.nfs)
 		for nfID, att := range d.nfs {
 			nfStates = append(nfStates, nfStateSample{graph: id, nf: nfID, state: att.State()})
+			n := 1
+			if sc := d.scales[nfID]; sc != nil {
+				n = len(sc.replicas)
+			}
+			replicas = append(replicas, replicaSample{graph: id, nf: nfID, n: n})
 		}
 	}
 	o.mu.Unlock()
@@ -120,6 +136,10 @@ func (o *Orchestrator) Collect(e *telemetry.Exposition) {
 	for id, n := range graphNFs {
 		e.Gauge("un_nf_instances", "Running NF instances per graph.", telemetry.Labels{"graph": id}, float64(n))
 	}
+	for _, s := range replicas {
+		e.Gauge("un_nf_replicas", "Instances currently serving the NF (scale-out shards).",
+			telemetry.Labels{"graph": s.graph, "nf": s.nf}, float64(s.n))
+	}
 	for _, s := range nfStates {
 		e.Gauge("un_nf_state",
 			"Per-NF lifecycle state (0 pending, 1 starting, 2 attaching, 3 running, 4 draining, 5 stopped, 6 failed).",
@@ -140,6 +160,9 @@ func (o *Orchestrator) Collect(e *telemetry.Exposition) {
 	e.Counter("un_undeploy_failures_total", "Undeploys of graphs that were not deployed.", nil, m.undeployFailures.Value())
 	e.Counter("un_reflavors_total", "NF flavor hot-swaps completed.", nil, m.reflavors.Value())
 	e.Counter("un_reflavor_failures_total", "NF flavor hot-swaps that failed.", nil, m.reflavorFailures.Value())
+	e.Counter("un_scales_total", "NF replica-set reshapes completed (scale-up, scale-down, repair).", nil, m.scales.Value())
+	e.Counter("un_scale_failures_total", "NF replica-set reshapes that failed.", nil, m.scaleFailures.Value())
+	e.Counter("un_migrated_flows_total", "Per-flow state entries moved between replicas.", nil, m.migratedFlows.Value())
 	e.Counter("un_nf_starts_total", "NF instances started.", nil, m.nfStarts.Value())
 	e.Counter("un_nf_stops_total", "NF instances stopped.", nil, m.nfStops.Value())
 	e.Counter("un_steering_rules_programmed_total", "Big-switch steering rules compiled onto LSIs.", nil, m.steeringRules.Value())
@@ -147,5 +170,7 @@ func (o *Orchestrator) Collect(e *telemetry.Exposition) {
 	e.Histogram("un_update_seconds", "Graph update wall time.", nil, m.updateLatency.Snapshot())
 	e.Histogram("un_undeploy_seconds", "Graph undeploy wall time.", nil, m.undeployLatency.Snapshot())
 	e.Histogram("un_reflavor_seconds", "NF flavor hot-swap wall time (start to drained).", nil, m.reflavorLatency.Snapshot())
+	e.Histogram("un_scale_seconds", "NF replica-set reshape wall time.", nil, m.scaleLatency.Snapshot())
+	e.Histogram("un_state_migration_seconds", "Flow-state migration wall time (first export to last import).", nil, m.migrationLatency.Snapshot())
 	e.Counter("un_journal_events_total", "Events ever recorded in the node journal.", nil, o.journal.Total())
 }

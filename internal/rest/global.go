@@ -2,25 +2,34 @@
 // (cmd/un-global). Compute nodes running cmd/un-orchestrator register here;
 // NF-FGs submitted here are partitioned across the fleet.
 //
-// Endpoints:
+// The versioned v1 surface:
 //
-//	POST   /nodes         register a node {name, url}
-//	GET    /nodes         fleet state (per-node status + liveness)
-//	DELETE /nodes/{name}  withdraw a node
-//	POST   /links         declare an inter-node link {a-node,a-if,b-node,b-if}
-//	GET    /links         declared links
-//	PUT    /NF-FG/{id}    deploy (or update) a global graph
-//	GET    /NF-FG/{id}    retrieve the desired graph
-//	DELETE /NF-FG/{id}    undeploy a global graph
-//	GET    /NF-FG         list global graph ids
-//	POST   /NF-FG/{id}/nf/{nf}/reflavor  hot-swap one NF's execution
+//	POST   /v1/nodes         register a node {name, url}
+//	GET    /v1/nodes         fleet state (per-node status + liveness)
+//	DELETE /v1/nodes/{name}  withdraw a node
+//	POST   /v1/links         declare an inter-node link {a-node,a-if,b-node,b-if}
+//	GET    /v1/links         declared links
+//	PUT    /v1/graphs/{id}   deploy (or update) a global graph; ?dry-run=true
+//	       validates and partitions across the fleet (incl. replica resource
+//	       demand) without deploying, returning the would-be placement
+//	GET    /v1/graphs/{id}   retrieve the desired graph
+//	DELETE /v1/graphs/{id}   undeploy a global graph
+//	GET    /v1/graphs        list global graph ids
+//	POST   /v1/graphs/{id}/nfs/{nf}/reflavor  hot-swap one NF's execution
 //	       technology on whichever node hosts it ({"technology": "..."})
-//	GET    /NF-FG/{id}/placement  where each NF and endpoint runs
-//	GET    /status        fleet summary
-//	GET    /metrics       fleet-wide telemetry: the global orchestrator's own
-//	                      control-plane metrics plus one scrape of every alive
-//	                      node, per-node samples tagged node="..."
-//	GET    /events        merged event journal of the control plane and fleet
+//	POST   /v1/graphs/{id}/nfs/{nf}/scale  resize one NF's replica set on
+//	       its hosting node ({"replicas": 3}), state migrated live
+//	GET    /v1/graphs/{id}/placement  where each NF and endpoint runs
+//	GET    /v1/status        fleet summary
+//	GET    /v1/metrics       fleet-wide telemetry: the global orchestrator's
+//	                         own control-plane metrics plus one scrape of
+//	                         every alive node, tagged node="..."
+//	GET    /v1/events        merged event journal of control plane and fleet
+//
+// Errors use the same {"error": {"code", "message", "detail"}} envelope as
+// the node API. The pre-versioning routes (/nodes, /links, /NF-FG/...,
+// /status, /metrics, /events) remain as deprecated aliases answering with a
+// "Deprecation: true" header plus a Link to the successor route.
 package rest
 
 import (
@@ -49,20 +58,27 @@ func NewGlobal(orch *global.Orchestrator, client *http.Client) *GlobalServer {
 		client = &http.Client{Timeout: 5 * time.Second}
 	}
 	s := &GlobalServer{orch: orch, client: client, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /nodes", s.addNode)
-	s.mux.HandleFunc("GET /nodes", s.listNodes)
-	s.mux.HandleFunc("DELETE /nodes/{name}", s.removeNode)
-	s.mux.HandleFunc("POST /links", s.addLink)
-	s.mux.HandleFunc("GET /links", s.listLinks)
-	s.mux.HandleFunc("PUT /NF-FG/{id}", s.putGraph)
-	s.mux.HandleFunc("GET /NF-FG/{id}", s.getGraph)
-	s.mux.HandleFunc("DELETE /NF-FG/{id}", s.deleteGraph)
-	s.mux.HandleFunc("GET /NF-FG", s.listGraphs)
-	s.mux.HandleFunc("POST /NF-FG/{id}/nf/{nf}/reflavor", s.reflavor)
-	s.mux.HandleFunc("GET /NF-FG/{id}/placement", s.placement)
-	s.mux.HandleFunc("GET /status", s.status)
-	s.mux.HandleFunc("GET /metrics", s.metrics)
-	s.mux.HandleFunc("GET /events", s.events)
+	route := func(method, v1, legacy string, h http.HandlerFunc) {
+		s.mux.HandleFunc(method+" "+v1, h)
+		if legacy != "" {
+			s.mux.HandleFunc(method+" "+legacy, deprecatedAlias(v1, h))
+		}
+	}
+	route("POST", "/v1/nodes", "/nodes", s.addNode)
+	route("GET", "/v1/nodes", "/nodes", s.listNodes)
+	route("DELETE", "/v1/nodes/{name}", "/nodes/{name}", s.removeNode)
+	route("POST", "/v1/links", "/links", s.addLink)
+	route("GET", "/v1/links", "/links", s.listLinks)
+	route("PUT", "/v1/graphs/{id}", "/NF-FG/{id}", s.putGraph)
+	route("GET", "/v1/graphs/{id}", "/NF-FG/{id}", s.getGraph)
+	route("DELETE", "/v1/graphs/{id}", "/NF-FG/{id}", s.deleteGraph)
+	route("GET", "/v1/graphs", "/NF-FG", s.listGraphs)
+	route("POST", "/v1/graphs/{id}/nfs/{nf}/reflavor", "/NF-FG/{id}/nf/{nf}/reflavor", s.reflavor)
+	route("POST", "/v1/graphs/{id}/nfs/{nf}/scale", "", s.scale)
+	route("GET", "/v1/graphs/{id}/placement", "/NF-FG/{id}/placement", s.placement)
+	route("GET", "/v1/status", "/status", s.status)
+	route("GET", "/v1/metrics", "/metrics", s.metrics)
+	route("GET", "/v1/events", "/events", s.events)
 	return s
 }
 
@@ -157,6 +173,15 @@ func (s *GlobalServer) putGraph(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("graph id %q does not match URL id %q", g.ID, id))
 		return
 	}
+	if r.URL.Query().Get("dry-run") == "true" {
+		plan, err := s.orch.PlanDeploy(&g)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, GlobalDryRunReply{Status: "valid", DryRun: true, Plan: plan})
+		return
+	}
 	// Apply decides deploy-vs-update atomically under the orchestrator
 	// lock, so concurrent PUTs of a new id cannot race each other.
 	existed, err := s.orch.Apply(&g)
@@ -219,7 +244,35 @@ func (s *GlobalServer) reflavor(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// PlacementReply is the GET /NF-FG/{id}/placement body.
+// GlobalDryRunReply is the PUT /v1/graphs/{id}?dry-run=true body of the
+// global API: the validated fleet-wide would-be placement, nothing deployed.
+type GlobalDryRunReply struct {
+	Status string       `json:"status"`
+	DryRun bool         `json:"dry-run"`
+	Plan   *global.Plan `json:"plan"`
+}
+
+func (s *GlobalServer) scale(w http.ResponseWriter, r *http.Request) {
+	id, nfID := r.PathValue("id"), r.PathValue("nf")
+	var req ScaleRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing scale request: %w", err))
+		return
+	}
+	if _, ok := s.orch.Graph(id); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("graph %q not deployed", id))
+		return
+	}
+	if err := s.orch.Scale(id, nfID, req.Replicas); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "scaled", "id": id, "nf": nfID, "replicas": req.Replicas,
+	})
+}
+
+// PlacementReply is the GET /v1/graphs/{id}/placement body.
 type PlacementReply struct {
 	Graph     string            `json:"graph"`
 	NFs       map[string]string `json:"nfs"`       // NF id -> node

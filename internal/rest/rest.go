@@ -2,22 +2,41 @@
 // channel through which the overarching orchestration layer submits Network
 // Function Forwarding Graphs (paper Figure 1, "REST server").
 //
-// Endpoints (un-orchestrator style):
+// The versioned v1 surface:
 //
-//	PUT    /NF-FG/{id}   deploy (or update) the graph in the JSON body
-//	GET    /NF-FG/{id}   retrieve a deployed graph
-//	DELETE /NF-FG/{id}   undeploy a graph
-//	GET    /NF-FG        list deployed graph ids
-//	POST   /NF-FG/{id}/nf/{nf}/reflavor  hot-swap one NF's execution
+//	PUT    /v1/graphs/{id}   deploy (or update) the graph in the JSON body;
+//	       ?dry-run=true validates, schedules and admission-checks (incl.
+//	       replica resource demand) without mutating anything and returns
+//	       the would-be placement
+//	GET    /v1/graphs/{id}   retrieve a deployed graph
+//	DELETE /v1/graphs/{id}   undeploy a graph
+//	GET    /v1/graphs        list deployed graph ids
+//	POST   /v1/graphs/{id}/nfs/{nf}/reflavor  hot-swap one NF's execution
 //	       technology ({"technology": "native"}; empty or "any" lets the
 //	       placement policy choose)
-//	GET    /status       node status: graphs, resources, capabilities,
-//	       per-NF technology and lifecycle state
-//	GET    /NF-FG/{id}/stats  per-NF and per-rule counters of a graph
-//	GET    /topology     live Figure-1 topology (text; ?format=dot|json)
-//	GET    /capture/{if} capture interface traffic for ?duration (pcap body)
-//	GET    /metrics      node telemetry, Prometheus text format
-//	GET    /events       node event journal, JSON array (?since=seq)
+//	POST   /v1/graphs/{id}/nfs/{nf}/scale  resize one stateful NF's replica
+//	       set ({"replicas": 3}) with live flow-state migration
+//	GET    /v1/status        node status: graphs, resources, capabilities,
+//	       per-NF technology, replica count and lifecycle state
+//	GET    /v1/graphs/{id}/stats  per-NF and per-rule counters of a graph
+//	GET    /v1/topology      live Figure-1 topology (text; ?format=dot|json)
+//	GET    /v1/capture/{if}  capture interface traffic for ?duration (pcap)
+//	GET    /v1/metrics       node telemetry, Prometheus text format
+//	GET    /v1/events        node event journal, JSON array (?since=seq)
+//
+// Every error is the uniform envelope
+//
+//	{"error": {"code": "...", "message": "...", "detail": [...]}}
+//
+// where code names the error class, message is human-readable, and detail
+// (when present) lists individual violations, e.g. everything graph
+// validation found in one pass.
+//
+// The pre-versioning un-orchestrator routes (PUT/GET/DELETE /NF-FG/{id},
+// GET /NF-FG, POST /NF-FG/{id}/nf/{nf}/reflavor, GET /status, /topology,
+// /capture/{if}, /metrics, /events) remain as deprecated aliases: they
+// serve the same handlers and additionally answer with a "Deprecation:
+// true" header plus a Link to the successor route.
 package rest
 
 import (
@@ -46,21 +65,39 @@ type Server struct {
 // New builds the server.
 func New(orch *orchestrator.Orchestrator, pool *resources.Pool) *Server {
 	s := &Server{orch: orch, pool: pool, mux: http.NewServeMux()}
-	s.mux.HandleFunc("PUT /NF-FG/{id}", s.putGraph)
-	s.mux.HandleFunc("GET /NF-FG/{id}", s.getGraph)
-	s.mux.HandleFunc("DELETE /NF-FG/{id}", s.deleteGraph)
-	s.mux.HandleFunc("GET /NF-FG", s.listGraphs)
-	s.mux.HandleFunc("GET /NF-FG/{id}/stats", s.graphStats)
-	s.mux.HandleFunc("POST /NF-FG/{id}/nf/{nf}/reflavor", s.reflavor)
-	s.mux.HandleFunc("GET /status", s.status)
-	s.mux.HandleFunc("GET /topology", s.topology)
-	s.mux.HandleFunc("GET /capture/{iface}", s.capture)
+	route := func(method, v1, legacy string, h http.HandlerFunc) {
+		s.mux.HandleFunc(method+" "+v1, h)
+		if legacy != "" {
+			s.mux.HandleFunc(method+" "+legacy, deprecatedAlias(v1, h))
+		}
+	}
+	route("PUT", "/v1/graphs/{id}", "/NF-FG/{id}", s.putGraph)
+	route("GET", "/v1/graphs/{id}", "/NF-FG/{id}", s.getGraph)
+	route("DELETE", "/v1/graphs/{id}", "/NF-FG/{id}", s.deleteGraph)
+	route("GET", "/v1/graphs", "/NF-FG", s.listGraphs)
+	route("GET", "/v1/graphs/{id}/stats", "/NF-FG/{id}/stats", s.graphStats)
+	route("POST", "/v1/graphs/{id}/nfs/{nf}/reflavor", "/NF-FG/{id}/nf/{nf}/reflavor", s.reflavor)
+	route("POST", "/v1/graphs/{id}/nfs/{nf}/scale", "", s.scale)
+	route("GET", "/v1/status", "/status", s.status)
+	route("GET", "/v1/topology", "/topology", s.topology)
+	route("GET", "/v1/capture/{iface}", "/capture/{iface}", s.capture)
 	// One scrape of the node registry: per-LSI traffic and microflow-cache
 	// counters, the sampled pipeline-latency histogram, resource-ledger
 	// gauges and control-plane operation timings.
-	s.mux.Handle("GET /metrics", orch.Metrics().Handler())
-	s.mux.HandleFunc("GET /events", s.events)
+	metrics := orch.Metrics().Handler()
+	route("GET", "/v1/metrics", "/metrics", metrics.ServeHTTP)
+	route("GET", "/v1/events", "/events", s.events)
 	return s
+}
+
+// deprecatedAlias wraps a handler for its pre-versioning route: same
+// behavior, plus headers steering clients to the v1 successor.
+func deprecatedAlias(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
 }
 
 // events serves the node's retained journal, oldest first. ?since=seq
@@ -97,8 +134,48 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// ErrorBody is the payload of the uniform error envelope.
+type ErrorBody struct {
+	// Code names the error class (one per HTTP status in practice).
+	Code string `json:"code"`
+	// Message is the primary human-readable description.
+	Message string `json:"message"`
+	// Detail lists individual violations when the error aggregates several
+	// (e.g. everything graph validation found in one pass).
+	Detail []string `json:"detail,omitempty"`
+}
+
+// ErrorEnvelope is the body of every REST error response.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// errorCode maps an HTTP status to its envelope code string.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusUnprocessableEntity:
+		return "unprocessable"
+	case http.StatusBadGateway:
+		return "upstream_error"
+	default:
+		return "error"
+	}
+}
+
 func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	body := ErrorBody{Code: errorCode(code), Message: err.Error()}
+	// A multi-error (joined validation violations) is broken out so clients
+	// get every violation individually, not one concatenated string.
+	if v := nffg.Violations(err); len(v) > 1 {
+		body.Detail = v
+	}
+	writeJSON(w, code, ErrorEnvelope{Error: body})
 }
 
 func (s *Server) putGraph(w http.ResponseWriter, r *http.Request) {
@@ -114,6 +191,15 @@ func (s *Server) putGraph(w http.ResponseWriter, r *http.Request) {
 	if g.ID != id {
 		writeError(w, http.StatusBadRequest,
 			fmt.Errorf("graph id %q does not match URL id %q", g.ID, id))
+		return
+	}
+	if r.URL.Query().Get("dry-run") == "true" {
+		plan, err := s.orch.Plan(&g)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, DryRunReply{Status: "valid", DryRun: true, Plan: plan})
 		return
 	}
 	if _, exists := s.orch.Graph(id); exists {
@@ -154,11 +240,44 @@ func (s *Server) listGraphs(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{"graphs": s.orch.GraphIDs()})
 }
 
-// ReflavorRequest is the POST /NF-FG/{id}/nf/{nf}/reflavor body. An empty
-// or "any" technology asks the node's placement policy to choose at the
-// currently observed traffic rate.
+// DryRunReply is the PUT /v1/graphs/{id}?dry-run=true body: the validated
+// would-be placement, nothing deployed.
+type DryRunReply struct {
+	Status string                   `json:"status"`
+	DryRun bool                     `json:"dry-run"`
+	Plan   *orchestrator.DeployPlan `json:"plan"`
+}
+
+// ReflavorRequest is the POST /v1/graphs/{id}/nfs/{nf}/reflavor body. An
+// empty or "any" technology asks the node's placement policy to choose at
+// the currently observed traffic rate.
 type ReflavorRequest struct {
 	Technology string `json:"technology"`
+}
+
+// ScaleRequest is the POST /v1/graphs/{id}/nfs/{nf}/scale body.
+type ScaleRequest struct {
+	Replicas int `json:"replicas"`
+}
+
+func (s *Server) scale(w http.ResponseWriter, r *http.Request) {
+	id, nfID := r.PathValue("id"), r.PathValue("nf")
+	var req ScaleRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing scale request: %w", err))
+		return
+	}
+	if _, ok := s.orch.Graph(id); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("graph %q not deployed", id))
+		return
+	}
+	if err := s.orch.Scale(id, nfID, req.Replicas); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "scaled", "id": id, "nf": nfID, "replicas": req.Replicas,
+	})
 }
 
 func (s *Server) reflavor(w http.ResponseWriter, r *http.Request) {
@@ -218,7 +337,10 @@ type InstanceStatus struct {
 	Instance   string `json:"instance"`
 	Technology string `json:"technology"`
 	// State is the NF's lifecycle state ("running", "draining", ...).
-	State    string `json:"state"`
+	State string `json:"state"`
+	// Replicas is how many instances currently serve the NF (1 unless
+	// scaled out).
+	Replicas int    `json:"replicas,omitempty"`
 	Shared   bool   `json:"shared,omitempty"`
 	RAMBytes uint64 `json:"ram-bytes"`
 }
@@ -238,12 +360,14 @@ func (s *Server) status(w http.ResponseWriter, _ *http.Request) {
 	}
 	for _, g := range topo.Graphs {
 		for _, n := range g.NFs {
+			reps, _ := s.orch.Replicas(g.ID, n.ID)
 			reply.NFInstances = append(reply.NFInstances, InstanceStatus{
 				Graph:      g.ID,
 				NF:         n.ID,
 				Instance:   n.Instance,
 				Technology: n.Technology,
 				State:      n.State,
+				Replicas:   reps,
 				Shared:     n.Shared,
 				RAMBytes:   n.RAMBytes,
 			})

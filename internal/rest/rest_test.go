@@ -184,11 +184,11 @@ func TestRESTErrors(t *testing.T) {
 	if resp.StatusCode != http.StatusUnprocessableEntity {
 		t.Errorf("bad template status = %d", resp.StatusCode)
 	}
-	var errBody map[string]string
+	var errBody rest.ErrorEnvelope
 	_ = json.NewDecoder(resp.Body).Decode(&errBody)
 	resp.Body.Close()
-	if errBody["error"] == "" {
-		t.Error("error body missing")
+	if errBody.Error.Code != "unprocessable" || errBody.Error.Message == "" {
+		t.Errorf("error envelope = %+v", errBody)
 	}
 
 	// GET / DELETE of an unknown graph.

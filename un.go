@@ -288,6 +288,20 @@ func (n *Node) ReflavorAuto(graphID, nfID string) (Technology, error) {
 	return n.orch.ReflavorAuto(graphID, nfID)
 }
 
+// Scale resizes one NF's replica set: new instances start behind
+// consistent-hash flow steering and per-flow state (NAT bindings, firewall
+// conntrack, IPsec SAs) migrates live between replicas, with no packet or
+// state loss. The REST interface exposes it as
+// POST /v1/graphs/{id}/nfs/{nf}/scale.
+func (n *Node) Scale(graphID, nfID string, replicas int) error {
+	return n.orch.Scale(graphID, nfID, replicas)
+}
+
+// Replicas reports how many instances currently serve an NF.
+func (n *Node) Replicas(graphID, nfID string) (int, error) {
+	return n.orch.Replicas(graphID, nfID)
+}
+
 // NFState reports the lifecycle state of one NF of a deployed graph
 // (pending, starting, attaching, running, draining, stopped, failed).
 func (n *Node) NFState(graphID, nfID string) (string, bool) {
