@@ -15,9 +15,9 @@ COVERAGE_BASELINE ?= 75.0
 BENCH_PATTERN = ^(BenchmarkPipelineCached|BenchmarkPipelineParallel|BenchmarkTable1Throughput|BenchmarkReflavor|BenchmarkParallelDeploy|BenchmarkScaleOutThroughput|BenchmarkStateMigration)$$
 
 .PHONY: ci lint fmt vet staticcheck govulncheck build test race coverage \
-	bench-gate bench-baseline profile examples-smoke clean
+	bench-gate bench-baseline profile chaos examples-smoke clean
 
-ci: lint build race coverage bench-gate examples-smoke
+ci: lint build race coverage bench-gate chaos examples-smoke
 
 lint: fmt vet staticcheck govulncheck
 
@@ -94,6 +94,15 @@ bench-baseline:
 		-benchtime=1s -count=3 -json . > BENCH_BASELINE.json
 	@echo "wrote BENCH_BASELINE.json"
 
+# Availability gate: the chaos harness injects NF crashes, node kills,
+# link cuts and REST control-plane faults under live stateful traffic,
+# and fails when any scenario exceeds its packet-loss / state-loss /
+# reconvergence budget. The scenario suite first runs under the race
+# detector, then the CLI writes the chaos-report.json artifact.
+chaos:
+	$(GO) test -race ./internal/chaos/
+	$(GO) run ./cmd/chaos -out chaos-report.json
+
 examples-smoke:
 	@for d in examples/*/; do \
 		echo "building $$d"; \
@@ -109,4 +118,4 @@ examples-smoke:
 	fi
 
 clean:
-	rm -rf bench-current.json bench-delta coverage.out
+	rm -rf bench-current.json bench-delta coverage.out chaos-report.json

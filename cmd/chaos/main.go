@@ -1,0 +1,89 @@
+// Command chaos runs the fault-injection harness outside `go test`: it
+// builds in-process fleets, injects NF crashes, node kills, link cuts and
+// REST control-plane faults under live traffic, and gates the measured
+// packet loss, state loss and reconvergence time against each scenario's
+// budget. Exit status 1 means a budget violation — CI wires that straight
+// into the build result. The JSON report (-out) is the CI artifact; the
+// markdown summary (-md, appended) feeds $GITHUB_STEP_SUMMARY.
+//
+// The nightly soak raises -conns and -repeat to shake out races and state
+// leaks a single pass can miss.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	conns := fs.Int("conns", 16, "stateful connections established per scenario before the fault")
+	repeat := fs.Int("repeat", 1, "times each scenario is rerun (soak mode raises this)")
+	out := fs.String("out", "", "write the JSON report to this file")
+	md := fs.String("md", "", "append the markdown summary to this file (e.g. $GITHUB_STEP_SUMMARY); stdout when empty")
+	verbose := fs.Bool("v", false, "log harness progress")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	logger := log.New(stderr, "", log.LstdFlags)
+	opts := chaos.Options{Conns: *conns, Repeat: *repeat}
+	if *verbose {
+		opts.Logf = logger.Printf
+	}
+	start := time.Now()
+	rep := chaos.Run(opts)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			logger.Printf("chaos: %v", err)
+			return 1
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			logger.Printf("chaos: writing report: %v", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			logger.Printf("chaos: writing report: %v", err)
+			return 1
+		}
+	}
+	if *md != "" {
+		f, err := os.OpenFile(*md, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			logger.Printf("chaos: %v", err)
+			return 1
+		}
+		if err := rep.WriteMarkdown(f); err != nil {
+			logger.Printf("chaos: writing summary: %v", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			logger.Printf("chaos: writing summary: %v", err)
+			return 1
+		}
+	} else if err := rep.WriteMarkdown(stdout); err != nil {
+		logger.Printf("chaos: %v", err)
+		return 1
+	}
+
+	if err := rep.Gate(); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "chaos: all %d scenarios within budget (%s)\n",
+		len(rep.Scenarios), time.Since(start).Round(time.Millisecond))
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+// TestRunWritesReportAndSummary drives the CLI exactly as the CI chaos job
+// does: JSON artifact to -out, markdown appended to -md, exit 0 when every
+// scenario stays within budget.
+func TestRunWritesReportAndSummary(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "report.json")
+	mdPath := filepath.Join(dir, "summary.md")
+	var stdout, stderr bytes.Buffer
+
+	code := run([]string{"-conns", "4", "-out", outPath, "-md", mdPath, "-v"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "within budget") {
+		t.Errorf("stdout = %q", stdout.String())
+	}
+
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep chaos.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) < 4 || !rep.Pass {
+		t.Errorf("report = %d scenarios, pass=%v", len(rep.Scenarios), rep.Pass)
+	}
+
+	md, err := os.ReadFile(mdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(md), "node-kill-active-standby") {
+		t.Errorf("summary misses the acceptance scenario:\n%s", md)
+	}
+	// -md appends (the step summary may already hold the bench delta).
+	if code := run([]string{"-conns", "4", "-md", mdPath}, &stdout, &stderr); code != 0 {
+		t.Fatalf("second run exit = %d", code)
+	}
+	md2, _ := os.ReadFile(mdPath)
+	if len(md2) <= len(md) {
+		t.Error("second -md run did not append")
+	}
+}
+
+// TestRunMarkdownToStdout: without -md the summary lands on stdout.
+func TestRunMarkdownToStdout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-conns", "2"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "| Scenario |") {
+		t.Errorf("no markdown table on stdout:\n%s", stdout.String())
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+	// An unwritable -out path is an error exit, not a crash.
+	if code := run([]string{"-conns", "2", "-out", filepath.Join(t.TempDir(), "no", "such", "dir", "r.json")}, &stdout, &stderr); code != 1 {
+		t.Errorf("unwritable -out exit = %d, want 1", code)
+	}
+}

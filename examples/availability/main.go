@@ -1,0 +1,136 @@
+// Availability-aware placement: a NAT with a three-nines availability
+// target and active-standby redundancy is deployed onto a two-node fleet.
+// The global orchestrator arms a warm shadow on the second node and keeps
+// its flow state synced; when the primary's control plane dies, one
+// reconcile pass promotes the shadow — and the NAT's port bindings survive,
+// so established connections keep translating identically.
+//
+// Run with: go run ./examples/availability
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	un "repro"
+	"repro/internal/global"
+	"repro/internal/netdev"
+	"repro/internal/nffg"
+	"repro/internal/pkt"
+)
+
+func haNAT(id string) *un.Graph {
+	return &un.Graph{
+		ID: id,
+		NFs: []un.NF{{
+			ID: "nat", Name: "nat",
+			Ports:                []un.NFPort{{ID: "0"}, {ID: "1"}},
+			TechnologyPreference: un.TechDocker,
+			Config:               map[string]string{"external_ip": "198.51.100.1"},
+			// The availability contract: three nines, backed by a warm
+			// standby the orchestrator must keep armed and state-synced.
+			Availability: 0.999,
+			Redundancy:   nffg.RedundancyActiveStandby,
+		}},
+		Endpoints: []un.Endpoint{
+			{ID: "lan", Type: un.EPInterface, Interface: "eth0"},
+			{ID: "wan", Type: un.EPInterface, Interface: "eth1"},
+		},
+		Rules: []un.FlowRule{
+			{ID: "r1", Priority: 10, Match: un.RuleMatch{PortIn: un.EndpointRef("lan")},
+				Actions: []un.RuleAction{{Type: un.ActOutput, Output: un.NFPortRef("nat", "0")}}},
+			{ID: "r2", Priority: 10, Match: un.RuleMatch{PortIn: un.NFPortRef("nat", "1")},
+				Actions: []un.RuleAction{{Type: un.ActOutput, Output: un.EndpointRef("wan")}}},
+			{ID: "r3", Priority: 10, Match: un.RuleMatch{PortIn: un.EndpointRef("wan")},
+				Actions: []un.RuleAction{{Type: un.ActOutput, Output: un.NFPortRef("nat", "1")}}},
+			{ID: "r4", Priority: 10, Match: un.RuleMatch{PortIn: un.NFPortRef("nat", "0")},
+				Actions: []un.RuleAction{{Type: un.ActOutput, Output: un.EndpointRef("lan")}}},
+		},
+	}
+}
+
+func main() {
+	caps := []string{"docker", "nnf:nat"}
+	mk := func(name string) *un.Node {
+		n, err := un.NewNode(un.Config{
+			Name: name, Interfaces: []string{"eth0", "eth1"},
+			CPUMillis: 2000, RAMBytes: 1 * un.GB, Capabilities: caps,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return n
+	}
+	nodes := map[string]*un.Node{"ha1": mk("ha1"), "ha2": mk("ha2")}
+	defer nodes["ha1"].Close()
+	defer nodes["ha2"].Close()
+
+	orch := global.New(global.Config{ProbeInterval: 50 * time.Millisecond})
+	locals := make(map[string]*global.LocalNode)
+	for name, n := range nodes {
+		locals[name] = global.NewLocalNode(name, n)
+		if err := orch.AddNode(locals[name]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if err := orch.Deploy(haNAT("cpe")); err != nil {
+		log.Fatal(err)
+	}
+	pl, _ := orch.Placement("cpe")
+	primary := pl.NFNode["nat"]
+	standby := orch.StandbyNode("cpe")
+	fmt.Printf("NAT (availability 0.999, active-standby) placed on %q, warm shadow on %q\n",
+		primary, standby)
+
+	// Open two connections through the primary, then replicate the NAT's
+	// binding table into the shadow.
+	probe := func(node string, srcLast byte, srcPort uint16) uint16 {
+		frame := pkt.MustBuildFrame(pkt.FrameSpec{
+			SrcMAC: pkt.MAC{2, 0, 0, 0, 0, 1}, DstMAC: pkt.MAC{2, 0, 0, 0, 0, 2},
+			SrcIP: pkt.Addr{10, 0, 0, srcLast}, DstIP: pkt.Addr{203, 0, 113, 50},
+			SrcPort: srcPort, DstPort: 53, PayloadLen: 64,
+		})
+		lan, _ := nodes[node].InterfacePort("eth0")
+		wan, _ := nodes[node].InterfacePort("eth1")
+		if err := lan.Send(netdev.Frame{Data: frame}); err != nil {
+			log.Fatal(err)
+		}
+		out, ok := wan.TryRecv()
+		if !ok {
+			log.Fatalf("NAT on %q dropped the probe", node)
+		}
+		udp, _ := pkt.NewPacket(out.Data, pkt.LayerTypeEthernet, pkt.Default).
+			Layer(pkt.LayerTypeUDP).(*pkt.UDP)
+		return udp.SrcPort
+	}
+	ext1 := probe(primary, 1, 30001)
+	ext2 := probe(primary, 2, 30002)
+	fmt.Printf("connections established through %q: :30001->ext %d, :30002->ext %d\n",
+		primary, ext1, ext2)
+	fmt.Printf("flow states replicated to the shadow: %d\n", orch.SyncStandbys())
+
+	// Kill the primary's control plane; one reconcile pass promotes the
+	// warm shadow.
+	fmt.Printf("\nkilling %q ...\n", primary)
+	locals[primary].SetDown(true)
+	orch.ReconcileOnce()
+	pl, _ = orch.Placement("cpe")
+	fmt.Printf("NAT re-homed onto %q\n", pl.NFNode["nat"])
+
+	// Zero state loss: the same flows still translate to the same ports.
+	got1 := probe(pl.NFNode["nat"], 1, 30001)
+	got2 := probe(pl.NFNode["nat"], 2, 30002)
+	fmt.Printf("bindings after failover: :30001->ext %d, :30002->ext %d (state loss: %v)\n",
+		got1, got2, got1 != ext1 || got2 != ext2)
+
+	fmt.Println("\njournal tail:")
+	events := orch.Journal().Events()
+	if len(events) > 4 {
+		events = events[len(events)-4:]
+	}
+	for _, ev := range events {
+		fmt.Printf("  %-10s %s\n", ev.Type, ev.Detail)
+	}
+}

@@ -1,0 +1,190 @@
+// Package chaos is the fault-injection harness that turns the repo's
+// availability machinery into a gated CI check. Each scenario builds a
+// real in-process fleet (complete Universal Nodes under the global
+// orchestrator, wired with patch cables), establishes live stateful
+// traffic, injects one class of fault — an NF instance crash, a node
+// loss, a severed inter-node link, a flaky REST control plane — and
+// measures what the paper's orchestration model promises to bound:
+// packet loss, per-flow state loss, and reconvergence time. A Report
+// compares every measurement against the scenario's Budget; Gate turns
+// any violation into a build failure.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Budget is the per-scenario acceptance envelope.
+type Budget struct {
+	// MaxLossPct is the tolerated packet loss across the scenario's
+	// measured traffic, in percent of frames sent.
+	MaxLossPct float64 `json:"max-loss-pct"`
+	// MaxStateLoss is the tolerated number of per-flow state entries
+	// (NAT bindings, SAs) observed lost or corrupted after recovery.
+	MaxStateLoss int `json:"max-state-loss"`
+	// MaxReconverge bounds how long the control plane may take to
+	// recover service after the fault. Zero means unbounded.
+	MaxReconverge time.Duration `json:"max-reconverge-ns"`
+}
+
+// Result is one scenario's measured outcome, compared against its budget.
+type Result struct {
+	Scenario    string  `json:"scenario"`
+	Description string  `json:"description"`
+	Sent        int     `json:"sent"`
+	Received    int     `json:"received"`
+	LossPct     float64 `json:"loss-pct"`
+	// StateLoss counts flow-state entries (e.g. NAT bindings) whose
+	// post-recovery behavior differs from before the fault.
+	StateLoss  int           `json:"state-loss"`
+	Reconverge time.Duration `json:"reconverge-ns"`
+	Budget     Budget        `json:"budget"`
+	Violations []string      `json:"violations,omitempty"`
+	Err        string        `json:"error,omitempty"`
+	Pass       bool          `json:"pass"`
+}
+
+// Report is the full harness run: one Result per scenario.
+type Report struct {
+	Scenarios []Result `json:"scenarios"`
+	Repeat    int      `json:"repeat"`
+	Conns     int      `json:"conns"`
+	Pass      bool     `json:"pass"`
+}
+
+// Options tune how hard the harness pushes. The zero value is the CI
+// profile; nightly soak raises Conns and Repeat.
+type Options struct {
+	// Conns is how many stateful connections each scenario establishes
+	// before injecting its fault. Default 16.
+	Conns int
+	// Repeat reruns every scenario this many times, accumulating traffic
+	// counts and keeping the worst reconvergence. Default 1.
+	Repeat int
+	// Logf receives harness progress; nil discards it.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Conns <= 0 {
+		o.Conns = 16
+	}
+	if o.Repeat <= 0 {
+		o.Repeat = 1
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// stats is what one scenario execution measured.
+type stats struct {
+	sent, received, stateLoss int
+	reconverge                time.Duration
+}
+
+// Scenario is one fault-injection experiment with its acceptance budget.
+type Scenario struct {
+	Name        string
+	Description string
+	Budget      Budget
+	run         func(o *Options) (stats, error)
+}
+
+// Run executes every registered scenario Repeat times and gates the
+// accumulated measurements against each scenario's budget.
+func Run(opts Options) *Report {
+	opts = opts.withDefaults()
+	rep := &Report{Pass: true, Repeat: opts.Repeat, Conns: opts.Conns}
+	for _, sc := range Scenarios() {
+		res := Result{Scenario: sc.Name, Description: sc.Description, Budget: sc.Budget}
+		for i := 0; i < opts.Repeat; i++ {
+			opts.Logf("chaos: %s (run %d/%d)", sc.Name, i+1, opts.Repeat)
+			st, err := sc.run(&opts)
+			res.Sent += st.sent
+			res.Received += st.received
+			res.StateLoss += st.stateLoss
+			if st.reconverge > res.Reconverge {
+				res.Reconverge = st.reconverge
+			}
+			if err != nil {
+				res.Err = err.Error()
+				break
+			}
+		}
+		if res.Sent > 0 {
+			res.LossPct = 100 * float64(res.Sent-res.Received) / float64(res.Sent)
+		}
+		if res.Err != "" {
+			res.Violations = append(res.Violations, "scenario error: "+res.Err)
+		}
+		if res.LossPct > sc.Budget.MaxLossPct {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("packet loss %.2f%% exceeds budget %.2f%%", res.LossPct, sc.Budget.MaxLossPct))
+		}
+		if res.StateLoss > sc.Budget.MaxStateLoss {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("state loss %d exceeds budget %d", res.StateLoss, sc.Budget.MaxStateLoss))
+		}
+		if sc.Budget.MaxReconverge > 0 && res.Reconverge > sc.Budget.MaxReconverge {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("reconvergence %v exceeds budget %v", res.Reconverge, sc.Budget.MaxReconverge))
+		}
+		res.Pass = len(res.Violations) == 0
+		if !res.Pass {
+			rep.Pass = false
+		}
+		rep.Scenarios = append(rep.Scenarios, res)
+	}
+	return rep
+}
+
+// Gate returns a non-nil error when any scenario violated its budget —
+// the CI job's failure signal.
+func (r *Report) Gate() error {
+	if r.Pass {
+		return nil
+	}
+	var failed []string
+	for _, s := range r.Scenarios {
+		if !s.Pass {
+			failed = append(failed, s.Scenario)
+		}
+	}
+	return fmt.Errorf("chaos: %d/%d scenarios violated their budget: %v",
+		len(failed), len(r.Scenarios), failed)
+}
+
+// WriteJSON emits the report as the CI artifact format.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteMarkdown renders the report as a GitHub-flavored summary table,
+// published into $GITHUB_STEP_SUMMARY by the CI job.
+func (r *Report) WriteMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "## Chaos report (%d conns, repeat %d)\n\n", r.Conns, r.Repeat); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "| Scenario | Sent | Recv | Loss | State loss | Reconverge | Budget | Verdict |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|---|---|")
+	for _, s := range r.Scenarios {
+		verdict := "✅ pass"
+		if !s.Pass {
+			verdict = "❌ " + s.Violations[0]
+		}
+		budget := fmt.Sprintf("≤%.1f%% loss, ≤%d state, ≤%v",
+			s.Budget.MaxLossPct, s.Budget.MaxStateLoss, s.Budget.MaxReconverge)
+		fmt.Fprintf(w, "| %s | %d | %d | %.2f%% | %d | %v | %s | %s |\n",
+			s.Scenario, s.Sent, s.Received, s.LossPct, s.StateLoss,
+			s.Reconverge.Round(time.Microsecond), budget, verdict)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

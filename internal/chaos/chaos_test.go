@@ -1,0 +1,92 @@
+package chaos_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// TestChaosSuitePassesBudgets is the CI gate: every fault-injection
+// scenario must stay within its packet-loss / state-loss / reconvergence
+// budget. A red run here means an availability regression.
+func TestChaosSuitePassesBudgets(t *testing.T) {
+	rep := chaos.Run(chaos.Options{Logf: t.Logf})
+	for _, s := range rep.Scenarios {
+		t.Logf("%s: sent=%d received=%d loss=%.2f%% stateLoss=%d reconverge=%v pass=%v",
+			s.Scenario, s.Sent, s.Received, s.LossPct, s.StateLoss, s.Reconverge, s.Pass)
+		if s.Err != "" {
+			t.Errorf("%s: %s", s.Scenario, s.Err)
+		}
+		for _, v := range s.Violations {
+			t.Errorf("%s: budget violation: %s", s.Scenario, v)
+		}
+	}
+	if err := rep.Gate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) < 4 {
+		t.Fatalf("suite ran %d scenarios, want >= 4", len(rep.Scenarios))
+	}
+}
+
+// TestReportGateFailsOnViolation: a report carrying a violated budget
+// must gate red — the property the CI job's exit code rests on.
+func TestReportGateFailsOnViolation(t *testing.T) {
+	rep := &chaos.Report{
+		Pass: false,
+		Scenarios: []chaos.Result{
+			{Scenario: "ok", Pass: true},
+			{Scenario: "bad", Pass: false, Violations: []string{"packet loss 12.50% exceeds budget 0.00%"}},
+		},
+	}
+	err := rep.Gate()
+	if err == nil {
+		t.Fatal("Gate() = nil for a failing report")
+	}
+	if !strings.Contains(err.Error(), "bad") {
+		t.Errorf("Gate() error does not name the failing scenario: %v", err)
+	}
+	if (&chaos.Report{Pass: true}).Gate() != nil {
+		t.Error("Gate() != nil for a passing report")
+	}
+}
+
+// TestReportSerialization: the JSON artifact round-trips and the markdown
+// summary carries one row per scenario plus a verdict.
+func TestReportSerialization(t *testing.T) {
+	rep := &chaos.Report{
+		Pass:   true,
+		Repeat: 1,
+		Conns:  16,
+		Scenarios: []chaos.Result{{
+			Scenario: "node-kill-active-standby",
+			Sent:     64, Received: 64,
+			Reconverge: 3 * time.Millisecond,
+			Budget:     chaos.Budget{MaxReconverge: 5 * time.Second},
+			Pass:       true,
+		}},
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back chaos.Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Scenarios) != 1 || back.Scenarios[0].Scenario != "node-kill-active-standby" {
+		t.Fatalf("round-trip mangled the report: %+v", back)
+	}
+	buf.Reset()
+	if err := rep.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	md := buf.String()
+	if !strings.Contains(md, "node-kill-active-standby") || !strings.Contains(md, "pass") {
+		t.Errorf("markdown summary missing scenario row:\n%s", md)
+	}
+}

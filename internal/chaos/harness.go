@@ -1,0 +1,305 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	un "repro"
+	"repro/internal/global"
+	"repro/internal/netdev"
+	"repro/internal/nffg"
+	"repro/internal/pkt"
+)
+
+// nodeCaps is the full capability set of a harness node: every execution
+// environment and every native NF the repository ships.
+var nodeCaps = []string{
+	"kvm", "docker", "dpdk",
+	"nnf:ipsec", "nnf:firewall", "nnf:nat", "nnf:bridge", "nnf:router", "nnf:monitor", "nnf:shaper",
+}
+
+// fleet is an in-process multi-node rig: one global orchestrator over
+// complete Universal Nodes wired with patch cables — the same shape the
+// integration tests use, rebuilt here as production code so the chaos
+// CLI and the CI job can drive it outside `go test`.
+type fleet struct {
+	g      *global.Orchestrator
+	nodes  map[string]*un.Node
+	locals map[string]*global.LocalNode
+	undo   []func()
+}
+
+type nodeSpec struct {
+	name      string
+	ifaces    []string
+	cpuMillis int
+}
+
+// linkSpec wires iface aIf of node a to iface bIf of node b.
+type linkSpec struct{ a, aIf, b, bIf string }
+
+func newFleet(o *Options, specs []nodeSpec, links []linkSpec) (*fleet, error) {
+	f := &fleet{
+		g:      global.New(global.Config{Logf: o.Logf, ProbeInterval: 5 * time.Millisecond}),
+		nodes:  make(map[string]*un.Node),
+		locals: make(map[string]*global.LocalNode),
+	}
+	for _, spec := range specs {
+		node, err := un.NewNode(un.Config{
+			Name:         spec.name,
+			Interfaces:   spec.ifaces,
+			CPUMillis:    spec.cpuMillis,
+			RAMBytes:     1 << 30,
+			Capabilities: nodeCaps,
+		})
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("chaos: node %q: %w", spec.name, err)
+		}
+		f.nodes[spec.name] = node
+		f.undo = append(f.undo, node.Close)
+		ln := global.NewLocalNode(spec.name, node)
+		f.locals[spec.name] = ln
+		if err := f.g.AddNode(ln); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("chaos: adding node %q: %w", spec.name, err)
+		}
+	}
+	for _, l := range links {
+		pa, ok := f.nodes[l.a].InterfacePort(l.aIf)
+		if !ok {
+			f.Close()
+			return nil, fmt.Errorf("chaos: node %q has no interface %q", l.a, l.aIf)
+		}
+		pb, ok := f.nodes[l.b].InterfacePort(l.bIf)
+		if !ok {
+			f.Close()
+			return nil, fmt.Errorf("chaos: node %q has no interface %q", l.b, l.bIf)
+		}
+		f.undo = append(f.undo, global.Patch(pa, pb))
+		if err := f.g.Link(l.a, l.aIf, l.b, l.bIf); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("chaos: linking %s/%s-%s/%s: %w", l.a, l.aIf, l.b, l.bIf, err)
+		}
+	}
+	return f, nil
+}
+
+func (f *fleet) Close() {
+	for i := len(f.undo) - 1; i >= 0; i-- {
+		f.undo[i]()
+	}
+}
+
+func (f *fleet) send(node, iface string, data []byte) error {
+	p, ok := f.nodes[node].InterfacePort(iface)
+	if !ok {
+		return fmt.Errorf("chaos: node %q has no interface %q", node, iface)
+	}
+	return p.Send(netdev.Frame{Data: data})
+}
+
+func (f *fleet) recv(node, iface string) ([]byte, bool) {
+	p, ok := f.nodes[node].InterfacePort(iface)
+	if !ok {
+		return nil, false
+	}
+	fr, got := p.TryRecv()
+	return fr.Data, got
+}
+
+const natExternalIP = "198.51.100.1"
+
+var natRemote = pkt.Addr{203, 0, 113, 50}
+
+const natRemotePort = 53
+
+// natGraph wires a source NAT between eth0 (LAN) and eth1 (WAN), with the
+// requested redundancy mode and an availability target that demands it.
+func natGraph(id string, redundancy nffg.RedundancyMode) *nffg.Graph {
+	n := nffg.NF{
+		ID: "nat", Name: "nat",
+		Ports:                []nffg.NFPort{{ID: "0"}, {ID: "1"}},
+		TechnologyPreference: nffg.TechDocker,
+		Config:               map[string]string{"external_ip": natExternalIP},
+	}
+	if redundancy != "" {
+		n.Redundancy = redundancy
+		n.Availability = 0.999
+	}
+	return &nffg.Graph{
+		ID:  id,
+		NFs: []nffg.NF{n},
+		Endpoints: []nffg.Endpoint{
+			{ID: "lan", Type: nffg.EPInterface, Interface: "eth0"},
+			{ID: "wan", Type: nffg.EPInterface, Interface: "eth1"},
+		},
+		Rules: []nffg.FlowRule{
+			{ID: "r1", Priority: 10,
+				Match:   nffg.RuleMatch{PortIn: nffg.EndpointRef("lan")},
+				Actions: []nffg.RuleAction{{Type: nffg.ActOutput, Output: nffg.NFPortRef("nat", "0")}}},
+			{ID: "r2", Priority: 10,
+				Match:   nffg.RuleMatch{PortIn: nffg.NFPortRef("nat", "1")},
+				Actions: []nffg.RuleAction{{Type: nffg.ActOutput, Output: nffg.EndpointRef("wan")}}},
+			{ID: "r3", Priority: 10,
+				Match:   nffg.RuleMatch{PortIn: nffg.EndpointRef("wan")},
+				Actions: []nffg.RuleAction{{Type: nffg.ActOutput, Output: nffg.NFPortRef("nat", "1")}}},
+			{ID: "r4", Priority: 10,
+				Match:   nffg.RuleMatch{PortIn: nffg.NFPortRef("nat", "0")},
+				Actions: []nffg.RuleAction{{Type: nffg.ActOutput, Output: nffg.EndpointRef("lan")}}},
+		},
+	}
+}
+
+// chainGraph builds a linear pass-through service chain between the lan
+// and wan interface endpoints: firewall -> monitor -> bridge repeated.
+func chainGraph(id string, nfs int) *nffg.Graph {
+	templates := []string{"firewall", "monitor", "bridge"}
+	g := &nffg.Graph{ID: id, Name: "chaos-chain"}
+	for i := 0; i < nfs; i++ {
+		g.NFs = append(g.NFs, nffg.NF{
+			ID:    fmt.Sprintf("nf%d", i),
+			Name:  templates[i%len(templates)],
+			Ports: []nffg.NFPort{{ID: "0"}, {ID: "1"}},
+		})
+	}
+	g.Endpoints = []nffg.Endpoint{
+		{ID: "lan", Type: nffg.EPInterface, Interface: "lan"},
+		{ID: "wan", Type: nffg.EPInterface, Interface: "wan"},
+	}
+	prev := nffg.EndpointRef("lan")
+	for i := 0; i < nfs; i++ {
+		g.Rules = append(g.Rules, nffg.FlowRule{
+			ID: fmt.Sprintf("r%d", i), Priority: 10,
+			Match:   nffg.RuleMatch{PortIn: prev},
+			Actions: []nffg.RuleAction{{Type: nffg.ActOutput, Output: nffg.NFPortRef(fmt.Sprintf("nf%d", i), "0")}},
+		})
+		prev = nffg.NFPortRef(fmt.Sprintf("nf%d", i), "1")
+	}
+	g.Rules = append(g.Rules, nffg.FlowRule{
+		ID: "r-out", Priority: 10,
+		Match:   nffg.RuleMatch{PortIn: prev},
+		Actions: []nffg.RuleAction{{Type: nffg.ActOutput, Output: nffg.EndpointRef("wan")}},
+	})
+	return g
+}
+
+// testFrame is one UDP probe frame with a distinguishing payload byte.
+func testFrame(payloadByte byte) []byte {
+	return pkt.MustBuildFrame(pkt.FrameSpec{
+		SrcMAC: pkt.MAC{2, 0, 0, 0, 0, 1}, DstMAC: pkt.MAC{2, 0, 0, 0, 0, 2},
+		SrcIP: pkt.Addr{10, 0, 0, 1}, DstIP: pkt.Addr{10, 0, 0, 2},
+		SrcPort: 40000, DstPort: 5001, PayloadLen: 64, PayloadByte: payloadByte,
+	})
+}
+
+// natConn is one live translated connection the harness drives traffic
+// through across a fault.
+type natConn struct {
+	srcIP            pkt.Addr
+	srcPort, extPort uint16
+}
+
+func (c *natConn) outboundFrame() []byte {
+	return pkt.MustBuildFrame(pkt.FrameSpec{
+		SrcMAC: pkt.MAC{2, 0, 0, 0, 0, 1}, DstMAC: pkt.MAC{2, 0, 0, 0, 0, 2},
+		SrcIP: c.srcIP, DstIP: natRemote,
+		SrcPort: c.srcPort, DstPort: natRemotePort, PayloadLen: 64,
+	})
+}
+
+func (c *natConn) replyFrame() ([]byte, error) {
+	ext, err := pkt.ParseAddr(natExternalIP)
+	if err != nil {
+		return nil, err
+	}
+	return pkt.MustBuildFrame(pkt.FrameSpec{
+		SrcMAC: pkt.MAC{2, 0, 0, 0, 0, 2}, DstMAC: pkt.MAC{2, 0, 0, 0, 0, 1},
+		SrcIP: natRemote, DstIP: ext,
+		SrcPort: natRemotePort, DstPort: c.extPort, PayloadLen: 64,
+	}), nil
+}
+
+func udpOf(frame []byte) (*pkt.UDP, error) {
+	p := pkt.NewPacket(frame, pkt.LayerTypeEthernet, pkt.Default)
+	udp, ok := p.Layer(pkt.LayerTypeUDP).(*pkt.UDP)
+	if !ok {
+		return nil, fmt.Errorf("chaos: frame is not UDP")
+	}
+	return udp, nil
+}
+
+// establishNATConns opens n distinct connections through the NAT on the
+// given node and records the external port each was mapped to. A loss
+// here means the rig itself is broken, so it is an error, not a metric.
+func establishNATConns(f *fleet, node string, n int) ([]*natConn, error) {
+	conns := make([]*natConn, n)
+	for i := range conns {
+		c := &natConn{
+			srcIP:   pkt.Addr{10, 0, 0, byte(i%250 + 1)},
+			srcPort: uint16(30000 + i),
+		}
+		if err := f.send(node, "eth0", c.outboundFrame()); err != nil {
+			return nil, err
+		}
+		out, ok := f.recv(node, "eth1")
+		if !ok {
+			return nil, fmt.Errorf("chaos: conn %d lost before any fault was injected", i)
+		}
+		udp, err := udpOf(out)
+		if err != nil {
+			return nil, err
+		}
+		c.extPort = udp.SrcPort
+		conns[i] = c
+	}
+	return conns, nil
+}
+
+// verifyNATConns pushes one packet in each direction of every connection
+// through the given node, counting losses and state losses (a binding
+// whose external port changed, or a reply translated to the wrong host).
+func verifyNATConns(f *fleet, node string, conns []*natConn, st *stats) error {
+	for _, c := range conns {
+		st.sent++
+		if err := f.send(node, "eth0", c.outboundFrame()); err != nil {
+			return err
+		}
+		out, ok := f.recv(node, "eth1")
+		if !ok {
+			continue
+		}
+		st.received++
+		udp, err := udpOf(out)
+		if err != nil {
+			return err
+		}
+		if udp.SrcPort != c.extPort {
+			st.stateLoss++
+			continue
+		}
+		reply, err := c.replyFrame()
+		if err != nil {
+			return err
+		}
+		st.sent++
+		if err := f.send(node, "eth1", reply); err != nil {
+			return err
+		}
+		back, ok := f.recv(node, "eth0")
+		if !ok {
+			continue
+		}
+		st.received++
+		rudp, err := udpOf(back)
+		if err != nil {
+			return err
+		}
+		p := pkt.NewPacket(back, pkt.LayerTypeEthernet, pkt.Default)
+		ip, ok := p.Layer(pkt.LayerTypeIPv4).(*pkt.IPv4)
+		if !ok || ip.DstIP != c.srcIP || rudp.DstPort != c.srcPort {
+			st.stateLoss++
+		}
+	}
+	return nil
+}

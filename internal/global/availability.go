@@ -1,0 +1,326 @@
+package global
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/nffg"
+	"repro/internal/telemetry"
+)
+
+// Availability at the fleet tier: a graph carrying an active-standby NF gets
+// a shadow deployment on a second node — same subgraph, warm and steered on
+// its own interfaces, kept state-synced by the reconcile loop. When the
+// primary node dies the reconcile pass flips the deployment onto the shadow
+// instead of cold-redeploying: NAT bindings, IPsec SAs and other per-flow
+// state replicated by the last sync survive the node loss. Shadows only form
+// for single-node partitions (a multi-node graph already spreads its blast
+// radius; its NFs use anti-affinity to avoid sharing a failure domain).
+
+// wantsStandby reports whether the graph asks for a node-level shadow: any
+// NF declaring active-standby redundancy.
+func wantsStandby(g *nffg.Graph) bool {
+	for _, n := range g.NFs {
+		if n.Redundancy == nffg.RedundancyActiveStandby {
+			return true
+		}
+	}
+	return false
+}
+
+// StandbyNode returns the node currently holding a graph's shadow
+// deployment, or "" when none is armed.
+func (o *Orchestrator) StandbyNode(graphID string) string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if dep, ok := o.graphs[graphID]; ok {
+		return dep.standbyNode
+	}
+	return ""
+}
+
+// primaryOf returns the single hosting node and subgraph of a one-node
+// partition. Callers hold o.mu.
+func primaryOf(dep *deployment) (string, *nffg.Graph, bool) {
+	if len(dep.subs) != 1 {
+		return "", nil, false
+	}
+	for node, sub := range dep.subs {
+		return node, sub, true
+	}
+	return "", nil, false
+}
+
+// canShadow reports whether the node view can host the whole subgraph: every
+// endpoint interface present, every NF demand charged in sequence.
+func (o *Orchestrator) canShadow(v *nodeView, sub *nffg.Graph) bool {
+	for _, ep := range sub.Endpoints {
+		if ep.Type != nffg.EPInterface && ep.Type != nffg.EPVLAN {
+			continue
+		}
+		if !v.ifaces[ep.Interface] {
+			return false
+		}
+	}
+	for _, n := range sub.NFs {
+		d, err := estimateDemand(o.cfg.Repo, n)
+		if err != nil || !v.canHost(d) {
+			return false
+		}
+		v.charge(d)
+	}
+	return true
+}
+
+// armStandby deploys a graph's shadow onto the best-named alive node that is
+// not the primary and can host the whole subgraph. Best effort: a fleet with
+// no spare capacity simply leaves the graph unprotected until one appears.
+// Callers hold o.mu.
+func (o *Orchestrator) armStandby(dep *deployment) {
+	primary, sub, single := primaryOf(dep)
+	if !single {
+		return
+	}
+	id := dep.desired.ID
+	names := make([]string, 0, len(o.members))
+	for name := range o.members {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := o.members[name]
+		if name == primary || !m.alive {
+			continue
+		}
+		if !o.canShadow(newNodeView(m.last), sub) {
+			continue
+		}
+		if err := m.node.Deploy(sub); err != nil {
+			o.cfg.Logf("global: arming standby for %q on %q: %v", id, name, err)
+			continue
+		}
+		dep.standbyNode = name
+		o.journal.Recordf(telemetry.EventDeploy, name, id, "standby shadow deployed")
+		o.syncStandby(dep)
+		return
+	}
+	o.cfg.Logf("global: graph %q wants a standby but no node can shadow it", id)
+}
+
+// syncStandby replicates the primary's per-flow NF state onto the shadow
+// through the nodes' StateNode verbs. Stateless NFs export nothing and cost
+// one RPC round-trip; nodes without state verbs are skipped. Returns how many
+// flow-state entries moved. Callers hold o.mu.
+func (o *Orchestrator) syncStandby(dep *deployment) int {
+	primary, _, single := primaryOf(dep)
+	if !single || dep.standbyNode == "" {
+		return 0
+	}
+	pm, pOK := o.members[primary]
+	sm, sOK := o.members[dep.standbyNode]
+	if !pOK || !sOK || !pm.alive || !sm.alive {
+		return 0
+	}
+	src, ok := pm.node.(StateNode)
+	if !ok {
+		return 0
+	}
+	dst, ok := sm.node.(StateNode)
+	if !ok {
+		return 0
+	}
+	id := dep.desired.ID
+	total := 0
+	for _, n := range dep.desired.NFs {
+		states, err := src.ExportNFState(id, n.ID)
+		if err != nil || len(states) == 0 {
+			continue
+		}
+		if err := dst.ImportNFState(id, n.ID, states); err != nil {
+			o.cfg.Logf("global: syncing %s/%s state to standby %q: %v", id, n.ID, dep.standbyNode, err)
+			continue
+		}
+		total += len(states)
+	}
+	if total > 0 {
+		o.metrics.stateSyncs.Add(uint64(total))
+		o.journal.Recordf(telemetry.EventStateSync, dep.standbyNode, id,
+			fmt.Sprintf("%d flow-state entries replicated from %q", total, primary))
+	}
+	return total
+}
+
+// SyncStandbys runs one state-replication pass over every shadowed graph and
+// returns the total flow-state entries moved. The reconcile loop calls it
+// every pass; tests and the chaos harness call it directly to bound the
+// state gap before injecting a fault.
+func (o *Orchestrator) SyncStandbys() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	total := 0
+	for _, id := range sortedGraphIDs(o.graphs) {
+		total += o.syncStandby(o.graphs[id])
+	}
+	return total
+}
+
+// promoteStandby flips a stranded deployment onto its warm shadow. The
+// shadow already runs the subgraph with the last-synced flow state, so the
+// flip is pure bookkeeping: no node RPC, no cold restart. Returns false when
+// the graph has no live standby to promote (the caller falls back to a
+// cold reassign). Callers hold o.mu.
+func (o *Orchestrator) promoteStandby(dep *deployment) bool {
+	if dep.standbyNode == "" {
+		return false
+	}
+	sm, ok := o.members[dep.standbyNode]
+	if !ok || !sm.alive {
+		return false
+	}
+	primary, sub, single := primaryOf(dep)
+	if !single {
+		return false
+	}
+	id := dep.desired.ID
+	o.metrics.outages.Inc()
+	o.journal.Recordf(telemetry.EventOutage, primary, id, "primary node lost")
+	// The dead primary may come back still running its copy; anti-entropy
+	// retires it then.
+	o.deferRemoval(primary, id)
+	o.retireStitches(dep.stitches, map[string]bool{primary: true})
+	standby := dep.standbyNode
+	dep.subs = map[string]*nffg.Graph{standby: sub}
+	dep.stitches = nil
+	for nfID := range dep.pl.NFNode {
+		dep.pl.NFNode[nfID] = standby
+	}
+	for epID := range dep.pl.EPNode {
+		dep.pl.EPNode[epID] = standby
+	}
+	dep.standbyNode = ""
+	o.metrics.promotions.Inc()
+	o.cfg.Logf("global: promoted standby %q for graph %q (primary %q lost)", standby, id, primary)
+	o.journal.Recordf(telemetry.EventPromote, standby, id,
+		fmt.Sprintf("standby promoted after losing %q", primary))
+	// Re-arm immediately if a spare node exists; otherwise the reconcile
+	// loop keeps trying.
+	o.armStandby(dep)
+	return true
+}
+
+// maintainStandbys is the reconcile phase keeping every shadow armed and
+// state-synced: dead shadows are dropped (and re-armed elsewhere), missing
+// ones deployed, live ones refreshed with the primary's flow state. Callers
+// hold o.mu.
+func (o *Orchestrator) maintainStandbys() {
+	for _, id := range sortedGraphIDs(o.graphs) {
+		dep := o.graphs[id]
+		if !wantsStandby(dep.desired) {
+			continue
+		}
+		if dep.standbyNode != "" {
+			m, ok := o.members[dep.standbyNode]
+			if !ok || !m.alive {
+				o.metrics.outages.Inc()
+				o.journal.Recordf(telemetry.EventOutage, dep.standbyNode, id, "standby node lost")
+				dep.standbyNode = ""
+			}
+		}
+		if dep.standbyNode == "" {
+			o.armStandby(dep)
+			continue // armStandby already synced
+		}
+		o.syncStandby(dep)
+	}
+}
+
+// refreshStandby reconciles a graph's shadow with a freshly-applied
+// partition: a single-node partition keeps the shadow, updated in place to
+// the new subgraph; a multi-node one (or a dead shadow node) drops it and
+// lets maintainStandbys re-arm where possible. Callers hold o.mu.
+func (o *Orchestrator) refreshStandby(dep *deployment) {
+	if dep.standbyNode == "" {
+		return
+	}
+	_, sub, single := primaryOf(dep)
+	m, ok := o.members[dep.standbyNode]
+	if !single || !ok || !m.alive {
+		o.dropStandby(dep)
+		return
+	}
+	if err := m.node.Update(sub); err != nil {
+		o.cfg.Logf("global: updating standby shadow of %q on %q: %v", dep.desired.ID, dep.standbyNode, err)
+		o.dropStandby(dep)
+	}
+}
+
+// dropStandby undeploys a graph's shadow, best effort. Callers hold o.mu.
+func (o *Orchestrator) dropStandby(dep *deployment) {
+	if dep.standbyNode == "" {
+		return
+	}
+	if m, ok := o.members[dep.standbyNode]; ok && m.alive {
+		if err := m.node.Undeploy(dep.desired.ID); err != nil {
+			o.deferRemoval(dep.standbyNode, dep.desired.ID)
+		}
+	} else {
+		o.deferRemoval(dep.standbyNode, dep.desired.ID)
+	}
+	dep.standbyNode = ""
+}
+
+// sortedGraphIDs returns the deployment map's keys in stable order.
+func sortedGraphIDs(graphs map[string]*deployment) []string {
+	ids := make([]string, 0, len(graphs))
+	for id := range graphs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Unlink withdraws a declared inter-node link: stitches may no longer ride
+// it. Deployments whose current partition crosses the severed link are
+// re-placed over the remaining topology on the spot (and by the reconcile
+// loop if that fails).
+func (o *Orchestrator) Unlink(aNode, aIf, bNode, bIf string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	cut := Link{A: aNode, AIf: aIf, B: bNode, BIf: bIf}
+	found := -1
+	for i, l := range o.links {
+		if l.key() == cut.key() {
+			found = i
+			break
+		}
+	}
+	if found < 0 {
+		return fmt.Errorf("global: link %s not declared", cut.key())
+	}
+	o.links = append(o.links[:found], o.links[found+1:]...)
+	o.metrics.linkDowns.Inc()
+	o.journal.Recordf(telemetry.EventLinkDown, "", "", cut.key())
+	for _, id := range sortedGraphIDs(o.graphs) {
+		dep := o.graphs[id]
+		affected := false
+		for _, st := range dep.stitches {
+			for _, h := range st.hops {
+				if h.link.key() == cut.key() {
+					affected = true
+				}
+			}
+		}
+		if !affected {
+			continue
+		}
+		if err := o.reassign(dep, dep.desired); err != nil {
+			o.metrics.rescheduleFails.Inc()
+			o.cfg.Logf("global: re-placing %q after link cut: %v (will retry)", id, err)
+			continue
+		}
+		o.metrics.reschedules.Inc()
+		o.journal.Recordf(telemetry.EventResched, "", id,
+			fmt.Sprintf("re-placed off severed link %s onto %v", cut.key(), subgraphNodes(dep.subs)))
+	}
+	return nil
+}

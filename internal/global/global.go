@@ -56,6 +56,11 @@ type deployment struct {
 	subs     map[string]*nffg.Graph // node name -> subgraph
 	stitches []stitch
 	pl       Placement
+	// standbyNode names the node holding the graph's warm shadow
+	// deployment (active-standby availability), "" when unarmed. The
+	// shadow is deliberately absent from subs: it is not part of the
+	// serving partition until a promotion flips it in.
+	standbyNode string
 }
 
 // Orchestrator is the global orchestrator: it owns the desired graph set,
@@ -463,9 +468,13 @@ func (o *Orchestrator) deployLocked(g *nffg.Graph) error {
 		}
 		deployed = append(deployed, node)
 	}
-	o.graphs[g.ID] = &deployment{desired: g.Clone(), subs: subs, stitches: stitches, pl: pl}
+	dep := &deployment{desired: g.Clone(), subs: subs, stitches: stitches, pl: pl}
+	o.graphs[g.ID] = dep
 	o.journal.Recordf(telemetry.EventDeploy, "", g.ID,
 		fmt.Sprintf("split across %v", subgraphNodes(subs)))
+	if wantsStandby(dep.desired) {
+		o.armStandby(dep)
+	}
 	return nil
 }
 
@@ -512,6 +521,13 @@ func (o *Orchestrator) reassign(dep *deployment, g *nffg.Graph) error {
 	if err != nil {
 		return err
 	}
+	// A shadow colliding with the new partition must clear out first, or
+	// the fresh Deploy on its node would hit a duplicate graph.
+	if dep.standbyNode != "" {
+		if _, collides := subs[dep.standbyNode]; collides {
+			o.dropStandby(dep)
+		}
+	}
 	// Vacated nodes first, freeing their capacity and VLAN endpoints.
 	// Nodes that cannot be told to drop their piece block the release of
 	// the old partition's stitch VLANs.
@@ -557,6 +573,7 @@ func (o *Orchestrator) reassign(dep *deployment, g *nffg.Graph) error {
 	dep.subs = subs
 	dep.stitches = stitches
 	dep.pl = pl
+	o.refreshStandby(dep)
 	o.journal.Recordf(telemetry.EventUpdate, "", g.ID,
 		fmt.Sprintf("re-placed across %v", subgraphNodes(subs)))
 	return nil
@@ -821,6 +838,7 @@ func (o *Orchestrator) Undeploy(id string) error {
 	if !ok {
 		return fmt.Errorf("global: graph %q not deployed", id)
 	}
+	o.dropStandby(dep)
 	blocked := make(map[string]bool)
 	for _, node := range subgraphNodes(dep.subs) {
 		m, registered := o.members[node]
@@ -959,6 +977,11 @@ func (o *Orchestrator) ReconcileOnce() {
 			}
 		}
 		if stranded {
+			// A warm shadow beats a cold reassign: the standby already
+			// runs the subgraph with the last-synced flow state.
+			if o.promoteStandby(dep) {
+				continue
+			}
 			if err := o.reassign(dep, dep.desired); err != nil {
 				o.metrics.rescheduleFails.Inc()
 				o.cfg.Logf("global: rescheduling %q: %v (will retry)", id, err)
@@ -1020,7 +1043,7 @@ func (o *Orchestrator) ReconcileOnce() {
 			if !ours {
 				continue // possibly deferred below, else another tenant's
 			}
-			if _, wanted := dep.subs[name]; !wanted {
+			if _, wanted := dep.subs[name]; !wanted && dep.standbyNode != name {
 				o.cfg.Logf("global: node %q holds stale graph %q, removing", name, gid)
 				if err := m.node.Undeploy(gid); err == nil {
 					delete(o.pending[name], gid)
@@ -1031,9 +1054,10 @@ func (o *Orchestrator) ReconcileOnce() {
 		}
 		for gid := range o.pending[name] {
 			if dep, ours := o.graphs[gid]; ours {
-				if _, wanted := dep.subs[name]; wanted {
-					// The graph moved back onto this node after the
-					// removal was deferred: nothing to retire.
+				if _, wanted := dep.subs[name]; wanted || dep.standbyNode == name {
+					// The graph moved back onto this node (as primary or
+					// shadow) after the removal was deferred: nothing to
+					// retire.
 					delete(o.pending[name], gid)
 					continue
 				}
@@ -1055,4 +1079,10 @@ func (o *Orchestrator) ReconcileOnce() {
 			o.nodeCleaned(name)
 		}
 	}
+
+	// Availability: keep every active-standby graph's shadow armed and
+	// refresh its flow state from the primary. After anti-entropy, so a
+	// node returning from the dead has its stale copy retired above and
+	// can be re-armed as the new shadow in the same pass.
+	o.maintainStandbys()
 }

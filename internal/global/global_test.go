@@ -24,7 +24,7 @@ var (
 
 // chainCaps is the capability set of the pass-through NF chain used in
 // these tests.
-var chainCaps = []string{"docker", "nnf:firewall", "nnf:monitor", "nnf:bridge"}
+var chainCaps = []string{"docker", "nnf:firewall", "nnf:monitor", "nnf:bridge", "nnf:nat"}
 
 // fleet is an in-process multi-node test rig: one global orchestrator over
 // several complete Universal Nodes, wired with Patch cables.

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/nf"
 	"repro/internal/nffg"
 	"repro/internal/orchestrator"
 )
@@ -52,6 +53,10 @@ type Status struct {
 	Capabilities   []string   `json:"capabilities"`
 	Graphs         []string   `json:"graphs"`
 	NFs            []NFStatus `json:"nfs,omitempty"`
+	// RatePPS is the node's observed aggregate datapath packet rate
+	// (packets/second), feeding the placement tier's M/M/1 saturation
+	// demotion. Zero when the node does not report one.
+	RatePPS float64 `json:"rate-pps,omitempty"`
 }
 
 // Node is one Universal Node under global management: the local
@@ -76,6 +81,19 @@ type Node interface {
 	Scale(graphID, nfID string, replicas int) error
 	// GraphSpec fetches the deployed version of a graph for drift diffing.
 	GraphSpec(id string) (*nffg.Graph, bool, error)
+}
+
+// StateNode is the optional flow-state replication surface of a Node. The
+// reconcile loop's standby-sync phase uses it to copy the per-flow state
+// of active-standby NFs from the primary node onto the standby node, so a
+// node kill promotes a warm standby instead of an empty one. Nodes that do
+// not implement it simply get no cross-node state replication.
+type StateNode interface {
+	// ExportNFState snapshots the full per-flow state of one NF.
+	ExportNFState(graphID, nfID string) ([]nf.FlowState, error)
+	// ImportNFState installs exported state into the NF's instances.
+	// Imports are idempotent.
+	ImportNFState(graphID, nfID string, states []nf.FlowState) error
 }
 
 // UniversalNode is the in-process deploy surface of one compute node, as
@@ -133,7 +151,7 @@ func (l *LocalNode) Status() (Status, error) {
 			nfs = append(nfs, NFStatus{Graph: g.ID, NF: n.ID, Technology: n.Technology, State: n.State})
 		}
 	}
-	return Status{
+	st := Status{
 		Name:           l.name,
 		FreeCPUMillis:  totalCPU - usedCPU,
 		TotalCPUMillis: totalCPU,
@@ -143,7 +161,35 @@ func (l *LocalNode) Status() (Status, error) {
 		Capabilities:   l.un.Capabilities(),
 		Graphs:         l.un.GraphIDs(),
 		NFs:            nfs,
-	}, nil
+	}
+	if r, ok := l.un.(interface{ TotalRatePPS() float64 }); ok {
+		st.RatePPS = r.TotalRatePPS()
+	}
+	return st, nil
+}
+
+// ExportNFState implements StateNode when the wrapped node supports it.
+func (l *LocalNode) ExportNFState(graphID, nfID string) ([]nf.FlowState, error) {
+	if err := l.check(); err != nil {
+		return nil, err
+	}
+	s, ok := l.un.(StateNode)
+	if !ok {
+		return nil, fmt.Errorf("global: node %q does not export NF state", l.name)
+	}
+	return s.ExportNFState(graphID, nfID)
+}
+
+// ImportNFState implements StateNode when the wrapped node supports it.
+func (l *LocalNode) ImportNFState(graphID, nfID string, states []nf.FlowState) error {
+	if err := l.check(); err != nil {
+		return err
+	}
+	s, ok := l.un.(StateNode)
+	if !ok {
+		return fmt.Errorf("global: node %q does not import NF state", l.name)
+	}
+	return s.ImportNFState(graphID, nfID, states)
 }
 
 // Deploy implements Node.
@@ -240,6 +286,7 @@ type restStatus struct {
 		Technology string `json:"technology"`
 		State      string `json:"state"`
 	} `json:"nf-instances"`
+	RatePPS float64 `json:"rate-pps"`
 }
 
 // Status implements Node.
@@ -270,7 +317,55 @@ func (h *HTTPNode) Status() (Status, error) {
 		Capabilities:   st.Capabilities,
 		Graphs:         st.Graphs,
 		NFs:            nfs,
+		RatePPS:        st.RatePPS,
 	}, nil
+}
+
+// ExportNFState implements StateNode over GET /v1/graphs/{id}/nfs/{nf}/state.
+func (h *HTTPNode) ExportNFState(graphID, nfID string) ([]nf.FlowState, error) {
+	url := fmt.Sprintf("%s/v1/graphs/%s/nfs/%s/state", h.base, graphID, nfID)
+	resp, err := h.client.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("global: exporting %s/%s state from %q: %w", graphID, nfID, h.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("global: exporting %s/%s state from %q: HTTP %d: %s",
+			graphID, nfID, h.name, resp.StatusCode, readError(resp.Body))
+	}
+	var reply struct {
+		States []nf.FlowState `json:"states"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return nil, fmt.Errorf("global: exporting %s/%s state from %q: %w", graphID, nfID, h.name, err)
+	}
+	return reply.States, nil
+}
+
+// ImportNFState implements StateNode over PUT /v1/graphs/{id}/nfs/{nf}/state.
+func (h *HTTPNode) ImportNFState(graphID, nfID string, states []nf.FlowState) error {
+	body, err := json.Marshal(struct {
+		States []nf.FlowState `json:"states"`
+	}{States: states})
+	if err != nil {
+		return err
+	}
+	url := fmt.Sprintf("%s/v1/graphs/%s/nfs/%s/state", h.base, graphID, nfID)
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("global: importing %s/%s state into %q: %w", graphID, nfID, h.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("global: importing %s/%s state into %q: HTTP %d: %s",
+			graphID, nfID, h.name, resp.StatusCode, readError(resp.Body))
+	}
+	return nil
 }
 
 func (h *HTTPNode) put(g *nffg.Graph) error {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/execenv"
 	"repro/internal/nffg"
 	"repro/internal/policy"
 	"repro/internal/repository"
@@ -40,6 +41,7 @@ type nodeView struct {
 	name    string
 	freeCPU int
 	freeRAM uint64
+	ratePPS float64
 	caps    map[string]bool
 	ifaces  map[string]bool
 }
@@ -49,6 +51,7 @@ func newNodeView(st Status) *nodeView {
 		name:    st.Name,
 		freeCPU: st.FreeCPUMillis,
 		freeRAM: st.FreeRAMBytes,
+		ratePPS: st.RatePPS,
 		caps:    make(map[string]bool, len(st.Capabilities)),
 		ifaces:  make(map[string]bool, len(st.Interfaces)),
 	}
@@ -68,6 +71,9 @@ type nfDemand struct {
 	nf        nffg.NF
 	cpuMillis int
 	ram       uint64
+	// costNs is the modeled per-packet cost of the flavor the charge was
+	// derived from, feeding the M/M/1 saturation demotion.
+	costNs float64
 	// anyOfCaps: the node must offer at least one of these.
 	anyOfCaps []string
 }
@@ -88,6 +94,7 @@ func estimateDemand(repo *repository.Repository, n nffg.NF) (nfDemand, error) {
 		reps = 1
 	}
 	d := nfDemand{nf: n, ram: tpl.WorkloadRAM * uint64(reps)}
+	model := execenv.Default()
 	if n.TechnologyPreference != nffg.TechAny {
 		fl, ok := tpl.Flavors[n.TechnologyPreference]
 		if !ok {
@@ -95,6 +102,7 @@ func estimateDemand(repo *repository.Repository, n nffg.NF) (nfDemand, error) {
 				n.ID, n.Name, n.TechnologyPreference)
 		}
 		d.cpuMillis = fl.CPUMillis * reps
+		d.costNs = float64(model.PacketCost(policy.FlavorOf(n.TechnologyPreference), policy.RefFrameBytes, 0))
 		d.anyOfCaps = []string{string(fl.Capability)}
 		return d, nil
 	}
@@ -103,6 +111,7 @@ func estimateDemand(repo *repository.Repository, n nffg.NF) (nfDemand, error) {
 		fl := tpl.Flavors[tech]
 		if first || fl.CPUMillis*reps < d.cpuMillis {
 			d.cpuMillis = fl.CPUMillis * reps
+			d.costNs = float64(model.PacketCost(policy.FlavorOf(tech), policy.RefFrameBytes, 0))
 			first = false
 		}
 		d.anyOfCaps = append(d.anyOfCaps, string(fl.Capability))
@@ -271,6 +280,9 @@ func place(g *nffg.Graph, repo *repository.Repository, pol policy.PlacementPolic
 			break
 		}
 	}
+	// antiNodes tracks, per anti-affinity group, the nodes already hosting
+	// a member: later members of the group must land elsewhere.
+	antiNodes := make(map[string]map[string]bool)
 	for _, n := range adjacencyOrder(g) {
 		d, err := estimateDemand(repo, n)
 		if err != nil {
@@ -279,10 +291,18 @@ func place(g *nffg.Graph, repo *repository.Repository, pol policy.PlacementPolic
 		// Every node that can host the demand is a candidate; the policy
 		// ranks them (co-located beats linked beats relayed — the stitcher
 		// can relay through transit nodes — and capacity or cost decides
-		// among peers; the name-sorted view order breaks ties).
+		// among peers; the name-sorted view order breaks ties). Nodes
+		// already hosting an anti-affinity sibling are excluded outright,
+		// and hosts with a near-saturated datapath (per the M/M/1
+		// predictor) are demoted by the policy's Saturated rank.
 		cands := make([]policy.Candidate, 0, len(views))
+		excluded := 0
 		for _, v := range views {
 			if !v.canHost(d) {
+				continue
+			}
+			if n.AntiAffinity != "" && antiNodes[n.AntiAffinity][v.name] {
+				excluded++
 				continue
 			}
 			cands = append(cands, policy.Candidate{
@@ -290,13 +310,20 @@ func place(g *nffg.Graph, repo *repository.Repository, pol policy.PlacementPolic
 				Tech:          n.TechnologyPreference,
 				CPUMillis:     d.cpuMillis,
 				RAMBytes:      d.ram,
+				CostNs:        d.costNs,
 				FreeCPUMillis: v.freeCPU,
 				FreeRAMBytes:  v.freeRAM,
 				Colocated:     v.name == cur,
 				Linked:        cur == "" || ls.linked(cur, v.name),
+				HostRatePPS:   v.ratePPS,
 			})
 		}
 		if len(cands) == 0 {
+			if excluded > 0 {
+				return Placement{}, fmt.Errorf(
+					"global: graph %q: no node can host NF %q: anti-affinity group %q already occupies every feasible node",
+					g.ID, n.ID, n.AntiAffinity)
+			}
 			return Placement{}, fmt.Errorf(
 				"global: graph %q: no node can host NF %q (want %dm CPU, %d B RAM, caps %v)",
 				g.ID, n.ID, d.cpuMillis, d.ram, d.anyOfCaps)
@@ -304,6 +331,12 @@ func place(g *nffg.Graph, repo *repository.Repository, pol policy.PlacementPolic
 		chosen := pol.Rank(policy.Request{GraphID: g.ID, NFID: n.ID}, cands)[0].Node
 		byName[chosen].charge(d)
 		pl.NFNode[n.ID] = chosen
+		if n.AntiAffinity != "" {
+			if antiNodes[n.AntiAffinity] == nil {
+				antiNodes[n.AntiAffinity] = make(map[string]bool)
+			}
+			antiNodes[n.AntiAffinity][chosen] = true
+		}
 		cur = chosen
 	}
 

@@ -24,6 +24,10 @@ type fleetMetrics struct {
 	reflavorFails    telemetry.Counter
 	scales           telemetry.Counter
 	scaleFails       telemetry.Counter
+	promotions       telemetry.Counter
+	outages          telemetry.Counter
+	stateSyncs       telemetry.Counter
+	linkDowns        telemetry.Counter
 	reconcileLatency *telemetry.Histogram
 }
 
@@ -101,6 +105,10 @@ func (o *Orchestrator) Collect(e *telemetry.Exposition) {
 	e.Counter("un_global_reflavor_failures_total", "NF flavor hot-swaps that failed.", nil, m.reflavorFails.Value())
 	e.Counter("un_global_scales_total", "NF replica-set resizes issued through the fleet API.", nil, m.scales.Value())
 	e.Counter("un_global_scale_failures_total", "NF replica-set resizes that failed.", nil, m.scaleFails.Value())
+	e.Counter("un_global_standby_promotions_total", "Warm shadows promoted after losing a primary node.", nil, m.promotions.Value())
+	e.Counter("un_global_outages_total", "Faults detected on redundancy-protected graphs (primary or standby node lost).", nil, m.outages.Value())
+	e.Counter("un_global_standby_synced_flows_total", "Per-flow state entries replicated to standby shadows.", nil, m.stateSyncs.Value())
+	e.Counter("un_global_link_downs_total", "Inter-node links severed (withdrawn from stitching).", nil, m.linkDowns.Value())
 	e.Histogram("un_global_reconcile_seconds", "Wall time of one reconcile pass.", nil, m.reconcileLatency.Snapshot())
 	e.Counter("un_global_journal_events_total", "Events ever recorded in the global journal.", nil, o.journal.Total())
 }

@@ -205,6 +205,19 @@ func (g *IPsec) ImportFlowState(states []FlowState) error {
 	return nil
 }
 
+// DropFlowState removes the SAs whose inbound-flow tuple the filter accepts
+// — the donor-side cleanup after a bucket migrates to another replica, so a
+// later scale-up cannot resurrect a stale send counter (which would reuse
+// GCM nonces). A nil filter clears the whole database.
+func (g *IPsec) DropFlowState(filter func(FlowTuple) bool) {
+	for _, sa := range g.sadb.All() {
+		if filter != nil && !filter(saTuple(sa)) {
+			continue
+		}
+		g.sadb.Remove(sa.SPI)
+	}
+}
+
 // Process implements Processor.
 func (g *IPsec) Process(inPort int, frame []byte) (Result, error) {
 	switch inPort {

@@ -306,6 +306,22 @@ func (db *SADB) Put(sa *SA) {
 	db.byPeer[sa.Remote] = sa
 }
 
+// Remove deletes an SA by SPI, dropping the peer index entry when it still
+// points at the removed SA (a replacement SA toward the same peer keeps its
+// own entry).
+func (db *SADB) Remove(spi uint32) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	sa, ok := db.bySPI[spi]
+	if !ok {
+		return
+	}
+	delete(db.bySPI, spi)
+	if cur, ok := db.byPeer[sa.Remote]; ok && cur == sa {
+		delete(db.byPeer, sa.Remote)
+	}
+}
+
 // All returns a snapshot of every installed SA.
 func (db *SADB) All() []*SA {
 	db.mu.RLock()

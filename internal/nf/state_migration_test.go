@@ -1,0 +1,142 @@
+package nf
+
+import (
+	"testing"
+
+	"repro/internal/pkt"
+)
+
+// encapOn pushes one cleartext frame through a gateway and returns the
+// resulting ESP frame.
+func encapOn(t *testing.T, gw *IPsec, payloadByte byte) []byte {
+	t.Helper()
+	clear := pkt.MustBuildFrame(pkt.FrameSpec{
+		SrcMAC: macA, DstMAC: macB, SrcIP: ipA, DstIP: ipB,
+		SrcPort: 40000, DstPort: 5001, PayloadLen: 64, PayloadByte: payloadByte,
+	})
+	res, err := gw.Process(IPsecPortPlain, clear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Emissions) != 1 {
+		t.Fatalf("encap emissions = %+v", res.Emissions)
+	}
+	return res.Emissions[0].Frame
+}
+
+// TestIPsecSAMigration moves a live SA between gateways: export from the
+// donor carries key material AND the send/anti-replay counters, so the
+// recipient continues the tunnel without nonce reuse, while a naive
+// re-keyed-from-scratch gateway is rejected by the peer's replay window.
+func TestIPsecSAMigration(t *testing.T) {
+	left, right := gatewayPair(t)
+
+	// Advance the tunnel: 5 frames left -> right, so right's replay window
+	// has seen sequence numbers 1..5.
+	for i := 0; i < 5; i++ {
+		wire := encapOn(t, left, byte(i))
+		if _, err := right.Process(IPsecPortEncrypted, wire); err != nil {
+			t.Fatalf("frame %d rejected: %v", i, err)
+		}
+	}
+
+	// Migrate: export from the donor, import into an empty standby, drop
+	// the donor copy (the scale/standby choreography).
+	states := left.ExportFlowState(nil)
+	if len(states) != 1 || states[0].Kind != "ipsec-sa" {
+		t.Fatalf("export = %+v", states)
+	}
+	standby := NewIPsec(rmtIP, macA, macB, macA, macB)
+	if err := standby.ImportFlowState(states); err != nil {
+		t.Fatal(err)
+	}
+	left.DropFlowState(nil)
+	if got := left.SADB().Len(); got != 0 {
+		t.Fatalf("donor SADB len = %d after drop, want 0", got)
+	}
+	if _, ok := left.SADB().ByPeer(rmtIP); ok {
+		t.Error("donor byPeer index survived the drop")
+	}
+
+	// The migrated SA continues where the donor stopped: its next sequence
+	// number is fresh for the peer, so the frame decapsulates cleanly.
+	wire := encapOn(t, standby, 0xaa)
+	res, err := right.Process(IPsecPortEncrypted, wire)
+	if err != nil {
+		t.Fatalf("migrated SA rejected by peer: %v", err)
+	}
+	if len(res.Emissions) != 1 || res.Emissions[0].Port != IPsecPortPlain {
+		t.Fatalf("decap emissions = %+v", res.Emissions)
+	}
+
+	// Control: a gateway re-keyed from scratch (same SPI and key, no
+	// counter migration) restarts at sequence 1 — already seen, so the
+	// peer's anti-replay window rejects it.
+	fresh := NewIPsec(rmtIP, macA, macB, macA, macB)
+	sa, err := NewSA(0x1000, gwIP, rmtIP, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.AddSA(sa); err != nil {
+		t.Fatal(err)
+	}
+	staleWire := encapOn(t, fresh, 0xbb)
+	if _, err := right.Process(IPsecPortEncrypted, staleWire); err == nil {
+		t.Error("replayed sequence number accepted — counters did not migrate")
+	}
+}
+
+// TestIPsecDropFlowStateFilter: a filtered drop removes only the SAs whose
+// inbound tuple the filter accepts, leaving other peers' tunnels up.
+func TestIPsecDropFlowStateFilter(t *testing.T) {
+	gw := NewIPsec(rmtIP, macA, macB, macA, macB)
+	rmt2 := pkt.Addr{203, 0, 113, 10}
+	for _, sa := range []*SA{newSA(t, 0x1000), mustSA(t, 0x2000, gwIP, rmt2)} {
+		if err := gw.AddSA(sa); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gw.DropFlowState(func(tu FlowTuple) bool { return tu.Src == rmtIP })
+	if _, ok := gw.SADB().BySPI(0x1000); ok {
+		t.Error("filtered SA survived the drop")
+	}
+	if _, ok := gw.SADB().BySPI(0x2000); !ok {
+		t.Error("unfiltered SA dropped")
+	}
+	if _, ok := gw.SADB().ByPeer(rmt2); !ok {
+		t.Error("unfiltered peer index dropped")
+	}
+}
+
+func mustSA(t *testing.T, spi uint32, local, remote pkt.Addr) *SA {
+	t.Helper()
+	sa, err := NewSA(spi, local, remote, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sa
+}
+
+// TestSADBRemoveKeepsReplacementPeerIndex: removing a superseded SA must
+// not evict the replacement's peer-index entry.
+func TestSADBRemoveKeepsReplacementPeerIndex(t *testing.T) {
+	db := NewSADB()
+	old := newSA(t, 1)
+	if err := db.Add(old); err != nil {
+		t.Fatal(err)
+	}
+	repl := newSA(t, 2) // same peer, rekeyed SPI
+	db.Put(repl)
+	db.Remove(1)
+	if got, ok := db.ByPeer(rmtIP); !ok || got != repl {
+		t.Fatalf("peer index after removing the superseded SA = %v, %v", got, ok)
+	}
+	db.Remove(2)
+	if _, ok := db.ByPeer(rmtIP); ok {
+		t.Error("peer index survived removing the last SA")
+	}
+	db.Remove(99) // unknown SPI is a no-op
+	if db.Len() != 0 {
+		t.Errorf("len = %d", db.Len())
+	}
+}

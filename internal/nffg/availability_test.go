@@ -1,0 +1,76 @@
+package nffg
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// availGraph is the sample graph with an availability contract on its NF.
+func availGraph(avail float64, mode RedundancyMode, replicas int, group string) *Graph {
+	g := sampleGraph()
+	g.NFs[0].Availability = avail
+	g.NFs[0].Redundancy = mode
+	g.NFs[0].Replicas = replicas
+	g.NFs[0].AntiAffinity = group
+	return g
+}
+
+func TestValidateAvailability(t *testing.T) {
+	valid := []*Graph{
+		availGraph(0, RedundancyNone, 0, ""),
+		availGraph(0.99, RedundancyNone, 0, ""), // two nines: restart-in-place is enough
+		availGraph(0.999, RedundancyActiveStandby, 1, ""),
+		availGraph(0.9999, RedundancyActiveActive, 3, "fw-spread"),
+	}
+	for i, g := range valid {
+		if err := g.Validate(); err != nil {
+			t.Errorf("valid case %d rejected: %v", i, err)
+		}
+	}
+	invalid := map[string]*Graph{
+		"availability 1.0":             availGraph(1.0, RedundancyActiveStandby, 1, ""),
+		"negative availability":        availGraph(-0.5, RedundancyNone, 0, ""),
+		"unknown redundancy mode":      availGraph(0, "triple-modular", 0, ""),
+		"three nines without mode":     availGraph(0.999, RedundancyNone, 0, ""),
+		"active-standby with replicas": availGraph(0.999, RedundancyActiveStandby, 3, ""),
+		"active-active single":         availGraph(0.999, RedundancyActiveActive, 1, ""),
+	}
+	for name, g := range invalid {
+		if err := g.Validate(); err == nil {
+			t.Errorf("%s: validation passed, want error", name)
+		}
+	}
+}
+
+func TestAvailabilityJSONRoundTrip(t *testing.T) {
+	g := availGraph(0.999, RedundancyActiveStandby, 1, "cpe-ha")
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"availability":0.999`, `"redundancy":"active-standby"`, `"anti_affinity":"cpe-ha"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON missing %s:\n%s", want, data)
+		}
+	}
+	var got Graph
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	nf := got.NFs[0]
+	if nf.Availability != 0.999 || nf.Redundancy != RedundancyActiveStandby || nf.AntiAffinity != "cpe-ha" {
+		t.Fatalf("round trip lost the availability contract: %+v", nf)
+	}
+	// The fields are omitted entirely for NFs without a contract, keeping
+	// pre-existing documents byte-stable.
+	plain, err := json.Marshal(sampleGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, banned := range []string{"availability", "redundancy", "anti_affinity"} {
+		if strings.Contains(string(plain), banned) {
+			t.Errorf("plain graph JSON leaks %q:\n%s", banned, plain)
+		}
+	}
+}

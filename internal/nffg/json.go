@@ -22,12 +22,15 @@ type jsonGraph struct {
 }
 
 type jsonNF struct {
-	ID         string            `json:"id"`
-	Name       string            `json:"name"`
-	Ports      []jsonNFPort      `json:"ports,omitempty"`
-	Technology string            `json:"technology-preference,omitempty"`
-	Config     map[string]string `json:"configuration,omitempty"`
-	Replicas   int               `json:"replicas,omitempty"`
+	ID           string            `json:"id"`
+	Name         string            `json:"name"`
+	Ports        []jsonNFPort      `json:"ports,omitempty"`
+	Technology   string            `json:"technology-preference,omitempty"`
+	Config       map[string]string `json:"configuration,omitempty"`
+	Replicas     int               `json:"replicas,omitempty"`
+	Availability float64           `json:"availability,omitempty"`
+	Redundancy   string            `json:"redundancy,omitempty"`
+	AntiAffinity string            `json:"anti_affinity,omitempty"`
 }
 
 type jsonNFPort struct {
@@ -91,11 +94,14 @@ func (g *Graph) MarshalJSON() ([]byte, error) {
 	jg := jsonGraph{ID: g.ID, Name: g.Name}
 	for _, nf := range g.NFs {
 		jnf := jsonNF{
-			ID:         nf.ID,
-			Name:       nf.Name,
-			Technology: string(nf.TechnologyPreference),
-			Config:     nf.Config,
-			Replicas:   nf.Replicas,
+			ID:           nf.ID,
+			Name:         nf.Name,
+			Technology:   string(nf.TechnologyPreference),
+			Config:       nf.Config,
+			Replicas:     nf.Replicas,
+			Availability: nf.Availability,
+			Redundancy:   string(nf.Redundancy),
+			AntiAffinity: nf.AntiAffinity,
 		}
 		for _, p := range nf.Ports {
 			jnf.Ports = append(jnf.Ports, jsonNFPort(p))
@@ -173,6 +179,9 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 			TechnologyPreference: Technology(jnf.Technology),
 			Config:               jnf.Config,
 			Replicas:             jnf.Replicas,
+			Availability:         jnf.Availability,
+			Redundancy:           RedundancyMode(jnf.Redundancy),
+			AntiAffinity:         jnf.AntiAffinity,
 		}
 		for _, p := range jnf.Ports {
 			nf.Ports = append(nf.Ports, NFPort(p))

@@ -37,6 +37,33 @@ func (t Technology) Valid() bool {
 	return false
 }
 
+// RedundancyMode selects how an NF survives instance or node failure.
+type RedundancyMode string
+
+// Redundancy modes.
+const (
+	// RedundancyNone relies on restart-in-place repair: state accumulated
+	// since the last migration is lost when the instance dies.
+	RedundancyNone RedundancyMode = ""
+	// RedundancyActiveStandby pre-attaches an idle standby instance whose
+	// flow state is kept in sync; failure promotes it via the zero-loss
+	// steering swap path.
+	RedundancyActiveStandby RedundancyMode = "active-standby"
+	// RedundancyActiveActive serves through every replica simultaneously
+	// (requires Replicas >= 2); instance failure re-homes the dead
+	// replica's buckets onto survivors with their migrated state.
+	RedundancyActiveActive RedundancyMode = "active-active"
+)
+
+// Valid reports whether m is a known redundancy mode.
+func (m RedundancyMode) Valid() bool {
+	switch m {
+	case RedundancyNone, RedundancyActiveStandby, RedundancyActiveActive:
+		return true
+	}
+	return false
+}
+
 // Graph is one Network Functions Forwarding Graph.
 type Graph struct {
 	ID        string
@@ -66,6 +93,18 @@ type NF struct {
 	// instance. Replicas beyond 1 require a stateful-scalable NF: per-flow
 	// state migrates between instances as the replica set changes.
 	Replicas int
+	// Availability is the NF's target availability as a fraction in
+	// [0, 1), e.g. 0.999. Zero means no explicit target. Targets at or
+	// above three nines require a redundancy mode, since restart-in-place
+	// repair alone cannot reach them.
+	Availability float64
+	// Redundancy selects the failure-survival strategy; see
+	// RedundancyMode.
+	Redundancy RedundancyMode
+	// AntiAffinity names a spreading group: the placements of NFs sharing
+	// a group (and the standby of an active-standby NF) must land on
+	// distinct nodes, so one node failure cannot take out the whole group.
+	AntiAffinity string
 }
 
 // NFPort is one port of an NF.

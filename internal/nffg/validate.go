@@ -48,6 +48,26 @@ func (g *Graph) Validate() error {
 			bad("nffg: graph %q: NF %q: replicas %d out of range [0,%d]",
 				g.ID, nf.ID, nf.Replicas, MaxReplicas)
 		}
+		if nf.Availability < 0 || nf.Availability >= 1 {
+			bad("nffg: graph %q: NF %q: availability %g out of range [0,1)",
+				g.ID, nf.ID, nf.Availability)
+		}
+		if !nf.Redundancy.Valid() {
+			bad("nffg: graph %q: NF %q: unknown redundancy mode %q",
+				g.ID, nf.ID, nf.Redundancy)
+		}
+		if nf.Redundancy == RedundancyActiveStandby && nf.Replicas > 1 {
+			bad("nffg: graph %q: NF %q: active-standby redundancy shadows a single instance; use active-active for %d replicas",
+				g.ID, nf.ID, nf.Replicas)
+		}
+		if nf.Redundancy == RedundancyActiveActive && nf.Replicas < 2 {
+			bad("nffg: graph %q: NF %q: active-active redundancy requires replicas >= 2",
+				g.ID, nf.ID)
+		}
+		if nf.Availability >= 0.999 && nf.Redundancy == RedundancyNone {
+			bad("nffg: graph %q: NF %q: availability %g needs a redundancy mode (restart-in-place cannot reach three nines)",
+				g.ID, nf.ID, nf.Availability)
+		}
 		if len(nf.Ports) == 0 {
 			bad("nffg: graph %q: NF %q has no ports", g.ID, nf.ID)
 		}

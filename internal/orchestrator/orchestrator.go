@@ -157,6 +157,10 @@ type DeployedGraph struct {
 	// runs as the single instance in nfs. nfs[id] is always the scaled NF's
 	// replica 0.
 	scales map[string]*nfScale
+	// standbys holds the pre-attached standby instance of each
+	// active-standby NF. Standbys are wired to the LSI but absent from nfs,
+	// so steering never selects them until PromoteStandby swaps one in.
+	standbys map[string]*nfAttachment
 }
 
 // LSI returns the graph's switch, for inspection.
@@ -198,7 +202,11 @@ type Orchestrator struct {
 	graphs   map[string]*DeployedGraph
 	dpidGen  uint64
 	cookieGn uint64
-	portGen  map[*vswitch.Switch]uint32
+	// standbyGen numbers standby incarnations: the resource ledger keys
+	// grants by instance name, and a promoted standby keeps its grant
+	// under the old name, so the replacement needs a fresh one.
+	standbyGen uint64
+	portGen    map[*vswitch.Switch]uint32
 	// rates holds the last per-graph LSI rx probe, backing the observed
 	// packet rate the cost-driven policy consumes.
 	rates map[string]*rateProbe
@@ -385,6 +393,13 @@ func (o *Orchestrator) Deploy(g *nffg.Graph) error {
 			_ = o.undeploy(g.ID)
 		}
 	}
+	if err == nil {
+		// Likewise for redundancy: an active-standby NF whose standby
+		// cannot start is not deployed at all.
+		if err = o.reconcileStandbys(g); err != nil {
+			_ = o.undeploy(g.ID)
+		}
+	}
 	o.metrics.deployLatency.Observe(time.Since(start).Seconds())
 	if err != nil {
 		o.metrics.deployFailures.Inc()
@@ -422,12 +437,13 @@ func (o *Orchestrator) deploy(g *nffg.Graph) error {
 		return err
 	}
 	d := &DeployedGraph{
-		Graph:  g.Clone(),
-		lsi:    lsi,
-		cookie: cookie,
-		nfs:    make(map[string]*nfAttachment),
-		eps:    make(map[string]*epAttachment),
-		scales: make(map[string]*nfScale),
+		Graph:    g.Clone(),
+		lsi:      lsi,
+		cookie:   cookie,
+		nfs:      make(map[string]*nfAttachment),
+		eps:      make(map[string]*epAttachment),
+		scales:   make(map[string]*nfScale),
+		standbys: make(map[string]*nfAttachment),
 	}
 	// Start phase, outside the node lock: every NF of the graph boots
 	// concurrently (the graph lock keeps same-graph operations out).
@@ -792,6 +808,11 @@ func (o *Orchestrator) teardown(d *DeployedGraph) {
 		}
 		delete(d.scales, nfID)
 	}
+	// Standbys are attached but never in nfs: detach them explicitly.
+	for nfID, att := range d.standbys {
+		o.detachNF(d, nfID, att)
+		delete(d.standbys, nfID)
+	}
 	for nfID, att := range d.nfs {
 		o.detachNF(d, nfID, att)
 		delete(d.nfs, nfID)
@@ -838,6 +859,9 @@ func (o *Orchestrator) Update(g *nffg.Graph) error {
 		// A replica-count change in the new spec is a scale operation, not a
 		// config change: the diff above deliberately skipped it.
 		err = o.reconcileReplicas(g)
+	}
+	if err == nil {
+		err = o.reconcileStandbys(g)
 	}
 	o.metrics.updateLatency.Observe(time.Since(start).Seconds())
 	if err != nil {

@@ -1,0 +1,188 @@
+package orchestrator
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/nffg"
+	"repro/internal/telemetry"
+)
+
+// natStandbyGraph is the NAT scenario graph with an active-standby
+// redundancy contract on the NAT.
+func natStandbyGraph(id string) *nffg.Graph {
+	g := natGraph(id, 1)
+	g.NFs[0].Replicas = 0
+	g.NFs[0].Redundancy = nffg.RedundancyActiveStandby
+	g.NFs[0].Availability = 0.999
+	return g
+}
+
+// TestStandbyPromotionUnderTraffic is the local-tier acceptance scenario:
+// the active NAT instance is killed out from under live connections, and
+// RepairNF promotes the pre-attached standby with every binding intact —
+// zero packet loss, zero state loss on the traffic that follows.
+func TestStandbyPromotionUnderTraffic(t *testing.T) {
+	o := newNode(t)
+	if err := o.Deploy(natStandbyGraph("g")); err != nil {
+		t.Fatal(err)
+	}
+	if sb := o.StandbyNFs("g"); len(sb) != 1 || sb[0] != "nat" {
+		t.Fatalf("StandbyNFs = %v, want [nat]", sb)
+	}
+	conns := establishNATConns(t, o, 32)
+	if n := o.SyncStandbys(); n == 0 {
+		t.Fatal("SyncStandbys copied no flow state despite live bindings")
+	}
+	if err := o.KillNF("g", "nat"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.RepairNF("g", "nat"); err != nil {
+		t.Fatal(err)
+	}
+	verifyNATConns(t, o, conns, "after standby promotion")
+	// Redundancy must survive more than one failure: a fresh standby is
+	// re-armed by the promotion itself.
+	if sb := o.StandbyNFs("g"); len(sb) != 1 {
+		t.Fatalf("standby not re-armed after promotion: %v", sb)
+	}
+	promoted := false
+	for _, ev := range o.Journal().Events() {
+		if ev.Type == telemetry.EventPromote && ev.Graph == "g" {
+			promoted = true
+		}
+	}
+	if !promoted {
+		t.Error("no standby-promote event journaled")
+	}
+}
+
+// TestStandbyRetiredOnUpdate: dropping the redundancy contract from the
+// spec retires the standby attachment on the next Update.
+func TestStandbyRetiredOnUpdate(t *testing.T) {
+	o := newNode(t)
+	if err := o.Deploy(natStandbyGraph("g")); err != nil {
+		t.Fatal(err)
+	}
+	if sb := o.StandbyNFs("g"); len(sb) != 1 {
+		t.Fatalf("StandbyNFs = %v, want one standby", sb)
+	}
+	plain := natGraph("g", 1)
+	plain.NFs[0].Replicas = 0
+	if err := o.Update(plain); err != nil {
+		t.Fatal(err)
+	}
+	if sb := o.StandbyNFs("g"); len(sb) != 0 {
+		t.Fatalf("standby survived losing its contract: %v", sb)
+	}
+}
+
+// TestPromoteStandbyErrors: promotion demands both a deployed graph and
+// an armed standby.
+func TestPromoteStandbyErrors(t *testing.T) {
+	o := newNode(t)
+	if err := o.PromoteStandby("ghost", "nat"); err == nil {
+		t.Error("promoting on an undeployed graph succeeded")
+	}
+	if err := o.Deploy(natGraph("g", 1)); err != nil {
+		t.Fatal(err)
+	}
+	err := o.PromoteStandby("g", "nat")
+	if err == nil || !strings.Contains(err.Error(), "no standby") {
+		t.Errorf("promoting without a standby: err = %v, want 'no standby'", err)
+	}
+}
+
+// TestExportImportNFState: the node-level state verbs move every NAT
+// binding from one node onto another, and the importing node translates
+// the replicated connections identically — the primitive the global
+// tier's standby-node sync is built from.
+func TestExportImportNFState(t *testing.T) {
+	src := newNode(t)
+	if err := src.Deploy(natGraph("g", 1)); err != nil {
+		t.Fatal(err)
+	}
+	conns := establishNATConns(t, src, 16)
+	states, err := src.ExportNFState("g", "nat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) == 0 {
+		t.Fatal("export produced no flow state despite live bindings")
+	}
+	dst := newNode(t)
+	if err := dst.Deploy(natGraph("g", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.ImportNFState("g", "nat", states); err != nil {
+		t.Fatal(err)
+	}
+	verifyNATConns(t, dst, conns, "on the importing node")
+
+	if _, err := src.ExportNFState("ghost", "nat"); err == nil {
+		t.Error("exporting from an undeployed graph succeeded")
+	}
+	if err := dst.ImportNFState("ghost", "nat", states); err == nil {
+		t.Error("importing into an undeployed graph succeeded")
+	}
+	// An empty import is a no-op, not an error: the sync loop calls this
+	// unconditionally.
+	if err := dst.ImportNFState("g", "nat", nil); err != nil {
+		t.Errorf("empty import errored: %v", err)
+	}
+}
+
+// TestRepairNFFallbackPaths: without a standby, RepairNF degrades
+// gracefully — scaled NFs re-home buckets onto surviving replicas, single
+// instances restart in place (state since the last sync is lost, traffic
+// resumes), and unknown graphs/NFs are explicit errors.
+func TestRepairNFFallbackPaths(t *testing.T) {
+	o := newNode(t)
+	if err := o.RepairNF("ghost", "nat"); err == nil {
+		t.Error("repairing an unknown graph succeeded")
+	}
+
+	// Restart-in-place: plain single-instance NAT, no redundancy.
+	if err := o.Deploy(natGraph("plain", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.RepairNF("plain", "ghost"); err == nil {
+		t.Error("repairing an unknown NF succeeded")
+	}
+	establishNATConns(t, o, 4)
+	if err := o.KillNF("plain", "nat"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.RepairNF("plain", "nat"); err != nil {
+		t.Fatal(err)
+	}
+	// The restarted NF serves fresh traffic (old bindings are gone — that
+	// is the documented cost of having no standby).
+	if conns := establishNATConns(t, o, 4); len(conns) != 4 {
+		t.Fatalf("NAT dead after restart-in-place: %d conns", len(conns))
+	}
+
+	// Scaled path: RepairNF routes through replica re-homing.
+	if err := o.Deploy(natGraph("scaled", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.RepairNF("scaled", "nat"); err != nil {
+		t.Fatalf("replica repair path: %v", err)
+	}
+}
+
+// TestTotalRatePPS: the aggregate rate feed for the M/M/1 placement
+// predictor is non-negative and present even on an idle node.
+func TestTotalRatePPS(t *testing.T) {
+	o := newNode(t)
+	if rate := o.TotalRatePPS(); rate != 0 {
+		t.Errorf("idle rate = %f", rate)
+	}
+	if err := o.Deploy(natGraph("g", 1)); err != nil {
+		t.Fatal(err)
+	}
+	establishNATConns(t, o, 8)
+	if rate := o.TotalRatePPS(); rate < 0 {
+		t.Errorf("rate = %f", rate)
+	}
+}

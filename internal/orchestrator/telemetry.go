@@ -20,6 +20,8 @@ type opMetrics struct {
 	reflavors, reflavorFailures telemetry.Counter
 	scales, scaleFailures       telemetry.Counter
 	migratedFlows               telemetry.Counter
+	promotions                  telemetry.Counter
+	standbySyncedFlows          telemetry.Counter
 	nfStarts, nfStops           telemetry.Counter
 	steeringRules               telemetry.Counter
 	deployLatency               *telemetry.Histogram
@@ -163,6 +165,8 @@ func (o *Orchestrator) Collect(e *telemetry.Exposition) {
 	e.Counter("un_scales_total", "NF replica-set reshapes completed (scale-up, scale-down, repair).", nil, m.scales.Value())
 	e.Counter("un_scale_failures_total", "NF replica-set reshapes that failed.", nil, m.scaleFailures.Value())
 	e.Counter("un_migrated_flows_total", "Per-flow state entries moved between replicas.", nil, m.migratedFlows.Value())
+	e.Counter("un_standby_promotions_total", "Standby instances promoted to active.", nil, m.promotions.Value())
+	e.Counter("un_standby_synced_flows_total", "Per-flow state entries replicated to standbys.", nil, m.standbySyncedFlows.Value())
 	e.Counter("un_nf_starts_total", "NF instances started.", nil, m.nfStarts.Value())
 	e.Counter("un_nf_stops_total", "NF instances stopped.", nil, m.nfStops.Value())
 	e.Counter("un_steering_rules_programmed_total", "Big-switch steering rules compiled onto LSIs.", nil, m.steeringRules.Value())

@@ -60,6 +60,11 @@ type Candidate struct {
 	// Linked marks a host directly linked to the chain's current node
 	// (node decisions; always true for single-node decisions).
 	Linked bool
+	// HostRatePPS is the host's observed aggregate packet rate
+	// (packets/second across its deployed graphs), 0 when unknown. The
+	// M/M/1 latency predictor combines it with CostNs to demote hosts
+	// already operating near saturation.
+	HostRatePPS float64
 }
 
 // Request is the context of one placement question.
@@ -142,6 +147,9 @@ func (BinPack) Rank(_ Request, cands []Candidate) []Candidate {
 		if win, lose := boolRank(a.Linked, b.Linked); win || lose {
 			return win
 		}
+		if win, lose := boolRank(!Saturated(a), !Saturated(b)); win || lose {
+			return win
+		}
 		al := a.FreeCPUMillis - a.CPUMillis
 		bl := b.FreeCPUMillis - b.CPUMillis
 		if al != bl {
@@ -179,6 +187,9 @@ func (CostDriven) Rank(req Request, cands []Candidate) []Candidate {
 			return win
 		}
 		if win, lose := boolRank(a.Linked, b.Linked); win || lose {
+			return win
+		}
+		if win, lose := boolRank(!Saturated(a), !Saturated(b)); win || lose {
 			return win
 		}
 		return Score(a, req.RatePPS) < Score(b, req.RatePPS)

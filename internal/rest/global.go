@@ -69,6 +69,7 @@ func NewGlobal(orch *global.Orchestrator, client *http.Client) *GlobalServer {
 	route("DELETE", "/v1/nodes/{name}", "/nodes/{name}", s.removeNode)
 	route("POST", "/v1/links", "/links", s.addLink)
 	route("GET", "/v1/links", "/links", s.listLinks)
+	route("DELETE", "/v1/links", "", s.removeLink)
 	route("PUT", "/v1/graphs/{id}", "/NF-FG/{id}", s.putGraph)
 	route("GET", "/v1/graphs/{id}", "/NF-FG/{id}", s.getGraph)
 	route("DELETE", "/v1/graphs/{id}", "/NF-FG/{id}", s.deleteGraph)
@@ -156,6 +157,21 @@ func (s *GlobalServer) addLink(w http.ResponseWriter, r *http.Request) {
 
 func (s *GlobalServer) listLinks(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]global.Link{"links": s.orch.Links()})
+}
+
+// removeLink severs a declared inter-node link (DELETE /v1/links with the
+// same body as POST). Graphs whose partition crossed it are re-placed.
+func (s *GlobalServer) removeLink(w http.ResponseWriter, r *http.Request) {
+	var l global.Link
+	if err := json.NewDecoder(r.Body).Decode(&l); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing link: %w", err))
+		return
+	}
+	if err := s.orch.Unlink(l.A, l.AIf, l.B, l.BIf); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "unlinked"})
 }
 
 func (s *GlobalServer) putGraph(w http.ResponseWriter, r *http.Request) {
@@ -277,6 +293,9 @@ type PlacementReply struct {
 	Graph     string            `json:"graph"`
 	NFs       map[string]string `json:"nfs"`       // NF id -> node
 	Endpoints map[string]string `json:"endpoints"` // endpoint id -> node
+	// StandbyNode names the node holding the graph's warm shadow
+	// deployment (active-standby availability), empty when none is armed.
+	StandbyNode string `json:"standby-node,omitempty"`
 }
 
 func (s *GlobalServer) placement(w http.ResponseWriter, r *http.Request) {
@@ -286,7 +305,10 @@ func (s *GlobalServer) placement(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("graph %q not deployed", id))
 		return
 	}
-	writeJSON(w, http.StatusOK, PlacementReply{Graph: id, NFs: pl.NFNode, Endpoints: pl.EPNode})
+	writeJSON(w, http.StatusOK, PlacementReply{
+		Graph: id, NFs: pl.NFNode, Endpoints: pl.EPNode,
+		StandbyNode: s.orch.StandbyNode(id),
+	})
 }
 
 // GlobalStatusReply is the GET /status body of the global orchestrator.

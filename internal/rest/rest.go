@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/netdev"
+	"repro/internal/nf"
 	"repro/internal/nffg"
 	"repro/internal/orchestrator"
 	"repro/internal/pcap"
@@ -78,6 +79,8 @@ func New(orch *orchestrator.Orchestrator, pool *resources.Pool) *Server {
 	route("GET", "/v1/graphs/{id}/stats", "/NF-FG/{id}/stats", s.graphStats)
 	route("POST", "/v1/graphs/{id}/nfs/{nf}/reflavor", "/NF-FG/{id}/nf/{nf}/reflavor", s.reflavor)
 	route("POST", "/v1/graphs/{id}/nfs/{nf}/scale", "", s.scale)
+	route("GET", "/v1/graphs/{id}/nfs/{nf}/state", "", s.getNFState)
+	route("PUT", "/v1/graphs/{id}/nfs/{nf}/state", "", s.putNFState)
 	route("GET", "/v1/status", "/status", s.status)
 	route("GET", "/v1/topology", "/topology", s.topology)
 	route("GET", "/v1/capture/{iface}", "/capture/{iface}", s.capture)
@@ -313,7 +316,8 @@ func (s *Server) reflavor(w http.ResponseWriter, r *http.Request) {
 }
 
 // StatusReply is the GET /status body. Interfaces lets the global
-// orchestrator pin NF-FG endpoints to the node owning the named interface.
+// orchestrator pin NF-FG endpoints to the node owning the named interface;
+// RatePPS feeds its M/M/1 saturation-aware placement.
 type StatusReply struct {
 	Node         string           `json:"node"`
 	Graphs       []string         `json:"graphs"`
@@ -322,6 +326,8 @@ type StatusReply struct {
 	CPU          ResourceStatus   `json:"cpu-millicores"`
 	RAM          ResourceStatus   `json:"ram-bytes"`
 	NFInstances  []InstanceStatus `json:"nf-instances"`
+	// RatePPS is the node's observed aggregate datapath packet rate.
+	RatePPS float64 `json:"rate-pps"`
 }
 
 // ResourceStatus is one used/total pair.
@@ -343,6 +349,9 @@ type InstanceStatus struct {
 	Replicas int    `json:"replicas,omitempty"`
 	Shared   bool   `json:"shared,omitempty"`
 	RAMBytes uint64 `json:"ram-bytes"`
+	// Standby reports whether a warm standby instance shadows this NF
+	// (active-standby redundancy).
+	Standby bool `json:"standby,omitempty"`
 }
 
 func (s *Server) status(w http.ResponseWriter, _ *http.Request) {
@@ -359,6 +368,10 @@ func (s *Server) status(w http.ResponseWriter, _ *http.Request) {
 		reply.Capabilities = append(reply.Capabilities, string(c))
 	}
 	for _, g := range topo.Graphs {
+		standbys := make(map[string]bool)
+		for _, nfID := range s.orch.StandbyNFs(g.ID) {
+			standbys[nfID] = true
+		}
 		for _, n := range g.NFs {
 			reps, _ := s.orch.Replicas(g.ID, n.ID)
 			reply.NFInstances = append(reply.NFInstances, InstanceStatus{
@@ -370,10 +383,53 @@ func (s *Server) status(w http.ResponseWriter, _ *http.Request) {
 				Replicas:   reps,
 				Shared:     n.Shared,
 				RAMBytes:   n.RAMBytes,
+				Standby:    standbys[n.ID],
 			})
 		}
 	}
+	reply.RatePPS = s.orch.TotalRatePPS()
 	writeJSON(w, http.StatusOK, reply)
+}
+
+// StateReply is the GET/PUT /v1/graphs/{id}/nfs/{nf}/state body: the NF's
+// exportable per-flow state (NAT bindings, IPsec SAs, ...), empty for a
+// stateless NF. The global orchestrator's standby sync moves it between
+// nodes through these verbs.
+type StateReply struct {
+	States []nf.FlowState `json:"states"`
+}
+
+func (s *Server) getNFState(w http.ResponseWriter, r *http.Request) {
+	id, nfID := r.PathValue("id"), r.PathValue("nf")
+	states, err := s.orch.ExportNFState(id, nfID)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if states == nil {
+		states = []nf.FlowState{}
+	}
+	writeJSON(w, http.StatusOK, StateReply{States: states})
+}
+
+func (s *Server) putNFState(w http.ResponseWriter, r *http.Request) {
+	id, nfID := r.PathValue("id"), r.PathValue("nf")
+	var req StateReply
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing state: %w", err))
+		return
+	}
+	if _, ok := s.orch.Graph(id); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("graph %q not deployed", id))
+		return
+	}
+	if err := s.orch.ImportNFState(id, nfID, req.States); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "imported", "id": id, "nf": nfID, "states": len(req.States),
+	})
 }
 
 // GraphStatsReply is the GET /NF-FG/{id}/stats body.

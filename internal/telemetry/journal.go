@@ -9,22 +9,26 @@ import (
 // Event types recorded by the node and global orchestrators. The journal
 // accepts arbitrary strings; these constants name the built-in vocabulary.
 const (
-	EventDeploy   = "deploy"        // graph instantiated on a node
-	EventUpdate   = "update"        // graph updated in place
-	EventUndeploy = "undeploy"      // graph removed
-	EventNFStart  = "nf-start"      // one NF instance started
-	EventNFStop   = "nf-stop"       // one NF instance stopped
-	EventFlowMod  = "flow-mod"      // steering rules (re)programmed on an LSI
-	EventNodeDead = "node-dead"     // fleet member failed its health probe
-	EventNodeBack = "node-back"     // fleet member answering again
-	EventResched  = "reschedule"    // graph moved off a dead/withdrawn node
-	EventRepair   = "drift-repair"  // lost or diverged subgraph reconverged
-	EventRetire   = "retire"        // deferred subgraph removal completed
-	EventNFState  = "nf-state"      // one NF lifecycle state transition
-	EventNFConfig = "nf-config"     // changed NF reconfigured in place or restarted
-	EventReflavor = "reflavor"      // one NF hot-swapped to another flavor
-	EventScale    = "scale"         // one NF's replica set reshaped
-	EventMigrate  = "state-migrate" // per-flow state moved between replicas
+	EventDeploy    = "deploy"          // graph instantiated on a node
+	EventUpdate    = "update"          // graph updated in place
+	EventUndeploy  = "undeploy"        // graph removed
+	EventNFStart   = "nf-start"        // one NF instance started
+	EventNFStop    = "nf-stop"         // one NF instance stopped
+	EventFlowMod   = "flow-mod"        // steering rules (re)programmed on an LSI
+	EventNodeDead  = "node-dead"       // fleet member failed its health probe
+	EventNodeBack  = "node-back"       // fleet member answering again
+	EventResched   = "reschedule"      // graph moved off a dead/withdrawn node
+	EventRepair    = "drift-repair"    // lost or diverged subgraph reconverged
+	EventRetire    = "retire"          // deferred subgraph removal completed
+	EventNFState   = "nf-state"        // one NF lifecycle state transition
+	EventNFConfig  = "nf-config"       // changed NF reconfigured in place or restarted
+	EventReflavor  = "reflavor"        // one NF hot-swapped to another flavor
+	EventScale     = "scale"           // one NF's replica set reshaped
+	EventMigrate   = "state-migrate"   // per-flow state moved between replicas
+	EventPromote   = "standby-promote" // standby instance/node took over the active role
+	EventOutage    = "outage"          // fault detected on a redundancy-protected NF or node
+	EventStateSync = "state-sync"      // flow state replicated to a standby
+	EventLinkDown  = "link-down"       // inter-node link severed (withdrawn from stitching)
 )
 
 // Event is one structured journal entry.

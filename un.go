@@ -81,6 +81,9 @@ type (
 	// Event is one structured telemetry-journal entry (NF lifecycle, graph
 	// operations, steering reprogramming).
 	Event = telemetry.Event
+	// FlowState is one exportable per-flow state entry of a stateful NF
+	// (NAT binding, firewall connection, IPsec SA).
+	FlowState = nf.FlowState
 	// MetricsRegistry is the node's scrapeable metric registry.
 	MetricsRegistry = telemetry.Registry
 )
@@ -301,6 +304,48 @@ func (n *Node) Scale(graphID, nfID string, replicas int) error {
 func (n *Node) Replicas(graphID, nfID string) (int, error) {
 	return n.orch.Replicas(graphID, nfID)
 }
+
+// KillNF stops one NF instance's runtime in place without detaching it —
+// the fault-injection primitive chaos tests use to simulate an NF crash.
+// RepairNF (or the standby promotion path) recovers it.
+func (n *Node) KillNF(graphID, nfID string) error { return n.orch.KillNF(graphID, nfID) }
+
+// RepairNF recovers a killed NF: promoting its warm standby when one is
+// armed, re-running the replica repair path for scaled NFs, and restarting
+// in place otherwise.
+func (n *Node) RepairNF(graphID, nfID string) error { return n.orch.RepairNF(graphID, nfID) }
+
+// PromoteStandby swaps an NF's warm standby instance into the active role:
+// salvageable flow state moves over, the LSI steering repoints atomically,
+// and the old instance detaches.
+func (n *Node) PromoteStandby(graphID, nfID string) error {
+	return n.orch.PromoteStandby(graphID, nfID)
+}
+
+// StandbyNFs lists the NFs of a graph that currently have a warm standby
+// attached (active-standby redundancy).
+func (n *Node) StandbyNFs(graphID string) []string { return n.orch.StandbyNFs(graphID) }
+
+// SyncStandbys replicates flow state from every active-standby NF to its
+// standby and returns how many entries moved.
+func (n *Node) SyncStandbys() int { return n.orch.SyncStandbys() }
+
+// ExportNFState exports an NF's per-flow state (all replicas merged); nil
+// for a stateless NF. With ImportNFState it lets the global orchestrator
+// replicate state onto another node's shadow deployment.
+func (n *Node) ExportNFState(graphID, nfID string) ([]FlowState, error) {
+	return n.orch.ExportNFState(graphID, nfID)
+}
+
+// ImportNFState installs exported per-flow state into an NF (fanned to
+// every replica and any standby; imports are idempotent).
+func (n *Node) ImportNFState(graphID, nfID string, states []FlowState) error {
+	return n.orch.ImportNFState(graphID, nfID, states)
+}
+
+// TotalRatePPS reports the node's observed aggregate datapath packet rate,
+// feeding the global tier's saturation-aware placement.
+func (n *Node) TotalRatePPS() float64 { return n.orch.TotalRatePPS() }
 
 // NFState reports the lifecycle state of one NF of a deployed graph
 // (pending, starting, attaching, running, draining, stopped, failed).
