@@ -12,7 +12,7 @@ GO ?= go
 # Keep in sync with the COVERAGE_BASELINE env of .github/workflows/ci.yml.
 COVERAGE_BASELINE ?= 75.0
 
-BENCH_PATTERN = ^(BenchmarkPipelineCached|BenchmarkPipelineParallel|BenchmarkTable1Throughput|BenchmarkReflavor|BenchmarkParallelDeploy|BenchmarkScaleOutThroughput|BenchmarkStateMigration)$$
+BENCH_PATTERN = ^(BenchmarkPipelineCached|BenchmarkPipelineParallel|BenchmarkPipelineBurst|BenchmarkTable1Throughput|BenchmarkReflavor|BenchmarkParallelDeploy|BenchmarkScaleOutThroughput|BenchmarkStateMigration)$$
 
 .PHONY: ci lint fmt vet staticcheck govulncheck build test race coverage \
 	bench-gate bench-baseline profile chaos examples-smoke clean
@@ -77,12 +77,12 @@ bench-gate:
 		echo "benchstat not installed; skipping delta report (CI renders it)"; \
 	fi
 
-# CPU and allocation profiles of the parallel datapath benchmark, for
-# chasing hot-path regressions the gate flags. CI uploads profile/ as an
-# artifact of the bench-gate job.
+# CPU and allocation profiles of the parallel and burst datapath
+# benchmarks, for chasing hot-path regressions the gate flags. CI uploads
+# profile/ as an artifact of the bench-gate job.
 profile:
 	@mkdir -p profile
-	$(GO) test -run '^$$' -bench '^BenchmarkPipelineParallel$$' -benchtime=1s \
+	$(GO) test -run '^$$' -bench '^(BenchmarkPipelineParallel|BenchmarkPipelineBurst)$$' -benchtime=1s \
 		-cpuprofile profile/cpu.pprof -memprofile profile/alloc.pprof \
 		-o profile/bench.test . | tee profile/bench.txt
 	@echo "wrote profile/cpu.pprof and profile/alloc.pprof (inspect with: $(GO) tool pprof profile/bench.test profile/cpu.pprof)"

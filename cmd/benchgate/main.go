@@ -152,10 +152,10 @@ func main() {
 	var (
 		baselinePath = flag.String("baseline", "BENCH_BASELINE.json", "baseline test2json benchmark run")
 		currentPath  = flag.String("current", "", "current test2json benchmark run")
-		gate         = flag.String("gate", "BenchmarkPipelineCached|BenchmarkPipelineParallel|BenchmarkTable1Throughput|BenchmarkReflavor|BenchmarkParallelDeploy|BenchmarkScaleOutThroughput|BenchmarkStateMigration",
+		gate         = flag.String("gate", "BenchmarkPipelineCached|BenchmarkPipelineParallel|BenchmarkPipelineBurst|BenchmarkTable1Throughput|BenchmarkReflavor|BenchmarkParallelDeploy|BenchmarkScaleOutThroughput|BenchmarkStateMigration",
 			"regexp of benchmark names the gate enforces")
 		maxRegress = flag.Float64("max-regress", 30, "max allowed ns/op regression percent on gated benchmarks")
-		allocGate  = flag.String("alloc-gate", "^BenchmarkPipelineCached/hit$|^BenchmarkPipelineParallel/",
+		allocGate  = flag.String("alloc-gate", "^BenchmarkPipelineCached/hit$|^BenchmarkPipelineParallel/|^BenchmarkPipelineBurst/",
 			"regexp of benchmarks whose allocs/op must not exceed -max-allocs (checked on the current run, independent of the baseline)")
 		maxAllocs  = flag.Float64("max-allocs", 0, "max allowed allocs/op on alloc-gated benchmarks")
 		extractDir = flag.String("extract-dir", "", "write baseline.txt/current.txt here for benchstat")

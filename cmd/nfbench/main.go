@@ -8,6 +8,8 @@
 //	nfbench -table 1      # Table 1 only
 //	nfbench -ablations    # ablations only
 //	nfbench -packets N    # traffic volume per measurement (default 2000)
+//	nfbench -batch N      # frames per injected burst for Table 1
+//	                      # (default measure.DefaultBatch; 1 = per-frame)
 package main
 
 import (
@@ -25,6 +27,7 @@ func main() {
 		table     = flag.Int("table", 0, "regenerate only this table (1)")
 		ablations = flag.Bool("ablations", false, "run only the ablations")
 		packets   = flag.Int("packets", 2000, "packets per throughput measurement")
+		batch     = flag.Int("batch", 0, "frames per injected burst for Table 1 (0 = default burst, 1 = frame at a time)")
 	)
 	flag.Parse()
 
@@ -38,7 +41,7 @@ func main() {
 	}
 
 	if runTable1 {
-		rows, err := bench.Table1(*packets)
+		rows, err := bench.Table1Batch(*packets, *batch)
 		if err != nil {
 			log.Fatalf("nfbench: %v", err)
 		}

@@ -80,8 +80,17 @@ func IPsecGraph(id string, tech un.Technology) *un.Graph {
 
 // MeasureFlavor deploys the IPsec graph in one flavor on a fresh node and
 // measures throughput with the iPerf stand-in (packets MTU-sized frames,
-// LAN to WAN: the ESP-encapsulation direction of the paper's setup).
+// LAN to WAN: the ESP-encapsulation direction of the paper's setup),
+// injecting in bursts of measure.DefaultBatch.
 func MeasureFlavor(tech un.Technology, image string, packets int) (Table1Row, error) {
+	return MeasureFlavorBatch(tech, image, packets, 0)
+}
+
+// MeasureFlavorBatch is MeasureFlavor with an explicit injection burst size
+// (0 means measure.DefaultBatch, 1 degenerates to frame-at-a-time), exposed
+// so nfbench -batch can compare the batched and per-frame ingress paths on
+// the same workload.
+func MeasureFlavorBatch(tech un.Technology, image string, packets, batch int) (Table1Row, error) {
 	node, err := un.NewNode(un.Config{Name: "bench-" + string(tech)})
 	if err != nil {
 		return Table1Row{}, err
@@ -94,7 +103,7 @@ func MeasureFlavor(tech un.Technology, image string, packets int) (Table1Row, er
 	lan, _ := node.InterfacePort("eth0")
 	wan, _ := node.InterfacePort("eth1")
 	rep, err := measure.Run(lan, wan, node.Clock(), measure.Spec{
-		Packets: packets, FrameSize: 1500,
+		Packets: packets, FrameSize: 1500, Batch: batch,
 	})
 	if err != nil {
 		return Table1Row{}, err
@@ -117,11 +126,17 @@ func MeasureFlavor(tech un.Technology, image string, packets int) (Table1Row, er
 	}, nil
 }
 
-// Table1 regenerates the full table.
+// Table1 regenerates the full table with the default injection burst.
 func Table1(packets int) ([]Table1Row, error) {
+	return Table1Batch(packets, 0)
+}
+
+// Table1Batch regenerates the full table injecting in bursts of the given
+// size (0 = measure.DefaultBatch).
+func Table1Batch(packets, batch int) ([]Table1Row, error) {
 	rows := make([]Table1Row, 0, len(Table1Flavors))
 	for _, f := range Table1Flavors {
-		row, err := MeasureFlavor(f.Tech, f.Image, packets)
+		row, err := MeasureFlavorBatch(f.Tech, f.Image, packets, batch)
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s: %w", f.Platform, err)
 		}

@@ -110,18 +110,91 @@ func (r *Ring[T]) TryPop() (T, bool) {
 	}
 }
 
-// PopBatch dequeues up to len(dst) items into dst and returns how many were
-// taken, amortizing the per-item synchronization the way NIC RX ring polling
-// does.
-func (r *Ring[T]) PopBatch(dst []T) int {
-	n := 0
-	for n < len(dst) {
-		v, ok := r.TryPop()
-		if !ok {
-			break
-		}
-		dst[n] = v
-		n++
+// TryPushBatch enqueues as many items of vs as fit, in order, and returns
+// how many were taken (0 when the ring is full). The whole prefix is
+// reserved with a single CAS on the enqueue cursor — one synchronization
+// point per burst instead of one per frame — so a burst from one producer
+// occupies consecutive cells and is dequeued in exactly the order it was
+// pushed. Safe for any number of concurrent producers; concurrent bursts
+// interleave at burst granularity, never within one.
+func (r *Ring[T]) TryPushBatch(vs []T) int {
+	if len(vs) == 0 {
+		return 0
 	}
-	return n
+	for {
+		pos := r.enq.Load()
+		// Count how many consecutive cells starting at pos are free for
+		// this lap. A cell observed free here can only be claimed by the
+		// producer that wins the cursor CAS below, so the count cannot go
+		// stale between the scan and a successful reservation.
+		n := 0
+		for n < len(vs) {
+			cell := &r.cells[(pos+uint64(n))&r.mask]
+			if int64(cell.seq.Load()) != int64(pos+uint64(n)) {
+				break
+			}
+			n++
+		}
+		if n == 0 {
+			cell := &r.cells[pos&r.mask]
+			if int64(cell.seq.Load())-int64(pos) < 0 {
+				// Still holding last lap's value: full.
+				return 0
+			}
+			// Another producer advanced the cursor under us; reload.
+			continue
+		}
+		if r.enq.CompareAndSwap(pos, pos+uint64(n)) {
+			for i := 0; i < n; i++ {
+				cell := &r.cells[(pos+uint64(i))&r.mask]
+				cell.val = vs[i]
+				cell.seq.Store(pos + uint64(i) + 1)
+			}
+			return n
+		}
+	}
 }
+
+// TryPopBatch dequeues up to len(dst) items into dst, in FIFO order, and
+// returns how many were taken (0 when the ring is empty). Like TryPushBatch
+// it reserves the whole run of ready cells with a single CAS on the dequeue
+// cursor, amortizing per-item synchronization the way NIC RX ring polling
+// does. Safe for concurrent consumers, though the datapath runs exactly one
+// per ring.
+func (r *Ring[T]) TryPopBatch(dst []T) int {
+	var zero T
+	if len(dst) == 0 {
+		return 0
+	}
+	for {
+		pos := r.deq.Load()
+		n := 0
+		for n < len(dst) {
+			cell := &r.cells[(pos+uint64(n))&r.mask]
+			if int64(cell.seq.Load()) != int64(pos+uint64(n)+1) {
+				break
+			}
+			n++
+		}
+		if n == 0 {
+			cell := &r.cells[pos&r.mask]
+			if int64(cell.seq.Load())-int64(pos+1) < 0 {
+				return 0
+			}
+			continue
+		}
+		if r.deq.CompareAndSwap(pos, pos+uint64(n)) {
+			for i := 0; i < n; i++ {
+				cell := &r.cells[(pos+uint64(i))&r.mask]
+				dst[i] = cell.val
+				cell.val = zero // drop the reference for the GC
+				cell.seq.Store(pos + uint64(i) + r.mask + 1)
+			}
+			return n
+		}
+	}
+}
+
+// PopBatch dequeues up to len(dst) items into dst and returns how many were
+// taken. It is TryPopBatch under its historical name.
+func (r *Ring[T]) PopBatch(dst []T) int { return r.TryPopBatch(dst) }

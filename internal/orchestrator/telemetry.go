@@ -125,12 +125,19 @@ func (o *Orchestrator) Collect(e *telemetry.Exposition) {
 			e.Gauge("un_table_matches", "Packets matched per flow table, summed over the currently-installed entries.", tl, float64(matches))
 		}
 		e.Histogram("un_pipeline_latency_seconds", "Sampled per-packet pipeline latency.", l, t.Latency)
+		burstBounds := vswitch.BurstBuckets()
 		for wi, ws := range t.Workers {
 			wl := telemetry.Labels{"lsi": l["lsi"], "worker": fmt.Sprintf("%d", wi)}
 			e.Gauge("un_switch_worker_queue_depth", "Frames waiting in the datapath worker's RX ring.", wl, float64(ws.QueueLen))
 			e.Gauge("un_switch_worker_busy", "1 while the datapath worker is processing, 0 while parked.", wl, boolGauge(ws.Busy))
 			e.Counter("un_switch_worker_queue_drops_total", "Frames tail-dropped at the worker's full RX ring.", wl, ws.QueueDrops)
 			e.Counter("un_switch_worker_packets_total", "Frames processed by the datapath worker.", wl, ws.Packets)
+			e.Counter("un_switch_worker_tx_coalesced_total", "Frames transmitted through a coalesced per-port SendBatch flush.", wl, ws.TxCoalesced)
+			e.Counter("un_switch_worker_tx_flushes_total", "Coalesced-TX SendBatch calls issued by the worker.", wl, ws.TxFlushes)
+			for bi, count := range ws.BurstHist {
+				bl := telemetry.Labels{"lsi": l["lsi"], "worker": wl["worker"], "size": fmt.Sprintf("%d", burstBounds[bi])}
+				e.Counter("un_switch_worker_bursts_total", "Bursts drained by the worker, bucketed by burst size (label is the bucket's upper bound).", bl, count)
+			}
 		}
 	}
 

@@ -21,6 +21,7 @@ type actionContext struct {
 	data      []byte
 	key       *flowKey
 	ctrs      *dpCounters
+	tx        *txCoalescer // worker-lane TX coalescer; nil = send immediately
 	tableID   int
 	gotoTable int // -1 when the pipeline ends here
 	dirty     bool
@@ -40,7 +41,7 @@ type OutputAction struct{ Port uint32 }
 func Output(port uint32) Action { return OutputAction{Port: port} }
 
 func (a OutputAction) apply(sw *Switch, ctx *actionContext) {
-	sw.sendOut(a.Port, ctx.data, ctx.ctrs)
+	sw.outputCtx(a.Port, ctx)
 }
 
 func (a OutputAction) String() string { return fmt.Sprintf("output:%d", a.Port) }
@@ -52,7 +53,7 @@ type FloodAction struct{}
 func Flood() Action { return FloodAction{} }
 
 func (a FloodAction) apply(sw *Switch, ctx *actionContext) {
-	sw.flood(ctx.key.inPort, ctx.data, ctx.ctrs)
+	sw.flood(ctx.key.inPort, ctx)
 }
 
 func (a FloodAction) String() string { return "flood" }

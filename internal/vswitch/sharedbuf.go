@@ -1,0 +1,55 @@
+package vswitch
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Batched steering copies the frames of a chunk into one pooled chunk buffer
+// instead of drawing a per-frame buffer from the frame pool: after the ring
+// operations themselves are batched, the per-frame sync.Pool round trip is
+// the largest producer-side cost left, and the chunk buffer pays it once per
+// chunk. Each steered workerItem carries a sub-slice of the chunk buffer and
+// a pointer to its sharedBuf; the last frame to finish (or to be
+// tail-dropped) returns the whole chunk to the pool.
+//
+// Memory bound: a chunk buffer stays out of the pool while any of its frames
+// sits in a worker ring, so the transient worst case is one buffer per ring
+// slot (ring 1024 x 8 KiB = 8 MiB per worker); in practice a buffer covers a
+// whole chunk of small frames and the pool holds a handful per worker.
+
+// sharedBufCap is the chunk-buffer payload capacity. Small frames pack an
+// entire workerBurst chunk into one buffer; MTU-sized frames still amortize
+// the pool traffic about 5x. A frame larger than this gets a private
+// pool-backed buffer instead (workerItem.shared == nil).
+const sharedBufCap = 8192
+
+// sharedBuf is one reference-counted chunk buffer.
+type sharedBuf struct {
+	refs atomic.Int32
+	// count and off accumulate while the chunk is being parsed; count moves
+	// into refs via seal before any referencing item is pushed to a worker,
+	// so a release can never observe an unset count.
+	count int32
+	off   int
+	buf   [sharedBufCap]byte
+}
+
+var sharedBufPool = sync.Pool{New: func() any { return new(sharedBuf) }}
+
+// seal publishes the accumulated reference count. Must be called after the
+// last frame is packed and before any item referencing the buffer becomes
+// visible to a consumer.
+func (sb *sharedBuf) seal() { sb.refs.Store(sb.count) }
+
+// release drops one frame's reference; the last one recycles the buffer.
+func (sb *sharedBuf) release() { sb.releaseN(1) }
+
+// releaseN drops n references at once. A worker drains a chunk's frames as
+// consecutive ring items, so it can retire a whole run with one atomic
+// instead of one per frame (see runBurst).
+func (sb *sharedBuf) releaseN(n int32) {
+	if sb.refs.Add(-n) == 0 {
+		sharedBufPool.Put(sb)
+	}
+}

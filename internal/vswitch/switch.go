@@ -2,6 +2,7 @@ package vswitch
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -140,9 +141,44 @@ type dpScratch struct {
 	key flowKey
 	ctx actionContext
 	v   cacheVerdict
+	// tx is the owning worker's TX coalescer, threaded into the action
+	// context so Output actions append to the per-port burst instead of
+	// sending immediately; nil on synchronous lanes (immediate send).
+	tx *txCoalescer
+	// statE accumulates flow-entry hit stats across a burst on worker lanes:
+	// consecutive cache replays usually hit the same entries, so the two
+	// atomic adds per entry are paid once per run instead of once per frame.
+	// Flushed on entry change and at burst end (runBurst); the entry counters
+	// therefore lag live traffic by at most one burst, like a NIC's batched
+	// descriptor writeback.
+	statE     *FlowEntry
+	statPkts  uint64
+	statBytes uint64
+}
+
+// flushEntryStats publishes the accumulated flow-entry hit stats.
+func (sc *dpScratch) flushEntryStats() {
+	if sc.statE != nil {
+		sc.statE.packets.Add(sc.statPkts)
+		sc.statE.bytes.Add(sc.statBytes)
+		sc.statE = nil
+	}
+	sc.statPkts, sc.statBytes = 0, 0
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(dpScratch) }}
+
+// steerGroup collects one worker's share of a steered burst.
+type steerGroup struct {
+	items []workerItem
+}
+
+// steerScratch is the reusable grouping buffer of steerBatch: one group per
+// worker, drawn from the switch's steerPool so concurrent batch senders
+// never share it and the steady state allocates nothing.
+type steerScratch struct {
+	groups []steerGroup
+}
 
 // Options configures a Switch beyond the defaults.
 type Options struct {
@@ -193,6 +229,9 @@ type Switch struct {
 	// pool is non-nil while the worker goroutines are running; process
 	// reads it once per frame to pick the dispatch mode.
 	pool atomic.Pointer[workerPool]
+	// steerPool holds steerScratch grouping buffers for batched steering
+	// (worker-pool switches only).
+	steerPool sync.Pool
 
 	// scratch is the fast-path scratch slot of the synchronous datapath: the
 	// common case (one goroutine in the pipeline at a time) claims it with a
@@ -203,10 +242,15 @@ type Switch struct {
 	latency *telemetry.Histogram
 }
 
-// latencySampleMask selects which packets pay for a latency measurement:
-// one in (mask+1) pipeline entries takes two clock reads and a histogram
-// observation; the rest only test the counter the hot path maintains anyway.
-const latencySampleMask = 1<<10 - 1
+// latencySampleShift and latencySampleMask select which packets pay for a
+// latency measurement: one in 2^shift pipeline entries takes two clock reads
+// and a histogram observation; the rest only test the counter the hot path
+// maintains anyway. The burst path samples whichever burst crosses a 2^shift
+// boundary of the same counter and records the per-frame average.
+const (
+	latencySampleShift = 10
+	latencySampleMask  = 1<<latencySampleShift - 1
+)
 
 // New creates a switch with the default number of tables and a synchronous
 // datapath.
@@ -246,6 +290,13 @@ func NewOptions(name string, dpid uint64, o Options) *Switch {
 	s.ports.Store(newPortTable(make(map[uint32]*netdev.Port)))
 	s.scratch.Store(new(dpScratch))
 	if nw > 0 {
+		s.steerPool.New = func() any {
+			ss := &steerScratch{groups: make([]steerGroup, nw)}
+			for i := range ss.groups {
+				ss.groups[i].items = make([]workerItem, 0, workerBurst)
+			}
+			return ss
+		}
 		s.startWorkers(nw)
 	}
 	return s
@@ -308,11 +359,7 @@ func (s *Switch) AddPort(num uint32, p *netdev.Port) error {
 	s.ports.Store(newPortTable(next))
 	s.cache.invalidate()
 	p.SetHandler(func(f netdev.Frame) { s.process(num, f) })
-	p.SetBatchHandler(func(fs []netdev.Frame) {
-		for i := range fs {
-			s.process(num, fs[i])
-		}
-	})
+	p.SetBatchHandler(func(fs []netdev.Frame) { s.processBatch(num, fs) })
 	return nil
 }
 
@@ -499,6 +546,16 @@ func (s *Switch) PacketsProcessed() uint64 {
 	return n
 }
 
+// Drops returns the count of discarded frames (unknown egress, miss-drop,
+// malformed, full worker ring), aggregated across datapath lanes without
+// allocating — unlike the full Telemetry snapshot, so completion loops can
+// poll it.
+func (s *Switch) Drops() uint64 {
+	var n uint64
+	s.eachCtrs(func(c *dpCounters) { n += c.drops.Load() })
+	return n
+}
+
 // Malformed returns the count of received frames rejected by header
 // parsing. These count as processed and dropped but not as table or cache
 // misses.
@@ -537,6 +594,159 @@ func (s *Switch) process(inPort uint32, f netdev.Frame) {
 	}
 }
 
+// processBatch runs a received burst through the pipeline. On a worker-pool
+// switch the whole burst is steered with batched ring operations — one
+// enqueue and at most one wakeup per destination worker — instead of
+// dissolving into per-frame work at the worker boundary; a synchronous
+// switch processes the burst frame by frame in the caller, as before.
+func (s *Switch) processBatch(inPort uint32, fs []netdev.Frame) {
+	if p := s.pool.Load(); p != nil {
+		s.steerBatch(p, inPort, fs)
+		return
+	}
+	for i := range fs {
+		s.process(inPort, fs[i])
+	}
+}
+
+// steerBatch parses and hashes a received burst, groups the frames by
+// destination worker (hash mod N, the same index that picks the cache
+// partition), and enqueues each group with one batched ring push. Frames of
+// one flow always hash to the same group and stay in arrival order within
+// it, so batching never reorders a flow. Bursts larger than workerBurst are
+// steered in workerBurst-sized chunks to bound the grouping buffer.
+func (s *Switch) steerBatch(p *workerPool, inPort uint32, fs []netdev.Frame) {
+	nw := uint64(len(p.workers))
+	seed := s.cache.seed
+	ss := s.steerPool.Get().(*steerScratch)
+	for base := 0; base < len(fs); base += workerBurst {
+		chunk := fs[base:]
+		if len(chunk) > workerBurst {
+			chunk = chunk[:workerBurst]
+		}
+		var malformed uint64
+		var sb *sharedBuf
+		if nw == 1 {
+			// Single worker: no grouping — parse each frame directly into
+			// its slot of the push array (the group buffers have workerBurst
+			// capacity) and enqueue the whole chunk with one batched push.
+			g := &ss.groups[0]
+			items := g.items[:0]
+			for i := range chunk {
+				data := chunk[i].Data
+				j := len(items)
+				items = items[:j+1]
+				it := &items[j]
+				if err := extractKey(data, inPort, &it.key); err != nil {
+					items = items[:j]
+					malformed++
+					continue
+				}
+				it.hash = it.key.hash(seed)
+				it.inPort = inPort
+				sb = packFrame(it, data, sb)
+			}
+			if sb != nil {
+				sb.seal()
+			}
+			if len(items) > 0 {
+				s.pushBurst(p.workers[0], items)
+			}
+		} else {
+			var it workerItem
+			for i := range chunk {
+				data := chunk[i].Data
+				if err := extractKey(data, inPort, &it.key); err != nil {
+					malformed++
+					continue
+				}
+				it.hash = it.key.hash(seed)
+				it.inPort = inPort
+				sb = packFrame(&it, data, sb)
+				g := &ss.groups[it.hash%nw]
+				g.items = append(g.items, it)
+			}
+			if sb != nil {
+				// Publish the reference count before any item reaches a
+				// worker: the group pushes below make the items visible.
+				sb.seal()
+			}
+			for wi := range ss.groups {
+				g := &ss.groups[wi]
+				if len(g.items) == 0 {
+					continue
+				}
+				s.pushBurst(p.workers[wi], g.items)
+				g.items = g.items[:0]
+			}
+		}
+		if malformed != 0 {
+			// Malformed frames are counted once per chunk against the
+			// sender-context lane; they still count as received.
+			s.syncCtrs.pipeline.Add(malformed)
+			s.syncCtrs.malformed.Add(malformed)
+			s.syncCtrs.drops.Add(malformed)
+		}
+	}
+	s.steerPool.Put(ss)
+}
+
+// packFrame copies one steered frame into the chunk's shared buffer — one
+// pool round trip per chunk instead of per frame — and returns the (possibly
+// new) current chunk buffer. Oversized frames get a private pool buffer and
+// are released individually (it.shared == nil).
+func packFrame(it *workerItem, data []byte, sb *sharedBuf) *sharedBuf {
+	if len(data) > sharedBufCap {
+		it.data = pkt.GetBuffer(len(data))
+		it.shared = nil
+	} else {
+		if sb != nil && sb.off+len(data) > sharedBufCap {
+			sb.seal()
+			sb = nil
+		}
+		if sb == nil {
+			sb = sharedBufPool.Get().(*sharedBuf)
+			sb.off, sb.count = 0, 0
+		}
+		it.data = sb.buf[sb.off : sb.off+len(data) : sb.off+len(data)]
+		sb.off += len(data)
+		sb.count++
+		it.shared = sb
+	}
+	copy(it.data, data)
+	return sb
+}
+
+// pushBurst enqueues one worker's share of a burst: a single batched ring
+// operation in the common case, then the same bounded spin port RX gets
+// before tail-dropping the remainder (NIC semantics). The wakeup happens
+// once per burst, not once per frame.
+func (s *Switch) pushBurst(w *dpWorker, items []workerItem) {
+	sent := w.ring.TryPushBatch(items)
+	if sent < len(items) {
+		tries := 0
+		for sent < len(items) && tries <= steerRetries {
+			w.wakeIfParked()
+			runtime.Gosched()
+			n := w.ring.TryPushBatch(items[sent:])
+			sent += n
+			if n == 0 {
+				tries++
+			}
+		}
+		if dropped := len(items) - sent; dropped > 0 {
+			w.qdrops.Add(uint64(dropped))
+			s.syncCtrs.drops.Add(uint64(dropped))
+			for i := sent; i < len(items); i++ {
+				items[i].releaseData()
+			}
+		}
+	}
+	if sent > 0 {
+		w.wakeIfParked()
+	}
+}
+
 // run parses the frame and hands it to the keyed pipeline body. A frame the
 // parser rejects is counted as malformed + dropped, not as a miss: it never
 // consulted the tables, so it must not pollute the cache-hit-rate or
@@ -556,14 +766,28 @@ func (s *Switch) run(inPort uint32, data []byte, ctrs *dpCounters, sc *dpScratch
 // traversal for the next packet. The same hash picked the worker (in pool
 // mode) and picks the cache partition, so a flow's verdict stays core-local.
 func (s *Switch) runKeyed(inPort uint32, data []byte, hash uint64, ctrs *dpCounters, sc *dpScratch) {
-	if !s.cache.enabled.Load() {
+	cacheOn := s.cache.enabled.Load()
+	var gen uint64
+	if cacheOn {
+		// Read the generation before the tables: a concurrent flow-mod swaps
+		// the snapshot first and bumps the generation second, so a verdict
+		// recorded under an old generation can never describe new tables.
+		gen = s.cache.gen.Load()
+	}
+	s.runKeyedGen(inPort, data, hash, ctrs, sc, gen, cacheOn)
+}
+
+// runKeyedGen is runKeyed with the cache state pre-loaded, so the worker
+// burst path can load the generation once per burst instead of once per
+// frame. Each verdict is still recorded under the generation it was read
+// with, so a flow-mod mid-burst at worst widens the existing one-packet
+// staleness window to one burst; it can never publish a stale verdict past
+// the burst.
+func (s *Switch) runKeyedGen(inPort uint32, data []byte, hash uint64, ctrs *dpCounters, sc *dpScratch, gen uint64, cacheOn bool) {
+	if !cacheOn {
 		s.runPipeline(inPort, data, ctrs, sc, 0, false)
 		return
 	}
-	// Read the generation before the tables: a concurrent flow-mod swaps
-	// the snapshot first and bumps the generation second, so a verdict
-	// recorded under an old generation can never describe new tables.
-	gen := s.cache.gen.Load()
 	if v := s.cache.get(hash, &sc.key, gen); v != nil {
 		ctrs.cacheHits.Add(1)
 		s.replay(inPort, data, ctrs, sc, v)
@@ -582,7 +806,7 @@ func (s *Switch) runKeyed(inPort uint32, data []byte, hash uint64, ctrs *dpCount
 // verdictMaxEntries executes but is not memoized).
 func (s *Switch) runPipeline(inPort uint32, data []byte, ctrs *dpCounters, sc *dpScratch, gen uint64, record bool) bool {
 	tables := s.tables.Load().tables
-	sc.ctx = actionContext{data: data, key: &sc.key, ctrs: ctrs}
+	sc.ctx = actionContext{data: data, key: &sc.key, ctrs: ctrs, tx: sc.tx}
 	ctx := &sc.ctx
 	if record {
 		sc.v.gen = gen
@@ -626,12 +850,22 @@ func (s *Switch) runPipeline(inPort uint32, data []byte, ctrs *dpCounters, sc *d
 // bumps the hit counters and runs the action list, exactly as the slow path
 // would, then finishes with the recorded table miss if there was one.
 func (s *Switch) replay(inPort uint32, data []byte, ctrs *dpCounters, sc *dpScratch, v *cacheVerdict) {
-	sc.ctx = actionContext{data: data, key: &sc.key, gotoTable: -1, ctrs: ctrs}
+	sc.ctx = actionContext{data: data, key: &sc.key, gotoTable: -1, ctrs: ctrs, tx: sc.tx}
 	ctx := &sc.ctx
 	for i := 0; i < v.nEntries; i++ {
 		e := v.entries[i]
-		e.packets.Add(1)
-		e.bytes.Add(uint64(len(ctx.data)))
+		if sc.tx != nil {
+			// Worker lane: accumulate the hit stats across the burst.
+			if e != sc.statE {
+				sc.flushEntryStats()
+				sc.statE = e
+			}
+			sc.statPkts++
+			sc.statBytes += uint64(len(ctx.data))
+		} else {
+			e.packets.Add(1)
+			e.bytes.Add(uint64(len(ctx.data)))
+		}
 		ctx.tableID = e.Table
 		ctx.gotoTable = -1
 		for _, a := range e.Actions {
@@ -696,8 +930,25 @@ func (s *Switch) sendOut(num uint32, data []byte, ctrs *dpCounters) {
 	_ = p.Send(netdev.Frame{Data: d})
 }
 
-// flood transmits data on every port except the ingress.
-func (s *Switch) flood(inPort uint32, data []byte, ctrs *dpCounters) {
+// outputCtx is the egress of an Output-style action: on a worker lane the
+// frame joins the burst's per-port TX batch (flushed once per burst via
+// SendBatch, see txcoalesce.go); on a synchronous lane it transmits
+// immediately, exactly as sendOut always has.
+func (s *Switch) outputCtx(num uint32, ctx *actionContext) {
+	if ctx.tx == nil {
+		s.sendOut(num, ctx.data, ctx.ctrs)
+		return
+	}
+	p := s.ports.Load().lookup(num)
+	if p == nil {
+		ctx.ctrs.drops.Add(1)
+		return
+	}
+	ctx.tx.add(num, p, ctx.data)
+}
+
+// flood transmits the frame on every port except the ingress.
+func (s *Switch) flood(inPort uint32, ctx *actionContext) {
 	ports := s.ports.Load().ports
 	nums := make([]uint32, 0, len(ports))
 	for n := range ports {
@@ -707,7 +958,7 @@ func (s *Switch) flood(inPort uint32, data []byte, ctrs *dpCounters) {
 	}
 	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
 	for _, n := range nums {
-		s.sendOut(n, data, ctrs)
+		s.outputCtx(n, ctx)
 	}
 }
 

@@ -1,0 +1,87 @@
+package vswitch
+
+import (
+	"sync/atomic"
+
+	"repro/internal/netdev"
+	"repro/internal/pkt"
+)
+
+// TX coalescing: while a worker runs a burst to completion, Output actions
+// do not transmit frame by frame — they append the frame to a per-egress-port
+// batch owned by the worker, and the worker flushes every batch with one
+// Port.SendBatch call at the end of the burst. The downstream hop (an NF tap,
+// a peer switch's batch handler) then sees whole bursts instead of single
+// frames, which is what keeps the burst shape intact across the service
+// chain. Ordering: a flow's frames always run on the same worker (RSS
+// steering), execute in ring order within a burst, and append to the egress
+// batch in execution order, so per-flow FIFO survives coalescing; frames of
+// one flow never split across concurrently-flushed batches because one worker
+// owns the whole burst.
+//
+// The synchronous datapath (Workers == 0) and direct Output/packet-out paths
+// have no coalescer (ctx.tx == nil) and transmit immediately, as before.
+
+// maxTxPorts is the number of distinct egress ports one burst can coalesce
+// for; a burst touching more flushes the accumulated batches early and keeps
+// going. 16 covers every realistic service-chain fan-out.
+const maxTxPorts = 16
+
+// txPortBatch accumulates the frames of one burst bound for one egress port.
+type txPortBatch struct {
+	num    uint32
+	port   *netdev.Port
+	frames []netdev.Frame
+}
+
+// txCoalescer is the per-worker egress accumulator. It is only ever touched
+// by its owning worker goroutine; the counters are atomic because telemetry
+// snapshots them concurrently.
+type txCoalescer struct {
+	n       int // live entries in batches
+	batches [maxTxPorts]txPortBatch
+
+	coalesced atomic.Uint64 // frames transmitted through a batch flush
+	flushes   atomic.Uint64 // SendBatch calls issued
+}
+
+// add appends one frame for the given egress port. The frame data is copied
+// into a pool-backed buffer here (the pipeline's buffer is recycled when the
+// burst item finishes), and ownership of the copy passes to the receiver at
+// flush, exactly like sendOut's per-frame copy.
+func (t *txCoalescer) add(num uint32, p *netdev.Port, data []byte) {
+	d := pkt.GetBuffer(len(data))
+	copy(d, data)
+	for i := 0; i < t.n; i++ {
+		if t.batches[i].num == num {
+			t.batches[i].frames = append(t.batches[i].frames, netdev.Frame{Data: d})
+			return
+		}
+	}
+	if t.n == maxTxPorts {
+		t.flush()
+	}
+	// Reuse the slot in place so the frames slice keeps its grown capacity;
+	// steady state allocates nothing.
+	b := &t.batches[t.n]
+	t.n++
+	b.num = num
+	b.port = p
+	b.frames = append(b.frames[:0], netdev.Frame{Data: d})
+}
+
+// flush transmits every accumulated batch, one SendBatch per egress port,
+// and resets the coalescer for the next burst.
+func (t *txCoalescer) flush() {
+	for i := 0; i < t.n; i++ {
+		b := &t.batches[i]
+		if len(b.frames) > 0 {
+			_, _ = b.port.SendBatch(b.frames)
+			t.coalesced.Add(uint64(len(b.frames)))
+			t.flushes.Add(1)
+		}
+		b.frames = b.frames[:0]
+		b.port = nil
+	}
+	t.n = 0
+}

@@ -1,6 +1,7 @@
 package vswitch
 
 import (
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -18,21 +19,59 @@ import (
 // same hash mod N), its own scratch state and its own counter cache lines.
 // Nothing per-flow is ever shared between cores.
 //
+// Bursts are first-class end to end: steerBatch groups a received burst by
+// destination worker and enqueues each group with one batched ring operation
+// and at most one wakeup; the worker drains up to workerBurst items per
+// iteration with one batched pop, amortizes the cache-generation load over
+// the burst, and coalesces its output per egress port, flushing each port
+// with a single SendBatch (see txcoalesce.go).
+//
 // Ownership: the steering step copies the frame into a pool-backed buffer
 // (the sender's buffer is only valid during the Send call), and the worker
-// recycles it after the pipeline finishes — every egress path (sendOut,
-// packet-in) copies again, so the ring buffer never escapes.
+// recycles it after the pipeline finishes — every egress path (sendOut, TX
+// coalescing, packet-in) copies again, so the ring buffer never escapes.
 
 // workerRingLen is the per-worker RX ring capacity, sized like a NIC RX
 // descriptor ring.
 const workerRingLen = 1024
+
+// workerBurst is the largest batch a worker pops per iteration, and the
+// chunk size of batched steering — the software analogue of a NIC RX burst.
+const workerBurst = 64
 
 // steerRetries bounds how many scheduler yields a port-RX steer spends
 // waiting for ring space before tail-dropping. A busy-but-alive worker
 // drains within a yield or two (the retry is what lets a single-CPU host
 // absorb a burst instead of dropping it wholesale); only a worker that is
 // genuinely stuck — blocked in an NF, livelocked — exhausts the budget.
+// The Inject backpressure path spins the same budget, then parks on the
+// worker's space channel instead of burning the core (see pushWait).
 const steerRetries = 128
+
+// idleSpin is how many empty polls a worker makes before parking. Under
+// bursty offered load the gap between bursts is usually shorter than a
+// park/wake round trip; a bounded spin absorbs it, and a genuinely idle
+// worker still parks after idleSpin yields instead of burning its core.
+const idleSpin = 64
+
+// burstBuckets are the upper bounds of the burst-size histogram buckets:
+// a drained burst of n frames lands in the first bucket with bound >= n.
+// Exported for metric labelling as BurstBuckets.
+var burstBuckets = [...]int{1, 2, 4, 8, 16, 32, 64}
+
+// BurstBuckets returns the upper bounds of the per-worker burst-size
+// histogram buckets reported in WorkerStats.BurstHist.
+func BurstBuckets() []int {
+	out := make([]int, len(burstBuckets))
+	copy(out, burstBuckets[:])
+	return out
+}
+
+// burstBucket maps a burst size in [1, workerBurst] to its histogram index:
+// sizes 1,2 get their own bucket, then powers of two.
+func burstBucket(n int) int {
+	return bits.Len(uint(n - 1))
+}
 
 // workerItem is one steered frame: the key is parsed and hashed once on the
 // producer side (steering needs the hash anyway), so the worker starts
@@ -41,7 +80,22 @@ type workerItem struct {
 	key    flowKey
 	hash   uint64
 	inPort uint32
-	data   []byte // pool-backed private copy, recycled by the worker
+	data   []byte // private copy, recycled by the worker via releaseData
+	// shared is the reference-counted chunk buffer data points into when the
+	// frame arrived through batched steering; nil means data is a private
+	// frame-pool buffer (per-frame steer, jumbo frames).
+	shared *sharedBuf
+}
+
+// releaseData recycles the item's frame buffer once the pipeline is done
+// with it: shared chunk buffers drop a reference, private buffers go back
+// to the frame pool.
+func (it *workerItem) releaseData() {
+	if it.shared != nil {
+		it.shared.release()
+		return
+	}
+	pkt.PutBuffer(it.data)
 }
 
 type dpWorker struct {
@@ -54,9 +108,21 @@ type dpWorker struct {
 	// lost wakeup impossible.
 	wake   chan struct{}
 	parked atomic.Bool
-	qdrops atomic.Uint64 // frames tail-dropped because the ring was full
-	ctrs   dpCounters
-	sc     dpScratch
+	// space (capacity 1) plus the waiters count implement the reverse
+	// notification: a backpressured producer (Inject) that finds the ring
+	// full increments waiters and blocks on space; the worker, after each
+	// burst, drops a token when waiters is non-zero. The producer re-checks
+	// the ring between increment and block, so a token can never be missed
+	// while space remains unclaimed (see pushWait for the full protocol).
+	space   chan struct{}
+	waiters atomic.Int32
+	qdrops  atomic.Uint64 // frames tail-dropped because the ring was full
+	ctrs    dpCounters
+	sc      dpScratch
+	tx      txCoalescer
+	// burstHist counts drained bursts by size bucket (see burstBuckets).
+	burstHist [len(burstBuckets)]atomic.Uint64
+	burst     [workerBurst]workerItem // pop buffer, owned by the worker
 }
 
 type workerPool struct {
@@ -70,11 +136,14 @@ type workerPool struct {
 func (s *Switch) startWorkers(n int) {
 	p := &workerPool{done: make(chan struct{})}
 	for i := 0; i < n; i++ {
-		p.workers = append(p.workers, &dpWorker{
-			id:   i,
-			ring: netdev.NewRing[workerItem](workerRingLen),
-			wake: make(chan struct{}, 1),
-		})
+		w := &dpWorker{
+			id:    i,
+			ring:  netdev.NewRing[workerItem](workerRingLen),
+			wake:  make(chan struct{}, 1),
+			space: make(chan struct{}, 1),
+		}
+		w.sc.tx = &w.tx
+		p.workers = append(p.workers, w)
 	}
 	s.workers = p.workers
 	s.pool.Store(p)
@@ -103,13 +172,51 @@ func (s *Switch) Close() {
 	// those frames inline.
 	for _, w := range p.workers {
 		w.drain(s)
+		// Belt and suspenders: the exiting worker already flushed its
+		// waiters, but a producer racing the pool swap may have parked
+		// after that. It re-checks the pool on wake and falls back inline.
+		w.flushWaiters()
+	}
+}
+
+// wakeIfParked nudges the worker if it published parked=true; the capacity-1
+// channel makes redundant nudges free.
+func (w *dpWorker) wakeIfParked() {
+	if w.parked.Load() {
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// signalSpace hands a blocked backpressured producer its wakeup token.
+func (w *dpWorker) signalSpace() {
+	if w.waiters.Load() != 0 {
+		select {
+		case w.space <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// flushWaiters releases every producer still parked on the space channel;
+// called on worker exit so Close never strands an Inject caller.
+func (w *dpWorker) flushWaiters() {
+	for w.waiters.Load() != 0 {
+		select {
+		case w.space <- struct{}{}:
+		default:
+			runtime.Gosched()
+		}
 	}
 }
 
 // steer parses, hashes and enqueues one received frame to its worker. With
 // backpressure false (port RX) a full ring tail-drops the frame, as a NIC
-// RX ring would; with backpressure true (Inject) the enqueue retries until
-// space frees up.
+// RX ring would; with backpressure true (Inject) the enqueue spins briefly,
+// then parks until the worker signals space, so control-plane packet-outs
+// are neither lost nor allowed to burn a core against a stuck worker.
 func (s *Switch) steer(p *workerPool, inPort uint32, data []byte, backpressure bool) {
 	var it workerItem
 	if err := extractKey(data, inPort, &it.key); err != nil {
@@ -125,9 +232,13 @@ func (s *Switch) steer(p *workerPool, inPort uint32, data []byte, backpressure b
 	it.inPort = inPort
 	it.data = pkt.GetBuffer(len(data))
 	copy(it.data, data)
-	tries := 0
-	for !w.ring.TryPush(it) {
-		if !backpressure {
+	if w.ring.TryPush(it) {
+		w.wakeIfParked()
+		return
+	}
+	if !backpressure {
+		tries := 0
+		for !w.ring.TryPush(it) {
 			tries++
 			if tries > steerRetries {
 				w.qdrops.Add(1)
@@ -137,93 +248,162 @@ func (s *Switch) steer(p *workerPool, inPort uint32, data []byte, backpressure b
 			}
 			// The ring is full, so the worker has work: make sure it is
 			// awake, then give it the CPU.
-			if w.parked.Load() {
-				select {
-				case w.wake <- struct{}{}:
-				default:
-				}
-			}
+			w.wakeIfParked()
 			runtime.Gosched()
-			continue
+		}
+		w.wakeIfParked()
+		return
+	}
+	s.pushWait(p, w, it)
+}
+
+// pushWait is the backpressured enqueue behind Inject: a bounded spin (the
+// same budget port RX gets before tail-dropping), then park on the worker's
+// space channel until a burst completes. The waiters increment happens
+// before the ring re-check, and the worker checks waiters after every
+// burst, so the token cannot be lost: if the push fails the ring was full,
+// meaning the worker still has at least one burst to run — and therefore
+// one signalSpace still to issue.
+func (s *Switch) pushWait(p *workerPool, w *dpWorker, it workerItem) {
+	for tries := 0; tries < steerRetries; tries++ {
+		w.wakeIfParked()
+		runtime.Gosched()
+		if w.ring.TryPush(it) {
+			w.wakeIfParked()
+			return
+		}
+	}
+	for {
+		w.waiters.Add(1)
+		if w.ring.TryPush(it) {
+			w.waiters.Add(-1)
+			w.wakeIfParked()
+			return
 		}
 		if s.pool.Load() != p {
 			// The pool closed while we were waiting for ring space: the
 			// workers are gone and the ring will never drain, so finish the
-			// frame in this goroutine instead of spinning forever.
+			// frame in this goroutine instead of parking forever.
+			w.waiters.Add(-1)
 			sc := scratchPool.Get().(*dpScratch)
 			sc.key = it.key
 			s.syncCtrs.pipeline.Add(1)
 			s.runKeyed(it.inPort, it.data, it.hash, &s.syncCtrs, sc)
 			scratchPool.Put(sc)
-			pkt.PutBuffer(it.data)
+			it.releaseData()
 			return
 		}
-		if w.parked.Load() {
-			select {
-			case w.wake <- struct{}{}:
-			default:
-			}
-		}
-		runtime.Gosched()
-	}
-	if w.parked.Load() {
-		select {
-		case w.wake <- struct{}{}:
-		default:
-		}
+		w.wakeIfParked()
+		<-w.space
+		w.waiters.Add(-1)
 	}
 }
 
-// loop is the worker body: pop, process, recycle; park when idle.
+// loop is the worker body: pop a burst, run it to completion, recycle;
+// spin briefly when empty, park when genuinely idle.
 func (w *dpWorker) loop(s *Switch, done <-chan struct{}) {
+	spins := 0
 	for {
-		it, ok := w.ring.TryPop()
-		if !ok {
+		n := w.ring.TryPopBatch(w.burst[:])
+		if n == 0 {
+			if spins < idleSpin {
+				// Adaptive idle: under bursty load the next burst usually
+				// lands within a few yields; spinning past it skips a full
+				// park/wake round trip per burst.
+				spins++
+				runtime.Gosched()
+				continue
+			}
 			w.parked.Store(true)
 			// Recheck after publishing parked: a producer that pushed
 			// before the store sees parked=false only if we also see its
 			// item here.
-			if it, ok = w.ring.TryPop(); !ok {
+			if n = w.ring.TryPopBatch(w.burst[:]); n == 0 {
 				select {
 				case <-w.wake:
 					w.parked.Store(false)
+					spins = 0
 					continue
 				case <-done:
 					w.parked.Store(false)
 					w.drain(s)
+					w.flushWaiters()
 					return
 				}
 			}
 			w.parked.Store(false)
 		}
-		w.exec(s, it)
+		spins = 0
+		w.execBurst(s, w.burst[:n])
 	}
 }
 
 // drain processes everything left in the ring.
 func (w *dpWorker) drain(s *Switch) {
 	for {
-		it, ok := w.ring.TryPop()
-		if !ok {
+		n := w.ring.TryPopBatch(w.burst[:])
+		if n == 0 {
 			return
 		}
-		w.exec(s, it)
+		w.execBurst(s, w.burst[:n])
 	}
 }
 
-// exec runs one steered frame through the pipeline with this worker's
-// counters and scratch, then recycles the ring buffer (every egress path
-// copies, so the buffer cannot escape the pipeline).
-func (w *dpWorker) exec(s *Switch, it workerItem) {
-	w.sc.key = it.key
-	if w.ctrs.pipeline.Add(1)&latencySampleMask == 0 {
-		start := time.Now()
-		s.runKeyed(it.inPort, it.data, it.hash, &w.ctrs, &w.sc)
-		s.latency.Observe(time.Since(start).Seconds())
-	} else {
-		s.runKeyed(it.inPort, it.data, it.hash, &w.ctrs, &w.sc)
+// execBurst runs one drained burst to completion with this worker's
+// counters and scratch: the cache generation is loaded once for the whole
+// burst (each packet's verdict still snapshots a complete table state — the
+// staleness window grows from one packet to at most one burst, and a
+// verdict recorded under a superseded generation is never served afterward),
+// output is coalesced per egress port and flushed at the end, and each ring
+// buffer is recycled as its frame finishes. The latency histogram samples
+// one burst whenever the burst crosses a sampling boundary, recording the
+// per-frame average.
+func (w *dpWorker) execBurst(s *Switch, items []workerItem) {
+	n := uint64(len(items))
+	w.burstHist[burstBucket(len(items))].Add(1)
+	base := w.ctrs.pipeline.Add(n)
+	cacheOn := s.cache.enabled.Load()
+	var gen uint64
+	if cacheOn {
+		gen = s.cache.gen.Load()
 	}
-	pkt.PutBuffer(it.data)
+	if (base-n)>>latencySampleShift != base>>latencySampleShift {
+		start := time.Now()
+		w.runBurst(s, items, gen, cacheOn)
+		s.latency.Observe(time.Since(start).Seconds() / float64(n))
+	} else {
+		w.runBurst(s, items, gen, cacheOn)
+	}
+	w.signalSpace()
+}
+
+func (w *dpWorker) runBurst(s *Switch, items []workerItem, gen uint64, cacheOn bool) {
+	// Frames steered from one chunk sit in consecutive ring slots, so their
+	// shared chunk buffer is released with one run-length-batched atomic
+	// instead of one per frame.
+	var sb *sharedBuf
+	var sbRefs int32
+	for i := range items {
+		it := &items[i]
+		w.sc.key = it.key
+		s.runKeyedGen(it.inPort, it.data, it.hash, &w.ctrs, &w.sc, gen, cacheOn)
+		if it.shared != nil {
+			if it.shared != sb {
+				if sb != nil {
+					sb.releaseN(sbRefs)
+				}
+				sb, sbRefs = it.shared, 0
+			}
+			sbRefs++
+		} else {
+			pkt.PutBuffer(it.data)
+		}
+	}
+	if sb != nil {
+		sb.releaseN(sbRefs)
+	}
+	w.sc.flushEntryStats()
+	w.tx.flush()
 }
 
 // WorkerStats is the telemetry snapshot of one datapath worker.
@@ -239,6 +419,16 @@ type WorkerStats struct {
 	QueueDrops uint64
 	// Packets counts frames this worker processed.
 	Packets uint64
+	// BurstHist counts drained bursts by size; BurstHist[i] is the number
+	// of bursts of at most BurstBuckets()[i] frames (and more than the
+	// previous bucket's bound).
+	BurstHist []uint64
+	// TxCoalesced counts frames transmitted through a coalesced egress
+	// flush rather than an immediate per-frame send.
+	TxCoalesced uint64
+	// TxFlushes counts SendBatch calls issued by the TX coalescer; the
+	// average coalesced batch is TxCoalesced / TxFlushes.
+	TxFlushes uint64
 }
 
 // WorkerTelemetry snapshots per-worker queue depth and activity; nil for a
@@ -249,12 +439,19 @@ func (s *Switch) WorkerTelemetry() []WorkerStats {
 	}
 	out := make([]WorkerStats, len(s.workers))
 	for i, w := range s.workers {
+		hist := make([]uint64, len(w.burstHist))
+		for bi := range w.burstHist {
+			hist[bi] = w.burstHist[bi].Load()
+		}
 		out[i] = WorkerStats{
-			QueueLen:   w.ring.Len(),
-			QueueCap:   w.ring.Cap(),
-			Busy:       !w.parked.Load(),
-			QueueDrops: w.qdrops.Load(),
-			Packets:    w.ctrs.pipeline.Load(),
+			QueueLen:    w.ring.Len(),
+			QueueCap:    w.ring.Cap(),
+			Busy:        !w.parked.Load(),
+			QueueDrops:  w.qdrops.Load(),
+			Packets:     w.ctrs.pipeline.Load(),
+			BurstHist:   hist,
+			TxCoalesced: w.tx.coalesced.Load(),
+			TxFlushes:   w.tx.flushes.Load(),
 		}
 	}
 	return out
