@@ -7,7 +7,9 @@
 // markdown summary (-md, appended) feeds $GITHUB_STEP_SUMMARY.
 //
 // The nightly soak raises -conns and -repeat to shake out races and state
-// leaks a single pass can miss.
+// leaks a single pass can miss, and runs -elections to cycle a 3-replica
+// control-plane cluster through repeated leader kills, publishing the
+// median failover time.
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/chaos"
@@ -28,12 +31,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	repeat := fs.Int("repeat", 1, "times each scenario is rerun (soak mode raises this)")
 	out := fs.String("out", "", "write the JSON report to this file")
 	md := fs.String("md", "", "append the markdown summary to this file (e.g. $GITHUB_STEP_SUMMARY); stdout when empty")
+	elections := fs.Int("elections", 0, "instead of the scenario suite, soak a 3-replica cluster through this many leader-kill election cycles")
 	verbose := fs.Bool("v", false, "log harness progress")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	logger := log.New(stderr, "", log.LstdFlags)
+	if *elections > 0 {
+		return runElectionSoak(*elections, *md, *verbose, logger, stdout)
+	}
 	opts := chaos.Options{Conns: *conns, Repeat: *repeat}
 	if *verbose {
 		opts.Logf = logger.Printf
@@ -81,6 +88,49 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "chaos: all %d scenarios within budget (%s)\n",
 		len(rep.Scenarios), time.Since(start).Round(time.Millisecond))
+	return 0
+}
+
+// runElectionSoak is the nightly election-latency gate: it cycles a
+// 3-replica cluster through n leader kills, appends the median/worst
+// failover to the markdown summary, and fails if any failover breached
+// the 1s reconvergence budget the chaos scenarios gate.
+func runElectionSoak(n int, md string, verbose bool, logger *log.Logger, stdout io.Writer) int {
+	var logf func(format string, args ...any)
+	if verbose {
+		logf = logger.Printf
+	}
+	times, err := chaos.ElectionSoak(n, logf)
+	if err != nil {
+		logger.Printf("chaos: election soak: %v", err)
+		return 1
+	}
+	sorted := append([]time.Duration(nil), times...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	median := sorted[len(sorted)/2]
+	worst := sorted[len(sorted)-1]
+	summary := fmt.Sprintf("## Election soak\n\n%d leader-kill cycles: median failover %s, worst %s\n",
+		len(times), median.Round(time.Millisecond), worst.Round(time.Millisecond))
+	if md != "" {
+		f, err := os.OpenFile(md, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			logger.Printf("chaos: %v", err)
+			return 1
+		}
+		_, werr := io.WriteString(f, summary)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			logger.Printf("chaos: writing summary: %v", werr)
+			return 1
+		}
+	}
+	fmt.Fprint(stdout, summary)
+	if worst > time.Second {
+		logger.Printf("chaos: worst failover %v exceeds the 1s budget", worst)
+		return 1
+	}
 	return 0
 }
 

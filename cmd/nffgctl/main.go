@@ -24,8 +24,14 @@ import (
 	"net/http"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/nffg"
 )
+
+// client retries transient failures with backoff and follows HA leader
+// redirects, so nffgctl works against any replica of a clustered
+// un-global (or across a brief failover).
+var client = cliutil.New()
 
 func main() {
 	server := flag.String("server", "http://localhost:8080", "un-orchestrator base URL")
@@ -104,12 +110,7 @@ func deploy(server, path string, dryRun bool) error {
 	if dryRun {
 		url += "?dry-run=true"
 	}
-	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(data))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := client.Put(url, data)
 	if err != nil {
 		return err
 	}
@@ -118,7 +119,7 @@ func deploy(server, path string, dryRun bool) error {
 }
 
 func get(url string, pretty bool) error {
-	resp, err := http.Get(url)
+	resp, err := client.Get(url)
 	if err != nil {
 		return err
 	}
@@ -141,11 +142,7 @@ func get(url string, pretty bool) error {
 }
 
 func del(url string) error {
-	req, err := http.NewRequest(http.MethodDelete, url, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := client.Delete(url, nil)
 	if err != nil {
 		return err
 	}

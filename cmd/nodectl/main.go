@@ -24,7 +24,14 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+
+	"repro/internal/cliutil"
 )
+
+// client retries transient failures with backoff and follows HA leader
+// redirects, so nodectl works against any replica of a clustered control
+// plane (or across a brief failover).
+var client = cliutil.New()
 
 func main() {
 	server := flag.String("server", "http://localhost:8080", "un-orchestrator base URL")
@@ -132,7 +139,7 @@ func scale(server, graph, nf, replicas string) error {
 }
 
 func postJSON(url string, body []byte) error {
-	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	resp, err := client.Post(url, body)
 	if err != nil {
 		return err
 	}
@@ -156,7 +163,11 @@ func capture(server, iface, duration, out string) error {
 	if out == "" {
 		out = iface + ".pcap"
 	}
-	resp, err := http.Get(server + "/v1/capture/" + iface + "?duration=" + duration)
+	// Captures stream for their whole duration: use an untimed client so
+	// a long -duration is not cut off by the retry client's timeout.
+	long := cliutil.New()
+	long.HTTP = &http.Client{}
+	resp, err := long.Get(server + "/v1/capture/" + iface + "?duration=" + duration)
 	if err != nil {
 		return err
 	}
@@ -181,7 +192,7 @@ func capture(server, iface, duration, out string) error {
 }
 
 func fetch(url string, pretty bool) error {
-	resp, err := http.Get(url)
+	resp, err := client.Get(url)
 	if err != nil {
 		return err
 	}

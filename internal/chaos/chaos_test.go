@@ -28,8 +28,27 @@ func TestChaosSuitePassesBudgets(t *testing.T) {
 	if err := rep.Gate(); err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Scenarios) < 4 {
-		t.Fatalf("suite ran %d scenarios, want >= 4", len(rep.Scenarios))
+	if len(rep.Scenarios) < 6 {
+		t.Fatalf("suite ran %d scenarios, want >= 6", len(rep.Scenarios))
+	}
+}
+
+// TestElectionSoakCycles drives the 3-replica cluster through a few
+// kill/revive election cycles (the nightly runs many more) and checks
+// every failover lands inside the same budget the chaos scenarios gate.
+func TestElectionSoakCycles(t *testing.T) {
+	const cycles = 3
+	times, err := chaos.ElectionSoak(cycles, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != cycles {
+		t.Fatalf("soak measured %d cycles, want %d", len(times), cycles)
+	}
+	for i, d := range times {
+		if d > time.Second {
+			t.Errorf("cycle %d failover %v exceeds 1s budget", i+1, d)
+		}
 	}
 }
 

@@ -42,6 +42,18 @@ func Scenarios() []Scenario {
 			Budget:      Budget{MaxLossPct: 0, MaxStateLoss: 0, MaxReconverge: 5 * time.Second},
 			run:         runRESTFault,
 		},
+		{
+			Name:        "ha-leader-kill",
+			Description: "crash the control-plane leader of a 3-replica cluster under live NAT traffic; a follower must be promoted with the full intent store intact, the deposed replica must fence, and no binding may be lost",
+			Budget:      Budget{MaxLossPct: 0, MaxStateLoss: 0, MaxReconverge: time.Second},
+			run:         runHALeaderKill,
+		},
+		{
+			Name:        "ha-leader-partition",
+			Description: "partition the leader from both followers; the majority must elect and keep taking writes, the isolated ex-leader must refuse mutations, and after healing it must rejoin and converge",
+			Budget:      Budget{MaxLossPct: 0, MaxStateLoss: 0, MaxReconverge: time.Second},
+			run:         runHALeaderPartition,
+		},
 	}
 }
 

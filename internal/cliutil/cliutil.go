@@ -1,0 +1,144 @@
+// Package cliutil is the shared HTTP plumbing of the command-line
+// clients (nodectl, nffgctl): bounded retry with exponential backoff and
+// jitter on connection errors and on 5xx answers that signal a transient
+// control-plane condition (an HA cluster mid-election answers 503), and
+// leader-redirect following (an HA follower answers writes with 307 +
+// Location; Go's client follows it when the request body is rebuildable,
+// which every helper here guarantees).
+package cliutil
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"time"
+)
+
+// Client is a retrying HTTP client. The zero value is not usable; use New.
+type Client struct {
+	// HTTP is the underlying client (follows redirects by default).
+	HTTP *http.Client
+	// Attempts bounds how many times a request is tried in total.
+	Attempts int
+	// BaseDelay is the first backoff; each retry doubles it (with ±50%
+	// jitter) up to MaxDelay.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Logf, when set, narrates retries (CLI verbose mode).
+	Logf func(format string, args ...any)
+}
+
+// New builds a client with the CLI defaults: 4 attempts, 100ms initial
+// backoff doubling to at most 2s, 10s per-request timeout.
+func New() *Client {
+	return &Client{
+		HTTP:      &http.Client{Timeout: 10 * time.Second},
+		Attempts:  4,
+		BaseDelay: 100 * time.Millisecond,
+		MaxDelay:  2 * time.Second,
+	}
+}
+
+// retryable reports whether an answer is worth retrying: leaderless HA
+// clusters and overloaded proxies answer 502/503/504 transiently.
+func retryable(status int) bool {
+	switch status {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// backoff returns the jittered exponential delay before retry n (0-based).
+func (c *Client) backoff(n int) time.Duration {
+	d := c.BaseDelay << n
+	if d > c.MaxDelay || d <= 0 {
+		d = c.MaxDelay
+	}
+	// ±50% jitter decorrelates clients hammering a recovering server.
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// Do sends the request, retrying connection errors and retryable status
+// codes with backoff. The request must have GetBody set when it carries a
+// body (http.NewRequest does this for the common reader types), both for
+// retries and for 307 redirect following.
+func (c *Client) Do(req *http.Request) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.Attempts; attempt++ {
+		if attempt > 0 {
+			delay := c.backoff(attempt - 1)
+			if c.Logf != nil {
+				c.Logf("retrying %s %s in %v: %v", req.Method, req.URL, delay, lastErr)
+			}
+			time.Sleep(delay)
+			if req.GetBody != nil {
+				body, err := req.GetBody()
+				if err != nil {
+					return nil, err
+				}
+				req.Body = body
+			}
+		}
+		resp, err := c.HTTP.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if retryable(resp.StatusCode) && attempt < c.Attempts-1 {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+			resp.Body.Close()
+			lastErr = fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))
+			continue
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("after %d attempts: %w", c.Attempts, lastErr)
+}
+
+// Get issues a retrying GET.
+func (c *Client) Get(url string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.Do(req)
+}
+
+// Post issues a retrying POST with a JSON body.
+func (c *Client) Post(url string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.Do(req)
+}
+
+// Put issues a retrying PUT with a JSON body.
+func (c *Client) Put(url string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.Do(req)
+}
+
+// Delete issues a retrying DELETE, with an optional JSON body.
+func (c *Client) Delete(url string, body []byte) (*http.Response, error) {
+	var r io.Reader
+	if body != nil {
+		r = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(http.MethodDelete, url, r)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return c.Do(req)
+}

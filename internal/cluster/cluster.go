@@ -1,0 +1,421 @@
+// Package cluster makes the global orchestration tier highly available:
+// several un-global replicas form a cluster with SWIM-style gossip
+// membership (sub-second failure detection for both replicas and
+// Universal Nodes), lease-based leader election (only the leader mutates
+// placement and runs reconcile; a deposed leader fences itself on lease
+// expiry), and a sequence-numbered replicated intent log (every
+// desired-state mutation streams to followers with acknowledgement-based
+// commit, snapshot + catch-up for joiners, and deterministic replay on
+// promotion). The package is dependency-free and transport-agnostic:
+// tests and the chaos harness drive it over an in-process fabric with
+// injectable partitions, production over HTTP on the /v1/cluster routes.
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Journal event types recorded by the cluster layer (the exported
+// constants live in internal/telemetry next to the rest of the event
+// vocabulary; these aliases keep call sites short).
+const (
+	eventLeaderElected = telemetry.EventLeaderElected
+	eventMemberSuspect = telemetry.EventMemberSuspect
+	eventMemberDead    = telemetry.EventMemberDead
+	eventMemberAlive   = telemetry.EventMemberAlive
+)
+
+// Errors surfaced to callers. ErrNotLeader is the fencing signal: the
+// REST layer turns it into a 307 redirect to the leader, the orchestrator
+// refuses mutations on it.
+var (
+	ErrNotLeader     = errors.New("cluster: not the leader")
+	ErrNoQuorum      = errors.New("cluster: lost quorum before commit")
+	errWrongCluster  = errors.New("cluster: cluster-id mismatch")
+	errUnknownMember = errors.New("cluster: unknown member")
+	errProbeFailed   = errors.New("cluster: indirect probe failed")
+)
+
+// Options configures one replica.
+type Options struct {
+	// ID is this replica's unique name; ClusterID guards against
+	// replicas from different clusters gossiping with each other.
+	ID        string
+	ClusterID string
+	// Peers is the static replica set (including self); quorum is a
+	// majority of it. Addr is each peer's REST base URL, used for write
+	// redirects.
+	Peers []PeerSpec
+	// Transport carries peer RPCs.
+	Transport Transport
+
+	// ProbeInterval is the SWIM probe period (default 200ms);
+	// SuspicionTimeout how long a suspect lives before it is declared
+	// dead (default 1s); IndirectProbes the k relays tried before
+	// suspecting (default 2).
+	ProbeInterval    time.Duration
+	SuspicionTimeout time.Duration
+	IndirectProbes   int
+
+	// HeartbeatInterval is the leader replication period (default
+	// 100ms); LeaseDuration the leader lease extended by each
+	// quorum-acked round (default 1s). Election timeouts randomize in
+	// [lease, 2·lease).
+	HeartbeatInterval time.Duration
+	LeaseDuration     time.Duration
+
+	// LogDepth bounds the leader-side replication window (default
+	// 1024); followers further behind catch up from a snapshot.
+	LogDepth int
+
+	// CommitTimeout bounds how long Record waits for quorum
+	// acknowledgement before reporting ErrNoQuorum (default
+	// LeaseDuration).
+	CommitTimeout time.Duration
+
+	// NodeProber probes one monitored Universal Node (rec is its intent
+	// record, e.g. carrying the node's URL). Nil disables node probing.
+	NodeProber func(id string, rec json.RawMessage) error
+	// OnPromote fires after this replica wins an election and earns its
+	// first lease; the orchestrator glue replays the intent store.
+	OnPromote func(term uint64)
+	// OnDemote fires when leadership is lost (lease expiry or a newer
+	// term observed).
+	OnDemote func()
+	// OnNodeState fires when a monitored node transitions dead/alive.
+	OnNodeState func(id string, alive bool)
+
+	// Journal receives leader-elected / member-suspect / member-dead
+	// events; Logf receives debug logging. Both optional.
+	Journal *telemetry.Journal
+	Logf    func(format string, args ...any)
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.ClusterID == "" {
+		out.ClusterID = "un-global"
+	}
+	if out.ProbeInterval <= 0 {
+		out.ProbeInterval = 200 * time.Millisecond
+	}
+	if out.SuspicionTimeout <= 0 {
+		out.SuspicionTimeout = time.Second
+	}
+	if out.IndirectProbes <= 0 {
+		out.IndirectProbes = 2
+	}
+	if out.HeartbeatInterval <= 0 {
+		out.HeartbeatInterval = 100 * time.Millisecond
+	}
+	if out.LeaseDuration <= 0 {
+		out.LeaseDuration = time.Second
+	}
+	if out.LogDepth <= 0 {
+		out.LogDepth = 1024
+	}
+	if out.CommitTimeout <= 0 {
+		out.CommitTimeout = out.LeaseDuration
+	}
+	return out
+}
+
+// Cluster is one replica's view of the HA control plane. It implements
+// Peer (the RPC surface other replicas call) and telemetry.Collector.
+type Cluster struct {
+	opts Options
+	self string
+
+	mu          sync.Mutex
+	members     map[string]*memberInfo
+	incarnation uint64
+	probeIdx    int
+
+	role       role
+	term       uint64
+	votedTerm  uint64
+	votedFor   string
+	leader     string
+	leaseUntil time.Time // leader side: fencing lease
+	leaderSeen time.Time // follower side: last valid append heard
+	electionAt time.Time // follower side: next election chance
+
+	log       *Log
+	store     *IntentStore
+	acked     map[string]uint64 // leader side: follower ack points
+	commitSeq uint64
+
+	electionsStarted telemetry.Counter
+	electionsWon     telemetry.Counter
+	heartbeatRounds  telemetry.Counter
+	membersSuspected telemetry.Counter
+	membersDied      telemetry.Counter
+	opsRecorded      telemetry.Counter
+
+	stop    chan struct{}
+	kick    chan struct{}
+	wg      sync.WaitGroup
+	started bool
+}
+
+// New builds a replica. Call Start to join the cluster.
+func New(opts Options) (*Cluster, error) {
+	o := opts.withDefaults()
+	if o.ID == "" {
+		return nil, errors.New("cluster: Options.ID is required")
+	}
+	if o.Transport == nil {
+		return nil, errors.New("cluster: Options.Transport is required")
+	}
+	c := &Cluster{
+		opts:    o,
+		self:    o.ID,
+		members: make(map[string]*memberInfo),
+		log:     NewLog(o.LogDepth),
+		store:   NewIntentStore(),
+		acked:   make(map[string]uint64),
+		stop:    make(chan struct{}),
+		kick:    make(chan struct{}, 1),
+	}
+	now := time.Now()
+	selfListed := false
+	for _, p := range o.Peers {
+		if p.ID == o.ID {
+			selfListed = true
+		}
+		c.members[p.ID] = &memberInfo{id: p.ID, kind: KindReplica, state: StateAlive, since: now}
+	}
+	if !selfListed {
+		c.opts.Peers = append(c.opts.Peers, PeerSpec{ID: o.ID})
+		c.members[o.ID] = &memberInfo{id: o.ID, kind: KindReplica, state: StateAlive, since: now}
+	}
+	return c, nil
+}
+
+// Start launches the failure detector and the election/replication loop.
+// The first election fires after a randomized timeout; a single-replica
+// cluster (quorum 1) elects itself on the first tick.
+func (c *Cluster) Start() {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = true
+	// Stagger the first election chance so co-started replicas don't
+	// split the vote forever; the randomized range keeps one ahead.
+	c.electionAt = time.Now().Add(time.Duration(float64(c.electionTimeout()) * 0.25))
+	c.mu.Unlock()
+	c.wg.Add(2)
+	go c.probeLoop()
+	go c.electLoop()
+}
+
+// Close stops the replica. A leader simply disappears; the rest of the
+// cluster elects a successor after its lease lapses or SWIM declares it.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if !c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = false
+	c.mu.Unlock()
+	close(c.stop)
+	c.wg.Wait()
+}
+
+// quorum is a majority of the static replica set.
+func (c *Cluster) quorum() int { return len(c.opts.Peers)/2 + 1 }
+
+// replicaPeersLocked lists replica ids other than self, sorted.
+func (c *Cluster) replicaPeersLocked() []string {
+	out := make([]string, 0, len(c.opts.Peers)-1)
+	for _, p := range c.opts.Peers {
+		if p.ID != c.self {
+			out = append(out, p.ID)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsLeader reports whether this replica holds a currently valid leader
+// lease. The time check is the fence: a partitioned ex-leader stops
+// passing it at most LeaseDuration after its last quorum contact, before
+// the rest of the cluster can elect a successor.
+func (c *Cluster) IsLeader() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.role == roleLeader && time.Now().Before(c.leaseUntil)
+}
+
+// Leader returns the current leader's id and REST address ("" when
+// unknown or mid-election).
+func (c *Cluster) Leader() (id, addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.leader == "" {
+		return "", ""
+	}
+	for _, p := range c.opts.Peers {
+		if p.ID == c.leader {
+			return p.ID, p.Addr
+		}
+	}
+	return c.leader, ""
+}
+
+// Term returns the current election term.
+func (c *Cluster) Term() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.term
+}
+
+// Store exposes the replicated intent store (reads and promotion replay).
+func (c *Cluster) Store() *IntentStore { return c.store }
+
+// CommitSeq returns the acknowledged-by-quorum sequence number.
+func (c *Cluster) CommitSeq() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.commitSeq
+}
+
+// Record appends one desired-state op to the replicated log, applies it
+// locally and blocks until a quorum acknowledges it (or CommitTimeout
+// lapses — ErrNoQuorum then; the op stays in the log and commits when
+// quorum returns). Only a fenced-in leader may record.
+func (c *Cluster) Record(kind OpKind, key string, data json.RawMessage) error {
+	c.mu.Lock()
+	if c.role != roleLeader || !time.Now().Before(c.leaseUntil) {
+		c.mu.Unlock()
+		return ErrNotLeader
+	}
+	op := c.log.Append(c.term, kind, key, data)
+	c.store.Apply(op)
+	c.mu.Unlock()
+	c.opsRecorded.Inc()
+
+	deadline := time.Now().Add(c.opts.CommitTimeout)
+	for {
+		c.broadcastAppend()
+		c.mu.Lock()
+		committed := c.commitSeq >= op.Seq
+		demoted := c.role != roleLeader
+		c.mu.Unlock()
+		if committed {
+			return nil
+		}
+		if demoted {
+			return ErrNotLeader
+		}
+		if time.Now().After(deadline) {
+			return ErrNoQuorum
+		}
+		time.Sleep(c.opts.HeartbeatInterval / 4)
+	}
+}
+
+// kickHeartbeat nudges the elect loop to replicate immediately.
+func (c *Cluster) kickHeartbeat() {
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+// MemberStatus is one membership row of the /v1/cluster document.
+type MemberStatus struct {
+	ID          string      `json:"id"`
+	Kind        MemberKind  `json:"kind"`
+	State       MemberState `json:"state"`
+	Incarnation uint64      `json:"incarnation"`
+}
+
+// Status is the /v1/cluster document: who leads, what term, how far
+// replication has progressed, and the membership table.
+type Status struct {
+	ID         string `json:"id"`
+	ClusterID  string `json:"cluster-id"`
+	Leader     string `json:"leader,omitempty"`
+	LeaderAddr string `json:"leader-addr,omitempty"`
+	IsLeader   bool   `json:"is-leader"`
+	Term       uint64 `json:"term"`
+	CommitSeq  uint64 `json:"commit-seq"`
+	AppliedSeq uint64 `json:"applied-seq"`
+	// ReplicationLag is, on the leader, the distance between the log
+	// tail and the slowest follower's acknowledgement; on a follower,
+	// the distance to the leader's advertised commit point.
+	ReplicationLag uint64         `json:"replication-lag"`
+	Members        []MemberStatus `json:"members"`
+}
+
+// ClusterStatus snapshots the replica's view for the REST surface.
+func (c *Cluster) ClusterStatus() Status {
+	leaderID, leaderAddr := c.Leader()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Status{
+		ID:         c.self,
+		ClusterID:  c.opts.ClusterID,
+		Leader:     leaderID,
+		LeaderAddr: leaderAddr,
+		IsLeader:   c.role == roleLeader && time.Now().Before(c.leaseUntil),
+		Term:       c.term,
+		CommitSeq:  c.commitSeq,
+		AppliedSeq: c.store.LastApplied(),
+	}
+	st.ReplicationLag = c.replicationLagLocked()
+	for _, u := range c.updatesLocked() {
+		st.Members = append(st.Members, MemberStatus{ID: u.ID, Kind: u.Kind, State: u.State, Incarnation: u.Incarnation})
+	}
+	return st
+}
+
+func (c *Cluster) replicationLagLocked() uint64 {
+	if c.role == roleLeader {
+		tail := c.log.LastSeq()
+		var lag uint64
+		for _, id := range c.replicaPeersLocked() {
+			if m, ok := c.members[id]; ok && m.state == StateDead {
+				continue // a dead replica's lag is unbounded, not informative
+			}
+			if a := c.acked[id]; tail > a && tail-a > lag {
+				lag = tail - a
+			}
+		}
+		return lag
+	}
+	if applied := c.store.LastApplied(); c.commitSeq > applied {
+		return c.commitSeq - applied
+	}
+	return 0
+}
+
+// ReplicationLag is the live lag figure (see Status.ReplicationLag).
+func (c *Cluster) ReplicationLag() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.replicationLagLocked()
+}
+
+func (c *Cluster) journalf(typ, node, graph, detail string, args ...any) {
+	if c.opts.Journal != nil {
+		c.opts.Journal.Recordf(typ, node, graph, fmt.Sprintf(detail, args...))
+	}
+}
+
+func (c *Cluster) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}

@@ -1,0 +1,532 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// --- IntentStore / Log unit tests -----------------------------------------
+
+func op(seq uint64, kind OpKind, key, data string) Op {
+	return Op{Seq: seq, Term: 1, Kind: kind, Key: key, Data: json.RawMessage(data)}
+}
+
+func TestIntentStoreIdempotentBySeq(t *testing.T) {
+	s := NewIntentStore()
+	s.Apply(op(1, OpDeploy, "g1", `{"v":1}`))
+	s.Apply(op(2, OpUpdate, "g1", `{"v":2}`))
+	// Duplicate delivery of an old op must not regress the record.
+	s.Apply(op(1, OpDeploy, "g1", `{"v":1}`))
+	s.Apply(op(2, OpUpdate, "g1", `{"v":2}`))
+	if got := string(s.Get("graphs", "g1")); got != `{"v":2}` {
+		t.Fatalf("after duplicates: got %s, want {\"v\":2}", got)
+	}
+	if s.LastApplied() != 2 {
+		t.Fatalf("lastApplied = %d, want 2", s.LastApplied())
+	}
+}
+
+func TestIntentStoreReorderedDelivery(t *testing.T) {
+	s := NewIntentStore()
+	// Deliver 3 and 2 before 1: both park until the gap fills, then the
+	// whole prefix drains in order.
+	s.Apply(op(3, OpUpdate, "g1", `{"v":3}`))
+	s.Apply(op(2, OpUpdate, "g1", `{"v":2}`))
+	if s.LastApplied() != 0 {
+		t.Fatalf("applied out-of-order ops early: lastApplied = %d", s.LastApplied())
+	}
+	s.Apply(op(1, OpDeploy, "g1", `{"v":1}`))
+	if s.LastApplied() != 3 {
+		t.Fatalf("lastApplied = %d, want 3", s.LastApplied())
+	}
+	if got := string(s.Get("graphs", "g1")); got != `{"v":3}` {
+		t.Fatalf("got %s, want {\"v\":3}", got)
+	}
+}
+
+func TestIntentStoreRemoveAndCategories(t *testing.T) {
+	s := NewIntentStore()
+	s.Apply(op(1, OpNodeAdd, "n1", `{"url":"http://n1"}`))
+	s.Apply(op(2, OpNodeAdd, "n2", `{"url":"http://n2"}`))
+	s.Apply(op(3, OpLinkAdd, "n1|eth1|n2|eth1", `{"a-node":"n1"}`))
+	s.Apply(op(4, OpNodeRemove, "n2", ""))
+	if got := s.Keys("nodes"); len(got) != 1 || got[0] != "n1" {
+		t.Fatalf("nodes = %v, want [n1]", got)
+	}
+	if got := s.Keys("links"); len(got) != 1 {
+		t.Fatalf("links = %v, want one", got)
+	}
+}
+
+func TestIntentStoreSnapshotRestoreSerialize(t *testing.T) {
+	a := NewIntentStore()
+	a.Apply(op(1, OpDeploy, "g1", `{"v":1}`))
+	a.Apply(op(2, OpNodeAdd, "n1", `{"url":"u"}`))
+	b := NewIntentStore()
+	b.Restore(a.Snapshot())
+	if !bytes.Equal(a.Serialize(), b.Serialize()) {
+		t.Fatalf("restored store serializes differently:\n%s\n%s", a.Serialize(), b.Serialize())
+	}
+	// A parked op past the snapshot point must drain after Restore.
+	c := NewIntentStore()
+	c.Apply(op(3, OpUpdate, "g1", `{"v":3}`))
+	c.Restore(a.Snapshot())
+	if c.LastApplied() != 3 {
+		t.Fatalf("parked op did not drain after restore: lastApplied = %d", c.LastApplied())
+	}
+}
+
+func TestLogWindowAndSnapshotFallback(t *testing.T) {
+	l := NewLog(4)
+	for i := 0; i < 8; i++ {
+		l.Append(1, OpDeploy, fmt.Sprintf("g%d", i), json.RawMessage(`{}`))
+	}
+	if l.LastSeq() != 8 {
+		t.Fatalf("lastSeq = %d, want 8", l.LastSeq())
+	}
+	if ops, ok := l.Since(6); !ok || len(ops) != 2 || ops[0].Seq != 7 {
+		t.Fatalf("Since(6) = %v, %v", ops, ok)
+	}
+	if _, ok := l.Since(2); ok {
+		t.Fatal("Since(2) should fall out of a depth-4 window")
+	}
+	if ops, ok := l.Since(8); !ok || len(ops) != 0 {
+		t.Fatalf("Since(tail) = %v, %v, want empty ok", ops, ok)
+	}
+}
+
+// --- cluster rig -----------------------------------------------------------
+
+type rig struct {
+	net      *LocalNetwork
+	peers    []PeerSpec
+	clusters map[string]*Cluster
+}
+
+func newRig(t *testing.T, ids []string, mutate func(id string, o *Options)) *rig {
+	t.Helper()
+	r := &rig{net: NewLocalNetwork(), clusters: make(map[string]*Cluster)}
+	for _, id := range ids {
+		r.peers = append(r.peers, PeerSpec{ID: id, Addr: "http://" + id})
+	}
+	for _, id := range ids {
+		o := Options{
+			ID:                id,
+			ClusterID:         "test",
+			Peers:             r.peers,
+			Transport:         r.net.Transport(id),
+			ProbeInterval:     10 * time.Millisecond,
+			SuspicionTimeout:  50 * time.Millisecond,
+			HeartbeatInterval: 10 * time.Millisecond,
+			LeaseDuration:     120 * time.Millisecond,
+			CommitTimeout:     time.Second,
+		}
+		if mutate != nil {
+			mutate(id, &o)
+		}
+		c, err := New(o)
+		if err != nil {
+			t.Fatalf("New(%s): %v", id, err)
+		}
+		r.net.Register(id, c)
+		r.clusters[id] = c
+	}
+	t.Cleanup(func() {
+		for _, c := range r.clusters {
+			c.Close()
+		}
+	})
+	return r
+}
+
+func (r *rig) startAll() {
+	for _, c := range r.clusters {
+		c.Start()
+	}
+}
+
+func (r *rig) leader() *Cluster {
+	for _, c := range r.clusters {
+		if c.IsLeader() {
+			return c
+		}
+	}
+	return nil
+}
+
+func (r *rig) leaders() []*Cluster {
+	var out []*Cluster
+	for _, c := range r.clusters {
+		if c.IsLeader() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// --- election tests --------------------------------------------------------
+
+func TestSingleReplicaSelfElects(t *testing.T) {
+	r := newRig(t, []string{"a"}, nil)
+	r.startAll()
+	waitFor(t, 2*time.Second, "self-election", func() bool { return r.clusters["a"].IsLeader() })
+	if err := r.clusters["a"].Record(OpDeploy, "g1", json.RawMessage(`{}`)); err != nil {
+		t.Fatalf("Record on single-replica leader: %v", err)
+	}
+	if r.clusters["a"].CommitSeq() != 1 {
+		t.Fatalf("commit = %d, want 1 (quorum of one)", r.clusters["a"].CommitSeq())
+	}
+}
+
+func TestThreeReplicasElectExactlyOneLeader(t *testing.T) {
+	r := newRig(t, []string{"a", "b", "c"}, nil)
+	r.startAll()
+	waitFor(t, 3*time.Second, "a leader", func() bool { return r.leader() != nil })
+	// Leadership must be unique and every replica must agree on it.
+	leader := r.leader()
+	waitFor(t, 2*time.Second, "all replicas following one leader", func() bool {
+		if len(r.leaders()) != 1 {
+			return false
+		}
+		for _, c := range r.clusters {
+			if id, _ := c.Leader(); id != leader.self {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestLeaderKillPromotesFollowerWithIntentIntact(t *testing.T) {
+	r := newRig(t, []string{"a", "b", "c"}, nil)
+	r.startAll()
+	waitFor(t, 3*time.Second, "initial leader", func() bool { return r.leader() != nil })
+	old := r.leader()
+	for i := 0; i < 5; i++ {
+		if err := old.Record(OpDeploy, fmt.Sprintf("g%d", i), json.RawMessage(fmt.Sprintf(`{"i":%d}`, i))); err != nil {
+			t.Fatalf("Record: %v", err)
+		}
+	}
+	waitFor(t, 2*time.Second, "replication drained", func() bool { return old.ReplicationLag() == 0 })
+	want := old.Store().Serialize()
+
+	r.net.SetDown(old.self, true)
+	start := time.Now()
+	var next *Cluster
+	waitFor(t, 3*time.Second, "failover", func() bool {
+		for _, c := range r.clusters {
+			if c != old && c.IsLeader() {
+				next = c
+				return true
+			}
+		}
+		return false
+	})
+	t.Logf("failover in %v", time.Since(start))
+	// Promotion replay: the new leader's intent store must be
+	// byte-identical to the old leader's.
+	if got := next.Store().Serialize(); !bytes.Equal(got, want) {
+		t.Fatalf("intent store diverged across failover:\nold: %s\nnew: %s", want, got)
+	}
+	// The dead ex-leader is fenced within its lease.
+	waitFor(t, 2*time.Second, "ex-leader fenced", func() bool { return !old.IsLeader() })
+	if err := old.Record(OpDeploy, "gX", json.RawMessage(`{}`)); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("fenced ex-leader Record = %v, want ErrNotLeader", err)
+	}
+}
+
+func TestPartitionedLeaderFencesAndRejoins(t *testing.T) {
+	r := newRig(t, []string{"a", "b", "c"}, nil)
+	r.startAll()
+	waitFor(t, 3*time.Second, "initial leader", func() bool { return r.leader() != nil })
+	old := r.leader()
+	if err := old.Record(OpDeploy, "g1", json.RawMessage(`{"v":1}`)); err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+
+	// Cut the leader off from both followers: the majority side elects a
+	// successor, the minority-side ex-leader loses its lease and fences.
+	r.net.Isolate(old.self)
+	var next *Cluster
+	waitFor(t, 3*time.Second, "majority side elects successor", func() bool {
+		for _, c := range r.clusters {
+			if c != old && c.IsLeader() {
+				next = c
+				return true
+			}
+		}
+		return false
+	})
+	waitFor(t, 2*time.Second, "ex-leader lease expired", func() bool { return !old.IsLeader() })
+	if err := old.Record(OpUpdate, "g1", json.RawMessage(`{"v":2}`)); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("partitioned ex-leader accepted a write: %v", err)
+	}
+
+	// Writes proceed on the majority side while the partition holds.
+	if err := next.Record(OpUpdate, "g1", json.RawMessage(`{"v":3}`)); err != nil {
+		t.Fatalf("majority leader Record: %v", err)
+	}
+
+	// Heal: the ex-leader rejoins as a follower and converges on the
+	// majority's intent, including ops it never saw.
+	r.net.Rejoin(old.self)
+	waitFor(t, 3*time.Second, "ex-leader converges as follower", func() bool {
+		return !old.IsLeader() && bytes.Equal(old.Store().Serialize(), next.Store().Serialize())
+	})
+	if got := string(old.Store().Get("graphs", "g1")); got != `{"v":3}` {
+		t.Fatalf("healed follower g1 = %s, want {\"v\":3}", got)
+	}
+}
+
+// --- replication tests -----------------------------------------------------
+
+func TestFollowersConvergeOnRecordedIntent(t *testing.T) {
+	r := newRig(t, []string{"a", "b", "c"}, nil)
+	r.startAll()
+	waitFor(t, 3*time.Second, "leader", func() bool { return r.leader() != nil })
+	lead := r.leader()
+	lead.Record(OpNodeAdd, "n1", json.RawMessage(`{"url":"http://n1"}`))
+	lead.Record(OpDeploy, "g1", json.RawMessage(`{"graph":{"id":"g1"}}`))
+	lead.Record(OpUpdate, "g1", json.RawMessage(`{"graph":{"id":"g1","rev":2}}`))
+	want := lead.Store().Serialize()
+	waitFor(t, 2*time.Second, "followers converge", func() bool {
+		for _, c := range r.clusters {
+			if !bytes.Equal(c.Store().Serialize(), want) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestJoinerMidStreamCatchesUpViaSnapshot(t *testing.T) {
+	// Log window of 4 with 20 ops recorded before the third replica
+	// starts: catch-up cannot come from the log, forcing the snapshot
+	// path.
+	r := newRig(t, []string{"a", "b", "c"}, func(id string, o *Options) {
+		o.LogDepth = 4
+	})
+	r.clusters["a"].Start()
+	r.clusters["b"].Start()
+	waitFor(t, 3*time.Second, "leader among a,b", func() bool { return r.leader() != nil })
+	lead := r.leader()
+	for i := 0; i < 20; i++ {
+		if err := lead.Record(OpDeploy, fmt.Sprintf("g%d", i), json.RawMessage(fmt.Sprintf(`{"i":%d}`, i))); err != nil {
+			t.Fatalf("Record %d: %v", i, err)
+		}
+	}
+	want := lead.Store().Serialize()
+
+	// c joins mid-stream, far behind the window.
+	r.clusters["c"].Start()
+	waitFor(t, 3*time.Second, "joiner snapshot + catch-up", func() bool {
+		return bytes.Equal(r.clusters["c"].Store().Serialize(), want)
+	})
+	// And keeps up incrementally afterwards.
+	lead.Record(OpUndeploy, "g0", nil)
+	want = lead.Store().Serialize()
+	waitFor(t, 2*time.Second, "joiner follows the live stream", func() bool {
+		return bytes.Equal(r.clusters["c"].Store().Serialize(), want)
+	})
+}
+
+func TestRecordWithoutQuorumFailsAndLeaderFences(t *testing.T) {
+	r := newRig(t, []string{"a", "b", "c"}, nil)
+	r.startAll()
+	waitFor(t, 3*time.Second, "leader", func() bool { return r.leader() != nil })
+	lead := r.leader()
+	// Kill both followers: the leader can neither commit nor renew.
+	for id := range r.clusters {
+		if id != lead.self {
+			r.net.SetDown(id, true)
+		}
+	}
+	err := lead.Record(OpDeploy, "g1", json.RawMessage(`{}`))
+	if !errors.Is(err, ErrNoQuorum) && !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("Record without quorum = %v, want ErrNoQuorum or ErrNotLeader", err)
+	}
+	waitFor(t, 2*time.Second, "leader fenced without quorum", func() bool { return !lead.IsLeader() })
+}
+
+// --- SWIM tests ------------------------------------------------------------
+
+func TestNodeDeathDetectionAndRecovery(t *testing.T) {
+	var probeMu sync.Mutex
+	nodeUp := map[string]bool{"node-1": true}
+	var stateMu sync.Mutex
+	lastState := map[string]bool{}
+
+	r := newRig(t, []string{"a", "b", "c"}, func(id string, o *Options) {
+		o.NodeProber = func(node string, rec json.RawMessage) error {
+			probeMu.Lock()
+			defer probeMu.Unlock()
+			if !nodeUp[node] {
+				return errors.New("unreachable")
+			}
+			return nil
+		}
+		o.OnNodeState = func(node string, alive bool) {
+			stateMu.Lock()
+			defer stateMu.Unlock()
+			lastState[id+"/"+node] = alive
+		}
+	})
+	r.startAll()
+	waitFor(t, 3*time.Second, "leader", func() bool { return r.leader() != nil })
+	lead := r.leader()
+	if err := lead.Record(OpNodeAdd, "node-1", json.RawMessage(`{"url":"http://node-1"}`)); err != nil {
+		t.Fatalf("Record node-add: %v", err)
+	}
+	// Every replica derives the monitored node from the replicated store.
+	waitFor(t, 2*time.Second, "node monitored everywhere", func() bool {
+		for _, c := range r.clusters {
+			found := false
+			for _, m := range c.ClusterStatus().Members {
+				if m.ID == "node-1" && m.Kind == KindNode {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	})
+
+	probeMu.Lock()
+	nodeUp["node-1"] = false
+	probeMu.Unlock()
+	start := time.Now()
+	waitFor(t, 3*time.Second, "leader notices node death", func() bool {
+		stateMu.Lock()
+		defer stateMu.Unlock()
+		alive, seen := lastState[lead.self+"/node-1"]
+		return seen && !alive
+	})
+	t.Logf("node death detected in %v", time.Since(start))
+
+	probeMu.Lock()
+	nodeUp["node-1"] = true
+	probeMu.Unlock()
+	waitFor(t, 3*time.Second, "node recovery observed", func() bool {
+		stateMu.Lock()
+		defer stateMu.Unlock()
+		return lastState[lead.self+"/node-1"]
+	})
+}
+
+func TestReplicaSuspicionSpreadsAndRefutes(t *testing.T) {
+	r := newRig(t, []string{"a", "b", "c"}, nil)
+	r.startAll()
+	waitFor(t, 3*time.Second, "leader", func() bool { return r.leader() != nil })
+	r.net.SetDown("c", true)
+	waitFor(t, 3*time.Second, "c declared dead on a", func() bool {
+		for _, m := range r.clusters["a"].ClusterStatus().Members {
+			if m.ID == "c" && m.State == StateDead {
+				return true
+			}
+		}
+		return false
+	})
+	// c comes back: its own pings refute the death rumor with a higher
+	// incarnation and the table converges back to alive.
+	r.net.SetDown("c", false)
+	waitFor(t, 3*time.Second, "c alive again everywhere", func() bool {
+		for _, c := range r.clusters {
+			for _, m := range c.ClusterStatus().Members {
+				if m.ID == "c" && m.State != StateAlive {
+					return false
+				}
+			}
+		}
+		return true
+	})
+}
+
+// --- HTTP transport --------------------------------------------------------
+
+func TestHTTPTransportRoundTrip(t *testing.T) {
+	// Two replicas wired over real HTTP: RPCHandler on the server side,
+	// HTTPTransport on the client side.
+	var peers []PeerSpec
+	ids := []string{"a", "b"}
+	servers := make(map[string]*httptest.Server)
+	clusters := make(map[string]*Cluster)
+
+	// Allocate listeners first so peer addresses are known up front.
+	for _, id := range ids {
+		srv := httptest.NewServer(nil)
+		servers[id] = srv
+		peers = append(peers, PeerSpec{ID: id, Addr: srv.URL})
+	}
+	for _, id := range ids {
+		c, err := New(Options{
+			ID:                id,
+			ClusterID:         "http-test",
+			Peers:             peers,
+			Transport:         NewHTTPTransport(peers, nil),
+			ProbeInterval:     10 * time.Millisecond,
+			SuspicionTimeout:  50 * time.Millisecond,
+			HeartbeatInterval: 10 * time.Millisecond,
+			LeaseDuration:     150 * time.Millisecond,
+			CommitTimeout:     time.Second,
+		})
+		if err != nil {
+			t.Fatalf("New(%s): %v", id, err)
+		}
+		clusters[id] = c
+		servers[id].Config.Handler = c.RPCHandler()
+	}
+	t.Cleanup(func() {
+		for _, c := range clusters {
+			c.Close()
+		}
+		for _, s := range servers {
+			s.Close()
+		}
+	})
+	for _, c := range clusters {
+		c.Start()
+	}
+
+	var lead *Cluster
+	waitFor(t, 5*time.Second, "leader over HTTP", func() bool {
+		for _, c := range clusters {
+			if c.IsLeader() {
+				lead = c
+				return true
+			}
+		}
+		return false
+	})
+	if err := lead.Record(OpDeploy, "g1", json.RawMessage(`{"v":1}`)); err != nil {
+		t.Fatalf("Record over HTTP: %v", err)
+	}
+	want := lead.Store().Serialize()
+	waitFor(t, 3*time.Second, "replication over HTTP", func() bool {
+		for _, c := range clusters {
+			if !bytes.Equal(c.Store().Serialize(), want) {
+				return false
+			}
+		}
+		return true
+	})
+}

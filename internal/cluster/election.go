@@ -1,0 +1,393 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+type role int
+
+const (
+	roleFollower role = iota
+	roleCandidate
+	roleLeader
+)
+
+// electionTimeout returns a randomized wait in [lease, 2·lease) so
+// replicas that lose a leader at the same instant do not all stand for
+// election in the same tick.
+func (c *Cluster) electionTimeout() time.Duration {
+	d := c.opts.LeaseDuration
+	return d + time.Duration(rand.Int63n(int64(d)))
+}
+
+// electLoop drives the leader side (heartbeats, lease renewal, fencing)
+// and the follower side (election timeouts) from one goroutine. The kick
+// channel forces an immediate heartbeat after a Record so replication lag
+// is bounded by the write path, not the heartbeat period.
+func (c *Cluster) electLoop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.opts.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+		case <-c.kick:
+		}
+		c.electTick()
+	}
+}
+
+func (c *Cluster) electTick() {
+	now := time.Now()
+	c.mu.Lock()
+	switch c.role {
+	case roleLeader:
+		if now.After(c.leaseUntil) {
+			// Fencing: could not renew the lease with a quorum —
+			// step down before a new leader can be elected elsewhere.
+			c.stepDownLocked("lease expired without quorum")
+			c.mu.Unlock()
+			c.fireDemote()
+			return
+		}
+		c.mu.Unlock()
+		c.broadcastAppend()
+	default:
+		start := now.After(c.electionAt) && c.leaderGoneLocked(now)
+		c.mu.Unlock()
+		if start {
+			c.runElection()
+		}
+	}
+}
+
+// leaderGoneLocked reports whether the known leader can be presumed lost:
+// either we never had one, its lease (as observed from the last valid
+// Append) has lapsed, or the failure detector marks it suspect/dead —
+// SWIM makes elections start in hundreds of milliseconds rather than a
+// full lease timeout.
+func (c *Cluster) leaderGoneLocked(now time.Time) bool {
+	if c.leader == "" {
+		return true
+	}
+	if now.Sub(c.leaderSeen) >= c.opts.LeaseDuration {
+		return true
+	}
+	if m, ok := c.members[c.leader]; ok && m.state != StateAlive {
+		return true
+	}
+	return false
+}
+
+// stepDownLocked demotes a leader to follower and schedules the next
+// election chance. Caller fires OnDemote after unlocking.
+func (c *Cluster) stepDownLocked(why string) {
+	if c.role == roleLeader {
+		c.logf("cluster %s: stepping down in term %d: %s", c.self, c.term, why)
+	}
+	c.role = roleFollower
+	c.leader = ""
+	c.electionAt = time.Now().Add(c.electionTimeout())
+}
+
+func (c *Cluster) fireDemote() {
+	if c.opts.OnDemote != nil {
+		c.opts.OnDemote()
+	}
+}
+
+// runElection stands for leadership: bump the term, vote for self, and
+// canvass every replica peer in parallel. Promotion requires a majority
+// of the static replica set, and the lease only becomes valid once the
+// first heartbeat round is majority-acknowledged.
+func (c *Cluster) runElection() {
+	c.mu.Lock()
+	if c.role == roleLeader {
+		c.mu.Unlock()
+		return
+	}
+	c.role = roleCandidate
+	c.term++
+	term := c.term
+	c.votedTerm = term
+	c.votedFor = c.self
+	c.electionAt = time.Now().Add(c.electionTimeout())
+	lastSeq := c.store.LastApplied()
+	peers := c.replicaPeersLocked()
+	c.mu.Unlock()
+
+	c.electionsStarted.Inc()
+	req := VoteRequest{ClusterID: c.opts.ClusterID, Candidate: c.self, Term: term, LastSeq: lastSeq}
+	votes := 1 // self
+	var maxTerm uint64
+	var vmu sync.Mutex
+	var wg sync.WaitGroup
+	for _, id := range peers {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			peer, err := c.opts.Transport.Dial(id)
+			if err != nil {
+				return
+			}
+			reply, err := peer.RequestVote(req)
+			if err != nil {
+				return
+			}
+			vmu.Lock()
+			defer vmu.Unlock()
+			if reply.Granted {
+				votes++
+			}
+			if reply.Term > maxTerm {
+				maxTerm = reply.Term
+			}
+		}(id)
+	}
+	wg.Wait()
+
+	c.mu.Lock()
+	if maxTerm > c.term {
+		c.term = maxTerm
+		c.stepDownLocked("peer has higher term")
+		c.mu.Unlock()
+		return
+	}
+	if c.term != term || c.role != roleCandidate || votes < c.quorum() {
+		if c.role == roleCandidate {
+			c.role = roleFollower
+		}
+		c.mu.Unlock()
+		return
+	}
+	// Won. The log window rebases just past the replicated store; the
+	// lease starts expired and is earned by the first quorum-acked
+	// heartbeat round below, so IsLeader never precedes quorum contact.
+	c.role = roleLeader
+	c.leader = c.self
+	c.leaseUntil = time.Time{}
+	c.log.Reset(c.store.LastApplied())
+	c.acked = make(map[string]uint64)
+	c.mu.Unlock()
+
+	c.electionsWon.Inc()
+	c.broadcastAppend()
+
+	c.mu.Lock()
+	promoted := c.role == roleLeader && time.Now().Before(c.leaseUntil)
+	c.mu.Unlock()
+	if promoted {
+		c.journalf(eventLeaderElected, c.self, "", "replica %s elected leader in term %d", c.self, term)
+		c.logf("cluster %s: elected leader in term %d (seq %d)", c.self, term, lastSeq)
+		if c.opts.OnPromote != nil {
+			c.opts.OnPromote(term)
+		}
+	}
+}
+
+// RequestVote implements Peer: grant when the candidate's term is fresh,
+// its log is at least as complete as ours, and — the lease guard — our
+// current leader is either unknown, silent past its lease, or marked
+// suspect/dead by the failure detector. The guard bounds disruption: a
+// healthy leader cannot be deposed by a flaky peer.
+func (c *Cluster) RequestVote(req VoteRequest) (VoteReply, error) {
+	if req.ClusterID != c.opts.ClusterID {
+		return VoteReply{}, errWrongCluster
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if req.Term > c.term {
+		c.term = req.Term
+		if c.role == roleLeader {
+			c.stepDownLocked("vote request with higher term")
+			defer c.fireDemote()
+		} else {
+			c.role = roleFollower
+		}
+	}
+	reply := VoteReply{Term: c.term}
+	if req.Term < c.term {
+		return reply, nil
+	}
+	if c.votedTerm == req.Term && c.votedFor != req.Candidate {
+		return reply, nil
+	}
+	if req.LastSeq < c.store.LastApplied() {
+		return reply, nil
+	}
+	if c.leader != "" && c.leader != req.Candidate && !c.leaderGoneLocked(now) {
+		return reply, nil
+	}
+	c.votedTerm = req.Term
+	c.votedFor = req.Candidate
+	c.leader = ""
+	c.electionAt = now.Add(c.electionTimeout())
+	reply.Granted = true
+	return reply, nil
+}
+
+// broadcastAppend runs one replication/heartbeat round: per follower,
+// the ops it has not acknowledged (or a snapshot when it fell out of the
+// log window, or nothing until its first reply tells us where it is),
+// sent in parallel. A majority of acknowledgements advances the commit
+// point and renews the leader lease from the round's start time.
+func (c *Cluster) broadcastAppend() {
+	start := time.Now()
+	c.mu.Lock()
+	if c.role != roleLeader {
+		c.mu.Unlock()
+		return
+	}
+	term := c.term
+	commit := c.commitSeq
+	peers := c.replicaPeersLocked()
+	type dest struct {
+		id  string
+		req AppendRequest
+	}
+	dests := make([]dest, 0, len(peers))
+	for _, id := range peers {
+		req := AppendRequest{ClusterID: c.opts.ClusterID, Leader: c.self, Term: term, CommitSeq: commit}
+		if ackSeq, known := c.acked[id]; known {
+			ops, ok := c.log.Since(ackSeq)
+			if ok {
+				req.Ops = ops
+			} else {
+				snap := c.store.Snapshot()
+				req.Snapshot = &snap
+			}
+		}
+		dests = append(dests, dest{id: id, req: req})
+	}
+	c.mu.Unlock()
+
+	acks := 1 // self
+	var maxTerm uint64
+	results := make(map[string]uint64)
+	var rmu sync.Mutex
+	var wg sync.WaitGroup
+	for _, d := range dests {
+		wg.Add(1)
+		go func(d dest) {
+			defer wg.Done()
+			peer, err := c.opts.Transport.Dial(d.id)
+			if err != nil {
+				return
+			}
+			reply, err := peer.Append(d.req)
+			if err != nil {
+				return
+			}
+			rmu.Lock()
+			defer rmu.Unlock()
+			if reply.Term > maxTerm {
+				maxTerm = reply.Term
+			}
+			if reply.Ok {
+				acks++
+				results[d.id] = reply.Acked
+			}
+		}(d)
+	}
+	wg.Wait()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if maxTerm > c.term {
+		c.term = maxTerm
+		c.stepDownLocked("append rejected by higher term")
+		defer c.fireDemote()
+		return
+	}
+	if c.role != roleLeader || c.term != term {
+		return
+	}
+	for id, seq := range results {
+		// Storing even a zero ack matters: presence in the map is what
+		// switches the follower from bare heartbeats to op delivery.
+		if cur, known := c.acked[id]; !known || seq > cur {
+			c.acked[id] = seq
+		}
+	}
+	if acks >= c.quorum() {
+		c.leaseUntil = start.Add(c.opts.LeaseDuration)
+		c.heartbeatRounds.Inc()
+	}
+	c.advanceCommitLocked()
+}
+
+// advanceCommitLocked recomputes the commit point: the quorum-th highest
+// contiguously-acknowledged sequence number across the replica set (self
+// counts at the log tail).
+func (c *Cluster) advanceCommitLocked() {
+	seqs := []uint64{c.log.LastSeq()}
+	for _, id := range c.replicaPeersLocked() {
+		seqs = append(seqs, c.acked[id])
+	}
+	q := c.quorum()
+	if len(seqs) < q {
+		return
+	}
+	// Sort descending; the q-th entry is replicated on at least q replicas.
+	for i := 1; i < len(seqs); i++ {
+		for j := i; j > 0 && seqs[j] > seqs[j-1]; j-- {
+			seqs[j], seqs[j-1] = seqs[j-1], seqs[j]
+		}
+	}
+	if seq := seqs[q-1]; seq > c.commitSeq {
+		c.commitSeq = seq
+	}
+}
+
+// Append implements Peer: the follower side of replication. A valid
+// append from the current (or newer) term adopts the leader, restores the
+// snapshot if one rode along, applies the ops idempotently and reports
+// the contiguous apply point back as the acknowledgement.
+func (c *Cluster) Append(req AppendRequest) (AppendReply, error) {
+	if req.ClusterID != c.opts.ClusterID {
+		return AppendReply{}, errWrongCluster
+	}
+	now := time.Now()
+	c.mu.Lock()
+	if req.Term < c.term {
+		reply := AppendReply{Term: c.term, Acked: c.store.LastApplied()}
+		c.mu.Unlock()
+		return reply, nil
+	}
+	var demoted bool
+	if req.Term > c.term || c.role != roleFollower {
+		if c.role == roleLeader {
+			c.stepDownLocked("append from newer leader")
+			demoted = true
+		}
+		c.role = roleFollower
+	}
+	c.term = req.Term
+	newLeader := c.leader != req.Leader
+	c.leader = req.Leader
+	c.leaderSeen = now
+	c.electionAt = now.Add(c.electionTimeout())
+	if req.CommitSeq > c.commitSeq {
+		c.commitSeq = req.CommitSeq
+	}
+	c.mu.Unlock()
+
+	if demoted {
+		c.fireDemote()
+	}
+	if newLeader {
+		c.journalf(eventLeaderElected, req.Leader, "", "following leader %s in term %d", req.Leader, req.Term)
+	}
+	if req.Snapshot != nil {
+		c.store.Restore(*req.Snapshot)
+	}
+	for _, op := range req.Ops {
+		c.store.Apply(op)
+	}
+	return AppendReply{Term: req.Term, Acked: c.store.LastApplied(), Ok: true}, nil
+}

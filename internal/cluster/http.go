@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// The HTTP transport carries peer RPCs as JSON POSTs under
+// /v1/cluster/rpc/ on each replica's REST listener. The client side is
+// HTTPTransport (handed to Options.Transport); the server side is
+// RPCHandler, mounted by the REST server. Keeping both ends in this
+// package keeps the wire format in one place.
+
+type pingWire struct {
+	From    string         `json:"from"`
+	Target  string         `json:"target,omitempty"`
+	Updates []MemberUpdate `json:"updates,omitempty"`
+}
+
+type pingReplyWire struct {
+	Updates []MemberUpdate `json:"updates,omitempty"`
+}
+
+// HTTPTransport dials peers by POSTing to their REST base URLs.
+type HTTPTransport struct {
+	addrs  map[string]string
+	client *http.Client
+}
+
+// NewHTTPTransport builds a transport over the peer set. A nil client
+// gets a short per-call timeout: peer RPCs are liveness probes, and a
+// hung connection must fail faster than the suspicion timeout.
+func NewHTTPTransport(peers []PeerSpec, client *http.Client) *HTTPTransport {
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Second}
+	}
+	addrs := make(map[string]string, len(peers))
+	for _, p := range peers {
+		addrs[p.ID] = strings.TrimRight(p.Addr, "/")
+	}
+	return &HTTPTransport{addrs: addrs, client: client}
+}
+
+// Dial implements Transport.
+func (t *HTTPTransport) Dial(id string) (Peer, error) {
+	addr, ok := t.addrs[id]
+	if !ok || addr == "" {
+		return nil, fmt.Errorf("cluster: no address for peer %q", id)
+	}
+	return &httpPeer{base: addr, client: t.client}, nil
+}
+
+type httpPeer struct {
+	base   string
+	client *http.Client
+}
+
+func (p *httpPeer) post(path string, req, reply any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := p.client.Post(p.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: %s: %s: %s", path, resp.Status, strings.TrimSpace(string(data)))
+	}
+	return json.Unmarshal(data, reply)
+}
+
+func (p *httpPeer) Ping(from string, updates []MemberUpdate) ([]MemberUpdate, error) {
+	var reply pingReplyWire
+	err := p.post("/v1/cluster/rpc/ping", pingWire{From: from, Updates: updates}, &reply)
+	return reply.Updates, err
+}
+
+func (p *httpPeer) PingReq(from, target string, updates []MemberUpdate) ([]MemberUpdate, error) {
+	var reply pingReplyWire
+	err := p.post("/v1/cluster/rpc/ping-req", pingWire{From: from, Target: target, Updates: updates}, &reply)
+	return reply.Updates, err
+}
+
+func (p *httpPeer) RequestVote(req VoteRequest) (VoteReply, error) {
+	var reply VoteReply
+	err := p.post("/v1/cluster/rpc/vote", req, &reply)
+	return reply, err
+}
+
+func (p *httpPeer) Append(req AppendRequest) (AppendReply, error) {
+	var reply AppendReply
+	err := p.post("/v1/cluster/rpc/append", req, &reply)
+	return reply, err
+}
+
+// RPCHandler serves the peer RPC surface; the REST server mounts it under
+// /v1/cluster/rpc/. These routes are replica-to-replica plumbing, not
+// part of the public API, and deliberately bypass the leader-redirect
+// gate (votes and appends must reach followers).
+func (c *Cluster) RPCHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/cluster/rpc/ping", func(w http.ResponseWriter, r *http.Request) {
+		rpc(w, r, func(req pingWire) (pingReplyWire, error) {
+			ups, err := c.Ping(req.From, req.Updates)
+			return pingReplyWire{Updates: ups}, err
+		})
+	})
+	mux.HandleFunc("/v1/cluster/rpc/ping-req", func(w http.ResponseWriter, r *http.Request) {
+		rpc(w, r, func(req pingWire) (pingReplyWire, error) {
+			ups, err := c.PingReq(req.From, req.Target, req.Updates)
+			return pingReplyWire{Updates: ups}, err
+		})
+	})
+	mux.HandleFunc("/v1/cluster/rpc/vote", func(w http.ResponseWriter, r *http.Request) {
+		rpc(w, r, c.RequestVote)
+	})
+	mux.HandleFunc("/v1/cluster/rpc/append", func(w http.ResponseWriter, r *http.Request) {
+		rpc(w, r, c.Append)
+	})
+	return mux
+}
+
+func rpc[Req, Reply any](w http.ResponseWriter, r *http.Request, handle func(Req) (Reply, error)) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req Req
+	if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	reply, err := handle(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(reply)
+}

@@ -1,0 +1,363 @@
+package cluster
+
+import (
+	"sort"
+	"time"
+)
+
+// memberInfo is one row of the local membership table.
+type memberInfo struct {
+	id          string
+	kind        MemberKind
+	state       MemberState
+	incarnation uint64
+	since       time.Time // when the member entered its current state
+}
+
+// transition is a membership state change worth acting on, collected under
+// the lock and fired (journal, callbacks) after it is released so callback
+// code can safely re-enter the cluster.
+type transition struct {
+	id    string
+	kind  MemberKind
+	state MemberState
+}
+
+// updatesLocked renders the full membership table as gossip rumors. At
+// this fleet size (a handful of replicas, tens of nodes) full-table
+// exchange on every probe is cheaper than tracking per-rumor transmission
+// counts, and it makes convergence one round trip.
+func (c *Cluster) updatesLocked() []MemberUpdate {
+	out := make([]MemberUpdate, 0, len(c.members))
+	for _, m := range c.members {
+		out = append(out, MemberUpdate{ID: m.id, Kind: m.kind, State: m.state, Incarnation: m.incarnation})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// setStateLocked moves a member to a new state/incarnation and returns the
+// transition to fire, or nil when nothing observable changed.
+func (c *Cluster) setStateLocked(m *memberInfo, st MemberState, inc uint64) *transition {
+	if inc < m.incarnation || (inc == m.incarnation && !overrides(st, m.state)) {
+		return nil
+	}
+	changed := m.state != st
+	m.incarnation = inc
+	if !changed {
+		return nil
+	}
+	m.state = st
+	m.since = time.Now()
+	return &transition{id: m.id, kind: m.kind, state: st}
+}
+
+// overrides reports whether rumor state a beats state b at the same
+// incarnation: dead > suspect > alive (the standard SWIM precedence).
+func overrides(a, b MemberState) bool {
+	rank := func(s MemberState) int {
+		switch s {
+		case StateDead:
+			return 2
+		case StateSuspect:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return rank(a) > rank(b)
+}
+
+// mergeLocked folds a batch of incoming rumors into the table, returning
+// the transitions they caused. A rumor about self in any non-alive state
+// is refuted by bumping our own incarnation — the next exchange carries
+// the refutation to whoever suspected us.
+func (c *Cluster) mergeLocked(updates []MemberUpdate) []transition {
+	var ts []transition
+	for _, u := range updates {
+		if u.ID == c.self {
+			if u.State != StateAlive && u.Incarnation >= c.incarnation {
+				c.incarnation = u.Incarnation + 1
+			}
+			continue
+		}
+		m, ok := c.members[u.ID]
+		if !ok {
+			// Learn new members from gossip (a joiner announced by a
+			// peer before our own config or intent store names it).
+			m = &memberInfo{id: u.ID, kind: u.Kind, state: StateAlive, incarnation: 0, since: time.Now()}
+			c.members[u.ID] = m
+		}
+		if t := c.setStateLocked(m, u.State, u.Incarnation); t != nil {
+			ts = append(ts, *t)
+		}
+	}
+	return ts
+}
+
+// sweepLocked hardens suspicions that outlived the suspicion timeout into
+// deaths.
+func (c *Cluster) sweepLocked(now time.Time) []transition {
+	var ts []transition
+	for _, m := range c.members {
+		if m.state == StateSuspect && now.Sub(m.since) >= c.opts.SuspicionTimeout {
+			if t := c.setStateLocked(m, StateDead, m.incarnation); t != nil {
+				ts = append(ts, *t)
+			}
+		}
+	}
+	return ts
+}
+
+// fireTransitions records journal events and invokes the node-state
+// callback. Must be called without holding c.mu.
+func (c *Cluster) fireTransitions(ts []transition) {
+	for _, t := range ts {
+		switch t.state {
+		case StateSuspect:
+			c.journalf(eventMemberSuspect, t.id, "", "%s %s failed direct and indirect probes", t.kind, t.id)
+			c.membersSuspected.Inc()
+		case StateDead:
+			c.journalf(eventMemberDead, t.id, "", "%s %s declared dead after suspicion timeout", t.kind, t.id)
+			c.membersDied.Inc()
+			if t.kind == KindNode && c.opts.OnNodeState != nil {
+				c.opts.OnNodeState(t.id, false)
+			}
+		case StateAlive:
+			c.journalf(eventMemberAlive, t.id, "", "%s %s answering again", t.kind, t.id)
+			if t.kind == KindNode && c.opts.OnNodeState != nil {
+				c.opts.OnNodeState(t.id, true)
+			}
+		}
+	}
+}
+
+// syncMonitoredNodesLocked derives the monitored Universal Node set from
+// the replicated intent store, so every replica — not just the leader —
+// probes the same fleet and a freshly promoted leader already knows which
+// nodes are dead.
+func (c *Cluster) syncMonitoredNodesLocked() {
+	want := make(map[string]bool)
+	for _, name := range c.store.Keys("nodes") {
+		want[name] = true
+		if _, ok := c.members[name]; !ok {
+			c.members[name] = &memberInfo{id: name, kind: KindNode, state: StateAlive, since: time.Now()}
+		}
+	}
+	for id, m := range c.members {
+		if m.kind == KindNode && !want[id] {
+			delete(c.members, id)
+		}
+	}
+}
+
+// probeLoop is the SWIM failure detector: every probe interval it probes
+// one member round-robin, falling back to indirect ping-req through k
+// peers before suspecting, and sweeps expired suspicions.
+func (c *Cluster) probeLoop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.opts.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+		}
+		c.probeTick()
+	}
+}
+
+func (c *Cluster) probeTick() {
+	c.mu.Lock()
+	c.syncMonitoredNodesLocked()
+	ts := c.sweepLocked(time.Now())
+	target := c.nextProbeTargetLocked()
+	c.mu.Unlock()
+	c.fireTransitions(ts)
+	if target == "" {
+		return
+	}
+	c.fireTransitions(c.probeMember(target))
+}
+
+// nextProbeTargetLocked walks the sorted member list round-robin so every
+// member is probed within len(members) intervals.
+func (c *Cluster) nextProbeTargetLocked() string {
+	ids := make([]string, 0, len(c.members))
+	for id := range c.members {
+		if id != c.self {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return ""
+	}
+	sort.Strings(ids)
+	c.probeIdx = (c.probeIdx + 1) % len(ids)
+	return ids[c.probeIdx]
+}
+
+// probeMember runs the full SWIM round for one member: direct probe, then
+// indirect ping-req through up to k alive replica peers, then suspicion.
+// Returns the transitions to fire.
+func (c *Cluster) probeMember(id string) []transition {
+	c.mu.Lock()
+	m, ok := c.members[id]
+	if !ok {
+		c.mu.Unlock()
+		return nil
+	}
+	kind := m.kind
+	relays := c.aliveReplicasLocked(id)
+	c.mu.Unlock()
+
+	if c.directProbe(id, kind) {
+		return c.markAlive(id)
+	}
+	// Direct probe failed: ask up to k peers to probe on our behalf —
+	// only when every independent path agrees do we suspect.
+	k := c.opts.IndirectProbes
+	for _, relay := range relays {
+		if k == 0 {
+			break
+		}
+		k--
+		if c.indirectProbe(relay, id) {
+			return c.markAlive(id)
+		}
+	}
+	c.mu.Lock()
+	var ts []transition
+	if m, ok := c.members[id]; ok {
+		if t := c.setStateLocked(m, StateSuspect, m.incarnation); t != nil {
+			ts = append(ts, *t)
+		}
+	}
+	c.mu.Unlock()
+	return ts
+}
+
+// markAlive refutes any suspicion of the member by bumping its
+// incarnation past the suspected one — replicas manage monitored-node
+// incarnations collectively, and for replicas a successful direct probe
+// is as authoritative as the member's own refutation.
+func (c *Cluster) markAlive(id string) []transition {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.members[id]
+	if !ok {
+		return nil
+	}
+	inc := m.incarnation
+	if m.state != StateAlive {
+		inc++
+	}
+	if t := c.setStateLocked(m, StateAlive, inc); t != nil {
+		return []transition{*t}
+	}
+	return nil
+}
+
+// aliveReplicasLocked lists alive replica peers other than self and the
+// probe target, the candidate relays for indirect probes.
+func (c *Cluster) aliveReplicasLocked(except string) []string {
+	var out []string
+	for id, m := range c.members {
+		if m.kind == KindReplica && m.state == StateAlive && id != c.self && id != except {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// directProbe pings one member: replicas over the cluster transport
+// (exchanging gossip), nodes through the NodeProber callback.
+func (c *Cluster) directProbe(id string, kind MemberKind) bool {
+	if kind == KindNode {
+		if c.opts.NodeProber == nil {
+			return true // nothing to probe with; assume fine
+		}
+		return c.opts.NodeProber(id, c.store.Get("nodes", id)) == nil
+	}
+	peer, err := c.opts.Transport.Dial(id)
+	if err != nil {
+		return false
+	}
+	c.mu.Lock()
+	ups := c.updatesLocked()
+	c.mu.Unlock()
+	reply, err := peer.Ping(c.self, ups)
+	if err != nil {
+		return false
+	}
+	c.mu.Lock()
+	ts := c.mergeLocked(reply)
+	c.mu.Unlock()
+	c.fireTransitions(ts)
+	return true
+}
+
+// indirectProbe asks relay to probe target for us.
+func (c *Cluster) indirectProbe(relay, target string) bool {
+	peer, err := c.opts.Transport.Dial(relay)
+	if err != nil {
+		return false
+	}
+	c.mu.Lock()
+	ups := c.updatesLocked()
+	c.mu.Unlock()
+	reply, err := peer.PingReq(c.self, target, ups)
+	if err != nil {
+		return false
+	}
+	c.mu.Lock()
+	ts := c.mergeLocked(reply)
+	c.mu.Unlock()
+	c.fireTransitions(ts)
+	return true
+}
+
+// Ping implements Peer: answer a direct probe, merging the caller's
+// rumors and returning ours.
+func (c *Cluster) Ping(from string, updates []MemberUpdate) ([]MemberUpdate, error) {
+	c.mu.Lock()
+	ts := c.mergeLocked(updates)
+	// Hearing from a peer directly is proof of life.
+	if m, ok := c.members[from]; ok && m.state != StateAlive {
+		if t := c.setStateLocked(m, StateAlive, m.incarnation+1); t != nil {
+			ts = append(ts, *t)
+		}
+	}
+	reply := c.updatesLocked()
+	c.mu.Unlock()
+	c.fireTransitions(ts)
+	return reply, nil
+}
+
+// PingReq implements Peer: probe target on the caller's behalf (the
+// indirect path of the SWIM detector).
+func (c *Cluster) PingReq(from, target string, updates []MemberUpdate) ([]MemberUpdate, error) {
+	c.mu.Lock()
+	ts := c.mergeLocked(updates)
+	m, ok := c.members[target]
+	var kind MemberKind
+	if ok {
+		kind = m.kind
+	}
+	reply := c.updatesLocked()
+	c.mu.Unlock()
+	c.fireTransitions(ts)
+	if !ok {
+		return reply, errUnknownMember
+	}
+	if !c.directProbe(target, kind) {
+		return reply, errProbeFailed
+	}
+	c.fireTransitions(c.markAlive(target))
+	c.mu.Lock()
+	reply = c.updatesLocked()
+	c.mu.Unlock()
+	return reply, nil
+}

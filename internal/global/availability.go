@@ -157,6 +157,9 @@ func (o *Orchestrator) syncStandby(dep *deployment) int {
 func (o *Orchestrator) SyncStandbys() int {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	if o.leaderErr() != nil {
+		return 0
+	}
 	total := 0
 	for _, id := range sortedGraphIDs(o.graphs) {
 		total += o.syncStandby(o.graphs[id])
@@ -286,6 +289,9 @@ func sortedGraphIDs(graphs map[string]*deployment) []string {
 func (o *Orchestrator) Unlink(aNode, aIf, bNode, bIf string) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	if err := o.leaderErr(); err != nil {
+		return err
+	}
 	cut := Link{A: aNode, AIf: aIf, B: bNode, BIf: bIf}
 	found := -1
 	for i, l := range o.links {
@@ -300,6 +306,7 @@ func (o *Orchestrator) Unlink(aNode, aIf, bNode, bIf string) error {
 	o.links = append(o.links[:found], o.links[found+1:]...)
 	o.metrics.linkDowns.Inc()
 	o.journal.Recordf(telemetry.EventLinkDown, "", "", cut.key())
+	o.recordIntentLocked(intentLinkRemove, "links", cut.key(), nil)
 	for _, id := range sortedGraphIDs(o.graphs) {
 		dep := o.graphs[id]
 		affected := false

@@ -1,6 +1,7 @@
 package global
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
@@ -23,6 +24,12 @@ type Config struct {
 	Policy policy.PlacementPolicy
 	// ProbeInterval is the health-probe and reconcile period (default 2s).
 	ProbeInterval time.Duration
+	// ReconcileInterval is the reconcile-loop tick; 0 follows ProbeInterval
+	// (the historical coupling, kept as the default).
+	ReconcileInterval time.Duration
+	// StandbySyncInterval is the period of the standby flow-state refresh
+	// ticker; 0 follows ReconcileInterval.
+	StandbySyncInterval time.Duration
 	// PressureFreeCPUFraction is the reconcile loop's resource-pressure
 	// threshold: a node whose free CPU falls below this fraction of its
 	// capacity gets one NF shifted to a cheaper flavor per pass (an
@@ -88,6 +95,19 @@ type Orchestrator struct {
 	// its leftover subgraphs retired.
 	parked []*parkedStitches
 
+	// HA hooks (see intent.go). All nil/empty on a standalone orchestrator.
+	leaderCheck  func() bool
+	recorder     func(kind, key string, data json.RawMessage) error
+	nodeResolver NodeResolver
+	intentSource IntentSource
+	// restoredSeq is the intent-store sequence last replayed into this
+	// orchestrator; follower refreshes skip while the store sits there.
+	restoredSeq uint64
+	// lastIntent caches the last recorded bytes per "category/key" so
+	// reconcile-time sweeps only emit ops for real changes.
+	lastIntent map[string]string
+
+	kickCh  chan struct{}
 	stop    chan struct{}
 	wg      sync.WaitGroup
 	started bool
@@ -104,6 +124,12 @@ func New(cfg Config) *Orchestrator {
 	if cfg.ProbeInterval <= 0 {
 		cfg.ProbeInterval = 2 * time.Second
 	}
+	if cfg.ReconcileInterval <= 0 {
+		cfg.ReconcileInterval = cfg.ProbeInterval
+	}
+	if cfg.StandbySyncInterval <= 0 {
+		cfg.StandbySyncInterval = cfg.ReconcileInterval
+	}
 	if cfg.PressureFreeCPUFraction == 0 {
 		cfg.PressureFreeCPUFraction = DefaultPressureFreeCPUFraction
 	}
@@ -115,14 +141,16 @@ func New(cfg Config) *Orchestrator {
 		journal = telemetry.NewJournal(telemetry.DefaultJournalDepth)
 	}
 	o := &Orchestrator{
-		cfg:      cfg,
-		journal:  journal,
-		registry: telemetry.NewRegistry(),
-		metrics:  newFleetMetrics(),
-		members:  make(map[string]*member),
-		graphs:   make(map[string]*deployment),
-		alloc:    newVLANAlloc(),
-		pending:  make(map[string]map[string]bool),
+		cfg:        cfg,
+		journal:    journal,
+		registry:   telemetry.NewRegistry(),
+		metrics:    newFleetMetrics(),
+		members:    make(map[string]*member),
+		graphs:     make(map[string]*deployment),
+		alloc:      newVLANAlloc(),
+		pending:    make(map[string]map[string]bool),
+		lastIntent: make(map[string]string),
+		kickCh:     make(chan struct{}, 1),
 	}
 	o.registry.Register(o)
 	return o
@@ -195,10 +223,16 @@ func (o *Orchestrator) AddNode(n Node) error {
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	if err := o.leaderErr(); err != nil {
+		return err
+	}
 	if _, dup := o.members[n.Name()]; dup {
 		return fmt.Errorf("global: node %q already registered", n.Name())
 	}
 	o.members[n.Name()] = &member{node: n, alive: true, last: st, probed: time.Now()}
+	if data, err := json.Marshal(nodeRecordFor(n)); err == nil {
+		o.recordIntentLocked(intentNodeAdd, "nodes", n.Name(), data)
+	}
 	return nil
 }
 
@@ -207,11 +241,15 @@ func (o *Orchestrator) AddNode(n Node) error {
 func (o *Orchestrator) RemoveNode(name string) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	if err := o.leaderErr(); err != nil {
+		return err
+	}
 	m, ok := o.members[name]
 	if !ok {
 		return fmt.Errorf("global: node %q not registered", name)
 	}
 	delete(o.members, name)
+	o.recordIntentLocked(intentNodeRemove, "nodes", name, nil)
 	// Best-effort cleanup of anything we placed there.
 	for _, dep := range o.graphs {
 		if _, here := dep.subs[name]; here {
@@ -226,6 +264,9 @@ func (o *Orchestrator) RemoveNode(name string) error {
 func (o *Orchestrator) Link(aNode, aIf, bNode, bIf string) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	if err := o.leaderErr(); err != nil {
+		return err
+	}
 	for _, side := range []struct{ node, iface string }{{aNode, aIf}, {bNode, bIf}} {
 		m, ok := o.members[side.node]
 		if !ok {
@@ -249,6 +290,9 @@ func (o *Orchestrator) Link(aNode, aIf, bNode, bIf string) error {
 		}
 	}
 	o.links = append(o.links, l)
+	if data, err := json.Marshal(l); err == nil {
+		o.recordIntentLocked(intentLinkAdd, "links", l.key(), data)
+	}
 	return nil
 }
 
@@ -440,6 +484,9 @@ func (o *Orchestrator) Deploy(g *nffg.Graph) error {
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	if err := o.leaderErr(); err != nil {
+		return err
+	}
 	if _, dup := o.graphs[g.ID]; dup {
 		return fmt.Errorf("global: graph %q already deployed (use Update)", g.ID)
 	}
@@ -475,6 +522,7 @@ func (o *Orchestrator) deployLocked(g *nffg.Graph) error {
 	if wantsStandby(dep.desired) {
 		o.armStandby(dep)
 	}
+	o.recordGraphLocked(intentDeploy, dep)
 	return nil
 }
 
@@ -488,6 +536,9 @@ func (o *Orchestrator) Update(g *nffg.Graph) error {
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	if err := o.leaderErr(); err != nil {
+		return err
+	}
 	dep, ok := o.graphs[g.ID]
 	if !ok {
 		return fmt.Errorf("global: graph %q not deployed (use Deploy)", g.ID)
@@ -504,6 +555,9 @@ func (o *Orchestrator) Apply(g *nffg.Graph) (existed bool, err error) {
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	if err := o.leaderErr(); err != nil {
+		return false, err
+	}
 	if dep, ok := o.graphs[g.ID]; ok {
 		return true, o.reassign(dep, g)
 	}
@@ -576,6 +630,7 @@ func (o *Orchestrator) reassign(dep *deployment, g *nffg.Graph) error {
 	o.refreshStandby(dep)
 	o.journal.Recordf(telemetry.EventUpdate, "", g.ID,
 		fmt.Sprintf("re-placed across %v", subgraphNodes(subs)))
+	o.recordGraphLocked(intentUpdate, dep)
 	return nil
 }
 
@@ -629,6 +684,9 @@ func (o *Orchestrator) revertReassign(dep *deployment, id string, applied, vacat
 func (o *Orchestrator) Reflavor(graphID, nfID string, tech nffg.Technology) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	if err := o.leaderErr(); err != nil {
+		return err
+	}
 	dep, ok := o.graphs[graphID]
 	if !ok {
 		return fmt.Errorf("global: graph %q not deployed", graphID)
@@ -658,6 +716,9 @@ func (o *Orchestrator) Reflavor(graphID, nfID string, tech nffg.Technology) erro
 func (o *Orchestrator) Scale(graphID, nfID string, replicas int) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	if err := o.leaderErr(); err != nil {
+		return err
+	}
 	dep, ok := o.graphs[graphID]
 	if !ok {
 		return fmt.Errorf("global: graph %q not deployed", graphID)
@@ -685,6 +746,7 @@ func (o *Orchestrator) Scale(graphID, nfID string, replicas int) error {
 	o.metrics.scales.Inc()
 	o.journal.Recordf(telemetry.EventScale, node, graphID,
 		fmt.Sprintf("%s -> %d replicas", nfID, replicas))
+	o.recordGraphLocked(intentScale, dep)
 	return nil
 }
 
@@ -834,6 +896,9 @@ func (o *Orchestrator) cheaperFlavorsOn(m *member) []reliefCandidate {
 func (o *Orchestrator) Undeploy(id string) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	if err := o.leaderErr(); err != nil {
+		return err
+	}
 	dep, ok := o.graphs[id]
 	if !ok {
 		return fmt.Errorf("global: graph %q not deployed", id)
@@ -858,10 +923,13 @@ func (o *Orchestrator) Undeploy(id string) error {
 	o.retireStitches(dep.stitches, blocked)
 	delete(o.graphs, id)
 	o.journal.Recordf(telemetry.EventUndeploy, "", id, "")
+	o.recordIntentLocked(intentUndeploy, "graphs", id, nil)
 	return nil
 }
 
-// Start launches the reconcile loop.
+// Start launches the background loops: reconcile every ReconcileInterval
+// (or immediately on KickReconcile) and standby flow-state refresh every
+// StandbySyncInterval.
 func (o *Orchestrator) Start() {
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -873,14 +941,20 @@ func (o *Orchestrator) Start() {
 	o.wg.Add(1)
 	go func() {
 		defer o.wg.Done()
-		ticker := time.NewTicker(o.cfg.ProbeInterval)
-		defer ticker.Stop()
+		reconcile := time.NewTicker(o.cfg.ReconcileInterval)
+		defer reconcile.Stop()
+		standby := time.NewTicker(o.cfg.StandbySyncInterval)
+		defer standby.Stop()
 		for {
 			select {
 			case <-o.stop:
 				return
-			case <-ticker.C:
+			case <-reconcile.C:
 				o.ReconcileOnce()
+			case <-o.kickCh:
+				o.ReconcileOnce()
+			case <-standby.C:
+				o.SyncStandbys()
 			}
 		}
 	}()
@@ -905,6 +979,14 @@ func (o *Orchestrator) Close() {
 // nffg-diff-driven updates. The background loop calls this every
 // ProbeInterval; tests call it directly.
 func (o *Orchestrator) ReconcileOnce() {
+	// Followers hold no authority over the fleet: only the HA leader (or a
+	// standalone orchestrator) probes, repairs and mutates node state. A
+	// follower instead refreshes its read-only view from the replicated
+	// intent store so its API answers track the leader.
+	if !o.IsLeader() {
+		o.refreshFollower()
+		return
+	}
 	start := time.Now()
 	defer func() {
 		o.metrics.reconciles.Inc()
@@ -1085,4 +1167,8 @@ func (o *Orchestrator) ReconcileOnce() {
 	// node returning from the dead has its stale copy retired above and
 	// can be re-armed as the new shadow in the same pass.
 	o.maintainStandbys()
+
+	// Mirror reconcile-side bookkeeping changes (reschedules, standby
+	// churn, drift fixes) into the replicated intent log.
+	o.syncIntentLocked()
 }

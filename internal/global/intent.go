@@ -1,0 +1,412 @@
+package global
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/nffg"
+	"repro/internal/telemetry"
+)
+
+// HA intent plumbing: every desired-state mutation the orchestrator
+// accepts is mirrored into a replicated intent log (internal/cluster) as
+// an opaque record, and a freshly promoted leader rebuilds its entire
+// bookkeeping — deployments, partitions, stitch VLANs, placement, standby
+// shadows, fleet membership, links — from those records with zero node
+// RPCs. The first reconcile pass after promotion then adopts the
+// already-running fleet through the ordinary drift-repair path, so a
+// leader failover never touches the datapath (NAT bindings and other
+// per-flow state survive untouched).
+
+// ErrNotLeader is returned by mutating entry points on a replica that
+// does not hold the cluster leader lease. The REST layer turns it into a
+// 307 redirect to the leader.
+var ErrNotLeader = errors.New("global: not the leader replica")
+
+// Intent op kinds, mirroring internal/cluster's OpKind vocabulary (kept
+// as strings here so the core orchestrator does not import the cluster
+// package; the HA glue converts).
+const (
+	intentDeploy     = "deploy"
+	intentUpdate     = "update"
+	intentUndeploy   = "undeploy"
+	intentScale      = "scale"
+	intentNodeAdd    = "node-add"
+	intentNodeRemove = "node-remove"
+	intentLinkAdd    = "link-add"
+	intentLinkRemove = "link-remove"
+)
+
+// IntentSource is the read surface of the replicated intent store
+// (implemented by cluster.IntentStore): categories of key -> record, plus
+// the applied sequence number so refreshes can skip unchanged state.
+type IntentSource interface {
+	Keys(category string) []string
+	Get(category, key string) json.RawMessage
+	LastApplied() uint64
+}
+
+// NodeResolver turns a replicated node record back into a dialable Node
+// handle on promotion (and for gossip probing of monitored nodes). The
+// raw record is whatever AddNode serialized — NodeRecord for the built-in
+// kinds.
+type NodeResolver func(name string, rec json.RawMessage) (Node, error)
+
+// NodeRecord is the replicated identity of one fleet member.
+type NodeRecord struct {
+	Name string `json:"name"`
+	// URL is the node's REST base URL; empty for in-process nodes, whose
+	// resolution needs a custom NodeResolver.
+	URL string `json:"url,omitempty"`
+}
+
+// URLNode is implemented by node handles that can name their REST base
+// URL (HTTPNode); it feeds the replicated NodeRecord so any replica can
+// re-dial the node after promotion.
+type URLNode interface {
+	BaseURL() string
+}
+
+// BaseURL implements URLNode.
+func (h *HTTPNode) BaseURL() string { return h.base }
+
+// hopRecord / stitchRecord / graphRecord are the serializable mirror of
+// the deployment bookkeeping. They exist so a promoted leader restores
+// exact state — including allocated stitch VLANs — without recomputing a
+// partition (recomputation could land elsewhere and churn the datapath).
+type hopRecord struct {
+	Link Link   `json:"link"`
+	VLAN uint16 `json:"vlan"`
+}
+
+type stitchRecord struct {
+	EP   string      `json:"ep"`
+	Src  string      `json:"src"`
+	Dst  string      `json:"dst"`
+	Path []string    `json:"path,omitempty"`
+	Hops []hopRecord `json:"hops,omitempty"`
+}
+
+type graphRecord struct {
+	Desired     *nffg.Graph            `json:"desired"`
+	Subs        map[string]*nffg.Graph `json:"subs"`
+	Stitches    []stitchRecord         `json:"stitches,omitempty"`
+	Placement   Placement              `json:"placement"`
+	StandbyNode string                 `json:"standby-node,omitempty"`
+}
+
+// marshalDeployment renders a deployment's full bookkeeping as canonical
+// JSON (Go sorts map keys, so equal state marshals to equal bytes).
+func marshalDeployment(dep *deployment) ([]byte, error) {
+	rec := graphRecord{
+		Desired:     dep.desired,
+		Subs:        dep.subs,
+		Placement:   dep.pl,
+		StandbyNode: dep.standbyNode,
+	}
+	for _, st := range dep.stitches {
+		sr := stitchRecord{EP: st.epID, Src: st.srcNode, Dst: st.dstNode, Path: st.path}
+		for _, h := range st.hops {
+			sr.Hops = append(sr.Hops, hopRecord{Link: h.link, VLAN: h.vlan})
+		}
+		rec.Stitches = append(rec.Stitches, sr)
+	}
+	return json.Marshal(rec)
+}
+
+// restoreDeployment rebuilds a deployment from its record, reserving its
+// stitch VLANs in the allocator.
+func restoreDeployment(rec graphRecord, alloc *vlanAlloc) *deployment {
+	dep := &deployment{
+		desired:     rec.Desired,
+		subs:        rec.Subs,
+		pl:          rec.Placement,
+		standbyNode: rec.StandbyNode,
+	}
+	if dep.subs == nil {
+		dep.subs = make(map[string]*nffg.Graph)
+	}
+	for _, sr := range rec.Stitches {
+		st := stitch{epID: sr.EP, srcNode: sr.Src, dstNode: sr.Dst, path: sr.Path}
+		for _, hr := range sr.Hops {
+			st.hops = append(st.hops, stitchHop{link: hr.Link, vlan: hr.VLAN})
+			alloc.reserve(hr.Link, hr.VLAN)
+		}
+		dep.stitches = append(dep.stitches, st)
+	}
+	return dep
+}
+
+// SetLeaderGate installs the leadership check consulted by every mutating
+// entry point and by the reconcile loop. Nil (the default) means always
+// allowed — a standalone orchestrator behaves exactly as before.
+func (o *Orchestrator) SetLeaderGate(isLeader func() bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.leaderCheck = isLeader
+}
+
+// SetIntentRecorder installs the sink every accepted desired-state
+// mutation is mirrored into (the HA glue points it at cluster.Record).
+func (o *Orchestrator) SetIntentRecorder(rec func(kind, key string, data json.RawMessage) error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.recorder = rec
+}
+
+// SetNodeResolver installs the handle factory used by RestoreIntent.
+func (o *Orchestrator) SetNodeResolver(r NodeResolver) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.nodeResolver = r
+}
+
+// SetIntentSource installs the replicated store a follower refreshes its
+// read-only fleet view from (each reconcile tick, when the store moved).
+func (o *Orchestrator) SetIntentSource(src IntentSource) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.intentSource = src
+}
+
+// refreshFollower re-replays the intent store into a non-leader's
+// bookkeeping so its reads track the leader's writes. Skipped while the
+// store has not moved past the last replay.
+func (o *Orchestrator) refreshFollower() {
+	o.mu.Lock()
+	src := o.intentSource
+	seq := o.restoredSeq
+	o.mu.Unlock()
+	if src == nil || src.LastApplied() == seq {
+		return
+	}
+	if err := o.RestoreIntent(src); err != nil {
+		o.cfg.Logf("global: follower intent refresh: %v", err)
+	}
+}
+
+// leaderErr returns ErrNotLeader when an HA gate is installed and this
+// replica does not currently hold the lease. Callers hold o.mu.
+func (o *Orchestrator) leaderErr() error {
+	if o.leaderCheck != nil && !o.leaderCheck() {
+		return ErrNotLeader
+	}
+	return nil
+}
+
+// IsLeader reports whether this orchestrator may mutate desired state:
+// true for a standalone orchestrator, the cluster lease check under HA.
+func (o *Orchestrator) IsLeader() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.leaderErr() == nil
+}
+
+// recordIntentLocked mirrors one op into the replicated log, deduplicated
+// against the last recorded bytes per key (reconcile passes call in every
+// tick; only real changes become ops). A nil data is a removal. Failures
+// are logged and left out of the cache so the next sweep retries.
+// Callers hold o.mu.
+func (o *Orchestrator) recordIntentLocked(kind, category, key string, data json.RawMessage) {
+	if o.recorder == nil {
+		return
+	}
+	cacheKey := category + "/" + key
+	if data != nil && o.lastIntent[cacheKey] == string(data) {
+		return
+	}
+	if data == nil {
+		if _, recorded := o.lastIntent[cacheKey]; !recorded {
+			return
+		}
+	}
+	if err := o.recorder(kind, key, data); err != nil {
+		o.cfg.Logf("global: recording %s intent for %q: %v", kind, key, err)
+		return
+	}
+	if data == nil {
+		delete(o.lastIntent, cacheKey)
+	} else {
+		o.lastIntent[cacheKey] = string(data)
+	}
+}
+
+// recordGraphLocked mirrors one deployment's current bookkeeping.
+// Callers hold o.mu.
+func (o *Orchestrator) recordGraphLocked(kind string, dep *deployment) {
+	if o.recorder == nil {
+		return
+	}
+	data, err := marshalDeployment(dep)
+	if err != nil {
+		o.cfg.Logf("global: marshaling intent record for %q: %v", dep.desired.ID, err)
+		return
+	}
+	o.recordIntentLocked(kind, "graphs", dep.desired.ID, data)
+}
+
+// syncIntentLocked sweeps the full graph set into the intent log:
+// deployments mutated by reconcile-side repair (reschedules, standby
+// arm/drop/promote, drift fixes) are re-recorded, removed ones recorded
+// as undeploys. The per-key byte cache keeps a quiet pass op-free.
+// Callers hold o.mu.
+func (o *Orchestrator) syncIntentLocked() {
+	if o.recorder == nil {
+		return
+	}
+	for _, id := range sortedGraphIDs(o.graphs) {
+		kind := intentUpdate
+		if _, recorded := o.lastIntent["graphs/"+id]; !recorded {
+			kind = intentDeploy
+		}
+		o.recordGraphLocked(kind, o.graphs[id])
+	}
+	var gone []string
+	for cacheKey := range o.lastIntent {
+		if len(cacheKey) > 7 && cacheKey[:7] == "graphs/" {
+			if _, live := o.graphs[cacheKey[7:]]; !live {
+				gone = append(gone, cacheKey[7:])
+			}
+		}
+	}
+	sort.Strings(gone)
+	for _, id := range gone {
+		o.recordIntentLocked(intentUndeploy, "graphs", id, nil)
+	}
+}
+
+// nodeRecordFor derives a node's replicated identity from its handle.
+func nodeRecordFor(n Node) NodeRecord {
+	rec := NodeRecord{Name: n.Name()}
+	if u, ok := n.(URLNode); ok {
+		rec.URL = u.BaseURL()
+	}
+	return rec
+}
+
+// defaultNodeResolver re-dials nodes by their recorded REST URL.
+func defaultNodeResolver(name string, raw json.RawMessage) (Node, error) {
+	var rec NodeRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return nil, fmt.Errorf("global: node record for %q: %w", name, err)
+	}
+	if rec.URL == "" {
+		return nil, fmt.Errorf("global: node record for %q has no URL (install a NodeResolver)", name)
+	}
+	return NewHTTPNode(name, rec.URL, nil), nil
+}
+
+// RestoreIntent rebuilds the orchestrator's entire desired-state
+// bookkeeping from the replicated intent store — the promotion replay.
+// Node handles already registered under the same name are kept (a
+// re-promoted original leader reuses its live handles); missing ones are
+// resolved through the NodeResolver without probing (a node may be
+// momentarily down; desired state says it should exist, and the next
+// reconcile pass probes it). No node RPC is issued: the running fleet is
+// adopted as-is by the first reconcile pass's drift repair.
+func (o *Orchestrator) RestoreIntent(src IntentSource) error {
+	// Capture the sequence first: ops landing during the read are
+	// re-replayed by the next refresh rather than silently skipped.
+	seq := src.LastApplied()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.restoredSeq = seq
+
+	resolver := o.nodeResolver
+	if resolver == nil {
+		resolver = defaultNodeResolver
+	}
+
+	members := make(map[string]*member)
+	var errs []error
+	for _, name := range src.Keys("nodes") {
+		raw := src.Get("nodes", name)
+		if m, ok := o.members[name]; ok {
+			members[name] = m
+			continue
+		}
+		n, err := resolver(name, raw)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		members[name] = &member{node: n, alive: true, last: Status{Name: name}}
+	}
+
+	var links []Link
+	for _, key := range src.Keys("links") {
+		var l Link
+		if err := json.Unmarshal(src.Get("links", key), &l); err != nil {
+			errs = append(errs, fmt.Errorf("global: link record %q: %w", key, err))
+			continue
+		}
+		links = append(links, l)
+	}
+
+	alloc := newVLANAlloc()
+	graphs := make(map[string]*deployment)
+	lastIntent := make(map[string]string)
+	for _, id := range src.Keys("graphs") {
+		raw := src.Get("graphs", id)
+		var rec graphRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			errs = append(errs, fmt.Errorf("global: graph record %q: %w", id, err))
+			continue
+		}
+		if rec.Desired == nil {
+			errs = append(errs, fmt.Errorf("global: graph record %q has no desired graph", id))
+			continue
+		}
+		graphs[id] = restoreDeployment(rec, alloc)
+		lastIntent["graphs/"+id] = string(raw)
+	}
+	for _, name := range src.Keys("nodes") {
+		lastIntent["nodes/"+name] = string(src.Get("nodes", name))
+	}
+	for _, key := range src.Keys("links") {
+		lastIntent["links/"+key] = string(src.Get("links", key))
+	}
+
+	o.members = members
+	o.links = links
+	o.graphs = graphs
+	o.alloc = alloc
+	o.pending = make(map[string]map[string]bool)
+	o.parked = nil
+	o.lastIntent = lastIntent
+	o.cfg.Logf("global: restored intent: %d node(s), %d link(s), %d graph(s)",
+		len(members), len(links), len(graphs))
+	return errors.Join(errs...)
+}
+
+// SetNodeLiveness applies an externally detected node state change (the
+// gossip failure detector) immediately, without waiting for the next
+// reconcile probe. Unknown nodes are ignored.
+func (o *Orchestrator) SetNodeLiveness(name string, alive bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	m, ok := o.members[name]
+	if !ok || m.alive == alive {
+		return
+	}
+	m.alive = alive
+	if alive {
+		o.cfg.Logf("global: node %q back (gossip)", name)
+		o.journal.Recordf(telemetry.EventNodeBack, name, "", "gossip detector")
+	} else {
+		o.cfg.Logf("global: node %q dead (gossip)", name)
+		o.journal.Recordf(telemetry.EventNodeDead, name, "", "gossip detector")
+	}
+}
+
+// KickReconcile asks the reconcile loop for an immediate pass (no-op when
+// the loop is not running). The gossip path uses it so failure recovery
+// starts within the failure-detection latency, not a reconcile period.
+func (o *Orchestrator) KickReconcile() {
+	select {
+	case o.kickCh <- struct{}{}:
+	default:
+	}
+}

@@ -1,0 +1,105 @@
+package global
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/nffg"
+)
+
+// testDeployment builds a deployment with every piece of bookkeeping the
+// intent record must carry: a multi-node partition, stitches with
+// allocated VLANs, placement and an armed standby.
+func testDeployment() *deployment {
+	g := &nffg.Graph{
+		ID:   "g1",
+		Name: "chain",
+		NFs: []nffg.NF{
+			{ID: "nf0", Name: "firewall", Ports: []nffg.NFPort{{ID: "0"}, {ID: "1"}}, Replicas: 2},
+			{ID: "nf1", Name: "monitor", Ports: []nffg.NFPort{{ID: "0"}, {ID: "1"}}},
+		},
+		Endpoints: []nffg.Endpoint{
+			{ID: "lan", Type: nffg.EPInterface, Interface: "eth0"},
+			{ID: "wan", Type: nffg.EPInterface, Interface: "eth1"},
+		},
+	}
+	link := Link{A: "n1", AIf: "eth1", B: "n2", BIf: "eth0"}
+	return &deployment{
+		desired: g,
+		subs: map[string]*nffg.Graph{
+			"n1": {ID: "g1", NFs: []nffg.NF{g.NFs[0]}},
+			"n2": {ID: "g1", NFs: []nffg.NF{g.NFs[1]}},
+		},
+		stitches: []stitch{{
+			epID:    "x-g1-0",
+			srcNode: "n1",
+			dstNode: "n2",
+			path:    []string{"n1", "n2"},
+			hops:    []stitchHop{{link: link, vlan: 3000}},
+		}},
+		pl: Placement{
+			NFNode: map[string]string{"nf0": "n1", "nf1": "n2"},
+			EPNode: map[string]string{"lan": "n1", "wan": "n2"},
+		},
+		standbyNode: "n3",
+	}
+}
+
+// The promotion replay must be byte-faithful: marshal -> restore ->
+// re-marshal yields identical bytes, so a promoted leader's sweep records
+// nothing and its desired state is provably the old leader's.
+func TestDeploymentRecordRoundTripByteIdentical(t *testing.T) {
+	dep := testDeployment()
+	b1, err := marshalDeployment(dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec graphRecord
+	if err := json.Unmarshal(b1, &rec); err != nil {
+		t.Fatal(err)
+	}
+	alloc := newVLANAlloc()
+	restored := restoreDeployment(rec, alloc)
+	b2, err := marshalDeployment(restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("replayed record differs:\n  old %s\n  new %s", b1, b2)
+	}
+	if restored.standbyNode != "n3" {
+		t.Fatalf("standby lost: %q", restored.standbyNode)
+	}
+	if n := restored.desired.FindNF("nf0"); n == nil || n.Replicas != 2 {
+		t.Fatalf("replica count lost: %+v", n)
+	}
+	// The stitch VLAN must be reserved so post-promotion deploys cannot
+	// collide with a live stitch.
+	link := Link{A: "n1", AIf: "eth1", B: "n2", BIf: "eth0"}
+	if !alloc.inUse[link.key()][3000] {
+		t.Fatal("stitch VLAN 3000 not reserved on restore")
+	}
+	if v, err := alloc.alloc(link); err != nil {
+		t.Fatal(err)
+	} else if v == 3000 {
+		t.Fatal("allocator handed out a reserved VLAN")
+	}
+}
+
+// A second marshal of the same live deployment must also be stable, or
+// the reconcile-time sweep would emit spurious ops every pass.
+func TestDeploymentRecordMarshalStable(t *testing.T) {
+	dep := testDeployment()
+	b1, err := marshalDeployment(dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := marshalDeployment(dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("marshalDeployment is not deterministic")
+	}
+}

@@ -51,6 +51,18 @@ func newVLANAlloc() *vlanAlloc {
 	return &vlanAlloc{inUse: make(map[string]map[uint16]bool)}
 }
 
+// reserve marks a specific VLAN in use on a link — the promotion-replay
+// path restoring stitch allocations recorded by a previous leader.
+func (a *vlanAlloc) reserve(l Link, vlan uint16) {
+	k := l.key()
+	set := a.inUse[k]
+	if set == nil {
+		set = make(map[uint16]bool)
+		a.inUse[k] = set
+	}
+	set[vlan] = true
+}
+
 func (a *vlanAlloc) alloc(l Link) (uint16, error) {
 	k := l.key()
 	set := a.inUse[k]

@@ -25,6 +25,10 @@
 //	                         own control-plane metrics plus one scrape of
 //	                         every alive node, tagged node="..."
 //	GET    /v1/events        merged event journal of control plane and fleet
+//	GET    /v1/cluster       HA cluster view: leader, term, membership,
+//	                         replication progress (when clustering is enabled;
+//	                         see EnableCluster — followers answer reads and
+//	                         307-redirect writes to the leader)
 //
 // Errors use the same {"error": {"code", "message", "detail"}} envelope as
 // the node API. The pre-versioning routes (/nodes, /links, /NF-FG/...,
@@ -38,6 +42,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/global"
 	"repro/internal/nffg"
 	"repro/internal/telemetry"
@@ -48,6 +53,10 @@ type GlobalServer struct {
 	orch   *global.Orchestrator
 	client *http.Client
 	mux    *http.ServeMux
+
+	// HA (see cluster.go): nil on a standalone server.
+	cluster *cluster.Cluster
+	selfID  string
 }
 
 // NewGlobal builds the server. Registered nodes are reached with client; nil
@@ -100,8 +109,12 @@ func (s *GlobalServer) events(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, evs)
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Under HA, writes reaching a
+// follower are redirected to the leader first (see cluster.go).
 func (s *GlobalServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.redirectToLeader(w, r) {
+		return
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
