@@ -151,6 +151,17 @@ type Cluster struct {
 	store     *IntentStore
 	acked     map[string]uint64 // leader side: follower ack points
 	commitSeq uint64
+	// synced marks followers that have adopted this leader's term
+	// baseline (acknowledged a current-term append). Until then a
+	// follower's store may end in a divergent suffix from a deposed
+	// leader at sequence numbers this leader reuses, so only a full
+	// snapshot — never incremental ops — is sent, and its
+	// acknowledgements count toward neither commit nor the lease.
+	synced map[string]bool
+	// syncedTerm is the follower-side mirror: the newest term whose
+	// baseline (snapshot) this replica has adopted. Incremental ops from
+	// any other term are refused so the leader reseeds us first.
+	syncedTerm uint64
 
 	electionsStarted telemetry.Counter
 	electionsWon     telemetry.Counter
@@ -181,6 +192,7 @@ func New(opts Options) (*Cluster, error) {
 		log:     NewLog(o.LogDepth),
 		store:   NewIntentStore(),
 		acked:   make(map[string]uint64),
+		synced:  make(map[string]bool),
 		stop:    make(chan struct{}),
 		kick:    make(chan struct{}, 1),
 	}
@@ -295,21 +307,41 @@ func (c *Cluster) CommitSeq() uint64 {
 // lapses — ErrNoQuorum then; the op stays in the log and commits when
 // quorum returns). Only a fenced-in leader may record.
 func (c *Cluster) Record(kind OpKind, key string, data json.RawMessage) error {
+	seq, err := c.Propose(kind, key, data)
+	if err != nil {
+		return err
+	}
+	return c.WaitCommit(seq)
+}
+
+// Propose is the non-blocking half of Record: it appends the op to the
+// replication log and applies it locally, returning its sequence number
+// for a later WaitCommit. Callers that hold their own locks use it so the
+// quorum wait happens outside them. Only a fenced-in leader may propose.
+func (c *Cluster) Propose(kind OpKind, key string, data json.RawMessage) (uint64, error) {
 	c.mu.Lock()
 	if c.role != roleLeader || !time.Now().Before(c.leaseUntil) {
 		c.mu.Unlock()
-		return ErrNotLeader
+		return 0, ErrNotLeader
 	}
 	op := c.log.Append(c.term, kind, key, data)
 	c.store.Apply(op)
 	c.mu.Unlock()
 	c.opsRecorded.Inc()
+	c.kickHeartbeat()
+	return op.Seq, nil
+}
 
+// WaitCommit blocks until the quorum commit point reaches seq, this
+// replica loses leadership (ErrNotLeader — the op may or may not survive
+// on the successor), or CommitTimeout lapses (ErrNoQuorum — the op stays
+// in the log and commits when quorum returns).
+func (c *Cluster) WaitCommit(seq uint64) error {
 	deadline := time.Now().Add(c.opts.CommitTimeout)
 	for {
 		c.broadcastAppend()
 		c.mu.Lock()
-		committed := c.commitSeq >= op.Seq
+		committed := c.commitSeq >= seq
 		demoted := c.role != roleLeader
 		c.mu.Unlock()
 		if committed {

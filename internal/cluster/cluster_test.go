@@ -85,12 +85,23 @@ func TestIntentStoreSnapshotRestoreSerialize(t *testing.T) {
 	if !bytes.Equal(a.Serialize(), b.Serialize()) {
 		t.Fatalf("restored store serializes differently:\n%s\n%s", a.Serialize(), b.Serialize())
 	}
-	// A parked op past the snapshot point must drain after Restore.
+	// A parked op must NOT survive Restore: a snapshot is a new baseline,
+	// and ops parked before it may belong to a divergent (uncommitted)
+	// suffix from a deposed leader. The leader re-delivers anything the
+	// snapshot is missing.
 	c := NewIntentStore()
 	c.Apply(op(3, OpUpdate, "g1", `{"v":3}`))
 	c.Restore(a.Snapshot())
+	if c.LastApplied() != 2 {
+		t.Fatalf("restore did not reset to the snapshot point: lastApplied = %d", c.LastApplied())
+	}
+	if got := string(c.Get("graphs", "g1")); got != `{"v":1}` {
+		t.Fatalf("parked op folded across a restore: got %s, want {\"v\":1}", got)
+	}
+	// Re-delivery from the snapshot's baseline drains normally.
+	c.Apply(op(3, OpUpdate, "g1", `{"v":30}`))
 	if c.LastApplied() != 3 {
-		t.Fatalf("parked op did not drain after restore: lastApplied = %d", c.LastApplied())
+		t.Fatalf("re-delivered op did not apply: lastApplied = %d", c.LastApplied())
 	}
 }
 
@@ -296,6 +307,81 @@ func TestPartitionedLeaderFencesAndRejoins(t *testing.T) {
 	}
 }
 
+// A deposed leader holding a divergent uncommitted op at a sequence the
+// new leader reuses must abandon its suffix and converge on the committed
+// history. (Regression: seq-only dedup discarded the new leader's op as a
+// duplicate, and the stale ack silently counted toward quorum commit.)
+func TestDivergentExLeaderResyncsAfterFailover(t *testing.T) {
+	r := newRig(t, []string{"a", "b", "c"}, nil)
+	r.startAll()
+	waitFor(t, 3*time.Second, "initial leader", func() bool { return r.leader() != nil })
+	old := r.leader()
+	if err := old.Record(OpDeploy, "g1", json.RawMessage(`{"v":1}`)); err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	waitFor(t, 2*time.Second, "replication drained", func() bool { return old.ReplicationLag() == 0 })
+
+	// Cut the leader off and immediately stage an op while its lease is
+	// still warm: it applies locally but can never reach quorum — the
+	// divergent suffix of a deposed leader.
+	r.net.Isolate(old.self)
+	if _, err := old.Propose(OpUpdate, "g1", json.RawMessage(`{"v":"divergent"}`)); err != nil {
+		t.Fatalf("Propose on still-leased leader: %v", err)
+	}
+	if got := string(old.Store().Get("graphs", "g1")); got != `{"v":"divergent"}` {
+		t.Fatalf("divergent op not applied locally: %s", got)
+	}
+
+	var next *Cluster
+	waitFor(t, 3*time.Second, "majority elects successor", func() bool {
+		for _, c := range r.clusters {
+			if c != old && c.IsLeader() {
+				next = c
+				return true
+			}
+		}
+		return false
+	})
+	// The successor commits a different op occupying the same sequence.
+	if err := next.Record(OpUpdate, "g1", json.RawMessage(`{"v":"committed"}`)); err != nil {
+		t.Fatalf("successor Record: %v", err)
+	}
+
+	r.net.Rejoin(old.self)
+	waitFor(t, 3*time.Second, "ex-leader abandons divergent suffix", func() bool {
+		return !old.IsLeader() && bytes.Equal(old.Store().Serialize(), next.Store().Serialize())
+	})
+	if got := string(old.Store().Get("graphs", "g1")); got != `{"v":"committed"}` {
+		t.Fatalf("divergent suffix survived failover: g1 = %s", got)
+	}
+}
+
+// Voters must refuse candidates whose applied history is behind their own,
+// ordered by (LastTerm, LastSeq) — seq length alone is not up-to-dateness.
+func TestElectionRestrictionRefusesStaleHistory(t *testing.T) {
+	r := newRig(t, []string{"a", "b"}, nil)
+	a := r.clusters["a"]
+	a.Store().Apply(Op{Seq: 1, Term: 2, Kind: OpDeploy, Key: "g1", Data: json.RawMessage(`{}`)})
+	a.Store().Apply(Op{Seq: 2, Term: 2, Kind: OpUpdate, Key: "g1", Data: json.RawMessage(`{}`)})
+
+	// A full term behind: refused even though its log is longer.
+	reply, err := a.RequestVote(VoteRequest{ClusterID: "test", Candidate: "b", Term: 5, LastTerm: 1, LastSeq: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Granted {
+		t.Fatal("granted vote to a candidate a full term behind")
+	}
+	// Same term, shorter history: refused.
+	if reply, _ = a.RequestVote(VoteRequest{ClusterID: "test", Candidate: "b", Term: 6, LastTerm: 2, LastSeq: 1}); reply.Granted {
+		t.Fatal("granted vote to a candidate with a shorter history")
+	}
+	// At least as up to date: granted.
+	if reply, _ = a.RequestVote(VoteRequest{ClusterID: "test", Candidate: "b", Term: 7, LastTerm: 2, LastSeq: 2}); !reply.Granted {
+		t.Fatal("refused vote to an up-to-date candidate")
+	}
+}
+
 // --- replication tests -----------------------------------------------------
 
 func TestFollowersConvergeOnRecordedIntent(t *testing.T) {
@@ -364,6 +450,27 @@ func TestRecordWithoutQuorumFailsAndLeaderFences(t *testing.T) {
 		t.Fatalf("Record without quorum = %v, want ErrNoQuorum or ErrNotLeader", err)
 	}
 	waitFor(t, 2*time.Second, "leader fenced without quorum", func() bool { return !lead.IsLeader() })
+}
+
+// ClearPending drops parked out-of-order ops (a leadership boundary may
+// strand ops from the old leader's divergent suffix); re-delivery from the
+// new leader fills the gap instead.
+func TestIntentStoreClearPending(t *testing.T) {
+	s := NewIntentStore()
+	s.Apply(op(1, OpDeploy, "g1", `{"v":1}`))
+	s.Apply(op(3, OpUpdate, "g1", `{"v":3}`)) // parks on the seq-2 gap
+	s.ClearPending()
+	s.Apply(op(2, OpUpdate, "g1", `{"v":2}`))
+	if s.LastApplied() != 2 {
+		t.Fatalf("cleared parked op still drained: lastApplied = %d", s.LastApplied())
+	}
+	if got := string(s.Get("graphs", "g1")); got != `{"v":2}` {
+		t.Fatalf("g1 = %s, want {\"v\":2}", got)
+	}
+	s.Apply(op(3, OpUpdate, "g1", `{"v":33}`))
+	if s.LastApplied() != 3 {
+		t.Fatalf("re-delivered op did not apply: lastApplied = %d", s.LastApplied())
+	}
 }
 
 // --- SWIM tests ------------------------------------------------------------
@@ -459,6 +566,29 @@ func TestReplicaSuspicionSpreadsAndRefutes(t *testing.T) {
 		}
 		return true
 	})
+}
+
+// A rumor suspecting us must be refuted in our own gossip: the reply to
+// the probe carries our self row Alive at an incarnation above the
+// suspicion. (Regression: the incarnation counter bumped but the gossiped
+// member row stayed stale, so refutations never propagated.)
+func TestSelfRefutationPropagatesInGossip(t *testing.T) {
+	r := newRig(t, []string{"a", "b"}, nil)
+	a := r.clusters["a"]
+	reply, err := a.Ping("b", []MemberUpdate{{ID: "a", Kind: KindReplica, State: StateSuspect, Incarnation: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range reply {
+		if u.ID != "a" {
+			continue
+		}
+		if u.State != StateAlive || u.Incarnation <= 3 {
+			t.Fatalf("self row does not refute the suspicion: %+v", u)
+		}
+		return
+	}
+	t.Fatal("gossip reply has no self row")
 }
 
 // --- HTTP transport --------------------------------------------------------

@@ -116,12 +116,12 @@ func (c *Cluster) runElection() {
 	c.votedTerm = term
 	c.votedFor = c.self
 	c.electionAt = time.Now().Add(c.electionTimeout())
-	lastSeq := c.store.LastApplied()
+	lastTerm, lastSeq := c.store.LastTermSeq()
 	peers := c.replicaPeersLocked()
 	c.mu.Unlock()
 
 	c.electionsStarted.Inc()
-	req := VoteRequest{ClusterID: c.opts.ClusterID, Candidate: c.self, Term: term, LastSeq: lastSeq}
+	req := VoteRequest{ClusterID: c.opts.ClusterID, Candidate: c.self, Term: term, LastTerm: lastTerm, LastSeq: lastSeq}
 	votes := 1 // self
 	var maxTerm uint64
 	var vmu sync.Mutex
@@ -167,11 +167,19 @@ func (c *Cluster) runElection() {
 	// Won. The log window rebases just past the replicated store; the
 	// lease starts expired and is earned by the first quorum-acked
 	// heartbeat round below, so IsLeader never precedes quorum contact.
+	// Every follower starts the term unsynced: sequence numbers restart
+	// at this replica's applied point, so a follower may hold a divergent
+	// uncommitted suffix from the previous leader at seqs this term
+	// reuses. Until a follower acknowledges this term's snapshot baseline
+	// it receives no incremental ops and its acks count for nothing
+	// (the log-matching property, enforced by resync instead of rollback).
 	c.role = roleLeader
 	c.leader = c.self
 	c.leaseUntil = time.Time{}
 	c.log.Reset(c.store.LastApplied())
 	c.acked = make(map[string]uint64)
+	c.synced = make(map[string]bool)
+	c.syncedTerm = term // our own store is this term's baseline
 	c.mu.Unlock()
 
 	c.electionsWon.Inc()
@@ -217,7 +225,12 @@ func (c *Cluster) RequestVote(req VoteRequest) (VoteReply, error) {
 	if c.votedTerm == req.Term && c.votedFor != req.Candidate {
 		return reply, nil
 	}
-	if req.LastSeq < c.store.LastApplied() {
+	// Election restriction: rank histories by (term, seq) of the newest
+	// applied op. Comparing seq alone would let a replica whose history
+	// ends in an older term's uncommitted suffix tie with — and depose —
+	// replicas holding committed ops at the same sequence numbers.
+	myTerm, mySeq := c.store.LastTermSeq()
+	if req.LastTerm < myTerm || (req.LastTerm == myTerm && req.LastSeq < mySeq) {
 		return reply, nil
 	}
 	if c.leader != "" && c.leader != req.Candidate && !c.leaderGoneLocked(now) {
@@ -231,11 +244,13 @@ func (c *Cluster) RequestVote(req VoteRequest) (VoteReply, error) {
 	return reply, nil
 }
 
-// broadcastAppend runs one replication/heartbeat round: per follower,
-// the ops it has not acknowledged (or a snapshot when it fell out of the
-// log window, or nothing until its first reply tells us where it is),
-// sent in parallel. A majority of acknowledgements advances the commit
-// point and renews the leader lease from the round's start time.
+// broadcastAppend runs one replication/heartbeat round, in parallel per
+// follower: a follower not yet synced to this term gets a full snapshot
+// (truncating any divergent suffix a deposed leader left on it), a synced
+// one the ops past its acknowledgement (or a snapshot again when its ack
+// fell out of the log window). A majority of current-term
+// acknowledgements advances the commit point and renews the leader lease
+// from the round's start time; replies from any other term are ignored.
 func (c *Cluster) broadcastAppend() {
 	start := time.Now()
 	c.mu.Lock()
@@ -250,17 +265,19 @@ func (c *Cluster) broadcastAppend() {
 		id  string
 		req AppendRequest
 	}
+	var snap *Snapshot // built once, shared read-only across requests
 	dests := make([]dest, 0, len(peers))
 	for _, id := range peers {
 		req := AppendRequest{ClusterID: c.opts.ClusterID, Leader: c.self, Term: term, CommitSeq: commit}
-		if ackSeq, known := c.acked[id]; known {
-			ops, ok := c.log.Since(ackSeq)
-			if ok {
-				req.Ops = ops
-			} else {
-				snap := c.store.Snapshot()
-				req.Snapshot = &snap
+		ops, inWindow := c.log.Since(c.acked[id])
+		if c.synced[id] && inWindow {
+			req.Ops = ops
+		} else {
+			if snap == nil {
+				s := c.store.Snapshot()
+				snap = &s
 			}
+			req.Snapshot = snap
 		}
 		dests = append(dests, dest{id: id, req: req})
 	}
@@ -268,7 +285,11 @@ func (c *Cluster) broadcastAppend() {
 
 	acks := 1 // self
 	var maxTerm uint64
-	results := make(map[string]uint64)
+	type ack struct {
+		seq uint64
+		ok  bool
+	}
+	results := make(map[string]ack)
 	var rmu sync.Mutex
 	var wg sync.WaitGroup
 	for _, d := range dests {
@@ -288,10 +309,13 @@ func (c *Cluster) broadcastAppend() {
 			if reply.Term > maxTerm {
 				maxTerm = reply.Term
 			}
+			if reply.Term != d.req.Term {
+				return // stale-term reply: not an acknowledgement of ours
+			}
 			if reply.Ok {
 				acks++
-				results[d.id] = reply.Acked
 			}
+			results[d.id] = ack{seq: reply.Acked, ok: reply.Ok}
 		}(d)
 	}
 	wg.Wait()
@@ -307,11 +331,22 @@ func (c *Cluster) broadcastAppend() {
 	if c.role != roleLeader || c.term != term {
 		return
 	}
-	for id, seq := range results {
-		// Storing even a zero ack matters: presence in the map is what
-		// switches the follower from bare heartbeats to op delivery.
-		if cur, known := c.acked[id]; !known || seq > cur {
-			c.acked[id] = seq
+	tail := c.log.LastSeq()
+	for id, a := range results {
+		if !a.ok || a.seq > tail {
+			// Ok=false at our own term means the follower refused
+			// incremental ops (it restarted, or never adopted this term's
+			// baseline); an ack past our log tail is a divergent suffix we
+			// never appended. Either way: resync from a snapshot, and stop
+			// counting its old ack toward commit — a restarted follower no
+			// longer holds the ops that ack claimed.
+			delete(c.synced, id)
+			delete(c.acked, id)
+			continue
+		}
+		c.synced[id] = true
+		if a.seq > c.acked[id] {
+			c.acked[id] = a.seq
 		}
 	}
 	if acks >= c.quorum() {
@@ -346,8 +381,13 @@ func (c *Cluster) advanceCommitLocked() {
 
 // Append implements Peer: the follower side of replication. A valid
 // append from the current (or newer) term adopts the leader, restores the
-// snapshot if one rode along, applies the ops idempotently and reports
-// the contiguous apply point back as the acknowledgement.
+// snapshot if one rode along (which also marks this term's baseline as
+// adopted), applies the ops idempotently and reports the contiguous apply
+// point back as the acknowledgement. Incremental ops from a term whose
+// baseline we have not adopted are refused (Ok=false) so the leader
+// reseeds us with a snapshot — without that guard a replica left holding
+// a deposed leader's uncommitted suffix would ack the new leader's
+// different ops at the same sequence numbers as duplicates.
 func (c *Cluster) Append(req AppendRequest) (AppendReply, error) {
 	if req.ClusterID != c.opts.ClusterID {
 		return AppendReply{}, errWrongCluster
@@ -367,6 +407,7 @@ func (c *Cluster) Append(req AppendRequest) (AppendReply, error) {
 		}
 		c.role = roleFollower
 	}
+	termChanged := c.term != req.Term
 	c.term = req.Term
 	newLeader := c.leader != req.Leader
 	c.leader = req.Leader
@@ -374,6 +415,12 @@ func (c *Cluster) Append(req AppendRequest) (AppendReply, error) {
 	c.electionAt = now.Add(c.electionTimeout())
 	if req.CommitSeq > c.commitSeq {
 		c.commitSeq = req.CommitSeq
+	}
+	if termChanged || newLeader {
+		// Ops parked while the previous leader was streaming may occupy
+		// sequence numbers this leader reuses for different ops; discard
+		// them rather than fold them across the leadership boundary.
+		c.store.ClearPending()
 	}
 	c.mu.Unlock()
 
@@ -385,6 +432,15 @@ func (c *Cluster) Append(req AppendRequest) (AppendReply, error) {
 	}
 	if req.Snapshot != nil {
 		c.store.Restore(*req.Snapshot)
+	}
+	c.mu.Lock()
+	if req.Snapshot != nil && c.term == req.Term {
+		c.syncedTerm = req.Term
+	}
+	synced := c.syncedTerm == req.Term
+	c.mu.Unlock()
+	if !synced && len(req.Ops) > 0 {
+		return AppendReply{Term: req.Term, Acked: c.store.LastApplied()}, nil
 	}
 	for _, op := range req.Ops {
 		c.store.Apply(op)

@@ -62,6 +62,10 @@ func (k OpKind) category() (cat string, remove bool) {
 // catch-up payload for joiners that fell behind the leader's log window.
 type Snapshot struct {
 	Seq uint64 `json:"seq"`
+	// Term is the leadership term of the op at Seq. Restoring a snapshot
+	// adopts it, so election log-completeness comparisons rank this
+	// replica's history correctly (see RequestVote).
+	Term uint64 `json:"term,omitempty"`
 	// Records is category → key → record (graphs, nodes, links).
 	Records map[string]map[string]json.RawMessage `json:"records"`
 }
@@ -74,6 +78,7 @@ type Snapshot struct {
 type IntentStore struct {
 	mu          sync.Mutex
 	lastApplied uint64
+	lastTerm    uint64 // term of the op at lastApplied
 	records     map[string]map[string]json.RawMessage
 	pending     map[uint64]Op
 }
@@ -92,6 +97,16 @@ func (s *IntentStore) LastApplied() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.lastApplied
+}
+
+// LastTermSeq is the (term, seq) of the newest applied op — the pair
+// elections compare so a replica whose history ends in an older term's
+// uncommitted suffix cannot outrank one holding committed ops at the same
+// sequence number.
+func (s *IntentStore) LastTermSeq() (term, seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastTerm, s.lastApplied
 }
 
 // Apply folds one op into the store. Ops at or below lastApplied are
@@ -114,6 +129,7 @@ func (s *IntentStore) applyLocked(op Op) {
 	}
 	s.foldLocked(op)
 	s.lastApplied = op.Seq
+	s.lastTerm = op.Term
 	// Drain any parked ops the new prefix unblocks.
 	for {
 		next, ok := s.pending[s.lastApplied+1]
@@ -123,6 +139,7 @@ func (s *IntentStore) applyLocked(op Op) {
 		delete(s.pending, next.Seq)
 		s.foldLocked(next)
 		s.lastApplied = next.Seq
+		s.lastTerm = next.Term
 	}
 }
 
@@ -153,7 +170,7 @@ func (s *IntentStore) foldLocked(op Op) {
 func (s *IntentStore) Snapshot() Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	snap := Snapshot{Seq: s.lastApplied, Records: make(map[string]map[string]json.RawMessage, len(s.records))}
+	snap := Snapshot{Seq: s.lastApplied, Term: s.lastTerm, Records: make(map[string]map[string]json.RawMessage, len(s.records))}
 	for cat, m := range s.records {
 		cm := make(map[string]json.RawMessage, len(m))
 		for k, v := range m {
@@ -164,8 +181,12 @@ func (s *IntentStore) Snapshot() Snapshot {
 	return snap
 }
 
-// Restore replaces the store with a snapshot, discarding parked ops below
-// the snapshot point (they are already folded into it).
+// Restore replaces the store with a snapshot, discarding every parked op.
+// Parked ops may predate the snapshot's leadership term and occupy
+// sequence numbers the snapshotting leader assigns to different ops, so
+// none of them can be trusted to share the snapshot's history; anything
+// genuinely missing past the snapshot point is re-delivered by the
+// leader's next append (its ops window starts at our acknowledgement).
 func (s *IntentStore) Restore(snap Snapshot) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -178,20 +199,19 @@ func (s *IntentStore) Restore(snap Snapshot) {
 		s.records[cat] = cm
 	}
 	s.lastApplied = snap.Seq
-	for seq := range s.pending {
-		if seq <= snap.Seq {
-			delete(s.pending, seq)
-		}
-	}
-	// Snapshot may have unblocked parked ops just past its seq.
-	for {
-		next, ok := s.pending[s.lastApplied+1]
-		if !ok {
-			return
-		}
-		delete(s.pending, next.Seq)
-		s.foldLocked(next)
-		s.lastApplied = next.Seq
+	s.lastTerm = snap.Term
+	s.pending = make(map[uint64]Op)
+}
+
+// ClearPending discards parked out-of-order ops. Followers call it when
+// adopting a new leader or term: an op parked while the previous leader
+// was streaming may sit at a sequence number the new leader reuses for a
+// different op, and folding it later would silently diverge this replica.
+func (s *IntentStore) ClearPending() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pending) != 0 {
+		s.pending = make(map[uint64]Op)
 	}
 }
 

@@ -78,6 +78,16 @@ func (c *Cluster) mergeLocked(updates []MemberUpdate) []transition {
 		if u.ID == c.self {
 			if u.State != StateAlive && u.Incarnation >= c.incarnation {
 				c.incarnation = u.Incarnation + 1
+				// The refutation only propagates if our own gossip carries
+				// it: updatesLocked renders the members table, so the self
+				// row must advertise Alive at the bumped incarnation —
+				// otherwise peers keep suspecting us until a direct probe
+				// happens to succeed.
+				if m, ok := c.members[c.self]; ok {
+					m.state = StateAlive
+					m.incarnation = c.incarnation
+					m.since = time.Now()
+				}
 			}
 			continue
 		}

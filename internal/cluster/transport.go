@@ -46,10 +46,14 @@ type VoteRequest struct {
 	ClusterID string `json:"cluster-id"`
 	Candidate string `json:"candidate"`
 	Term      uint64 `json:"term"`
-	// LastSeq is the candidate's replication-log tail: voters refuse
-	// candidates whose intent log is behind their own, so a stale replica
-	// cannot win an election and lose committed intent.
-	LastSeq uint64 `json:"last-seq"`
+	// LastTerm/LastSeq identify the candidate's newest applied op: voters
+	// refuse candidates whose history is behind their own — ordered by
+	// (LastTerm, LastSeq), the Raft election restriction — so a stale
+	// replica, even one whose divergent uncommitted suffix matches the
+	// committed history in length, cannot win an election and lose
+	// committed intent.
+	LastTerm uint64 `json:"last-term"`
+	LastSeq  uint64 `json:"last-seq"`
 }
 
 // VoteReply is the voter's answer.

@@ -288,7 +288,15 @@ func sortedGraphIDs(graphs map[string]*deployment) []string {
 // loop if that fails).
 func (o *Orchestrator) Unlink(aNode, aIf, bNode, bIf string) error {
 	o.mu.Lock()
-	defer o.mu.Unlock()
+	err := o.unlinkLocked(aNode, aIf, bNode, bIf)
+	o.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return o.flushIntent()
+}
+
+func (o *Orchestrator) unlinkLocked(aNode, aIf, bNode, bIf string) error {
 	if err := o.leaderErr(); err != nil {
 		return err
 	}

@@ -97,9 +97,12 @@ type Orchestrator struct {
 
 	// HA hooks (see intent.go). All nil/empty on a standalone orchestrator.
 	leaderCheck  func() bool
-	recorder     func(kind, key string, data json.RawMessage) error
+	recorder     func(kind, key string, data json.RawMessage) (commit func() error, err error)
 	nodeResolver NodeResolver
 	intentSource IntentSource
+	// pendingCommits holds the replication waits staged by
+	// recordIntentLocked under o.mu; flushIntent drains them outside it.
+	pendingCommits []func() error
 	// restoredSeq is the intent-store sequence last replayed into this
 	// orchestrator; follower refreshes skip while the store sits there.
 	restoredSeq uint64
@@ -222,78 +225,96 @@ func (o *Orchestrator) AddNode(n Node) error {
 		return fmt.Errorf("global: registering %q: %w", n.Name(), err)
 	}
 	o.mu.Lock()
-	defer o.mu.Unlock()
-	if err := o.leaderErr(); err != nil {
+	err = func() error {
+		if err := o.leaderErr(); err != nil {
+			return err
+		}
+		if _, dup := o.members[n.Name()]; dup {
+			return fmt.Errorf("global: node %q already registered", n.Name())
+		}
+		o.members[n.Name()] = &member{node: n, alive: true, last: st, probed: time.Now()}
+		if data, err := json.Marshal(nodeRecordFor(n)); err == nil {
+			o.recordIntentLocked(intentNodeAdd, "nodes", n.Name(), data)
+		}
+		return nil
+	}()
+	o.mu.Unlock()
+	if err != nil {
 		return err
 	}
-	if _, dup := o.members[n.Name()]; dup {
-		return fmt.Errorf("global: node %q already registered", n.Name())
-	}
-	o.members[n.Name()] = &member{node: n, alive: true, last: st, probed: time.Now()}
-	if data, err := json.Marshal(nodeRecordFor(n)); err == nil {
-		o.recordIntentLocked(intentNodeAdd, "nodes", n.Name(), data)
-	}
-	return nil
+	return o.flushIntent()
 }
 
 // RemoveNode withdraws a node. Graphs with subgraphs on it are rescheduled
 // on the next reconcile pass.
 func (o *Orchestrator) RemoveNode(name string) error {
 	o.mu.Lock()
-	defer o.mu.Unlock()
-	if err := o.leaderErr(); err != nil {
+	err := func() error {
+		if err := o.leaderErr(); err != nil {
+			return err
+		}
+		m, ok := o.members[name]
+		if !ok {
+			return fmt.Errorf("global: node %q not registered", name)
+		}
+		delete(o.members, name)
+		o.recordIntentLocked(intentNodeRemove, "nodes", name, nil)
+		// Best-effort cleanup of anything we placed there.
+		for _, dep := range o.graphs {
+			if _, here := dep.subs[name]; here {
+				_ = m.node.Undeploy(dep.desired.ID)
+			}
+		}
+		return nil
+	}()
+	o.mu.Unlock()
+	if err != nil {
 		return err
 	}
-	m, ok := o.members[name]
-	if !ok {
-		return fmt.Errorf("global: node %q not registered", name)
-	}
-	delete(o.members, name)
-	o.recordIntentLocked(intentNodeRemove, "nodes", name, nil)
-	// Best-effort cleanup of anything we placed there.
-	for _, dep := range o.graphs {
-		if _, here := dep.subs[name]; here {
-			_ = m.node.Undeploy(dep.desired.ID)
-		}
-	}
-	return nil
+	return o.flushIntent()
 }
 
 // Link declares an inter-node connection the stitcher may use. Both nodes
 // must be registered and expose the named interface.
 func (o *Orchestrator) Link(aNode, aIf, bNode, bIf string) error {
 	o.mu.Lock()
-	defer o.mu.Unlock()
-	if err := o.leaderErr(); err != nil {
-		return err
-	}
-	for _, side := range []struct{ node, iface string }{{aNode, aIf}, {bNode, bIf}} {
-		m, ok := o.members[side.node]
-		if !ok {
-			return fmt.Errorf("global: link: node %q not registered", side.node)
+	err := func() error {
+		if err := o.leaderErr(); err != nil {
+			return err
 		}
-		found := false
-		for _, i := range m.last.Interfaces {
-			if i == side.iface {
-				found = true
-				break
+		for _, side := range []struct{ node, iface string }{{aNode, aIf}, {bNode, bIf}} {
+			m, ok := o.members[side.node]
+			if !ok {
+				return fmt.Errorf("global: link: node %q not registered", side.node)
+			}
+			found := false
+			for _, i := range m.last.Interfaces {
+				if i == side.iface {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("global: link: node %q has no interface %q", side.node, side.iface)
 			}
 		}
-		if !found {
-			return fmt.Errorf("global: link: node %q has no interface %q", side.node, side.iface)
+		l := Link{A: aNode, AIf: aIf, B: bNode, BIf: bIf}
+		for _, existing := range o.links {
+			if existing.key() == l.key() {
+				return fmt.Errorf("global: link %s already declared", l.key())
+			}
 		}
-	}
-	l := Link{A: aNode, AIf: aIf, B: bNode, BIf: bIf}
-	for _, existing := range o.links {
-		if existing.key() == l.key() {
-			return fmt.Errorf("global: link %s already declared", l.key())
+		o.links = append(o.links, l)
+		if data, err := json.Marshal(l); err == nil {
+			o.recordIntentLocked(intentLinkAdd, "links", l.key(), data)
 		}
+		return nil
+	}()
+	o.mu.Unlock()
+	if err != nil {
+		return err
 	}
-	o.links = append(o.links, l)
-	if data, err := json.Marshal(l); err == nil {
-		o.recordIntentLocked(intentLinkAdd, "links", l.key(), data)
-	}
-	return nil
+	return o.flushIntent()
 }
 
 // NodeInfo is one fleet member's state as reported by ListNodes.
@@ -483,14 +504,20 @@ func (o *Orchestrator) Deploy(g *nffg.Graph) error {
 		return err
 	}
 	o.mu.Lock()
-	defer o.mu.Unlock()
-	if err := o.leaderErr(); err != nil {
+	err := func() error {
+		if err := o.leaderErr(); err != nil {
+			return err
+		}
+		if _, dup := o.graphs[g.ID]; dup {
+			return fmt.Errorf("global: graph %q already deployed (use Update)", g.ID)
+		}
+		return o.deployLocked(g)
+	}()
+	o.mu.Unlock()
+	if err != nil {
 		return err
 	}
-	if _, dup := o.graphs[g.ID]; dup {
-		return fmt.Errorf("global: graph %q already deployed (use Update)", g.ID)
-	}
-	return o.deployLocked(g)
+	return o.flushIntent()
 }
 
 // deployLocked is Deploy past validation and the duplicate check. Callers
@@ -535,15 +562,21 @@ func (o *Orchestrator) Update(g *nffg.Graph) error {
 		return err
 	}
 	o.mu.Lock()
-	defer o.mu.Unlock()
-	if err := o.leaderErr(); err != nil {
+	err := func() error {
+		if err := o.leaderErr(); err != nil {
+			return err
+		}
+		dep, ok := o.graphs[g.ID]
+		if !ok {
+			return fmt.Errorf("global: graph %q not deployed (use Deploy)", g.ID)
+		}
+		return o.reassign(dep, g)
+	}()
+	o.mu.Unlock()
+	if err != nil {
 		return err
 	}
-	dep, ok := o.graphs[g.ID]
-	if !ok {
-		return fmt.Errorf("global: graph %q not deployed (use Deploy)", g.ID)
-	}
-	return o.reassign(dep, g)
+	return o.flushIntent()
 }
 
 // Apply deploys g if it is new and updates it otherwise — the REST PUT
@@ -554,14 +587,20 @@ func (o *Orchestrator) Apply(g *nffg.Graph) (existed bool, err error) {
 		return false, err
 	}
 	o.mu.Lock()
-	defer o.mu.Unlock()
-	if err := o.leaderErr(); err != nil {
-		return false, err
+	existed, err = func() (bool, error) {
+		if err := o.leaderErr(); err != nil {
+			return false, err
+		}
+		if dep, ok := o.graphs[g.ID]; ok {
+			return true, o.reassign(dep, g)
+		}
+		return false, o.deployLocked(g)
+	}()
+	o.mu.Unlock()
+	if err != nil {
+		return existed, err
 	}
-	if dep, ok := o.graphs[g.ID]; ok {
-		return true, o.reassign(dep, g)
-	}
-	return false, o.deployLocked(g)
+	return existed, o.flushIntent()
 }
 
 // reassign moves a deployment onto a fresh partition of graph g computed
@@ -715,39 +754,45 @@ func (o *Orchestrator) Reflavor(graphID, nfID string, tech nffg.Technology) erro
 // drift repairs reproduce it.
 func (o *Orchestrator) Scale(graphID, nfID string, replicas int) error {
 	o.mu.Lock()
-	defer o.mu.Unlock()
-	if err := o.leaderErr(); err != nil {
-		return err
-	}
-	dep, ok := o.graphs[graphID]
-	if !ok {
-		return fmt.Errorf("global: graph %q not deployed", graphID)
-	}
-	node, placed := dep.pl.NFNode[nfID]
-	if !placed {
-		return fmt.Errorf("global: graph %q has no NF %q", graphID, nfID)
-	}
-	m, registered := o.members[node]
-	if !registered || !m.alive {
-		return fmt.Errorf("global: node %q hosting %s/%s is unreachable", node, graphID, nfID)
-	}
-	if err := m.node.Scale(graphID, nfID, replicas); err != nil {
-		o.metrics.scaleFails.Inc()
-		return err
-	}
-	if n := dep.desired.FindNF(nfID); n != nil {
-		n.Replicas = replicas
-	}
-	if sub, ok := dep.subs[node]; ok {
-		if n := sub.FindNF(nfID); n != nil {
+	err := func() error {
+		if err := o.leaderErr(); err != nil {
+			return err
+		}
+		dep, ok := o.graphs[graphID]
+		if !ok {
+			return fmt.Errorf("global: graph %q not deployed", graphID)
+		}
+		node, placed := dep.pl.NFNode[nfID]
+		if !placed {
+			return fmt.Errorf("global: graph %q has no NF %q", graphID, nfID)
+		}
+		m, registered := o.members[node]
+		if !registered || !m.alive {
+			return fmt.Errorf("global: node %q hosting %s/%s is unreachable", node, graphID, nfID)
+		}
+		if err := m.node.Scale(graphID, nfID, replicas); err != nil {
+			o.metrics.scaleFails.Inc()
+			return err
+		}
+		if n := dep.desired.FindNF(nfID); n != nil {
 			n.Replicas = replicas
 		}
+		if sub, ok := dep.subs[node]; ok {
+			if n := sub.FindNF(nfID); n != nil {
+				n.Replicas = replicas
+			}
+		}
+		o.metrics.scales.Inc()
+		o.journal.Recordf(telemetry.EventScale, node, graphID,
+			fmt.Sprintf("%s -> %d replicas", nfID, replicas))
+		o.recordGraphLocked(intentScale, dep)
+		return nil
+	}()
+	o.mu.Unlock()
+	if err != nil {
+		return err
 	}
-	o.metrics.scales.Inc()
-	o.journal.Recordf(telemetry.EventScale, node, graphID,
-		fmt.Sprintf("%s -> %d replicas", nfID, replicas))
-	o.recordGraphLocked(intentScale, dep)
-	return nil
+	return o.flushIntent()
 }
 
 // Plan is the global dry-run: validate the graph and partition it across
@@ -895,36 +940,42 @@ func (o *Orchestrator) cheaperFlavorsOn(m *member) []reliefCandidate {
 // here.
 func (o *Orchestrator) Undeploy(id string) error {
 	o.mu.Lock()
-	defer o.mu.Unlock()
-	if err := o.leaderErr(); err != nil {
+	err := func() error {
+		if err := o.leaderErr(); err != nil {
+			return err
+		}
+		dep, ok := o.graphs[id]
+		if !ok {
+			return fmt.Errorf("global: graph %q not deployed", id)
+		}
+		o.dropStandby(dep)
+		blocked := make(map[string]bool)
+		for _, node := range subgraphNodes(dep.subs) {
+			m, registered := o.members[node]
+			if !registered || !m.alive {
+				// Unreachable: remember the leftover so the reconcile loop
+				// retires it when the node returns.
+				o.deferRemoval(node, id)
+				blocked[node] = true
+				continue
+			}
+			if err := m.node.Undeploy(id); err != nil {
+				o.deferRemoval(node, id)
+				blocked[node] = true
+				o.cfg.Logf("global: undeploying %q from %q deferred: %v", id, node, err)
+			}
+		}
+		o.retireStitches(dep.stitches, blocked)
+		delete(o.graphs, id)
+		o.journal.Recordf(telemetry.EventUndeploy, "", id, "")
+		o.recordIntentLocked(intentUndeploy, "graphs", id, nil)
+		return nil
+	}()
+	o.mu.Unlock()
+	if err != nil {
 		return err
 	}
-	dep, ok := o.graphs[id]
-	if !ok {
-		return fmt.Errorf("global: graph %q not deployed", id)
-	}
-	o.dropStandby(dep)
-	blocked := make(map[string]bool)
-	for _, node := range subgraphNodes(dep.subs) {
-		m, registered := o.members[node]
-		if !registered || !m.alive {
-			// Unreachable: remember the leftover so the reconcile loop
-			// retires it when the node returns.
-			o.deferRemoval(node, id)
-			blocked[node] = true
-			continue
-		}
-		if err := m.node.Undeploy(id); err != nil {
-			o.deferRemoval(node, id)
-			blocked[node] = true
-			o.cfg.Logf("global: undeploying %q from %q deferred: %v", id, node, err)
-		}
-	}
-	o.retireStitches(dep.stitches, blocked)
-	delete(o.graphs, id)
-	o.journal.Recordf(telemetry.EventUndeploy, "", id, "")
-	o.recordIntentLocked(intentUndeploy, "graphs", id, nil)
-	return nil
+	return o.flushIntent()
 }
 
 // Start launches the background loops: reconcile every ReconcileInterval
@@ -1017,6 +1068,15 @@ func (o *Orchestrator) ReconcileOnce() {
 	}
 	wg.Wait()
 
+	// Registered before the lock so it runs after the deferred Unlock
+	// (LIFO): reconcile repairs are best-effort, so a commit wait that
+	// fails (quorum loss mid-pass) is logged and retried next pass rather
+	// than surfaced — the ops stay in the leader log.
+	defer func() {
+		if err := o.flushIntent(); err != nil {
+			o.cfg.Logf("global: reconcile intent commit: %v", err)
+		}
+	}()
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	for _, r := range results {

@@ -83,8 +83,15 @@ func BuildHA(o *Orchestrator, copts cluster.Options, resolver NodeResolver) (*cl
 	}
 	o.SetLeaderGate(c.IsLeader)
 	o.SetIntentSource(c.Store())
-	o.SetIntentRecorder(func(kind, key string, data json.RawMessage) error {
-		return c.Record(cluster.OpKind(kind), key, data)
+	o.SetIntentRecorder(func(kind, key string, data json.RawMessage) (func() error, error) {
+		// Two-phase: Propose appends + applies locally without blocking
+		// (called under o.mu), the returned wait blocks for quorum commit
+		// and is invoked by flushIntent after the lock is released.
+		seq, err := c.Propose(cluster.OpKind(kind), key, data)
+		if err != nil {
+			return nil, err
+		}
+		return func() error { return c.WaitCommit(seq) }, nil
 	})
 	o.Metrics().Register(c)
 	return c, nil

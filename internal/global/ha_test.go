@@ -25,12 +25,12 @@ type haRig struct {
 	mu     sync.Mutex
 }
 
-func (r *haRig) record(kind, key string, data json.RawMessage) error {
+func (r *haRig) record(kind, key string, data json.RawMessage) (func() error, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.seq++
 	r.store.Apply(cluster.Op{Seq: r.seq, Kind: cluster.OpKind(kind), Key: key, Data: data})
-	return nil
+	return nil, nil
 }
 
 func newHARig(t *testing.T, nodes int) *haRig {
@@ -174,9 +174,9 @@ func TestPromotionReplayReproducesDesiredState(t *testing.T) {
 	// The promoted leader's sweep must be silent: every record it would
 	// write is byte-identical to what the old leader recorded.
 	var replayed []string
-	r.o2.SetIntentRecorder(func(kind, key string, data json.RawMessage) error {
+	r.o2.SetIntentRecorder(func(kind, key string, data json.RawMessage) (func() error, error) {
 		replayed = append(replayed, kind+" "+key)
-		return nil
+		return nil, nil
 	})
 	r.o2.ReconcileOnce()
 	if len(replayed) != 0 {
@@ -211,6 +211,32 @@ func TestIntentUndeployReplicates(t *testing.T) {
 	}
 	if ids := r.o2.GraphIDs(); len(ids) != 1 || ids[0] != "gb" {
 		t.Fatalf("replayed graph set: %v", ids)
+	}
+}
+
+// A replication commit wait that fails must surface as ErrNotCommitted
+// while the locally applied change stays: the op remains in the leader's
+// log and commits once quorum returns, so a client retry is safe and
+// idempotent.
+func TestMutationSurfacesCommitFailure(t *testing.T) {
+	r := newHARig(t, 1)
+	r.o1.SetIntentRecorder(func(kind, key string, data json.RawMessage) (func() error, error) {
+		return func() error { return fmt.Errorf("quorum lost") }, nil
+	})
+	err := r.o1.Deploy(colocatedGraph("gc"))
+	if !errors.Is(err, global.ErrNotCommitted) {
+		t.Fatalf("Deploy with failing commit = %v, want ErrNotCommitted", err)
+	}
+	if _, ok := r.o1.Graph("gc"); !ok {
+		t.Fatal("local apply rolled back; the accepted change must stay")
+	}
+
+	// A staging failure (Propose refused) surfaces the same way.
+	r.o1.SetIntentRecorder(func(kind, key string, data json.RawMessage) (func() error, error) {
+		return nil, fmt.Errorf("transport down")
+	})
+	if err := r.o1.Undeploy("gc"); !errors.Is(err, global.ErrNotCommitted) {
+		t.Fatalf("Undeploy with failing staging = %v, want ErrNotCommitted", err)
 	}
 }
 

@@ -25,6 +25,15 @@ import (
 // 307 redirect to the leader.
 var ErrNotLeader = errors.New("global: not the leader replica")
 
+// ErrNotCommitted is wrapped into the error a mutating entry point
+// returns when the change was applied locally (and to the datapath) but
+// could not be confirmed replicated to a quorum before the commit
+// timeout. The REST layer answers 503 so the client retries: retrying is
+// safe (ops are idempotent by key) and the op stays in the leader's log,
+// so it commits as soon as quorum returns — but until then a failover
+// could lose it, which is why success must not be acknowledged.
+var ErrNotCommitted = errors.New("global: accepted but not yet committed to the cluster")
+
 // Intent op kinds, mirroring internal/cluster's OpKind vocabulary (kept
 // as strings here so the core orchestrator does not import the cluster
 // package; the HA glue converts).
@@ -149,8 +158,13 @@ func (o *Orchestrator) SetLeaderGate(isLeader func() bool) {
 }
 
 // SetIntentRecorder installs the sink every accepted desired-state
-// mutation is mirrored into (the HA glue points it at cluster.Record).
-func (o *Orchestrator) SetIntentRecorder(rec func(kind, key string, data json.RawMessage) error) {
+// mutation is mirrored into (the HA glue points it at cluster.Propose).
+// The recorder must not block on replication: it stages the op and
+// returns a commit wait, which the mutating entry points invoke after
+// releasing the orchestrator lock — a slow or partitioned follower then
+// delays only the caller's acknowledgement, not every other API request.
+// A nil commit means nothing to wait for (test recorders, local stores).
+func (o *Orchestrator) SetIntentRecorder(rec func(kind, key string, data json.RawMessage) (commit func() error, err error)) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.recorder = rec
@@ -206,8 +220,9 @@ func (o *Orchestrator) IsLeader() bool {
 
 // recordIntentLocked mirrors one op into the replicated log, deduplicated
 // against the last recorded bytes per key (reconcile passes call in every
-// tick; only real changes become ops). A nil data is a removal. Failures
-// are logged and left out of the cache so the next sweep retries.
+// tick; only real changes become ops). A nil data is a removal. Staging
+// failures are logged and left out of the cache so the next sweep
+// retries; the returned commit wait (if any) is queued for flushIntent.
 // Callers hold o.mu.
 func (o *Orchestrator) recordIntentLocked(kind, category, key string, data json.RawMessage) {
 	if o.recorder == nil {
@@ -222,15 +237,42 @@ func (o *Orchestrator) recordIntentLocked(kind, category, key string, data json.
 			return
 		}
 	}
-	if err := o.recorder(kind, key, data); err != nil {
+	commit, err := o.recorder(kind, key, data)
+	if err != nil {
 		o.cfg.Logf("global: recording %s intent for %q: %v", kind, key, err)
+		o.pendingCommits = append(o.pendingCommits, func() error { return err })
 		return
+	}
+	if commit != nil {
+		o.pendingCommits = append(o.pendingCommits, commit)
 	}
 	if data == nil {
 		delete(o.lastIntent, cacheKey)
 	} else {
 		o.lastIntent[cacheKey] = string(data)
 	}
+}
+
+// flushIntent drains the commit waits staged by recordIntentLocked and
+// blocks until every one of them resolves. Mutating entry points call it
+// after releasing o.mu, so the quorum round trip never serializes the
+// rest of the API, and its error — wrapped in ErrNotCommitted — is what
+// keeps an acknowledged write from silently vanishing on failover.
+func (o *Orchestrator) flushIntent() error {
+	o.mu.Lock()
+	commits := o.pendingCommits
+	o.pendingCommits = nil
+	o.mu.Unlock()
+	var errs []error
+	for _, commit := range commits {
+		if err := commit(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if err := errors.Join(errs...); err != nil {
+		return fmt.Errorf("%w: %w", ErrNotCommitted, err)
+	}
+	return nil
 }
 
 // recordGraphLocked mirrors one deployment's current bookkeeping.
@@ -376,6 +418,9 @@ func (o *Orchestrator) RestoreIntent(src IntentSource) error {
 	o.pending = make(map[string]map[string]bool)
 	o.parked = nil
 	o.lastIntent = lastIntent
+	// Commit waits staged under a previous leadership are settled (or
+	// moot) by the time a replay runs; don't let them fail a future flush.
+	o.pendingCommits = nil
 	o.cfg.Logf("global: restored intent: %d node(s), %d link(s), %d graph(s)",
 		len(members), len(links), len(graphs))
 	return errors.Join(errs...)

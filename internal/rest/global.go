@@ -38,6 +38,7 @@ package rest
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -47,6 +48,22 @@ import (
 	"repro/internal/nffg"
 	"repro/internal/telemetry"
 )
+
+// writeMutationError maps a mutating-entry-point failure to a status. Two
+// cluster conditions override the handler's fallback with 503 + Retry-After:
+// ErrNotCommitted (the change is applied locally and parked in the leader
+// log, but quorum did not acknowledge in time — a retry is safe because ops
+// are idempotent by key and commit as soon as quorum returns) and
+// ErrNotLeader (the replica lost the lease mid-request, after the follower
+// redirect already happened — the client should re-resolve the leader).
+func writeMutationError(w http.ResponseWriter, fallback int, err error) {
+	if errors.Is(err, global.ErrNotCommitted) || errors.Is(err, global.ErrNotLeader) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeError(w, fallback, err)
+}
 
 // GlobalServer exposes one global orchestrator over HTTP.
 type GlobalServer struct {
@@ -136,7 +153,7 @@ func (s *GlobalServer) addNode(w http.ResponseWriter, r *http.Request) {
 	}
 	node := global.NewHTTPNode(reg.Name, reg.URL, s.client)
 	if err := s.orch.AddNode(node); err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeMutationError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]string{"status": "registered", "name": reg.Name})
@@ -149,7 +166,7 @@ func (s *GlobalServer) listNodes(w http.ResponseWriter, _ *http.Request) {
 func (s *GlobalServer) removeNode(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if err := s.orch.RemoveNode(name); err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeMutationError(w, http.StatusNotFound, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "removed", "name": name})
@@ -162,7 +179,7 @@ func (s *GlobalServer) addLink(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.orch.Link(l.A, l.AIf, l.B, l.BIf); err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeMutationError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]string{"status": "linked"})
@@ -181,7 +198,7 @@ func (s *GlobalServer) removeLink(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.orch.Unlink(l.A, l.AIf, l.B, l.BIf); err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeMutationError(w, http.StatusNotFound, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "unlinked"})
@@ -216,9 +233,9 @@ func (s *GlobalServer) putGraph(w http.ResponseWriter, r *http.Request) {
 	existed, err := s.orch.Apply(&g)
 	switch {
 	case err != nil && existed:
-		writeError(w, http.StatusConflict, err)
+		writeMutationError(w, http.StatusConflict, err)
 	case err != nil:
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeMutationError(w, http.StatusUnprocessableEntity, err)
 	case existed:
 		writeJSON(w, http.StatusOK, map[string]string{"status": "updated", "id": id})
 	default:
@@ -243,7 +260,7 @@ func (s *GlobalServer) deleteGraph(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.orch.Undeploy(id); err != nil {
-		writeError(w, http.StatusBadGateway, err)
+		writeMutationError(w, http.StatusBadGateway, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "undeployed", "id": id})
@@ -265,7 +282,7 @@ func (s *GlobalServer) reflavor(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.orch.Reflavor(id, nfID, nffg.Technology(req.Technology)); err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeMutationError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{
@@ -293,7 +310,7 @@ func (s *GlobalServer) scale(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.orch.Scale(id, nfID, req.Replicas); err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeMutationError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{

@@ -166,6 +166,8 @@ func errorCode(status int) string {
 		return "unprocessable"
 	case http.StatusBadGateway:
 		return "upstream_error"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
 	default:
 		return "error"
 	}
